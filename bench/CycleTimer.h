@@ -1,0 +1,107 @@
+//===- bench/CycleTimer.h - rdtscp-based cycle measurement -----*- C++ -*-===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's performance methodology (Section 6.1): "we use rdtscp to
+/// count the number of cycles taken to compute the result for each input.
+/// Subsequently, we aggregate these counts for computing the total time."
+/// This header reproduces that harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RFP_BENCH_CYCLETIMER_H
+#define RFP_BENCH_CYCLETIMER_H
+
+#include <cstdint>
+#include <x86intrin.h>
+
+namespace rfp {
+namespace bench {
+
+/// Serialized cycle counter read.
+inline uint64_t readCycles() {
+  unsigned Aux;
+  return __rdtscp(&Aux);
+}
+
+/// Measures the total cycles to evaluate \p Fn over all \p Inputs,
+/// aggregating per-input rdtscp deltas exactly like the paper's harness.
+/// Returns total cycles; the result sum is accumulated into \p Sink so the
+/// calls cannot be optimized away.
+template <typename FnT>
+uint64_t measureCycles(FnT Fn, const float *Inputs, size_t Count,
+                       double &Sink) {
+  uint64_t Total = 0;
+  double Acc = 0.0;
+  for (size_t I = 0; I < Count; ++I) {
+    uint64_t T0 = readCycles();
+    double R = Fn(Inputs[I]);
+    uint64_t T1 = readCycles();
+    Total += T1 - T0;
+    Acc += R;
+  }
+  Sink += Acc;
+  return Total;
+}
+
+/// Runs \p Repeats measurement passes and keeps the fastest (least
+/// perturbed) one.
+template <typename FnT>
+uint64_t measureBest(FnT Fn, const float *Inputs, size_t Count,
+                     double &Sink, int Repeats = 5) {
+  uint64_t Best = ~0ull;
+  for (int R = 0; R < Repeats; ++R) {
+    uint64_t T = measureCycles(Fn, Inputs, Count, Sink);
+    if (T < Best)
+      Best = T;
+  }
+  return Best;
+}
+
+/// Measures the rdtscp-pair overhead itself (empty measured region), so
+/// per-call numbers can be reported net of the timer cost. On virtualized
+/// hosts this overhead is a large fraction of a short call.
+inline double timerOverheadPerCall(size_t Count = 100000) {
+  uint64_t Best = ~0ull;
+  for (int R = 0; R < 5; ++R) {
+    uint64_t Total = 0;
+    for (size_t I = 0; I < Count; ++I) {
+      uint64_t T0 = readCycles();
+      uint64_t T1 = readCycles();
+      Total += T1 - T0;
+    }
+    if (Total < Best)
+      Best = Total;
+  }
+  return static_cast<double>(Best) / Count;
+}
+
+/// Latency harness: evaluates a *dependent chain* of calls (each input
+/// perturbed by the previous result times zero, which the compiler cannot
+/// fold under strict FP semantics) and reports cycles per call. This
+/// exposes the dependence-chain length that Estrin's ILP shortens, without
+/// per-call timer noise.
+template <typename FnT>
+double measureLatencyChain(FnT Fn, const float *Inputs, size_t Count,
+                           double &Sink, int Repeats = 5) {
+  uint64_t Best = ~0ull;
+  for (int R = 0; R < Repeats; ++R) {
+    double Carry = 0.0;
+    uint64_t T0 = readCycles();
+    for (size_t I = 0; I < Count; ++I)
+      Carry = Fn(static_cast<float>(Inputs[I] + Carry * 0.0));
+    uint64_t T1 = readCycles();
+    Sink += Carry;
+    if (T1 - T0 < Best)
+      Best = T1 - T0;
+  }
+  return static_cast<double>(Best) / Count;
+}
+
+} // namespace bench
+} // namespace rfp
+
+#endif // RFP_BENCH_CYCLETIMER_H

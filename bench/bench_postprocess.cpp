@@ -1,0 +1,76 @@
+//===- bench/bench_postprocess.cpp - Section 6.3 post-process experiment --===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's Section 6.3 "Adapting RLibm polynomials as a post-process"
+// experiment: taking the polynomial generated for Horner evaluation and
+// simply evaluating it with a fast scheme (without the integrated
+// generate-check-constrain loop) produces incorrectly rounded results for
+// additional inputs. The paper reports e.g. 10^x gaining 4 extra bad
+// inputs (4 -> 8 specials) and 2^x gaining 3 (3 -> 6), while the
+// integrated method needs fewer specials in total.
+//
+// This binary re-runs the generator at a reduced sampling scale and prints,
+// per function: the Horner baseline's special count, the number of
+// generation inputs that become incorrect under naive post-process
+// adaptation for each scheme, and the special count of the integrated
+// generation for the same scheme.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PolyGen.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace rfp;
+
+int main(int Argc, char **Argv) {
+  bool RunAll = Argc > 1 && std::strcmp(Argv[1], "--all") == 0;
+  GenConfig Cfg;
+  Cfg.SampleStride = 65537;
+  Cfg.BoundaryWindow = 1024;
+
+  std::vector<ElemFunc> Funcs = {ElemFunc::Exp2, ElemFunc::Exp10};
+  if (RunAll)
+    Funcs.assign(AllElemFuncs, AllElemFuncs + 6);
+
+  std::printf("Post-process adaptation vs the integrated loop "
+              "(sampled generation, stride %u)\n\n",
+              Cfg.SampleStride);
+  std::printf("%-8s %-12s | %14s %16s | %16s\n", "f(x)", "scheme",
+              "horner spec.", "post-proc bad", "integrated spec.");
+
+  for (ElemFunc F : Funcs) {
+    PolyGenerator Gen(F, Cfg);
+    Gen.prepare();
+    GeneratedImpl Horner = Gen.generate(EvalScheme::Horner);
+    if (!Horner.Success) {
+      std::printf("%-8s baseline generation failed\n", elemFuncName(F));
+      continue;
+    }
+    for (EvalScheme S :
+         {EvalScheme::Knuth, EvalScheme::Estrin, EvalScheme::EstrinFMA}) {
+      size_t Bad = Gen.countPostProcessViolations(Horner, S);
+      GeneratedImpl Integrated = Gen.generate(S);
+      char IntBuf[32];
+      if (Integrated.Success)
+        std::snprintf(IntBuf, sizeof(IntBuf), "%zu",
+                      Integrated.Specials.size());
+      else
+        std::snprintf(IntBuf, sizeof(IntBuf), "N/A");
+      std::printf("%-8s %-12s | %14zu %16zu | %16s\n", elemFuncName(F),
+                  evalSchemeName(S), Horner.Specials.size(), Bad, IntBuf);
+    }
+    std::printf("\n");
+  }
+  std::printf("Reading: 'post-proc bad' counts generation inputs whose "
+              "results leave the\nrounding interval when the Horner "
+              "polynomial is evaluated with the fast\nscheme as a "
+              "post-process (paper: 2^x 3->6, 10^x 4->8 total specials).\n"
+              "The integrated loop re-validates and re-solves, keeping its "
+              "special count low.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+//===- bench/bench_schemes.cpp - Evaluation-scheme ablation ---------------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation microbenchmark (google-benchmark) for the design choices the
+// paper discusses in Sections 3-4: raw polynomial-evaluation latency of
+// Horner vs Knuth-adapted vs Estrin vs Estrin+FMA across degrees 4..6,
+// isolated from range reduction and output compensation. This exposes the
+// ILP argument directly: Horner's serial dependence chain vs Estrin's
+// parallel sub-expressions vs fused multiply-adds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "poly/EvalScheme.h"
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+using namespace rfp;
+
+namespace {
+
+struct Fixture {
+  double C[7];
+  KnuthAdapted KA;
+  std::vector<double> Xs;
+
+  explicit Fixture(unsigned Degree) {
+    std::mt19937_64 Rng(Degree);
+    std::uniform_real_distribution<double> Dist(0.1, 1.0);
+    for (unsigned I = 0; I <= Degree; ++I)
+      C[I] = Dist(Rng);
+    KA = adaptCoefficients(C, Degree);
+    std::uniform_real_distribution<double> XDist(0.0, 0.0625);
+    for (int I = 0; I < 4096; ++I)
+      Xs.push_back(XDist(Rng));
+  }
+};
+
+Fixture &fixtureFor(unsigned Degree) {
+  static Fixture F4(4), F5(5), F6(6);
+  switch (Degree) {
+  case 4:
+    return F4;
+  case 5:
+    return F5;
+  default:
+    return F6;
+  }
+}
+
+void BM_Horner(benchmark::State &State) {
+  unsigned Degree = static_cast<unsigned>(State.range(0));
+  Fixture &F = fixtureFor(Degree);
+  size_t I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(
+        evalHorner(F.C, Degree, F.Xs[I++ & 4095]));
+  }
+}
+
+void BM_Knuth(benchmark::State &State) {
+  unsigned Degree = static_cast<unsigned>(State.range(0));
+  Fixture &F = fixtureFor(Degree);
+  size_t I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(evalKnuth(F.KA, F.Xs[I++ & 4095]));
+  }
+}
+
+void BM_Estrin(benchmark::State &State) {
+  unsigned Degree = static_cast<unsigned>(State.range(0));
+  Fixture &F = fixtureFor(Degree);
+  size_t I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(
+        evalEstrin(F.C, Degree, F.Xs[I++ & 4095]));
+  }
+}
+
+void BM_EstrinFMA(benchmark::State &State) {
+  unsigned Degree = static_cast<unsigned>(State.range(0));
+  Fixture &F = fixtureFor(Degree);
+  size_t I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(
+        evalEstrinFMA(F.C, Degree, F.Xs[I++ & 4095]));
+  }
+}
+
+// Compile-time-degree forms (what the shipped functions inline).
+template <unsigned Degree> void BM_HornerStatic(benchmark::State &State) {
+  Fixture &F = fixtureFor(Degree);
+  size_t I = 0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(hornerN<Degree>(F.C, F.Xs[I++ & 4095]));
+}
+
+template <unsigned Degree> void BM_EstrinFMAStatic(benchmark::State &State) {
+  Fixture &F = fixtureFor(Degree);
+  size_t I = 0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(estrinFMAN<Degree>(F.C, F.Xs[I++ & 4095]));
+}
+
+BENCHMARK(BM_Horner)->Arg(4)->Arg(5)->Arg(6);
+BENCHMARK(BM_Knuth)->Arg(4)->Arg(5)->Arg(6);
+BENCHMARK(BM_Estrin)->Arg(4)->Arg(5)->Arg(6);
+BENCHMARK(BM_EstrinFMA)->Arg(4)->Arg(5)->Arg(6);
+BENCHMARK(BM_HornerStatic<4>);
+BENCHMARK(BM_HornerStatic<5>);
+BENCHMARK(BM_HornerStatic<6>);
+BENCHMARK(BM_EstrinFMAStatic<4>);
+BENCHMARK(BM_EstrinFMAStatic<5>);
+BENCHMARK(BM_EstrinFMAStatic<6>);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+//===- examples/multi_rounding.cpp - One polynomial, many formats ---------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Demonstrates the RLibm-All property the paper builds on (Section 2.2):
+// a single generated implementation produces correctly rounded results for
+// every FP(k, 8) representation from 10 to 32 bits and all five IEEE
+// rounding modes -- and shows the double-rounding failures (Figure 3) of
+// the naive alternative ("just round a float32 library result further
+// down").
+//
+//===----------------------------------------------------------------------===//
+
+#include "libm/rlibm.h"
+#include "oracle/Oracle.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+using namespace rfp;
+using namespace rfp::libm;
+
+int main() {
+  // Part 1: one H value, 23 formats x 5 modes, all correctly rounded.
+  std::printf("Part 1: exp(0.7) in every representation and mode\n");
+  float X = 0.7f;
+  double H = exp_estrin_fma(X);
+  size_t Checked = 0, Wrong = 0;
+  for (unsigned K = 10; K <= 32; ++K) {
+    FPFormat Fmt = FPFormat::withBits(K);
+    for (RoundingMode M : StandardRoundingModes) {
+      uint64_t Got = roundResult(H, Fmt, M);
+      uint64_t Want = Oracle::eval(ElemFunc::Exp, X, Fmt, M);
+      ++Checked;
+      Wrong += Got != Want;
+    }
+  }
+  std::printf("  %zu (format, mode) combinations checked, %zu wrong\n\n",
+              Checked, Wrong);
+
+  // Part 2: the naive approach. Take the correctly rounded float32 result
+  // and round it again to bfloat16: double rounding misrounds some inputs.
+  std::printf("Part 2: Figure 3 -- double rounding via float32 vs our H\n");
+  std::printf("  (log10, dense sweep; misrounds via the float32 detour are "
+              "rare but real)\n");
+  FPFormat F32 = FPFormat::float32();
+  FPFormat BF16 = FPFormat::bfloat16();
+  long DoubleRoundWrong = 0, OursWrong = 0, Total = 0;
+  uint32_t ExampleBits = 0;
+  for (uint64_t B = 0; B < (1ull << 31); B += 9973) {
+    float XI;
+    uint32_t Bits = static_cast<uint32_t>(B);
+    std::memcpy(&XI, &Bits, sizeof(XI));
+    if (std::isnan(XI) || XI <= 0.0f)
+      continue;
+    uint64_t WantBf =
+        Oracle::eval(ElemFunc::Log10, XI, BF16, RoundingMode::NearestEven);
+    if (BF16.isNaN(WantBf))
+      continue;
+    ++Total;
+    double HI = log10_estrin_fma(XI);
+    // Correctly rounded float32 result, rounded once more to bfloat16.
+    double Via32 = F32.decode(roundResult(HI, F32, RoundingMode::NearestEven));
+    if (BF16.roundDouble(Via32, RoundingMode::NearestEven) != WantBf) {
+      ++DoubleRoundWrong;
+      if (!ExampleBits)
+        ExampleBits = Bits;
+    }
+    if (roundResult(HI, BF16, RoundingMode::NearestEven) != WantBf)
+      ++OursWrong;
+  }
+  std::printf("  inputs sampled:                         %ld\n", Total);
+  std::printf("  wrong bfloat16 via float32 result:      %ld  (double "
+              "rounding, Figure 3)\n",
+              DoubleRoundWrong);
+  std::printf("  wrong bfloat16 via our H value:         %ld\n", OursWrong);
+  if (ExampleBits) {
+    float Ex;
+    std::memcpy(&Ex, &ExampleBits, sizeof(Ex));
+    double HX = log10_estrin_fma(Ex);
+    std::printf("\n  example: x = %a\n", Ex);
+    std::printf("    float32 result        = %a\n",
+                F32.decode(roundResult(HX, F32, RoundingMode::NearestEven)));
+    std::printf("    bfloat16 via float32  = %a  (WRONG)\n",
+                BF16.decode(BF16.roundDouble(
+                    F32.decode(roundResult(HX, F32, RoundingMode::NearestEven)),
+                    RoundingMode::NearestEven)));
+    std::printf("    bfloat16 via H        = %a  (correct)\n",
+                BF16.decode(roundResult(HX, BF16, RoundingMode::NearestEven)));
+  }
+
+  // Part 3: all five rounding modes from the same H, spot-verified.
+  std::printf("\nPart 3: log10(3.7) under the five IEEE modes\n");
+  double HL = log10_estrin_fma(3.7f);
+  for (RoundingMode M : StandardRoundingModes) {
+    FPFormat Fmt = FPFormat::float32();
+    double Got = Fmt.decode(roundResult(HL, Fmt, M));
+    double Want = Oracle::evalValue(ElemFunc::Log10, 3.7f, Fmt, M);
+    std::printf("  %s: %.9g %s\n", roundingModeName(M), Got,
+                Got == Want ? "(correct)" : "(WRONG)");
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+//===- examples/quickstart.cpp - First steps with the library -------------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Quickstart: call the correctly rounded functions, compare them with the
+// system libm, and use the multi-representation API. Build and run:
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "libm/rlibm.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace rfp;
+using namespace rfp::libm;
+
+int main() {
+  std::printf("rlibm-fastpoly quickstart\n");
+  std::printf("=========================\n\n");
+
+  // 1. The float convenience API: correctly rounded float32 results from
+  //    the fastest generated variant (Estrin+FMA).
+  std::printf("correctly rounded float results vs the system libm:\n");
+  for (float X : {0.5f, 3.14159f, -7.25f, 42.0f}) {
+    std::printf("  exp(%-8g) = %-14.9g (libm: %.9g)\n", X, rfp_expf(X),
+                ::expf(X));
+  }
+  for (float X : {0.7f, 123.456f, 1e-10f}) {
+    std::printf("  log2(%-7g) = %-14.9g (libm: %.9g)\n", X, rfp_log2f(X),
+                ::log2f(X));
+  }
+
+  // 2. The H-producing cores: one double result per input that rounds
+  //    correctly into EVERY format FP(k, 8), 10 <= k <= 32, under EVERY
+  //    IEEE rounding mode. This is the RLibm-All property the paper's
+  //    generated polynomials guarantee.
+  float X = 2.5f;
+  double H = exp2_estrin_fma(X);
+  std::printf("\nexp2(%g): one H value serves every representation:\n", X);
+  for (unsigned K : {16u, 19u, 24u, 32u}) {
+    FPFormat Fmt = FPFormat::withBits(K);
+    std::printf("  FP(%2u,8):", K);
+    for (RoundingMode M : StandardRoundingModes)
+      std::printf("  %s=%.9g", roundingModeName(M),
+                  Fmt.decode(roundResult(H, Fmt, M)));
+    std::printf("\n");
+  }
+
+  // 3. The four evaluation variants of the paper, same answers, different
+  //    speed (see bench_speedup):
+  std::printf("\nfour variants of exp10(0.5):\n");
+  for (EvalScheme S : AllEvalSchemes) {
+    VariantInfo Info = variantInfo(ElemFunc::Exp10, S);
+    if (!Info.Available) {
+      std::printf("  %-12s N/A\n", evalSchemeName(S));
+      continue;
+    }
+    std::printf("  %-12s %.17g  (pieces=%d degree=%u specials=%d)\n",
+                evalSchemeName(S), evalCore(ElemFunc::Exp10, S, 0.5f),
+                Info.NumPieces, Info.MaxDegree, Info.NumSpecials);
+  }
+  return 0;
+}

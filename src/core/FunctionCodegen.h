@@ -1,0 +1,38 @@
+//===- core/FunctionCodegen.h - Whole-function C emission ------*- C++ -*-===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits a complete, self-contained C implementation of a generated
+/// function: special-input handling, range reduction, the lookup tables,
+/// piecewise polynomial evaluation under the generated scheme, and output
+/// compensation. The emitted function takes a float and returns the H
+/// (double) value with the RLibm-All multi-representation guarantee --
+/// the exportable artifact a downstream libm would vendor, mirroring the
+/// 24 generated C implementations the paper's artifact ships.
+///
+/// The emitted operation order matches src/libm's frame exactly;
+/// tests/FunctionCodegenTest compiles the output and compares it
+/// bit-for-bit against GeneratedImpl::evalH.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RFP_CORE_FUNCTIONCODEGEN_H
+#define RFP_CORE_FUNCTIONCODEGEN_H
+
+#include "core/PolyGen.h"
+
+#include <string>
+
+namespace rfp {
+
+/// Renders a generated implementation as a standalone C function named
+/// \p Name (plus file-scope static tables). The translation unit needs
+/// only <math.h>, <string.h> and <stdint.h>.
+std::string emitFunctionC(const GeneratedImpl &Impl, const std::string &Name);
+
+} // namespace rfp
+
+#endif // RFP_CORE_FUNCTIONCODEGEN_H

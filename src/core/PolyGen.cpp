@@ -1,0 +1,447 @@
+//===- core/PolyGen.cpp - The RLibm fast-poly generator -------------------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PolyGen.h"
+
+#include "lp/LPSolver.h"
+#include "oracle/Oracle.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+using namespace rfp;
+
+static float bitsToFloat(uint32_t Bits) {
+  float F;
+  std::memcpy(&F, &Bits, sizeof(F));
+  return F;
+}
+
+static uint32_t floatToBits(float F) {
+  uint32_t B;
+  std::memcpy(&B, &F, sizeof(B));
+  return B;
+}
+
+static uint64_t doubleKey(double D) {
+  uint64_t K;
+  std::memcpy(&K, &D, sizeof(K));
+  return K;
+}
+
+double GeneratedImpl::evalH(float X) const {
+  libm::Reduction R = libm::reduceInput(Func, X);
+  if (!R.PolyPath)
+    return R.Special;
+  uint32_t Bits = floatToBits(X);
+  for (const Special &S : Specials)
+    if (S.Bits == Bits)
+      return S.H;
+  double TMin, TMax;
+  libm::reducedDomain(Func, TMin, TMax);
+  int Piece = libm::pieceIndex(R.T, TMin, TMax, NumPieces);
+  const Polynomial &P = Pieces[Piece];
+  double V = evalScheme(Scheme, P.Coeffs.data(), P.degree(), R.T,
+                        Scheme == EvalScheme::Knuth ? &Adapted[Piece]
+                                                    : nullptr);
+  return libm::outputCompensate(Func, V, R);
+}
+
+PolyGenerator::PolyGenerator(ElemFunc F, GenConfig C)
+    : Func(F), Config(std::move(C)) {}
+
+/// Enumerates the poly-path inputs: a strided sweep over all float bit
+/// patterns plus dense windows around the interesting boundary points.
+std::vector<float> PolyGenerator::buildInputSet() const {
+  std::vector<uint32_t> Bits;
+
+  // Strided sweep over the entire 2^32 pattern space; reduceInput filters
+  // out the non-polynomial paths.
+  for (uint64_t B = 0; B < (1ull << 32); B += Config.SampleStride)
+    Bits.push_back(static_cast<uint32_t>(B));
+
+  // Dense windows around boundary values where special-path handoffs and
+  // exactly representable results live.
+  std::vector<float> Anchors = {0.0f, 1.0f, -1.0f, 2.0f, 0.5f};
+  if (isExpFamily(Func)) {
+    // The bands of tiny |x| collapse onto slivers at the reduced-domain
+    // endpoints where the rounding intervals around 1 are tightest; cover
+    // every binade down to the small-input handoff threshold.
+    for (int K = 3; K <= 28; ++K) {
+      Anchors.push_back(std::ldexp(1.0f, -K));
+      Anchors.push_back(-std::ldexp(1.0f, -K));
+    }
+  }
+  switch (Func) {
+  case ElemFunc::Exp:
+    Anchors.insert(Anchors.end(), {88.72284f, -104.7f, -87.0f, 88.0f});
+    break;
+  case ElemFunc::Exp2:
+    // Integer inputs give exact powers of two.
+    for (int I = -151; I <= 128; I += 1)
+      Anchors.push_back(static_cast<float>(I));
+    break;
+  case ElemFunc::Exp10:
+    Anchors.insert(Anchors.end(), {38.53184f, -45.46f, 10.0f, -37.9f});
+    for (int I = -45; I <= 38; ++I)
+      Anchors.push_back(static_cast<float>(I));
+    break;
+  case ElemFunc::Log:
+  case ElemFunc::Log2:
+  case ElemFunc::Log10: {
+    // Powers of two (exact log2 results) and powers of ten.
+    for (int I = -149; I <= 127; I += 2)
+      Anchors.push_back(std::ldexp(1.0f, I));
+    double P10 = 1.0;
+    for (int I = 0; I <= 10; ++I, P10 *= 10.0)
+      Anchors.push_back(static_cast<float>(P10));
+    break;
+  }
+  }
+  for (float A : Anchors) {
+    uint32_t C = floatToBits(A);
+    uint32_t W = Config.BoundaryWindow;
+    for (uint32_t D = 0; D <= W; ++D) {
+      Bits.push_back(C + D);
+      Bits.push_back(C - D);
+      // Mirror to the negative range for exp-family functions.
+      Bits.push_back((C + D) ^ 0x80000000u);
+      Bits.push_back((C - D) ^ 0x80000000u);
+    }
+  }
+
+  std::sort(Bits.begin(), Bits.end());
+  Bits.erase(std::unique(Bits.begin(), Bits.end()), Bits.end());
+
+  std::vector<float> Inputs;
+  Inputs.reserve(Bits.size());
+  for (uint32_t B : Bits) {
+    float X = bitsToFloat(B);
+    if (std::isnan(X))
+      continue;
+    if (libm::reduceInput(Func, X).PolyPath)
+      Inputs.push_back(X);
+  }
+  return Inputs;
+}
+
+void PolyGenerator::prepare(LogFn Log) {
+  if (Prepared)
+    return;
+  Prepared = true;
+
+  std::vector<float> Inputs = buildInputSet();
+  NumInputs = Inputs.size();
+  if (Log)
+    Log("inputs: " + std::to_string(NumInputs));
+
+  FPFormat F34 = FPFormat::fp34();
+  std::unordered_map<uint64_t, size_t> Index;
+  Index.reserve(Inputs.size());
+
+  size_t Done = 0;
+  for (float X : Inputs) {
+    if (Log && (++Done % 200000) == 0)
+      Log("oracle progress: " + std::to_string(Done) + "/" +
+          std::to_string(NumInputs));
+
+    uint64_t Enc = Oracle::eval(Func, X, F34, RoundingMode::ToOdd);
+    assert(F34.isFinite(Enc) && "poly-path input with non-finite oracle");
+    double Y34 = F34.decode(Enc);
+    HInterval HI = roundingIntervalRO(Y34, F34);
+
+    libm::Reduction R = libm::reduceInput(Func, X);
+    HInterval PI = inferPolyInterval(Func, R, HI.Lo, HI.Hi);
+    uint32_t XBits = floatToBits(X);
+    if (!PI.Valid) {
+      ForcedSpecials.push_back({XBits, Y34});
+      continue;
+    }
+
+    auto [It, Fresh] = Index.try_emplace(doubleKey(R.T), Constraints.size());
+    if (Fresh) {
+      Constraints.push_back(
+          {R.T, PI.Lo, PI.Hi, PI.Lo, PI.Hi, {XBits}});
+      continue;
+    }
+    MergedConstraint &M = Constraints[It->second];
+    double NewAlpha = std::max(M.Alpha, PI.Lo);
+    double NewBeta = std::min(M.Beta, PI.Hi);
+    if (NewAlpha > NewBeta) {
+      // The paper's CombineRedIntervals would report an empty intersection;
+      // we keep the existing constraint and special-case the new input.
+      ForcedSpecials.push_back({XBits, Y34});
+      continue;
+    }
+    M.Alpha = NewAlpha;
+    M.Beta = NewBeta;
+    M.Alpha0 = std::max(M.Alpha0, PI.Lo);
+    M.Beta0 = std::min(M.Beta0, PI.Hi);
+    M.Inputs.push_back(XBits);
+  }
+
+  std::sort(Constraints.begin(), Constraints.end(),
+            [](const MergedConstraint &A, const MergedConstraint &B) {
+              return A.T < B.T;
+            });
+  if (Log)
+    Log("constraints: " + std::to_string(Constraints.size()) +
+        ", forced specials: " + std::to_string(ForcedSpecials.size()));
+}
+
+/// Evaluates a candidate under the scheme with the shipped operation order.
+static double evalCandidate(EvalScheme S, const Polynomial &P,
+                            const KnuthAdapted &KA, double T) {
+  return evalScheme(S, P.Coeffs.data(), P.degree(), T,
+                    S == EvalScheme::Knuth ? &KA : nullptr);
+}
+
+bool PolyGenerator::generatePiece(EvalScheme S,
+                                  std::vector<MergedConstraint *> &Piece,
+                                  unsigned Degree, GeneratedImpl &Impl,
+                                  Polynomial &OutPoly, KnuthAdapted &OutKA,
+                                  LogFn Log) {
+  if (Piece.empty()) {
+    // No constraints in this sub-domain: any polynomial works.
+    OutPoly.Coeffs.assign(Degree + 1, 0.0);
+    OutKA = KnuthAdapted();
+    if (S == EvalScheme::Knuth) {
+      OutPoly.Coeffs[Degree] = 0x1p-80; // Give the adaptation a lead term.
+      OutKA = adaptCoefficients(OutPoly.Coeffs.data(), Degree);
+    }
+    return true;
+  }
+
+  // Progressive LP sample: evenly spaced constraints, extremes included.
+  std::vector<size_t> LPSet;
+  size_t Step = std::max<size_t>(1, Piece.size() / Config.MaxLPConstraints);
+  for (size_t I = 0; I < Piece.size(); I += Step)
+    LPSet.push_back(I);
+  if (LPSet.back() != Piece.size() - 1)
+    LPSet.push_back(Piece.size() - 1);
+  std::vector<bool> InLPSet(Piece.size(), false);
+  for (size_t I : LPSet)
+    InLPSet[I] = true;
+
+  // Retires a constraint whose interval was exhausted: its inputs become
+  // explicit special cases (what the paper counts in Table 1). Returns
+  // false when the special-case budget is exceeded.
+  FPFormat F34 = FPFormat::fp34();
+  auto RetireConstraint = [&](MergedConstraint &M) {
+    if (Impl.Specials.size() + M.Inputs.size() >
+        static_cast<size_t>(Config.MaxSpecialCases))
+      return false;
+    for (uint32_t XBits : M.Inputs) {
+      float X = bitsToFloat(XBits);
+      double Y34 =
+          F34.decode(Oracle::eval(Func, X, F34, RoundingMode::ToOdd));
+      Impl.Specials.push_back({XBits, Y34});
+    }
+    M.Dead = true;
+    return true;
+  };
+
+  for (unsigned Iter = 0; Iter < Config.MaxIterations; ++Iter) {
+    ++Impl.LoopIterations;
+
+    std::vector<IntervalConstraint> LPCons;
+    LPCons.reserve(LPSet.size());
+    for (size_t I : LPSet) {
+      if (Piece[I]->Dead)
+        continue;
+      LPCons.push_back({Rational::fromDouble(Piece[I]->T),
+                        Rational::fromDouble(Piece[I]->Alpha),
+                        Rational::fromDouble(Piece[I]->Beta)});
+    }
+
+    ++Impl.LPSolves;
+    PolyLPResult LP = solvePolyLP(LPCons, Degree);
+    if (!LP.Feasible) {
+      if (getenv("RFP_GEN_DEBUG"))
+        fprintf(stderr, "[dbg] iter %u: LP infeasible (deg %u, %zu cons)\n",
+                Iter, Degree, LPCons.size());
+      return false;
+    }
+
+    Polynomial P = LP.Poly.toDouble();
+    // Flush effectively-zero coefficients: the margin-maximizing LP can
+    // place a coefficient in the subnormal range (~1e-320), which costs
+    // two orders of magnitude in evaluation latency through denormal
+    // assists while contributing nothing within any rounding interval.
+    // The check step below re-validates the flushed polynomial.
+    for (double &Coef : P.Coeffs)
+      if (std::fabs(Coef) < 0x1p-512)
+        Coef = 0.0;
+    KnuthAdapted KA;
+    if (S == EvalScheme::Knuth) {
+      KA = adaptCoefficients(P.Coeffs.data(), P.degree());
+      if (!KA.Valid) {
+        if (getenv("RFP_GEN_DEBUG"))
+          fprintf(stderr, "[dbg] iter %u: adaptation invalid (lead %a)\n",
+                  Iter, P.Coeffs.back());
+        return false; // Degree not adaptable; caller escalates.
+      }
+    }
+    if (getenv("RFP_GEN_DEBUG") && Iter < 6) {
+      fprintf(stderr, "[dbg] iter %u deg %u lead=%a margin=%.3g\n", Iter,
+              Degree, P.Coeffs.back(), LP.Margin.toDouble());
+    }
+
+    // Check step (Algorithm 2 lines 13-17): evaluate with the shipped
+    // operation order on *every* constraint of the piece.
+    size_t Violations = 0;
+    for (size_t I = 0; I < Piece.size(); ++I) {
+      MergedConstraint &M = *Piece[I];
+      if (M.Dead)
+        continue;
+      double V = evalCandidate(S, P, KA, M.T);
+      bool Bad = false;
+      if (V < M.Alpha) {
+        // ConstrainInterval: move the violated bound one step inward.
+        M.Alpha = std::nextafter(M.Alpha, HUGE_VAL);
+        Bad = true;
+      } else if (V > M.Beta) {
+        M.Beta = std::nextafter(M.Beta, -HUGE_VAL);
+        Bad = true;
+      }
+      if (!Bad)
+        continue;
+      ++Violations;
+      if (getenv("RFP_GEN_DEBUG") && Violations <= 3)
+        fprintf(stderr, "[dbg]   violation t=%a v=%a bounds=[%a,%a]\n", M.T,
+                V, M.Alpha, M.Beta);
+      if (M.Alpha > M.Beta && !RetireConstraint(M)) {
+        if (getenv("RFP_GEN_DEBUG"))
+          fprintf(stderr, "[dbg]   special budget exhausted at t=%a\n", M.T);
+        return false; // Special budget exhausted; escalate the shape.
+      }
+      if (!InLPSet[I]) {
+        InLPSet[I] = true;
+        LPSet.push_back(I);
+      }
+    }
+    if (Violations == 0) {
+      OutPoly = std::move(P);
+      OutKA = KA;
+      return true;
+    }
+    if (Log && Iter + 1 == Config.MaxIterations)
+      Log("piece failed to converge: " + std::to_string(Violations) +
+          " violations at final iteration");
+  }
+  return false;
+}
+
+GeneratedImpl PolyGenerator::generate(EvalScheme S, LogFn Log) {
+  assert(Prepared && "call prepare() first");
+  GeneratedImpl Impl;
+  Impl.Func = Func;
+  Impl.Scheme = S;
+  Impl.NumInputs = NumInputs;
+  Impl.NumConstraints = Constraints.size();
+  Impl.Specials = ForcedSpecials;
+
+  double TMin, TMax;
+  libm::reducedDomain(Func, TMin, TMax);
+
+  for (int NumPieces : Config.PieceLadder) {
+    // Restore pristine bounds and retired constraints, and roll back any
+    // special cases a failed shape accumulated.
+    for (MergedConstraint &M : Constraints) {
+      M.Alpha = M.Alpha0;
+      M.Beta = M.Beta0;
+      M.Dead = false;
+    }
+    Impl.Specials.assign(ForcedSpecials.begin(), ForcedSpecials.end());
+
+    std::vector<std::vector<MergedConstraint *>> Pieces(NumPieces);
+    for (MergedConstraint &M : Constraints)
+      Pieces[libm::pieceIndex(M.T, TMin, TMax, NumPieces)].push_back(&M);
+
+    bool AllOk = true;
+    std::vector<Polynomial> Polys(NumPieces);
+    std::vector<KnuthAdapted> KAs(NumPieces);
+    std::vector<unsigned> Degrees(NumPieces, 0);
+
+    for (int PieceIdx = 0; PieceIdx < NumPieces && AllOk; ++PieceIdx) {
+      bool PieceOk = false;
+      for (unsigned Degree : Config.DegreeLadder) {
+        if (S == EvalScheme::Knuth && (Degree < 4 || Degree > 6))
+          continue; // Adaptation exists only for degrees 4..6.
+        // Each degree attempt starts from pristine bounds for this piece
+        // and rolls back any special cases it retired on failure.
+        for (MergedConstraint *M : Pieces[PieceIdx]) {
+          M->Alpha = M->Alpha0;
+          M->Beta = M->Beta0;
+          M->Dead = false;
+        }
+        size_t SpecialsMark = Impl.Specials.size();
+        if (generatePiece(S, Pieces[PieceIdx], Degree, Impl, Polys[PieceIdx],
+                          KAs[PieceIdx], Log)) {
+          Degrees[PieceIdx] = Degree;
+          PieceOk = true;
+          break;
+        }
+        Impl.Specials.resize(SpecialsMark);
+      }
+      if (!PieceOk)
+        AllOk = false;
+    }
+    if (!AllOk) {
+      if (Log)
+        Log(std::string(elemFuncName(Func)) + "/" + evalSchemeName(S) +
+            ": shape with " + std::to_string(NumPieces) +
+            " piece(s) failed; escalating");
+      continue;
+    }
+
+    Impl.Success = true;
+    Impl.NumPieces = NumPieces;
+    Impl.Pieces = std::move(Polys);
+    Impl.Adapted = std::move(KAs);
+    Impl.PieceDegrees = std::move(Degrees);
+    return Impl;
+  }
+  return Impl; // Success == false.
+}
+
+size_t PolyGenerator::countPostProcessViolations(const GeneratedImpl &Base,
+                                                 EvalScheme S) {
+  assert(Prepared && Base.Success);
+  double TMin, TMax;
+  libm::reducedDomain(Func, TMin, TMax);
+
+  size_t BadInputs = 0;
+  for (const MergedConstraint &M : Constraints) {
+    int Piece = libm::pieceIndex(M.T, TMin, TMax, Base.NumPieces);
+    const Polynomial &P = Base.Pieces[Piece];
+    KnuthAdapted KA;
+    if (S == EvalScheme::Knuth) {
+      KA = adaptCoefficients(P.Coeffs.data(), P.degree());
+      if (!KA.Valid)
+        continue;
+    }
+    // Count only *additional* damage: constraints the baseline scheme
+    // satisfies but the post-process-adapted evaluation violates.
+    // (Constraints the baseline already special-cases violate under every
+    // scheme and are not the post-process effect the paper measures.)
+    double BaseV = evalCandidate(Base.Scheme, P,
+                                 Base.Scheme == EvalScheme::Knuth
+                                     ? Base.Adapted[Piece]
+                                     : KA,
+                                 M.T);
+    if (BaseV < M.Alpha0 || BaseV > M.Beta0)
+      continue;
+    double V = evalCandidate(S, P, KA, M.T);
+    if (V < M.Alpha0 || V > M.Beta0)
+      BadInputs += M.Inputs.size();
+  }
+  return BadInputs;
+}

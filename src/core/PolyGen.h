@@ -1,0 +1,152 @@
+//===- core/PolyGen.h - The RLibm fast-poly generator ----------*- C++ -*-===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's contribution: polynomial generation with fast polynomial
+/// evaluation integrated into the generate-check-constrain loop
+/// (Algorithm 2, Figure 1):
+///
+///   1. For every input x: oracle round-to-odd FP34 result, its rounding
+///      interval in H = double, range reduction, and the reduced interval
+///      through the inverse output compensation.
+///   2. Merge constraints that share a reduced input (intersection).
+///   3. Solve the LP (exact rational arithmetic, margin-maximizing) on a
+///      progressively grown constraint sample (RLibm-Prog, PLDI'22).
+///   4. Round the coefficients to double and "adapt" them for the target
+///      evaluation scheme (Knuth / Estrin / Estrin+FMA).
+///   5. Re-evaluate the adapted polynomial *with the shipped evaluation
+///      code* on every constraint; shrink the violated intervals by one
+///      double ulp and re-solve (bounded number of iterations).
+///   6. Escalate degree, then piece count, when a shape cannot satisfy the
+///      constraints; extract stubborn inputs as special cases.
+///
+/// Scale note (see DESIGN.md): the paper enumerates all 2^32 inputs; we
+/// sample deterministically (configurable stride) plus dense windows at
+/// the domain boundaries, and validate the shipped tables over larger,
+/// differently-strided samples in the test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RFP_CORE_POLYGEN_H
+#define RFP_CORE_POLYGEN_H
+
+#include "core/RoundingInterval.h"
+#include "poly/EvalScheme.h"
+#include "support/ElemFunc.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rfp {
+
+/// Tuning knobs for the generator.
+struct GenConfig {
+  /// Stride over float bit patterns when sampling generation inputs.
+  uint32_t SampleStride = 1009;
+  /// Half-width (in bit patterns) of the dense windows around domain
+  /// boundary points.
+  uint32_t BoundaryWindow = 1024;
+  /// LP constraint-sample cap (progressively grown by violations).
+  size_t MaxLPConstraints = 400;
+  /// Maximum generate-check-constrain iterations per shape (paper's N).
+  unsigned MaxIterations = 48;
+  /// Maximum special-case inputs tolerated per implementation.
+  unsigned MaxSpecialCases = 24;
+  /// Piece-count escalation ladder.
+  std::vector<int> PieceLadder = {1, 2, 4, 8};
+  /// Degree ladder tried within each piece (Knuth clamps the start to 4).
+  std::vector<unsigned> DegreeLadder = {3, 4, 5, 6};
+};
+
+/// One generated implementation: everything needed to ship f(x) under one
+/// evaluation scheme, plus the metrics the paper reports in Table 1.
+struct GeneratedImpl {
+  ElemFunc Func = ElemFunc::Exp;
+  EvalScheme Scheme = EvalScheme::Horner;
+  bool Success = false;
+
+  int NumPieces = 0;
+  std::vector<Polynomial> Pieces;
+  std::vector<KnuthAdapted> Adapted; ///< Valid entries only for Knuth.
+  std::vector<unsigned> PieceDegrees;
+
+  struct Special {
+    uint32_t Bits; ///< Input float bit pattern.
+    double H;      ///< The H value to return for it.
+  };
+  std::vector<Special> Specials;
+
+  unsigned LPSolves = 0;       ///< Total LP invocations.
+  unsigned LoopIterations = 0; ///< Total generate-check-constrain rounds.
+  size_t NumInputs = 0;        ///< Generation inputs considered.
+  size_t NumConstraints = 0;   ///< Merged reduced constraints.
+
+  unsigned maxDegree() const {
+    unsigned D = 0;
+    for (unsigned PD : PieceDegrees)
+      D = std::max(D, PD);
+    return D;
+  }
+
+  /// Evaluates this implementation end to end (reduce, special cases,
+  /// piece dispatch, scheme evaluation, output compensation), exactly as
+  /// the shipped code does.
+  double evalH(float X) const;
+};
+
+/// Drives constraint construction (shared across schemes) and per-scheme
+/// generation for one elementary function.
+class PolyGenerator {
+public:
+  using LogFn = std::function<void(const std::string &)>;
+
+  explicit PolyGenerator(ElemFunc F, GenConfig Config = GenConfig());
+
+  /// Builds the generation input set, queries the oracle, and assembles
+  /// the merged reduced constraints. Expensive (oracle-bound); runs once
+  /// and is shared by all schemes.
+  void prepare(LogFn Log = nullptr);
+
+  /// Runs the integrated generation loop for one evaluation scheme.
+  GeneratedImpl generate(EvalScheme S, LogFn Log = nullptr);
+
+  /// The Section 6.3 experiment: evaluate \p Base's polynomials under
+  /// scheme \p S *without* re-running the loop (naive post-process
+  /// adaptation) and count the generation inputs that now receive results
+  /// outside their rounding intervals.
+  size_t countPostProcessViolations(const GeneratedImpl &Base, EvalScheme S);
+
+  size_t numConstraints() const { return Constraints.size(); }
+  size_t numInputs() const { return NumInputs; }
+  ElemFunc func() const { return Func; }
+
+private:
+  struct MergedConstraint {
+    double T;
+    double Alpha, Beta;           ///< Current (possibly shrunk) bounds.
+    double Alpha0, Beta0;         ///< Pristine bounds (for experiments).
+    std::vector<uint32_t> Inputs; ///< Contributing input bit patterns.
+    bool Dead = false;            ///< Retired into special cases.
+  };
+
+  std::vector<float> buildInputSet() const;
+  bool generatePiece(EvalScheme S, std::vector<MergedConstraint *> &Piece,
+                     unsigned Degree, GeneratedImpl &Impl, Polynomial &OutPoly,
+                     KnuthAdapted &OutKA, LogFn Log);
+
+  ElemFunc Func;
+  GenConfig Config;
+  bool Prepared = false;
+  size_t NumInputs = 0;
+  std::vector<MergedConstraint> Constraints; ///< Sorted by T.
+  std::vector<GeneratedImpl::Special> ForcedSpecials;
+};
+
+} // namespace rfp
+
+#endif // RFP_CORE_POLYGEN_H

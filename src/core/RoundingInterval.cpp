@@ -1,0 +1,121 @@
+//===- core/RoundingInterval.cpp - Rounding-interval machinery ------------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RoundingInterval.h"
+
+#include <cfloat>
+#include <cmath>
+
+using namespace rfp;
+
+HInterval rfp::roundingIntervalRO(double Y, const FPFormat &F) {
+  assert(std::isfinite(Y) && F.isRepresentable(Y) &&
+         "rounding interval requires a finite representable value");
+  uint64_t Enc = F.roundDouble(Y, RoundingMode::TowardZero);
+  assert(F.decode(Enc) == Y);
+
+  HInterval R;
+  R.Valid = true;
+  if (!F.encodingIsOdd(Enc)) {
+    // Round-to-odd maps a value onto an even encoding only when it is that
+    // exact value; the interval collapses to a point.
+    R.Lo = R.Hi = Y;
+    return R;
+  }
+  // Every value strictly between the two even neighbours rounds to Y.
+  double Pred = F.predValue(Y);
+  double Succ = F.succValue(Y);
+  R.Lo = std::isinf(Pred) ? -DBL_MAX
+                          : std::nextafter(Pred, HUGE_VAL);
+  R.Hi = std::isinf(Succ) ? DBL_MAX : std::nextafter(Succ, -HUGE_VAL);
+  return R;
+}
+
+HInterval rfp::inferPolyInterval(ElemFunc F, const libm::Reduction &R,
+                                 double Lo, double Hi) {
+  assert(R.PolyPath && "inference requires a polynomial-path reduction");
+  auto OC = [&](double V) { return libm::outputCompensate(F, V, R); };
+
+  // Approximate inverse of the (monotone non-decreasing) compensation.
+  double Alpha0, Beta0;
+  switch (F) {
+  case ElemFunc::Exp:
+  case ElemFunc::Exp2:
+  case ElemFunc::Exp10: {
+    double Scale = libm::tables::Exp2Table[R.J] * libm::pow2Double(R.N);
+    Alpha0 = Lo / Scale;
+    Beta0 = Hi / Scale;
+    break;
+  }
+  case ElemFunc::Log2: {
+    double S = static_cast<double>(R.N) + libm::tables::Log2FTable[R.J];
+    Alpha0 = Lo - S;
+    Beta0 = Hi - S;
+    break;
+  }
+  case ElemFunc::Log: {
+    double S = std::fma(static_cast<double>(R.N), libm::tables::Ln2,
+                        libm::tables::LnFTable[R.J]);
+    Alpha0 = Lo - S;
+    Beta0 = Hi - S;
+    break;
+  }
+  case ElemFunc::Log10: {
+    double S = std::fma(static_cast<double>(R.N), libm::tables::Log10_2,
+                        libm::tables::Log10FTable[R.J]);
+    Alpha0 = Lo - S;
+    Beta0 = Hi - S;
+    break;
+  }
+  }
+
+  HInterval Out;
+  constexpr int MaxAdjust = 128;
+
+  // Alpha: the smallest double whose compensated value clears Lo.
+  double Alpha = Alpha0;
+  int Steps = 0;
+  if (OC(Alpha) >= Lo) {
+    while (Steps++ < MaxAdjust) {
+      double Prev = std::nextafter(Alpha, -HUGE_VAL);
+      if (OC(Prev) < Lo)
+        break;
+      Alpha = Prev;
+    }
+  } else {
+    while (Steps++ < MaxAdjust && OC(Alpha) < Lo)
+      Alpha = std::nextafter(Alpha, HUGE_VAL);
+    if (OC(Alpha) < Lo)
+      return Out;
+  }
+
+  // Beta: the largest double whose compensated value stays at or below Hi.
+  double Beta = Beta0;
+  Steps = 0;
+  if (OC(Beta) <= Hi) {
+    while (Steps++ < MaxAdjust) {
+      double Next = std::nextafter(Beta, HUGE_VAL);
+      if (OC(Next) > Hi)
+        break;
+      Beta = Next;
+    }
+  } else {
+    while (Steps++ < MaxAdjust && OC(Beta) > Hi)
+      Beta = std::nextafter(Beta, -HUGE_VAL);
+    if (OC(Beta) > Hi)
+      return Out;
+  }
+
+  // The compensated boundaries must land inside [Lo, Hi] (they could fall
+  // off the far side when the interval is narrower than one compensation
+  // ulp -- the paper then reports an empty reduced interval).
+  if (Alpha > Beta || OC(Alpha) > Hi || OC(Beta) < Lo)
+    return Out;
+  Out.Lo = Alpha;
+  Out.Hi = Beta;
+  Out.Valid = true;
+  return Out;
+}

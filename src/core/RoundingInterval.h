@@ -1,0 +1,58 @@
+//===- core/RoundingInterval.h - Rounding-interval machinery ---*- C++ -*-===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interval computations at the heart of the RLibm approach:
+///
+///  * roundingIntervalRO: given the oracle's round-to-odd FP34 result y,
+///    the set of doubles v with RO_34(v) == y. For an odd-encoded y this is
+///    the open interval between y's FP34 neighbours (paper Figure 2); for
+///    an even-encoded y (only possible when f(x) is exactly representable)
+///    it is the singleton {y}.
+///
+///  * inferPolyInterval: pushes a result interval backwards through the
+///    output compensation to obtain the constraint interval for the
+///    polynomial value at the reduced input, verifying and adjusting the
+///    boundaries with nextafter steps exactly as the paper's CalculateL0
+///    does with AdjHigher/AdjLower (Section 2.1 and Figure 9 of the POPL
+///    paper reproduced in Figure 1 here).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RFP_CORE_ROUNDINGINTERVAL_H
+#define RFP_CORE_ROUNDINGINTERVAL_H
+
+#include "fp/FPFormat.h"
+#include "libm/RangeReduction.h"
+
+namespace rfp {
+
+/// A closed interval of doubles in the representation H.
+struct HInterval {
+  double Lo = 0.0;
+  double Hi = 0.0;
+  bool Valid = false;
+
+  bool isSingleton() const { return Valid && Lo == Hi; }
+};
+
+/// Computes the set of doubles that round (round-to-odd, format \p F) to
+/// the finite value \p Y (which must be representable in F). The result is
+/// closed in double space; endpoints next to the format's infinities clamp
+/// to the double range.
+HInterval roundingIntervalRO(double Y, const FPFormat &F);
+
+/// Infers [Alpha, Beta] such that outputCompensate(F, v, R) lands in
+/// [Lo, Hi] for every double v in [Alpha, Beta]. The interval is maximal
+/// up to the verification granularity. Returns an invalid interval when no
+/// polynomial value can produce a result inside [Lo, Hi] (the paper then
+/// treats the input as a special case).
+HInterval inferPolyInterval(ElemFunc F, const libm::Reduction &R, double Lo,
+                            double Hi);
+
+} // namespace rfp
+
+#endif // RFP_CORE_ROUNDINGINTERVAL_H

@@ -1,0 +1,119 @@
+//===- libm/Frame.h - Shared frame for the shipped functions ---*- C++ -*-===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime frame every shipped function instantiates: special-input
+/// table lookup, range reduction, piece dispatch, polynomial evaluation
+/// under a compile-time evaluation scheme, and output compensation. The
+/// coefficient tables live in src/libm/generated/*.inc, produced by
+/// tools/polygen (our analogue of the paper's 24 generated
+/// implementations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RFP_LIBM_FRAME_H
+#define RFP_LIBM_FRAME_H
+
+#include "libm/RangeReduction.h"
+#include "poly/EvalScheme.h"
+
+#include <cstring>
+
+namespace rfp {
+namespace libm {
+
+/// An input that must bypass the polynomial (the paper's "special case
+/// inputs", Table 1).
+struct SpecialEntry {
+  uint32_t Bits; ///< Input float bit pattern.
+  double H;      ///< The H (double) result to return.
+};
+
+/// One generated implementation's tables: per-piece coefficients (and the
+/// Knuth-adapted form where applicable), special inputs, and the
+/// generation metadata the benchmarks report.
+struct SchemeTable {
+  bool Available;
+  int NumPieces;
+  const unsigned *Degrees;                 ///< Per-piece degree.
+  const double (*Coeffs)[MaxPolyDegree + 1];
+  const double (*Adapted)[7];              ///< Knuth only, else null.
+  const SpecialEntry *Specials;
+  int NumSpecials;
+  // Generation metadata (Table 1 and DESIGN.md reporting).
+  unsigned LPSolves;
+  unsigned LoopIterations;
+  uint64_t GenInputs;
+  uint64_t GenConstraints;
+};
+
+/// Polynomial evaluation with the scheme fixed at compile time and the
+/// degree dispatched to fully unrolled forms.
+template <EvalScheme S>
+inline double evalPiecePoly(const SchemeTable &T, int Piece, double X) {
+  const double *C = T.Coeffs[Piece];
+  unsigned D = T.Degrees[Piece];
+  if constexpr (S == EvalScheme::Knuth)
+    return evalKnuthOps(D, T.Adapted[Piece], X);
+  switch (D) {
+#define RFP_CASE(N)                                                           \
+  case N:                                                                     \
+    if constexpr (S == EvalScheme::Horner)                                    \
+      return hornerN<N>(C, X);                                                \
+    else if constexpr (S == EvalScheme::Estrin)                               \
+      return estrinN<N>(C, X);                                                \
+    else                                                                      \
+      return estrinFMAN<N>(C, X);
+    RFP_CASE(2)
+    RFP_CASE(3)
+    RFP_CASE(4)
+    RFP_CASE(5)
+    RFP_CASE(6)
+    RFP_CASE(7)
+    RFP_CASE(8)
+#undef RFP_CASE
+  default:
+    __builtin_unreachable();
+  }
+}
+
+/// The generated-function frame. Produces the H (double) result whose
+/// rounding to any FP(k, 8) with 10 <= k <= 32 under any standard mode is
+/// the correctly rounded f(x).
+template <ElemFunc F, EvalScheme S>
+inline double evalFrame(const SchemeTable &T, float X) {
+  Reduction R = reduceInput(F, X);
+  if (!R.PolyPath)
+    return R.Special;
+  if (T.NumSpecials > 0) {
+    uint32_t Bits;
+    std::memcpy(&Bits, &X, sizeof(Bits));
+    for (int I = 0; I < T.NumSpecials; ++I)
+      if (T.Specials[I].Bits == Bits)
+        return T.Specials[I].H;
+  }
+  double TMin, TMax;
+  reducedDomain(F, TMin, TMax);
+  int Piece = pieceIndex(R.T, TMin, TMax, T.NumPieces);
+  double V = evalPiecePoly<S>(T, Piece, R.T);
+  return outputCompensate(F, V, R);
+}
+
+namespace detail {
+/// Per-function access to the four scheme tables, in EvalScheme order.
+const SchemeTable *expTables();
+const SchemeTable *exp2Tables();
+const SchemeTable *exp10Tables();
+const SchemeTable *logTables();
+const SchemeTable *log2Tables();
+const SchemeTable *log10Tables();
+const SchemeTable *tablesFor(ElemFunc F);
+} // namespace detail
+
+} // namespace libm
+} // namespace rfp
+
+#endif // RFP_LIBM_FRAME_H

@@ -1,0 +1,47 @@
+//===- libm/Log.cpp - Correctly rounded logf implementations --------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The four generated implementations of log for 32-bit float inputs:
+// RLibm baseline (Horner), RLibm-Knuth, RLibm-Estrin, RLibm-Estrin+FMA.
+// Coefficient tables are produced by tools/polygen via the integrated
+// generate-adapt-check-constrain loop (paper Algorithm 2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "libm/Frame.h"
+#include "libm/rlibm.h"
+
+namespace {
+namespace gen {
+#include "libm/generated/LogCoeffs.inc"
+} // namespace gen
+} // namespace
+
+using namespace rfp;
+using namespace rfp::libm;
+
+double rfp::libm::log_horner(float X) {
+  return evalFrame<ElemFunc::Log, EvalScheme::Horner>(gen::Horner, X);
+}
+
+double rfp::libm::log_knuth(float X) {
+  return evalFrame<ElemFunc::Log, EvalScheme::Knuth>(gen::Knuth, X);
+}
+
+double rfp::libm::log_estrin(float X) {
+  return evalFrame<ElemFunc::Log, EvalScheme::Estrin>(gen::Estrin, X);
+}
+
+double rfp::libm::log_estrin_fma(float X) {
+  return evalFrame<ElemFunc::Log, EvalScheme::EstrinFMA>(gen::EstrinFMA,
+                                                             X);
+}
+
+const SchemeTable *rfp::libm::detail::logTables() {
+  static const SchemeTable Tables[4] = {gen::Horner, gen::Knuth, gen::Estrin,
+                                        gen::EstrinFMA};
+  return Tables;
+}

@@ -1,0 +1,47 @@
+//===- libm/Log10.cpp - Correctly rounded log10f implementations --------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The four generated implementations of log10 for 32-bit float inputs:
+// RLibm baseline (Horner), RLibm-Knuth, RLibm-Estrin, RLibm-Estrin+FMA.
+// Coefficient tables are produced by tools/polygen via the integrated
+// generate-adapt-check-constrain loop (paper Algorithm 2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "libm/Frame.h"
+#include "libm/rlibm.h"
+
+namespace {
+namespace gen {
+#include "libm/generated/Log10Coeffs.inc"
+} // namespace gen
+} // namespace
+
+using namespace rfp;
+using namespace rfp::libm;
+
+double rfp::libm::log10_horner(float X) {
+  return evalFrame<ElemFunc::Log10, EvalScheme::Horner>(gen::Horner, X);
+}
+
+double rfp::libm::log10_knuth(float X) {
+  return evalFrame<ElemFunc::Log10, EvalScheme::Knuth>(gen::Knuth, X);
+}
+
+double rfp::libm::log10_estrin(float X) {
+  return evalFrame<ElemFunc::Log10, EvalScheme::Estrin>(gen::Estrin, X);
+}
+
+double rfp::libm::log10_estrin_fma(float X) {
+  return evalFrame<ElemFunc::Log10, EvalScheme::EstrinFMA>(gen::EstrinFMA,
+                                                             X);
+}
+
+const SchemeTable *rfp::libm::detail::log10Tables() {
+  static const SchemeTable Tables[4] = {gen::Horner, gen::Knuth, gen::Estrin,
+                                        gen::EstrinFMA};
+  return Tables;
+}

@@ -1,0 +1,80 @@
+//===- lp/LPSolver.cpp - LP formulation of polynomial synthesis -----------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lp/LPSolver.h"
+
+#include <algorithm>
+
+using namespace rfp;
+
+PolyLPResult
+rfp::solvePolyLP(const std::vector<IntervalConstraint> &Constraints,
+                 const std::vector<unsigned> &TermExponents) {
+  assert(!TermExponents.empty() && "need at least one term");
+  size_t NumTerms = TermExponents.size();
+  size_t NumVars = NumTerms + 1; // Coefficients plus the margin delta.
+
+  // Primal rows with *relative* margins: the margin variable delta is the
+  // fraction of each interval's half-width the polynomial must clear,
+  //   -P(x) + w*delta <= -l   and   P(x) + w*delta <= h,  w = (h - l)/2,
+  // so singleton intervals (w = 0, exactly representable results) become
+  // equalities without capping the margin of every other constraint.
+  // A final row bounds delta at 1 so the LP stays bounded.
+  std::vector<std::vector<Rational>> A;
+  std::vector<Rational> B;
+  A.reserve(2 * Constraints.size() + 1);
+  B.reserve(2 * Constraints.size() + 1);
+  Rational Half(BigInt(1), BigInt(2));
+  for (const IntervalConstraint &Con : Constraints) {
+    assert(Con.Lo <= Con.Hi && "inverted interval constraint");
+    std::vector<Rational> Powers(NumTerms);
+    for (size_t T = 0; T < NumTerms; ++T)
+      Powers[T] = Con.X.pow(TermExponents[T]);
+    Rational W = (Con.Hi - Con.Lo) * Half;
+
+    std::vector<Rational> RowLo(NumVars), RowHi(NumVars);
+    for (size_t T = 0; T < NumTerms; ++T) {
+      RowLo[T] = -Powers[T];
+      RowHi[T] = Powers[T];
+    }
+    RowLo[NumTerms] = W;
+    RowHi[NumTerms] = W;
+    A.push_back(std::move(RowLo));
+    B.push_back(-Con.Lo);
+    A.push_back(std::move(RowHi));
+    B.push_back(Con.Hi);
+  }
+  std::vector<Rational> DeltaCap(NumVars);
+  DeltaCap[NumTerms] = Rational(1);
+  A.push_back(std::move(DeltaCap));
+  B.push_back(Rational(1));
+
+  std::vector<Rational> Objective(NumVars);
+  Objective[NumTerms] = Rational(1); // maximize the relative margin
+
+  LPResult LP = maximizeLP(A, B, Objective);
+
+  PolyLPResult R;
+  if (!LP.isOptimal() || LP.Objective.isNegative())
+    return R;
+  R.Feasible = true;
+  R.Margin = LP.Objective;
+  unsigned MaxExp = *std::max_element(TermExponents.begin(),
+                                      TermExponents.end());
+  R.Poly.Coeffs.assign(MaxExp + 1, Rational());
+  for (size_t T = 0; T < NumTerms; ++T)
+    R.Poly.Coeffs[TermExponents[T]] = LP.Z[T];
+  return R;
+}
+
+PolyLPResult
+rfp::solvePolyLP(const std::vector<IntervalConstraint> &Constraints,
+                 unsigned Degree) {
+  std::vector<unsigned> Terms(Degree + 1);
+  for (unsigned E = 0; E <= Degree; ++E)
+    Terms[E] = E;
+  return solvePolyLP(Constraints, Terms);
+}

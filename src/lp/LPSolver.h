@@ -1,0 +1,58 @@
+//===- lp/LPSolver.h - LP formulation of polynomial synthesis --*- C++ -*-===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The RLibm LP formulation (paper Section 2.1): given reduced inputs x'_i
+/// with reduced rounding intervals [l'_i, h'_i], find coefficients C_j with
+///
+///     l'_i <= C_0 + C_1 x'_i + ... + C_d x'_i^d <= h'_i   for all i.
+///
+/// We solve the margin-maximizing variant: maximize delta subject to
+/// l'_i + delta <= P(x'_i) <= h'_i - delta. A non-negative optimal delta
+/// certifies feasibility and centers the polynomial inside the intervals,
+/// which buys robustness against the coefficient-rounding and fast-
+/// evaluation errors the outer loop must absorb.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RFP_LP_LPSOLVER_H
+#define RFP_LP_LPSOLVER_H
+
+#include "lp/Simplex.h"
+#include "poly/Polynomial.h"
+
+namespace rfp {
+
+/// One reduced-input constraint: l <= P(X) <= h, everything exact.
+struct IntervalConstraint {
+  Rational X;
+  Rational Lo;
+  Rational Hi;
+};
+
+/// Result of synthesizing a polynomial from interval constraints.
+struct PolyLPResult {
+  bool Feasible = false;
+  /// Relative margin: the fraction of every interval's half-width the
+  /// polynomial clears (in [0, 1]; the LP maximizes it, capped at 1).
+  Rational Margin;
+  /// Exact coefficients (degree + 1 entries) when Feasible.
+  RationalPolynomial Poly;
+};
+
+/// Solves the RLibm LP for a polynomial with terms x^e for each e in
+/// \p TermExponents (e.g. {0,1,2,3,4} for a dense degree-4 polynomial).
+/// Coefficients for missing exponents are zero in the returned polynomial.
+PolyLPResult solvePolyLP(const std::vector<IntervalConstraint> &Constraints,
+                         const std::vector<unsigned> &TermExponents);
+
+/// Dense-degree convenience overload: terms 0..Degree.
+PolyLPResult solvePolyLP(const std::vector<IntervalConstraint> &Constraints,
+                         unsigned Degree);
+
+} // namespace rfp
+
+#endif // RFP_LP_LPSOLVER_H

@@ -1,0 +1,346 @@
+//===- lp/Simplex.cpp - Exact revised simplex over integers ---------------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// We solve the primal
+//     max C.z   s.t.  A z <= B,  z free
+// through its dual
+//     min B.y   s.t.  A^T y = C,  y >= 0.
+//
+// The dual has |C| equality rows (tiny: polynomial coefficients + margin)
+// and |B| variables, matching the RLibm LP shape. Two implementation
+// choices keep exact arithmetic fast:
+//
+//  * Revised simplex: only the n x n basis inverse is maintained; the
+//    thousands of nonbasic columns are touched only by pricing.
+//
+//  * Fraction-free (integer) pivoting, as in Avis's lrslib: the basis
+//    inverse is stored as an integer matrix Minv with a single scalar
+//    denominator P (true inverse = Minv / P). The pivot update
+//        Minv'[k][j] = (u_r * Minv[k][j] - u_k * Minv[r][j]) / P
+//    divides exactly (Edmonds / Bareiss), so no gcd normalization ever
+//    runs and entry growth is bounded by minors of the input.
+//
+// Inputs are integerized by scaling each dual column (primal constraint)
+// by the lcm of its denominators, which rescales the dual variable but
+// leaves the primal solution and objective unchanged.
+//
+// Status mapping: dual infeasible => primal unbounded; dual unbounded =>
+// primal infeasible. Bland's rule guarantees termination.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lp/Simplex.h"
+
+#include <cassert>
+
+using namespace rfp;
+
+namespace {
+
+/// Exact division helper: asserts the division is exact.
+BigInt exactDiv(const BigInt &N, const BigInt &D) {
+  BigInt Q, R;
+  BigInt::divMod(N, D, Q, R);
+  assert(R.isZero() && "fraction-free pivot division was not exact");
+  return Q;
+}
+
+class RevisedDualSimplex {
+public:
+  RevisedDualSimplex(const std::vector<std::vector<Rational>> &A,
+                     const std::vector<Rational> &B,
+                     const std::vector<Rational> &C)
+      : N(C.size()), M(B.size()) {
+    // Integerize each dual column (primal row) with its own scale; the
+    // RHS of the dual equalities is the primal objective C.
+    Cols.resize(M);
+    Cost2.resize(M);
+    for (size_t J = 0; J < M; ++J) {
+      BigInt Scale = BigInt(1);
+      for (size_t K = 0; K < N; ++K)
+        Scale = lcm(Scale, A[J][K].denominator());
+      Scale = lcm(Scale, B[J].denominator());
+      Cols[J].resize(N);
+      for (size_t K = 0; K < N; ++K)
+        Cols[J][K] = scaleToInt(A[J][K], Scale);
+      Cost2[J] = scaleToInt(B[J], Scale);
+    }
+    // RHS: flip rows so it is non-negative (the artificial basis must be
+    // feasible). C entries are rationals; scale them all by a common
+    // denominator (legal: scales the whole equality system uniformly...
+    // per-row scaling is also legal and keeps numbers small).
+    Rhs.resize(N);
+    RowSign.assign(N, 1);
+    RowScale.resize(N);
+    for (size_t K = 0; K < N; ++K) {
+      RowScale[K] = C[K].denominator();
+      BigInt V = C[K].numerator();
+      if (V.isNegative()) {
+        RowSign[K] = -1;
+        V = -V;
+      }
+      Rhs[K] = V;
+    }
+    // Row scaling/sign applies to every column entry of that row.
+    for (size_t J = 0; J < M; ++J)
+      for (size_t K = 0; K < N; ++K) {
+        if (!RowScale[K].isOne())
+          Cols[J][K] = Cols[J][K] * RowScale[K];
+        if (RowSign[K] < 0)
+          Cols[J][K] = -Cols[J][K];
+      }
+
+    // Artificial basis: Minv = I, P = 1.
+    Minv.assign(N, std::vector<BigInt>(N));
+    for (size_t K = 0; K < N; ++K)
+      Minv[K][K] = BigInt(1);
+    P = BigInt(1);
+    Basis.resize(N);
+    for (size_t K = 0; K < N; ++K)
+      Basis[K] = M + K; // artificial k
+  }
+
+  LPResult solve() {
+    if (!phase1())
+      return {LPResult::Status::Unbounded, {}, Rational()};
+    if (!phase2())
+      return {LPResult::Status::Infeasible, {}, Rational()};
+
+    // Dual prices y/P at optimum give the primal solution (after undoing
+    // the row flips/scales).
+    std::vector<BigInt> Y = priceVector(/*Phase1=*/false);
+    LPResult R;
+    R.StatusCode = LPResult::Status::Optimal;
+    R.Z.resize(N);
+    for (size_t K = 0; K < N; ++K) {
+      Rational ZK(Y[K], P);
+      if (RowSign[K] < 0)
+        ZK = -ZK;
+      R.Z[K] = ZK * Rational(RowScale[K]);
+    }
+    // Objective: sum over basic dual variables of cost * value.
+    std::vector<BigInt> XB = basicSolution();
+    for (size_t K = 0; K < N; ++K)
+      if (Basis[K] < M)
+        R.Objective += Rational(Cost2[Basis[K]]) * Rational(XB[K], P);
+    return R;
+  }
+
+private:
+  static BigInt lcm(const BigInt &A, const BigInt &B) {
+    BigInt G = BigInt::gcd(A, B);
+    return (A / G) * B;
+  }
+
+  static BigInt scaleToInt(const Rational &V, const BigInt &Scale) {
+    // V * Scale is an integer because Scale is a multiple of V's
+    // denominator.
+    return V.numerator() * (Scale / V.denominator());
+  }
+
+  /// Cost of column J in the given phase (integer in scaled space).
+  BigInt cost(size_t J, bool Phase1) const {
+    if (J >= M) // artificial
+      return Phase1 ? BigInt(1) : BigInt(0);
+    return Phase1 ? BigInt(0) : Cost2[J];
+  }
+
+  /// y = c_B^T * Minv (true prices are y / P).
+  std::vector<BigInt> priceVector(bool Phase1) const {
+    std::vector<BigInt> Y(N);
+    for (size_t K = 0; K < N; ++K) {
+      BigInt CB = cost(Basis[K], Phase1);
+      if (CB.isZero())
+        continue;
+      for (size_t J = 0; J < N; ++J) {
+        if (Minv[K][J].isZero())
+          continue;
+        Y[J] = Y[J] + CB * Minv[K][J];
+      }
+    }
+    return Y;
+  }
+
+  /// u = Minv * column(J) (true column is u / P).
+  std::vector<BigInt> transformedColumn(size_t J) const {
+    std::vector<BigInt> U(N);
+    if (J >= M) { // artificial e_k: u = Minv column k.
+      size_t K = J - M;
+      for (size_t I = 0; I < N; ++I)
+        U[I] = Minv[I][K];
+      return U;
+    }
+    const std::vector<BigInt> &D = Cols[J];
+    for (size_t I = 0; I < N; ++I) {
+      BigInt Acc;
+      for (size_t K = 0; K < N; ++K) {
+        if (Minv[I][K].isZero() || D[K].isZero())
+          continue;
+        Acc = Acc + Minv[I][K] * D[K];
+      }
+      U[I] = std::move(Acc);
+    }
+    return U;
+  }
+
+  /// x_B = Minv * rhs (true values are x_B / P; all >= 0 by invariant).
+  std::vector<BigInt> basicSolution() const {
+    std::vector<BigInt> X(N);
+    for (size_t I = 0; I < N; ++I) {
+      BigInt Acc;
+      for (size_t K = 0; K < N; ++K) {
+        if (Minv[I][K].isZero() || Rhs[K].isZero())
+          continue;
+        Acc = Acc + Minv[I][K] * Rhs[K];
+      }
+      X[I] = std::move(Acc);
+    }
+    return X;
+  }
+
+  /// Sign of a true tableau quantity stored as integer numerator over P.
+  int trueSign(const BigInt &V) const {
+    if (V.isZero())
+      return 0;
+    int S = V.isNegative() ? -1 : 1;
+    return P.isNegative() ? -S : S;
+  }
+
+  /// Basis change with the fraction-free update rule.
+  void pivot(size_t Row, const std::vector<BigInt> &U, size_t EnterCol) {
+    BigInt NewP = U[Row];
+    assert(!NewP.isZero() && "pivot on zero element");
+    std::vector<std::vector<BigInt>> Next(N, std::vector<BigInt>(N));
+    for (size_t K = 0; K < N; ++K) {
+      for (size_t J = 0; J < N; ++J) {
+        if (K == Row) {
+          Next[K][J] = Minv[K][J];
+          continue;
+        }
+        Next[K][J] = exactDiv(NewP * Minv[K][J] - U[K] * Minv[Row][J], P);
+      }
+    }
+    Minv = std::move(Next);
+    P = std::move(NewP);
+    Basis[Row] = EnterCol;
+  }
+
+  /// One phase of Bland-rule iterations. Returns false when the phase's
+  /// objective is unbounded below (only possible in phase 2).
+  bool iterate(bool Phase1) {
+    for (;;) {
+      std::vector<BigInt> Y = priceVector(Phase1);
+      // Bland: smallest column index with negative reduced cost
+      //   sign( cost_j * P - y . D_j ) * sign(P) < 0.
+      size_t Enter = SIZE_MAX;
+      size_t Limit = Phase1 ? M + N : M;
+      for (size_t J = 0; J < Limit; ++J) {
+        if (isBasic(J))
+          continue;
+        BigInt Num;
+        if (J < M) {
+          Num = cost(J, Phase1) * P;
+          const std::vector<BigInt> &D = Cols[J];
+          for (size_t K = 0; K < N; ++K)
+            if (!Y[K].isZero() && !D[K].isZero())
+              Num = Num - Y[K] * D[K];
+        } else {
+          Num = cost(J, Phase1) * P - Y[J - M];
+        }
+        if (trueSign(Num) < 0) {
+          Enter = J;
+          break;
+        }
+      }
+      if (Enter == SIZE_MAX)
+        return true;
+
+      std::vector<BigInt> U = transformedColumn(Enter);
+      std::vector<BigInt> XB = basicSolution();
+      // Ratio test over rows with true u > 0; P cancels in the ratios
+      // x_k / u_k, so compare with integer cross products.
+      size_t Leave = SIZE_MAX;
+      for (size_t K = 0; K < N; ++K) {
+        if (trueSign(U[K]) <= 0)
+          continue;
+        if (Leave == SIZE_MAX) {
+          Leave = K;
+          continue;
+        }
+        // ratio_K < ratio_Leave  <=>  x_K * u_Leave < x_Leave * u_K
+        // (u entries share the sign of P; the product sign cancels).
+        BigInt Lhs = XB[K] * U[Leave];
+        BigInt Rhs2 = XB[Leave] * U[K];
+        int Cmp = Lhs.compare(Rhs2);
+        if (P.isNegative())
+          Cmp = -Cmp;
+        if (Cmp < 0 || (Cmp == 0 && Basis[K] < Basis[Leave]))
+          Leave = K;
+      }
+      if (Leave == SIZE_MAX)
+        return false; // Unbounded in this phase.
+      pivot(Leave, U, Enter);
+    }
+  }
+
+  bool isBasic(size_t J) const {
+    for (size_t K = 0; K < N; ++K)
+      if (Basis[K] == J)
+        return true;
+    return false;
+  }
+
+  bool phase1() {
+    bool Ok = iterate(/*Phase1=*/true);
+    assert(Ok && "phase-1 objective cannot be unbounded");
+    (void)Ok;
+    // Any artificial still at a positive value => dual infeasible.
+    std::vector<BigInt> XB = basicSolution();
+    for (size_t K = 0; K < N; ++K)
+      if (Basis[K] >= M && trueSign(XB[K]) > 0)
+        return false;
+    // Drive zero-valued artificials out when a real pivot exists.
+    for (size_t K = 0; K < N; ++K) {
+      if (Basis[K] < M)
+        continue;
+      for (size_t J = 0; J < M; ++J) {
+        if (isBasic(J))
+          continue;
+        std::vector<BigInt> U = transformedColumn(J);
+        if (!U[K].isZero()) {
+          pivot(K, U, J);
+          break;
+        }
+      }
+    }
+    return true;
+  }
+
+  bool phase2() { return iterate(/*Phase1=*/false); }
+
+  size_t N; ///< Dual equality rows (primal unknowns).
+  size_t M; ///< Dual variables (primal constraints).
+  std::vector<std::vector<BigInt>> Cols; ///< Integerized dual columns.
+  std::vector<BigInt> Cost2;             ///< Phase-2 costs (scaled b).
+  std::vector<BigInt> Rhs;               ///< Flipped/scaled C.
+  std::vector<BigInt> RowScale;
+  std::vector<int> RowSign;
+  std::vector<std::vector<BigInt>> Minv; ///< Basis inverse numerators.
+  BigInt P;                              ///< Common denominator of Minv.
+  std::vector<size_t> Basis;
+};
+
+} // namespace
+
+LPResult rfp::maximizeLP(const std::vector<std::vector<Rational>> &A,
+                         const std::vector<Rational> &B,
+                         const std::vector<Rational> &C) {
+  assert(A.size() == B.size() && "constraint row/rhs mismatch");
+  for ([[maybe_unused]] const auto &Row : A)
+    assert(Row.size() == C.size() && "constraint width mismatch");
+  RevisedDualSimplex S(A, B, C);
+  return S.solve();
+}

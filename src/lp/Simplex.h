@@ -1,0 +1,53 @@
+//===- lp/Simplex.h - Exact rational simplex solver ------------*- C++ -*-===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An exact rational LP solver -- the stand-in for SoPlex in the paper's
+/// pipeline. The RLibm LPs have very few unknowns (polynomial coefficients
+/// plus a margin variable, <= 10) and many constraints, so we solve the
+/// *dual* with a dense two-phase tableau: the tableau then has one row per
+/// unknown and one column per constraint, keeping pivots cheap. Bland's
+/// rule guarantees termination; all arithmetic is exact, so the verdict
+/// (optimal/infeasible/unbounded) is never a numerical artifact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RFP_LP_SIMPLEX_H
+#define RFP_LP_SIMPLEX_H
+
+#include "support/Rational.h"
+
+#include <vector>
+
+namespace rfp {
+
+/// Result of an LP solve.
+struct LPResult {
+  enum class Status {
+    Optimal,    ///< Finite optimum found; Z and Objective are set.
+    Infeasible, ///< No point satisfies the constraints.
+    Unbounded,  ///< The objective is unbounded above.
+  };
+
+  Status StatusCode = Status::Infeasible;
+  /// Optimal point (free variables), when Optimal.
+  std::vector<Rational> Z;
+  /// Optimal objective value, when Optimal.
+  Rational Objective;
+
+  bool isOptimal() const { return StatusCode == Status::Optimal; }
+};
+
+/// Solves: maximize C . z subject to A[i] . z <= B[i], with z free
+/// (unconstrained sign). Dimensions: |C| unknowns, |A| == |B| constraints.
+/// Exact rational arithmetic throughout.
+LPResult maximizeLP(const std::vector<std::vector<Rational>> &A,
+                    const std::vector<Rational> &B,
+                    const std::vector<Rational> &C);
+
+} // namespace rfp
+
+#endif // RFP_LP_SIMPLEX_H

@@ -1,0 +1,260 @@
+//===- mp/MPFloat.cpp - Multiple-precision binary floating point ----------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mp/MPFloat.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace rfp;
+
+MPFloat MPFloat::fromDouble(double V) {
+  assert(std::isfinite(V) && "fromDouble requires a finite value");
+  MPFloat R;
+  if (V == 0.0)
+    return R;
+  int Exp;
+  double Frac = std::frexp(std::fabs(V), &Exp);
+  R.Mant = BigInt(static_cast<int64_t>(std::ldexp(Frac, 53)));
+  R.Exp = Exp - 53;
+  R.Negative = std::signbit(V);
+  return R;
+}
+
+MPFloat MPFloat::fromInt(int64_t V) {
+  MPFloat R;
+  if (V == 0)
+    return R;
+  R.Negative = V < 0;
+  R.Mant = BigInt(V);
+  if (R.Negative)
+    R.Mant = -R.Mant;
+  R.Exp = 0;
+  return R;
+}
+
+MPFloat MPFloat::fromRational(const Rational &V, unsigned Prec,
+                              RoundingMode M) {
+  if (V.isZero())
+    return MPFloat();
+  BigInt A = V.numerator().isNegative() ? -V.numerator() : V.numerator();
+  const BigInt &B = V.denominator();
+  int64_t La = A.bitLength(), Lb = B.bitLength();
+  int64_t K = static_cast<int64_t>(Prec) + 3 - (La - Lb);
+  BigInt Q, R;
+  if (K >= 0)
+    BigInt::divMod(A.shl(static_cast<unsigned>(K)), B, Q, R);
+  else
+    BigInt::divMod(A, B.shl(static_cast<unsigned>(-K)), Q, R);
+  return makeRounded(V.isNegative(), std::move(Q), -K, !R.isZero(), Prec, M);
+}
+
+Rational MPFloat::toRational() const {
+  if (isZero())
+    return Rational();
+  BigInt N = Negative ? -Mant : Mant;
+  if (Exp >= 0)
+    return Rational(N.shl(static_cast<unsigned>(Exp)));
+  return Rational(std::move(N), BigInt::pow2(static_cast<unsigned>(-Exp)));
+}
+
+double MPFloat::toDouble() const {
+  if (isZero())
+    return 0.0;
+  return roundScaledToDouble(Mant, Exp, /*Sticky=*/false, Negative);
+}
+
+MPFloat MPFloat::scalb(int64_t K) const {
+  MPFloat R = *this;
+  if (!R.isZero())
+    R.Exp += K;
+  return R;
+}
+
+MPFloat MPFloat::negate() const {
+  MPFloat R = *this;
+  if (!R.isZero())
+    R.Negative = !R.Negative;
+  return R;
+}
+
+MPFloat MPFloat::abs() const {
+  MPFloat R = *this;
+  R.Negative = false;
+  return R;
+}
+
+int MPFloat::compare(const MPFloat &RHS) const {
+  if (isZero() && RHS.isZero())
+    return 0;
+  if (isZero())
+    return RHS.Negative ? 1 : -1;
+  if (RHS.isZero())
+    return Negative ? -1 : 1;
+  if (Negative != RHS.Negative)
+    return Negative ? -1 : 1;
+  int MagCmp;
+  if (msbExp() != RHS.msbExp()) {
+    MagCmp = msbExp() < RHS.msbExp() ? -1 : 1;
+  } else {
+    // Same leading-bit exponent: align least-significant bits and compare.
+    int64_t D = Exp - RHS.Exp;
+    if (D >= 0)
+      MagCmp = Mant.shl(static_cast<unsigned>(D)).compareMagnitude(RHS.Mant);
+    else
+      MagCmp = Mant.compareMagnitude(RHS.Mant.shl(static_cast<unsigned>(-D)));
+  }
+  return Negative ? -MagCmp : MagCmp;
+}
+
+MPFloat MPFloat::makeRounded(bool Neg, BigInt Mag, int64_t MagExp, bool Sticky,
+                             unsigned Prec, RoundingMode M) {
+  assert(Prec >= 2 && "precision too small");
+  if (Mag.isZero()) {
+    assert(!Sticky && "cannot round a pure sticky residue");
+    return MPFloat();
+  }
+  int64_t Bits = Mag.bitLength();
+  int64_t Drop = Bits - static_cast<int64_t>(Prec);
+
+  MPFloat R;
+  R.Negative = Neg;
+  if (Drop <= 0) {
+    assert(!Sticky && "sticky residue below representable precision");
+    R.Mant = std::move(Mag);
+    R.Exp = MagExp;
+    return R;
+  }
+
+  BigInt Q = Mag.shr(static_cast<unsigned>(Drop));
+  bool RoundBit = Mag.testBit(static_cast<unsigned>(Drop - 1));
+  bool St = Sticky || Mag.anyBitBelow(static_cast<unsigned>(Drop - 1));
+  bool Inexact = RoundBit || St;
+
+  bool Increment = false;
+  switch (M) {
+  case RoundingMode::NearestEven:
+    Increment = RoundBit && (St || Q.testBit(0));
+    break;
+  case RoundingMode::NearestAway:
+    Increment = RoundBit;
+    break;
+  case RoundingMode::TowardZero:
+    break;
+  case RoundingMode::Upward:
+    Increment = !Neg && Inexact;
+    break;
+  case RoundingMode::Downward:
+    Increment = Neg && Inexact;
+    break;
+  case RoundingMode::ToOdd:
+    if (Inexact && !Q.testBit(0))
+      Q = Q + BigInt(1); // Q was even; Q+1 is odd and cannot carry.
+    break;
+  }
+  if (Increment)
+    Q = Q + BigInt(1);
+
+  int64_t ResExp = MagExp + Drop;
+  if (Q.bitLength() > Prec) { // Carry: Q == 2^Prec.
+    Q = Q.shr(1);
+    ++ResExp;
+  }
+  R.Mant = std::move(Q);
+  R.Exp = ResExp;
+  return R;
+}
+
+MPFloat MPFloat::add(const MPFloat &A, const MPFloat &B, unsigned Prec,
+                     RoundingMode M) {
+  if (A.isZero())
+    return B.round(Prec, M);
+  if (B.isZero())
+    return A.round(Prec, M);
+
+  // Order so |Big| >= |Small|.
+  const MPFloat *Big = &A, *Small = &B;
+  if (A.msbExp() < B.msbExp() ||
+      (A.msbExp() == B.msbExp() && A.abs() < B.abs())) {
+    Big = &B;
+    Small = &A;
+  }
+
+  // If the operands are separated by far more than the target precision,
+  // the small one only contributes a sticky residue; avoid gigantic shifts.
+  int64_t Gap = Big->Exp - Small->msbExp();
+  if (Gap > static_cast<int64_t>(Prec) + 8) {
+    // Widen so the magnitude has comfortably more bits than the target
+    // precision; the sticky residue must sit below the rounding position.
+    int64_t Widen = std::max<int64_t>(
+        2, static_cast<int64_t>(Prec) + 4 -
+               static_cast<int64_t>(Big->Mant.bitLength()));
+    BigInt Mag = Big->Mant.shl(static_cast<unsigned>(Widen));
+    int64_t MagExp = Big->Exp - Widen;
+    if (Big->Negative == Small->Negative)
+      return makeRounded(Big->Negative, std::move(Mag), MagExp,
+                         /*Sticky=*/true, Prec, M);
+    // |Big| - tiny: borrow one ulp at the widened precision and mark the
+    // remainder as sticky weight.
+    return makeRounded(Big->Negative, Mag - BigInt(1), MagExp,
+                       /*Sticky=*/true, Prec, M);
+  }
+
+  int64_t CommonExp = std::min(A.Exp, B.Exp);
+  BigInt MagA = A.Mant.shl(static_cast<unsigned>(A.Exp - CommonExp));
+  BigInt MagB = B.Mant.shl(static_cast<unsigned>(B.Exp - CommonExp));
+  if (A.Negative == B.Negative)
+    return makeRounded(A.Negative, MagA + MagB, CommonExp, false, Prec, M);
+
+  int Cmp = MagA.compareMagnitude(MagB);
+  if (Cmp == 0)
+    return MPFloat();
+  if (Cmp > 0)
+    return makeRounded(A.Negative, MagA - MagB, CommonExp, false, Prec, M);
+  return makeRounded(B.Negative, MagB - MagA, CommonExp, false, Prec, M);
+}
+
+MPFloat MPFloat::sub(const MPFloat &A, const MPFloat &B, unsigned Prec,
+                     RoundingMode M) {
+  return add(A, B.negate(), Prec, M);
+}
+
+MPFloat MPFloat::mul(const MPFloat &A, const MPFloat &B, unsigned Prec,
+                     RoundingMode M) {
+  if (A.isZero() || B.isZero())
+    return MPFloat();
+  return makeRounded(A.Negative != B.Negative, A.Mant * B.Mant,
+                     A.Exp + B.Exp, false, Prec, M);
+}
+
+MPFloat MPFloat::div(const MPFloat &A, const MPFloat &B, unsigned Prec,
+                     RoundingMode M) {
+  assert(!B.isZero() && "division by zero");
+  if (A.isZero())
+    return MPFloat();
+  int64_t La = A.Mant.bitLength(), Lb = B.Mant.bitLength();
+  int64_t K = static_cast<int64_t>(Prec) + 3 - (La - Lb);
+  BigInt Q, R;
+  if (K >= 0)
+    BigInt::divMod(A.Mant.shl(static_cast<unsigned>(K)), B.Mant, Q, R);
+  else
+    BigInt::divMod(A.Mant, B.Mant.shl(static_cast<unsigned>(-K)), Q, R);
+  return makeRounded(A.Negative != B.Negative, std::move(Q),
+                     A.Exp - B.Exp - K, !R.isZero(), Prec, M);
+}
+
+MPFloat MPFloat::round(unsigned Prec, RoundingMode M) const {
+  if (isZero())
+    return MPFloat();
+  return makeRounded(Negative, Mant, Exp, false, Prec, M);
+}
+
+std::string MPFloat::toString() const {
+  if (isZero())
+    return "0";
+  std::string S = Negative ? "-" : "";
+  return S + Mant.toDecimal() + "*2^" + std::to_string(Exp);
+}

@@ -1,0 +1,124 @@
+//===- mp/MPFloat.h - Multiple-precision binary floating point -*- C++ -*-===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A correctly rounded multiple-precision binary floating-point type.
+/// This is the substrate underneath the oracle: the paper uses MPFR to
+/// compute the round-to-odd result of f(x) in the 34-bit representation;
+/// we implement the same capability from scratch.
+///
+/// A finite non-zero value is (-1)^Negative * Mant * 2^Exp where Mant is a
+/// positive integer whose most significant bit is set; the precision of the
+/// value is Mant's bit length. The exponent is unbounded (int64), so there
+/// is no overflow/underflow inside MP computations; clamping to a concrete
+/// format happens only when converting out (FPFormat::roundRational or
+/// toDouble).
+///
+/// All arithmetic takes an explicit target precision and rounding mode and
+/// is correctly rounded: the result equals the infinitely precise result
+/// rounded once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RFP_MP_MPFLOAT_H
+#define RFP_MP_MPFLOAT_H
+
+#include "support/BigInt.h"
+#include "support/Rational.h"
+#include "support/Rounding.h"
+
+namespace rfp {
+
+/// Multiple-precision binary floating-point value with unbounded exponent.
+class MPFloat {
+public:
+  /// Constructs zero.
+  MPFloat() = default;
+
+  /// Exact conversion from a finite double.
+  static MPFloat fromDouble(double V);
+  /// Exact conversion from an integer.
+  static MPFloat fromInt(int64_t V);
+  /// Rounds an exact rational to \p Prec bits under \p M.
+  static MPFloat fromRational(const Rational &V, unsigned Prec,
+                              RoundingMode M);
+
+  bool isZero() const { return Mant.isZero(); }
+  bool isNegative() const { return Negative; }
+
+  /// Bit length of the mantissa (0 for zero).
+  unsigned precision() const { return Mant.bitLength(); }
+
+  /// Exponent of the most significant bit (value in [2^msbExp, 2^(msbExp+1))).
+  /// Requires a non-zero value.
+  int64_t msbExp() const {
+    assert(!isZero());
+    return Exp + static_cast<int64_t>(Mant.bitLength()) - 1;
+  }
+
+  /// Exact conversion to a rational.
+  Rational toRational() const;
+
+  /// Correctly rounded (nearest-even) conversion to double, with overflow
+  /// to +-inf and gradual underflow.
+  double toDouble() const;
+
+  /// Exact scaling by 2^K.
+  MPFloat scalb(int64_t K) const;
+
+  MPFloat negate() const;
+  MPFloat abs() const;
+
+  /// Three-way value comparison.
+  int compare(const MPFloat &RHS) const;
+
+  bool operator<(const MPFloat &RHS) const { return compare(RHS) < 0; }
+  bool operator<=(const MPFloat &RHS) const { return compare(RHS) <= 0; }
+  bool operator>(const MPFloat &RHS) const { return compare(RHS) > 0; }
+  bool operator>=(const MPFloat &RHS) const { return compare(RHS) >= 0; }
+  bool operator==(const MPFloat &RHS) const { return compare(RHS) == 0; }
+
+  /// Correctly rounded arithmetic at precision \p Prec under mode \p M.
+  static MPFloat add(const MPFloat &A, const MPFloat &B, unsigned Prec,
+                     RoundingMode M);
+  static MPFloat sub(const MPFloat &A, const MPFloat &B, unsigned Prec,
+                     RoundingMode M);
+  static MPFloat mul(const MPFloat &A, const MPFloat &B, unsigned Prec,
+                     RoundingMode M);
+  static MPFloat div(const MPFloat &A, const MPFloat &B, unsigned Prec,
+                     RoundingMode M);
+
+  /// Re-rounds this value to \p Prec bits under \p M.
+  MPFloat round(unsigned Prec, RoundingMode M) const;
+
+  /// Multiplication by a small integer, correctly rounded.
+  static MPFloat mulInt(const MPFloat &A, int64_t K, unsigned Prec,
+                        RoundingMode M) {
+    return mul(A, fromInt(K), Prec, M);
+  }
+  /// Division by a small integer, correctly rounded.
+  static MPFloat divInt(const MPFloat &A, int64_t K, unsigned Prec,
+                        RoundingMode M) {
+    return div(A, fromInt(K), Prec, M);
+  }
+
+  /// Debug rendering: "mant * 2^exp".
+  std::string toString() const;
+
+private:
+  /// Builds a value from an unnormalized magnitude and rounds it:
+  /// value = (-1)^Neg * Mag * 2^MagExp (+ sticky weight below 2^MagExp).
+  static MPFloat makeRounded(bool Neg, BigInt Mag, int64_t MagExp,
+                             bool Sticky, unsigned Prec, RoundingMode M);
+
+  BigInt Mant;
+  int64_t Exp = 0;
+  bool Negative = false;
+};
+
+} // namespace rfp
+
+#endif // RFP_MP_MPFLOAT_H

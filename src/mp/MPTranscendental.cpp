@@ -1,0 +1,281 @@
+//===- mp/MPTranscendental.cpp - Correctly rounded MP functions -----------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mp/MPTranscendental.h"
+
+#include <cmath>
+#include <map>
+
+using namespace rfp;
+using namespace rfp::mpt;
+
+namespace {
+
+constexpr unsigned GuardBits = 48;
+constexpr RoundingMode RN = RoundingMode::NearestEven;
+
+/// Rounds a working precision up to a 64-bit bucket so constant caches hit.
+unsigned bucket(unsigned W) { return (W + 63) & ~63u; }
+
+/// atanh(T) = T + T^3/3 + T^5/5 + ... for |T| <= 0.18, evaluated at
+/// precision W. The series gains more than 4.9 bits per term.
+MPFloat atanhSmall(const MPFloat &T, unsigned W) {
+  if (T.isZero())
+    return MPFloat();
+  MPFloat T2 = MPFloat::mul(T, T, W, RN);
+  MPFloat Term = T;
+  MPFloat Sum = T;
+  int64_t CutoffExp = T.msbExp() - static_cast<int64_t>(W) - 4;
+  for (int64_t K = 3;; K += 2) {
+    Term = MPFloat::mul(Term, T2, W, RN);
+    if (Term.isZero() || Term.msbExp() < CutoffExp)
+      break;
+    Sum = MPFloat::add(Sum, MPFloat::divInt(Term, K, W, RN), W, RN);
+  }
+  return Sum;
+}
+
+/// ln of a positive value by the atanh series after reducing the mantissa
+/// into (sqrt(1/2), sqrt(2)]: ln(x) = 2*atanh((m-1)/(m+1)) + e*ln2.
+MPFloat lnCore(const MPFloat &X, unsigned W) {
+  assert(!X.isZero() && !X.isNegative() && "lnCore requires x > 0");
+  unsigned WG = W + GuardBits;
+
+  // Split x = m * 2^e with m in [1, 2).
+  int64_t E = X.msbExp();
+  MPFloat M = X.scalb(-E);
+  // If m^2 > 2, halve m so the series argument stays small.
+  MPFloat M2 = MPFloat::mul(M, M, WG, RN);
+  if (M2 > MPFloat::fromInt(2)) {
+    M = M.scalb(-1);
+    ++E;
+  }
+
+  MPFloat T = MPFloat::div(MPFloat::sub(M, MPFloat::fromInt(1), WG, RN),
+                           MPFloat::add(M, MPFloat::fromInt(1), WG, RN), WG,
+                           RN);
+  MPFloat S = atanhSmall(T, WG).scalb(1);
+  if (E == 0)
+    return S;
+  MPFloat ELn2 = MPFloat::mulInt(ln2(WG + 8), E, WG, RN);
+  return MPFloat::add(S, ELn2, WG, RN);
+}
+
+/// e^X via x = n*ln2 + r, r scaled down by 2^8, Taylor series, then
+/// repeated squaring. Requires |X| < 2^24 (vastly above any use here).
+MPFloat expCore(const MPFloat &X, unsigned W) {
+  if (X.isZero())
+    return MPFloat::fromInt(1);
+  assert(X.msbExp() < 24 && "expCore argument out of supported range");
+  unsigned WG = W + GuardBits;
+
+  double Xd = X.toDouble();
+  int64_t N = std::llround(Xd / 0.6931471805599453);
+  MPFloat R = MPFloat::sub(X, MPFloat::mulInt(ln2(WG + 32), N, WG + 32, RN),
+                           WG, RN);
+  // |R| <= ln2/2 + eps. Scale down so the Taylor series converges fast.
+  constexpr int64_t ScaleK = 8;
+  R = R.scalb(-ScaleK);
+
+  MPFloat Term = MPFloat::fromInt(1);
+  MPFloat Sum = MPFloat::fromInt(1);
+  int64_t CutoffExp = -static_cast<int64_t>(WG) - 4;
+  for (int64_t J = 1;; ++J) {
+    Term = MPFloat::divInt(MPFloat::mul(Term, R, WG, RN), J, WG, RN);
+    if (Term.isZero() || Term.msbExp() < CutoffExp)
+      break;
+    Sum = MPFloat::add(Sum, Term, WG, RN);
+  }
+  for (int64_t K = 0; K < ScaleK; ++K)
+    Sum = MPFloat::mul(Sum, Sum, WG, RN);
+  return Sum.scalb(N);
+}
+
+/// Shared Ziv loop. \p Compute produces an approximation with relative
+/// error below 2^-(W - ApproxSlackBits); we widen W until the error
+/// interval rounds unambiguously.
+template <typename ComputeFn>
+MPFloat zivRound(ComputeFn Compute, unsigned Prec, RoundingMode M) {
+  for (unsigned W = Prec + 2 * ApproxSlackBits + 16; W <= Prec + 512;
+       W += 64) {
+    MPFloat Approx = Compute(W);
+    if (Approx.isZero())
+      return Approx;
+    // Error bound: |err| <= |approx| * 2^-(W - slack).
+    MPFloat Eps =
+        MPFloat::fromInt(1).scalb(Approx.msbExp() + 1 -
+                                  (static_cast<int64_t>(W) - ApproxSlackBits));
+    MPFloat Lo = MPFloat::sub(Approx, Eps, W + 8, RN).round(Prec, M);
+    MPFloat Hi = MPFloat::add(Approx, Eps, W + 8, RN).round(Prec, M);
+    if (Lo == Hi)
+      return Lo;
+  }
+  assert(false && "Ziv loop failed to disambiguate; exact case unhandled?");
+  return MPFloat();
+}
+
+} // namespace
+
+MPFloat mpt::ln2(unsigned Prec) {
+  static std::map<unsigned, MPFloat> Cache;
+  unsigned B = bucket(Prec + GuardBits + 16);
+  auto It = Cache.find(B);
+  if (It == Cache.end()) {
+    // ln2 = 2*atanh(1/3).
+    MPFloat Third =
+        MPFloat::div(MPFloat::fromInt(1), MPFloat::fromInt(3), B + 32, RN);
+    It = Cache.emplace(B, atanhSmall(Third, B + 32).scalb(1)).first;
+  }
+  return It->second.round(Prec, RN);
+}
+
+MPFloat mpt::ln10(unsigned Prec) {
+  static std::map<unsigned, MPFloat> Cache;
+  unsigned B = bucket(Prec + GuardBits + 16);
+  auto It = Cache.find(B);
+  if (It == Cache.end())
+    It = Cache.emplace(B, lnCore(MPFloat::fromInt(10), B + 32)).first;
+  return It->second.round(Prec, RN);
+}
+
+MPFloat mpt::expApprox(const MPFloat &X, unsigned W) { return expCore(X, W); }
+
+MPFloat mpt::exp2Approx(const MPFloat &X, unsigned W) {
+  if (X.isZero())
+    return MPFloat::fromInt(1);
+  // Split off the integer part exactly; 2^n is an exact scalb.
+  double Xd = X.toDouble();
+  int64_t N = std::llround(Xd);
+  MPFloat F = MPFloat::sub(X, MPFloat::fromInt(N), W + GuardBits, RN);
+  MPFloat Y = MPFloat::mul(F, ln2(W + GuardBits + 16), W + GuardBits, RN);
+  return expCore(Y, W).scalb(N);
+}
+
+MPFloat mpt::exp10Approx(const MPFloat &X, unsigned W) {
+  if (X.isZero())
+    return MPFloat::fromInt(1);
+  MPFloat Y = MPFloat::mul(X, ln10(W + GuardBits + 16), W + GuardBits, RN);
+  return expCore(Y, W);
+}
+
+MPFloat mpt::lnApprox(const MPFloat &X, unsigned W) { return lnCore(X, W); }
+
+MPFloat mpt::log2Approx(const MPFloat &X, unsigned W) {
+  unsigned WG = W + GuardBits;
+  return MPFloat::div(lnCore(X, WG + 16), ln2(WG + 16), WG, RN);
+}
+
+MPFloat mpt::log10Approx(const MPFloat &X, unsigned W) {
+  unsigned WG = W + GuardBits;
+  return MPFloat::div(lnCore(X, WG + 16), ln10(WG + 16), WG, RN);
+}
+
+MPFloat mpt::evalApprox(ElemFunc F, const MPFloat &X, unsigned W) {
+  switch (F) {
+  case ElemFunc::Exp:
+    return expApprox(X, W);
+  case ElemFunc::Exp2:
+    return exp2Approx(X, W);
+  case ElemFunc::Exp10:
+    return exp10Approx(X, W);
+  case ElemFunc::Log:
+    return lnApprox(X, W);
+  case ElemFunc::Log2:
+    return log2Approx(X, W);
+  case ElemFunc::Log10:
+    return log10Approx(X, W);
+  }
+  assert(false && "unknown function");
+  return MPFloat();
+}
+
+MPFloat mpt::exactResult(ElemFunc F, const MPFloat &X, bool &IsExact) {
+  IsExact = false;
+  Rational XR = X.toRational();
+  switch (F) {
+  case ElemFunc::Exp:
+    if (X.isZero()) {
+      IsExact = true;
+      return MPFloat::fromInt(1);
+    }
+    break;
+  case ElemFunc::Exp2:
+    // 2^x is rational only for integer x (Gelfond-Schneider).
+    if (XR.isInteger() && XR.numerator().fitsInt64()) {
+      IsExact = true;
+      return MPFloat::fromInt(1).scalb(XR.numerator().toInt64());
+    }
+    break;
+  case ElemFunc::Exp10:
+    // 10^k for integer k >= 0 is an exact binary value (2^k * 5^k);
+    // negative k gives a non-dyadic rational, which is not exactly
+    // representable but is also never a rounding boundary.
+    if (XR.isInteger() && !XR.isNegative() && XR.numerator().fitsInt64() &&
+        XR.numerator().toInt64() <= 256) {
+      IsExact = true;
+      return MPFloat::fromRational(Rational(10).pow(static_cast<unsigned>(
+                                       XR.numerator().toInt64())),
+                                   1024, RN);
+    }
+    break;
+  case ElemFunc::Log:
+    if (XR == Rational(1)) {
+      IsExact = true;
+      return MPFloat();
+    }
+    break;
+  case ElemFunc::Log2: {
+    // log2(2^k) = k: x is a power of two iff both sides of the reduced
+    // fraction are single bits. (The mantissa itself may carry trailing
+    // zeros, so testing its bit length would miss e.g. fromDouble(2.0).)
+    if (X.isZero() || X.isNegative())
+      break;
+    const BigInt &Num = XR.numerator();
+    const BigInt &Den = XR.denominator();
+    if (Num.countTrailingZeros() == Num.bitLength() - 1 &&
+        Den.countTrailingZeros() == Den.bitLength() - 1) {
+      IsExact = true;
+      return MPFloat::fromInt(
+          static_cast<int64_t>(Num.bitLength()) -
+          static_cast<int64_t>(Den.bitLength()));
+    }
+    break;
+  }
+  case ElemFunc::Log10: {
+    // log10(10^k) = k for integer k >= 0 (10^-k is not a binary value).
+    if (X.isZero() || X.isNegative())
+      break;
+    double K = std::round(std::log10(X.toDouble()));
+    if (K >= 0 && K <= 300 &&
+        XR == Rational(10).pow(static_cast<unsigned>(K))) {
+      IsExact = true;
+      return MPFloat::fromInt(static_cast<int64_t>(K));
+    }
+    break;
+  }
+  }
+  return MPFloat();
+}
+
+#define RFP_ZIV_FUNC(NAME, FUNCID)                                            \
+  MPFloat mpt::NAME(const MPFloat &X, unsigned Prec, RoundingMode M) {        \
+    bool IsExact = false;                                                     \
+    MPFloat Exact = exactResult(ElemFunc::FUNCID, X, IsExact);                \
+    if (IsExact)                                                              \
+      return Exact.round(Prec, M);                                            \
+    return zivRound(                                                          \
+        [&](unsigned W) { return evalApprox(ElemFunc::FUNCID, X, W); }, Prec, \
+        M);                                                                   \
+  }
+
+RFP_ZIV_FUNC(exp, Exp)
+RFP_ZIV_FUNC(exp2, Exp2)
+RFP_ZIV_FUNC(exp10, Exp10)
+RFP_ZIV_FUNC(log, Log)
+RFP_ZIV_FUNC(log2, Log2)
+RFP_ZIV_FUNC(log10, Log10)
+
+#undef RFP_ZIV_FUNC

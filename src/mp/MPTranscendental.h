@@ -1,0 +1,76 @@
+//===- mp/MPTranscendental.h - Correctly rounded MP functions --*- C++ -*-===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Correctly rounded elementary functions over MPFloat at arbitrary
+/// precision, replacing MPFR in the paper's pipeline. Two layers:
+///
+///  * approx layer: \c expApprox / \c lnApprox / ... return a value whose
+///    relative error is below 2^-(W-ApproxSlackBits). They use argument
+///    reduction plus Taylor (exp) / atanh (log) series evaluated with
+///    generous guard precision.
+///
+///  * Ziv layer: \c exp / \c log / ... run the approx layer at increasing
+///    working precision until the error interval rounds unambiguously at
+///    the requested precision and mode (Ziv's onion-peeling strategy).
+///    Inputs whose result is exactly representable (and would therefore
+///    never disambiguate) are detected algebraically first; by the
+///    Lindemann-Weierstrass theorem these are the only such inputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RFP_MP_MPTRANSCENDENTAL_H
+#define RFP_MP_MPTRANSCENDENTAL_H
+
+#include "mp/MPFloat.h"
+#include "support/ElemFunc.h"
+
+namespace rfp {
+namespace mpt {
+
+/// Number of leading bits of a W-bit approximation that callers must NOT
+/// trust: approx results are accurate to 2^-(W - ApproxSlackBits) relative.
+inline constexpr unsigned ApproxSlackBits = 12;
+
+/// ln(2) correctly rounded (nearest-even) to \p Prec bits. Cached.
+MPFloat ln2(unsigned Prec);
+/// ln(10) correctly rounded (nearest-even) to \p Prec bits. Cached.
+MPFloat ln10(unsigned Prec);
+
+/// Approximation layer: relative error < 2^-(W - ApproxSlackBits).
+/// \p X is finite; lnApprox requires X > 0.
+MPFloat expApprox(const MPFloat &X, unsigned W);
+MPFloat exp2Approx(const MPFloat &X, unsigned W);
+MPFloat exp10Approx(const MPFloat &X, unsigned W);
+MPFloat lnApprox(const MPFloat &X, unsigned W);
+MPFloat log2Approx(const MPFloat &X, unsigned W);
+MPFloat log10Approx(const MPFloat &X, unsigned W);
+
+/// Correctly rounded functions at precision \p Prec under mode \p M
+/// (unbounded exponent; use FPFormat::roundRational on the approx layer
+/// when format semantics such as subnormals are needed -- see Oracle).
+MPFloat exp(const MPFloat &X, unsigned Prec, RoundingMode M);
+MPFloat exp2(const MPFloat &X, unsigned Prec, RoundingMode M);
+MPFloat exp10(const MPFloat &X, unsigned Prec, RoundingMode M);
+MPFloat log(const MPFloat &X, unsigned Prec, RoundingMode M);
+MPFloat log2(const MPFloat &X, unsigned Prec, RoundingMode M);
+MPFloat log10(const MPFloat &X, unsigned Prec, RoundingMode M);
+
+/// Returns the exactly representable result of f(X) if there is one
+/// (e.g. exp2 of an integer, log2 of a power of two, exp(0), log(1),
+/// log10 of a power of ten). Sets \p IsExact accordingly. By the
+/// Lindemann-Weierstrass / Gelfond-Schneider theorems these are the only
+/// inputs with non-transcendental results, hence the only inputs on which
+/// Ziv's strategy could fail to terminate.
+MPFloat exactResult(ElemFunc F, const MPFloat &X, bool &IsExact);
+
+/// Dispatches to the approx layer by function id.
+MPFloat evalApprox(ElemFunc F, const MPFloat &X, unsigned W);
+
+} // namespace mpt
+} // namespace rfp
+
+#endif // RFP_MP_MPTRANSCENDENTAL_H

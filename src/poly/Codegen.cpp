@@ -1,0 +1,157 @@
+//===- poly/Codegen.cpp - C code emission for evaluation schemes ----------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "poly/Codegen.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace rfp;
+
+std::string rfp::doubleLiteral(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%a", V);
+  return Buf;
+}
+
+namespace {
+
+/// Emission state: accumulates statements and fresh temporaries.
+class Emitter {
+public:
+  Emitter(std::string Indent) : Indent(std::move(Indent)) {}
+
+  std::string fresh() { return "t" + std::to_string(NextTemp++); }
+
+  void stmt(const std::string &Lhs, const std::string &Rhs) {
+    Code += Indent + "double " + Lhs + " = " + Rhs + ";\n";
+  }
+  void assign(const std::string &Lhs, const std::string &Rhs) {
+    Code += Indent + Lhs + " = " + Rhs + ";\n";
+  }
+
+  std::string Code;
+
+private:
+  std::string Indent;
+  unsigned NextTemp = 0;
+};
+
+/// Emits the Estrin reduction; Fused selects fma vs mul+add.
+std::string emitEstrin(Emitter &E, const double *C, unsigned Degree,
+                       const std::string &Var, bool Fused) {
+  std::vector<std::string> V;
+  for (unsigned I = 0; I <= Degree; ++I)
+    V.push_back(doubleLiteral(C[I]));
+  std::string Y = Var;
+  unsigned N = Degree;
+  unsigned Level = 0;
+  while (N >= 1) {
+    unsigned Half = N / 2;
+    std::vector<std::string> Next;
+    for (unsigned I = 0; I <= Half; ++I) {
+      if (2 * I + 1 <= N) {
+        std::string T = E.fresh();
+        if (Fused)
+          E.stmt(T, "__builtin_fma(" + V[2 * I + 1] + ", " + Y + ", " +
+                        V[2 * I] + ")");
+        else
+          E.stmt(T, V[2 * I] + " + " + V[2 * I + 1] + " * " + Y);
+        Next.push_back(T);
+      } else {
+        Next.push_back(V[2 * I]);
+      }
+    }
+    V = std::move(Next);
+    N = Half;
+    if (N >= 1) {
+      std::string Y2 = "y" + std::to_string(++Level);
+      E.stmt(Y2, Y + " * " + Y);
+      Y = Y2;
+    }
+  }
+  return V[0];
+}
+
+std::string emitHorner(Emitter &E, const double *C, unsigned Degree,
+                       const std::string &Var) {
+  std::string Acc = doubleLiteral(C[Degree]);
+  for (unsigned I = Degree; I-- > 0;) {
+    std::string T = E.fresh();
+    E.stmt(T, Acc + " * " + Var + " + " + doubleLiteral(C[I]));
+    Acc = T;
+  }
+  return Acc;
+}
+
+std::string emitKnuth(Emitter &E, const KnuthAdapted &KA,
+                      const std::string &X) {
+  auto L = [&](unsigned I) { return doubleLiteral(KA.A[I]); };
+  switch (KA.Degree) {
+  case 4: {
+    E.stmt("y", "(" + X + " + " + L(0) + ") * " + X + " + " + L(1));
+    std::string R = E.fresh();
+    E.stmt(R, "((y + " + X + " + " + L(2) + ") * y + " + L(3) + ") * " + L(4));
+    return R;
+  }
+  case 5: {
+    E.stmt("t", X + " + " + L(0));
+    E.stmt("y", "t * t");
+    std::string R = E.fresh();
+    E.stmt(R, "(((y + " + L(1) + ") * y + " + L(2) + ") * (" + X + " + " +
+                  L(3) + ") + " + L(4) + ") * " + L(5));
+    return R;
+  }
+  case 6: {
+    E.stmt("z", "(" + X + " + " + L(0) + ") * " + X + " + " + L(1));
+    E.stmt("w", "(" + X + " + " + L(2) + ") * z + " + L(3));
+    std::string R = E.fresh();
+    E.stmt(R, "((w + z + " + L(4) + ") * w + " + L(5) + ") * " + L(6));
+    return R;
+  }
+  default:
+    assert(false && "unsupported adapted degree");
+    return "0.0";
+  }
+}
+
+} // namespace
+
+std::string rfp::emitPolyEval(EvalScheme S, const double *C, unsigned Degree,
+                              const std::string &Var,
+                              const std::string &Result,
+                              const std::string &Indent,
+                              const KnuthAdapted *KA) {
+  Emitter E(Indent);
+  std::string Val;
+  switch (S) {
+  case EvalScheme::Horner:
+    Val = emitHorner(E, C, Degree, Var);
+    break;
+  case EvalScheme::Knuth:
+    assert(KA && KA->Valid && "Knuth emission requires adapted coefficients");
+    Val = emitKnuth(E, *KA, Var);
+    break;
+  case EvalScheme::Estrin:
+    Val = emitEstrin(E, C, Degree, Var, /*Fused=*/false);
+    break;
+  case EvalScheme::EstrinFMA:
+    Val = emitEstrin(E, C, Degree, Var, /*Fused=*/true);
+    break;
+  }
+  E.assign(Result, Val);
+  return E.Code;
+}
+
+std::string rfp::emitPolyFunction(EvalScheme S, const double *C,
+                                  unsigned Degree, const std::string &Name,
+                                  const KnuthAdapted *KA) {
+  std::string Code = "double " + Name + "(double x) {\n";
+  Code += "  double result;\n";
+  Code += emitPolyEval(S, C, Degree, "x", "result", "  ", KA);
+  Code += "  return result;\n}\n";
+  return Code;
+}

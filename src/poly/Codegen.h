@@ -1,0 +1,45 @@
+//===- poly/Codegen.h - C code emission for evaluation schemes -*- C++ -*-===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits compilable C code for a polynomial under a given evaluation scheme.
+/// The emitted operation order matches rfp::evalScheme exactly, so a
+/// downstream user can paste the generated code into their own library and
+/// keep the correctness guarantee the generator validated. This mirrors the
+/// paper's artifact, which ships the 24 generated implementations as C
+/// source.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RFP_POLY_CODEGEN_H
+#define RFP_POLY_CODEGEN_H
+
+#include "poly/EvalScheme.h"
+
+#include <string>
+
+namespace rfp {
+
+/// Renders a double as a hex-float literal (lossless round trip).
+std::string doubleLiteral(double V);
+
+/// Emits a C expression block computing the polynomial at variable \p Var
+/// into variable \p Result. Statements are indented with \p Indent.
+/// For EvalScheme::Knuth, \p KA must be the adapted form.
+std::string emitPolyEval(EvalScheme S, const double *C, unsigned Degree,
+                         const std::string &Var, const std::string &Result,
+                         const std::string &Indent,
+                         const KnuthAdapted *KA = nullptr);
+
+/// Emits a complete C function `double NAME(double VAR)` evaluating the
+/// polynomial under the scheme.
+std::string emitPolyFunction(EvalScheme S, const double *C, unsigned Degree,
+                             const std::string &Name,
+                             const KnuthAdapted *KA = nullptr);
+
+} // namespace rfp
+
+#endif // RFP_POLY_CODEGEN_H

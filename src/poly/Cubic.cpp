@@ -1,0 +1,69 @@
+//===- poly/Cubic.cpp - Real root of a cubic equation ---------------------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "poly/Cubic.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace rfp;
+
+static double evalCubic(double A, double B, double C, double D, double X) {
+  return std::fma(std::fma(std::fma(A, X, B), X, C), X, D);
+}
+
+double rfp::realRootOfCubic(double A, double B, double C, double D) {
+  assert(A != 0.0 && "not a cubic");
+  assert(std::isfinite(A) && std::isfinite(B) && std::isfinite(C) &&
+         std::isfinite(D) && "cubic coefficients must be finite");
+
+  // Normalize so the leading coefficient is positive: p(-inf) < 0 < p(+inf).
+  if (A < 0) {
+    A = -A;
+    B = -B;
+    C = -C;
+    D = -D;
+  }
+
+  // Bracket a sign change by doubling outward from a magnitude estimate.
+  // The Cauchy bound |root| <= 1 + max|coef|/|A| always brackets.
+  double Bound = 1.0 + std::fmax(std::fabs(B), std::fmax(std::fabs(C),
+                                                         std::fabs(D))) /
+                           A;
+  double Lo = -Bound, Hi = Bound;
+  assert(evalCubic(A, B, C, D, Lo) <= 0 && evalCubic(A, B, C, D, Hi) >= 0 &&
+         "Cauchy bound failed to bracket");
+
+  // Bisection to the last representable bit: terminates in <= ~2100 steps
+  // because the midpoint eventually equals an endpoint in double.
+  for (int Iter = 0; Iter < 4000; ++Iter) {
+    double Mid = 0.5 * (Lo + Hi);
+    if (Mid <= Lo || Mid >= Hi)
+      break;
+    double V = evalCubic(A, B, C, D, Mid);
+    if (V == 0.0)
+      return Mid;
+    if (V < 0)
+      Lo = Mid;
+    else
+      Hi = Mid;
+  }
+
+  // A couple of Newton polish steps from the midpoint improve the last bit
+  // when the root is well-conditioned; fall back to Lo otherwise.
+  double X = 0.5 * (Lo + Hi);
+  for (int Iter = 0; Iter < 3; ++Iter) {
+    double F = evalCubic(A, B, C, D, X);
+    double DF = std::fma(std::fma(3 * A, X, 2 * B), X, C);
+    if (DF == 0.0 || !std::isfinite(F))
+      break;
+    double Next = X - F / DF;
+    if (!std::isfinite(Next) || Next < Lo || Next > Hi)
+      break;
+    X = Next;
+  }
+  return X;
+}

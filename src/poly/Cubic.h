@@ -1,0 +1,28 @@
+//===- poly/Cubic.h - Real root of a cubic equation ------------*- C++ -*-===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Finds a real root of a*x^3 + b*x^2 + c*x + d in double precision. Every
+/// real cubic has one (odd degree), which is what guarantees Knuth's
+/// adaptation exists for degrees 5 and 6 (paper Sections 3.2-3.3). The
+/// paper uses "an external cubic solver in double precision"; we bracket by
+/// doubling and then bisect to the last bit, so the result is within one
+/// ulp of a true root regardless of conditioning.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RFP_POLY_CUBIC_H
+#define RFP_POLY_CUBIC_H
+
+namespace rfp {
+
+/// Returns a real root of a*x^3 + b*x^2 + c*x + d (requires a != 0, finite
+/// coefficients).
+double realRootOfCubic(double A, double B, double C, double D);
+
+} // namespace rfp
+
+#endif // RFP_POLY_CUBIC_H

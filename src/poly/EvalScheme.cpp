@@ -1,0 +1,77 @@
+//===- poly/EvalScheme.cpp - Polynomial evaluation schemes ----------------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "poly/EvalScheme.h"
+
+#include <cassert>
+
+using namespace rfp;
+
+double rfp::evalHorner(const double *C, unsigned Degree, double X) {
+  double Acc = C[Degree];
+  for (unsigned I = Degree; I-- > 0;)
+    Acc = Acc * X + C[I];
+  return Acc;
+}
+
+double rfp::evalEstrin(const double *C, unsigned Degree, double X) {
+  assert(Degree <= MaxPolyDegree);
+  double V[MaxPolyDegree + 1];
+  for (unsigned I = 0; I <= Degree; ++I)
+    V[I] = C[I];
+  double Y = X;
+  unsigned N = Degree;
+  while (N >= 1) {
+    unsigned Half = N / 2;
+    for (unsigned I = 0; I <= Half; ++I) {
+      if (2 * I + 1 <= N)
+        V[I] = V[2 * I] + V[2 * I + 1] * Y;
+      else
+        V[I] = V[2 * I];
+    }
+    N = Half;
+    Y = Y * Y;
+  }
+  return V[0];
+}
+
+double rfp::evalEstrinFMA(const double *C, unsigned Degree, double X) {
+  assert(Degree <= MaxPolyDegree);
+  double V[MaxPolyDegree + 1];
+  for (unsigned I = 0; I <= Degree; ++I)
+    V[I] = C[I];
+  double Y = X;
+  unsigned N = Degree;
+  while (N >= 1) {
+    unsigned Half = N / 2;
+    for (unsigned I = 0; I <= Half; ++I) {
+      if (2 * I + 1 <= N)
+        V[I] = std::fma(V[2 * I + 1], Y, V[2 * I]);
+      else
+        V[I] = V[2 * I];
+    }
+    N = Half;
+    Y = Y * Y;
+  }
+  return V[0];
+}
+
+double rfp::evalScheme(EvalScheme S, const double *C, unsigned Degree,
+                       double X, const KnuthAdapted *KA) {
+  switch (S) {
+  case EvalScheme::Horner:
+    return evalHorner(C, Degree, X);
+  case EvalScheme::Knuth:
+    assert(KA && KA->Valid && "Knuth scheme requires adapted coefficients");
+    return evalKnuth(*KA, X);
+  case EvalScheme::Estrin:
+    return evalEstrin(C, Degree, X);
+  case EvalScheme::EstrinFMA:
+    return evalEstrinFMA(C, Degree, X);
+  }
+  assert(false && "unknown evaluation scheme");
+  return 0.0;
+}

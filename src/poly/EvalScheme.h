@@ -1,0 +1,228 @@
+//===- poly/EvalScheme.h - Polynomial evaluation schemes -------*- C++ -*-===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four polynomial evaluation schemes the paper compares:
+///
+///  * Horner      -- the RLibm baseline: minimal operation count, but a
+///                   fully serial dependence chain.
+///  * Knuth       -- Knuth's coefficient adaptation (TAOCP vol. 2): trades
+///                   multiplications for additions (paper Section 3).
+///  * Estrin      -- parallel sub-expressions (A + B*x) recombined over
+///                   x^2, x^4, ... exposing ILP (paper Section 4,
+///                   Algorithm 1).
+///  * EstrinFMA   -- Estrin with every (A + B*y) fused into one fma,
+///                   halving the rounding steps (paper Section 4).
+///
+/// The evaluators here define the *exact* operation order. The generator's
+/// check step (Algorithm 2, lines 13-17) evaluates candidate polynomials
+/// with these very routines, so what is validated is what ships. The inline
+/// template forms (degree known at compile time) compile to the same
+/// operation sequence and are what the libm implementations use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RFP_POLY_EVALSCHEME_H
+#define RFP_POLY_EVALSCHEME_H
+
+#include "poly/KnuthAdapt.h"
+#include "poly/Polynomial.h"
+
+#include <cmath>
+
+namespace rfp {
+
+/// Identifies one of the paper's four evaluation strategies.
+enum class EvalScheme { Horner, Knuth, Estrin, EstrinFMA };
+
+inline constexpr EvalScheme AllEvalSchemes[4] = {
+    EvalScheme::Horner, EvalScheme::Knuth, EvalScheme::Estrin,
+    EvalScheme::EstrinFMA};
+
+/// Display name matching the paper ("RLIBM", "RLIBM-Knuth", ...).
+inline const char *evalSchemeName(EvalScheme S) {
+  switch (S) {
+  case EvalScheme::Horner:
+    return "horner";
+  case EvalScheme::Knuth:
+    return "knuth";
+  case EvalScheme::Estrin:
+    return "estrin";
+  case EvalScheme::EstrinFMA:
+    return "estrin-fma";
+  }
+  return "??";
+}
+
+/// Horner's rule: C0 + x*(C1 + x*(C2 + ...)).
+double evalHorner(const double *C, unsigned Degree, double X);
+
+/// Estrin's method (Algorithm 1), mul+add form.
+double evalEstrin(const double *C, unsigned Degree, double X);
+
+/// Estrin's method with each (A + B*y) computed as fma(B, y, A).
+double evalEstrinFMA(const double *C, unsigned Degree, double X);
+
+/// Evaluates a polynomial under the given scheme. For EvalScheme::Knuth the
+/// caller must pass the adapted form \p KA (see adaptCoefficients); other
+/// schemes use the plain coefficients \p C.
+double evalScheme(EvalScheme S, const double *C, unsigned Degree, double X,
+                  const KnuthAdapted *KA = nullptr);
+
+//===----------------------------------------------------------------------===//
+// Compile-time-degree inline forms (used by the shipped functions in
+// src/libm; identical operation order to the runtime routines above).
+//===----------------------------------------------------------------------===//
+
+template <unsigned Degree>
+inline double hornerN(const double *C, double X) {
+  double Acc = C[Degree];
+  for (unsigned I = Degree; I-- > 0;)
+    Acc = Acc * X + C[I];
+  return Acc;
+}
+
+template <unsigned Degree>
+inline double estrinFMAN(const double *C, double X) {
+  double V[Degree + 1];
+  for (unsigned I = 0; I <= Degree; ++I)
+    V[I] = C[I];
+  double Y = X;
+  unsigned N = Degree;
+  while (N >= 1) {
+    unsigned Half = N / 2;
+    for (unsigned I = 0; I <= Half; ++I) {
+      if (2 * I + 1 <= N)
+        V[I] = std::fma(V[2 * I + 1], Y, V[2 * I]);
+      else
+        V[I] = V[2 * I];
+    }
+    N = Half;
+    Y = Y * Y;
+  }
+  return V[0];
+}
+
+template <unsigned Degree>
+inline double estrinN(const double *C, double X) {
+  double V[Degree + 1];
+  for (unsigned I = 0; I <= Degree; ++I)
+    V[I] = C[I];
+  double Y = X;
+  unsigned N = Degree;
+  while (N >= 1) {
+    unsigned Half = N / 2;
+    for (unsigned I = 0; I <= Half; ++I) {
+      if (2 * I + 1 <= N)
+        V[I] = V[2 * I] + V[2 * I + 1] * Y;
+      else
+        V[I] = V[2 * I];
+    }
+    N = Half;
+    Y = Y * Y;
+  }
+  return V[0];
+}
+
+//===----------------------------------------------------------------------===//
+// Hand-unrolled specializations for the degrees the generator produces.
+// The operation order is *identical* to the generic loop above (and hence
+// to evalEstrin/evalEstrinFMA, which the generator validates against);
+// EvalSchemeTest.CompileTimeFormsMatchRuntimeForms pins the bit-for-bit
+// equality. The explicit scalar temporaries compile to the short parallel
+// dependence chains the paper's performance argument relies on, which the
+// array-based loop form does not reliably achieve.
+//===----------------------------------------------------------------------===//
+
+template <> inline double estrinFMAN<2>(const double *C, double X) {
+  double V0 = std::fma(C[1], X, C[0]);
+  double Y = X * X;
+  return std::fma(C[2], Y, V0);
+}
+
+template <> inline double estrinFMAN<3>(const double *C, double X) {
+  double V0 = std::fma(C[1], X, C[0]);
+  double V1 = std::fma(C[3], X, C[2]);
+  double Y = X * X;
+  return std::fma(V1, Y, V0);
+}
+
+template <> inline double estrinFMAN<4>(const double *C, double X) {
+  double V0 = std::fma(C[1], X, C[0]);
+  double V1 = std::fma(C[3], X, C[2]);
+  double Y = X * X;
+  double W0 = std::fma(V1, Y, V0);
+  double Y2 = Y * Y;
+  return std::fma(C[4], Y2, W0);
+}
+
+template <> inline double estrinFMAN<5>(const double *C, double X) {
+  double V0 = std::fma(C[1], X, C[0]);
+  double V1 = std::fma(C[3], X, C[2]);
+  double V2 = std::fma(C[5], X, C[4]);
+  double Y = X * X;
+  double W0 = std::fma(V1, Y, V0);
+  double Y2 = Y * Y;
+  return std::fma(V2, Y2, W0);
+}
+
+template <> inline double estrinFMAN<6>(const double *C, double X) {
+  double V0 = std::fma(C[1], X, C[0]);
+  double V1 = std::fma(C[3], X, C[2]);
+  double V2 = std::fma(C[5], X, C[4]);
+  double Y = X * X;
+  double W0 = std::fma(V1, Y, V0);
+  double W1 = std::fma(C[6], Y, V2);
+  double Y2 = Y * Y;
+  return std::fma(W1, Y2, W0);
+}
+
+template <> inline double estrinN<2>(const double *C, double X) {
+  double V0 = C[0] + C[1] * X;
+  double Y = X * X;
+  return V0 + C[2] * Y;
+}
+
+template <> inline double estrinN<3>(const double *C, double X) {
+  double V0 = C[0] + C[1] * X;
+  double V1 = C[2] + C[3] * X;
+  double Y = X * X;
+  return V0 + V1 * Y;
+}
+
+template <> inline double estrinN<4>(const double *C, double X) {
+  double V0 = C[0] + C[1] * X;
+  double V1 = C[2] + C[3] * X;
+  double Y = X * X;
+  double W0 = V0 + V1 * Y;
+  double Y2 = Y * Y;
+  return W0 + C[4] * Y2;
+}
+
+template <> inline double estrinN<5>(const double *C, double X) {
+  double V0 = C[0] + C[1] * X;
+  double V1 = C[2] + C[3] * X;
+  double V2 = C[4] + C[5] * X;
+  double Y = X * X;
+  double W0 = V0 + V1 * Y;
+  double Y2 = Y * Y;
+  return W0 + V2 * Y2;
+}
+
+template <> inline double estrinN<6>(const double *C, double X) {
+  double V0 = C[0] + C[1] * X;
+  double V1 = C[2] + C[3] * X;
+  double V2 = C[4] + C[5] * X;
+  double Y = X * X;
+  double W0 = V0 + V1 * Y;
+  double W1 = V2 + C[6] * Y;
+  double Y2 = Y * Y;
+  return W0 + W1 * Y2;
+}
+
+} // namespace rfp
+
+#endif // RFP_POLY_EVALSCHEME_H

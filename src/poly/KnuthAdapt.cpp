@@ -1,0 +1,109 @@
+//===- poly/KnuthAdapt.cpp - Knuth coefficient adaptation -----------------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "poly/KnuthAdapt.h"
+
+#include "poly/Cubic.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace rfp;
+
+/// Degree 4 (paper equation 4): closed form.
+static KnuthAdapted adapt4(const double *U) {
+  double U4 = U[4];
+  KnuthAdapted R;
+  R.Valid = true;
+  R.Degree = 4;
+  double A0 = 0.5 * (U[3] / U4 - 1.0);
+  double Beta = U[2] / U4 - A0 * (A0 + 1.0);
+  double A1 = U[1] / U4 - A0 * Beta;
+  double A2 = Beta - 2.0 * A1;
+  double A3 = U[0] / U4 - A1 * (A1 + A2);
+  R.A[0] = A0;
+  R.A[1] = A1;
+  R.A[2] = A2;
+  R.A[3] = A3;
+  R.A[4] = U4;
+  return R;
+}
+
+/// Degree 5 (paper equations 6-7): alpha_0 is a real root of
+///   -40 a^3 + 24 q a^2 - 2 (p + 2 q^2) a + (p q - u2/u5) = 0.
+static KnuthAdapted adapt5(const double *U) {
+  double U5 = U[5];
+  double P = U[3] / U5;
+  double Q = U[4] / U5;
+  double A0 = realRootOfCubic(-40.0, 24.0 * Q, -2.0 * (P + 2.0 * Q * Q),
+                              P * Q - U[2] / U5);
+  double A1 = P - 4.0 * Q * A0 + 10.0 * A0 * A0;
+  double A3 = Q - 4.0 * A0;
+  double A0Sq = A0 * A0;
+  double A2 = U[1] / U5 - A0Sq * (A1 + A0Sq) -
+              2.0 * A0 * A3 * (A1 + 2.0 * A0Sq);
+  double A4 = U[0] / U5 - A2 * A3 - A0Sq * A3 * (A1 + A0Sq);
+  KnuthAdapted R;
+  R.Valid = true;
+  R.Degree = 5;
+  R.A[0] = A0;
+  R.A[1] = A1;
+  R.A[2] = A2;
+  R.A[3] = A3;
+  R.A[4] = A4;
+  R.A[5] = U5;
+  return R;
+}
+
+/// Degree 6 (paper equations 9-12): after normalizing u6 = 1, beta_6 is a
+/// real root of
+///   2 y^3 + (2 b4 - b2 + 1) y^2 + (2 b5 - b2 b4 - b3) y + (u1 - b2 b5) = 0.
+static KnuthAdapted adapt6(const double *U) {
+  double U6 = U[6];
+  double V[6]; // Normalized u0..u5.
+  for (int I = 0; I < 6; ++I)
+    V[I] = U[I] / U6;
+
+  double B1 = 0.5 * (V[5] - 1.0);
+  double B2 = V[4] - B1 * (B1 + 1.0);
+  double B3 = V[3] - B1 * B2;
+  double B4 = B1 - B2;
+  double B5 = V[2] - B1 * B3;
+  double B6 = realRootOfCubic(2.0, 2.0 * B4 - B2 + 1.0,
+                              2.0 * B5 - B2 * B4 - B3, V[1] - B2 * B5);
+  double B7 = B6 * B6 + B4 * B6 + B5;
+  double B8 = B3 - B6 - B7;
+
+  KnuthAdapted R;
+  R.Valid = true;
+  R.Degree = 6;
+  R.A[0] = B2 - 2.0 * B6;
+  R.A[2] = B1 - R.A[0];
+  R.A[1] = B6 - R.A[0] * R.A[2];
+  R.A[3] = B7 - R.A[1] * R.A[2];
+  R.A[4] = B8 - B7 - R.A[1];
+  R.A[5] = V[0] - B7 * B8;
+  R.A[6] = U6;
+  return R;
+}
+
+KnuthAdapted rfp::adaptCoefficients(const double *C, unsigned Degree) {
+  if (Degree < 4 || Degree > 6 || C[Degree] == 0.0)
+    return KnuthAdapted();
+  switch (Degree) {
+  case 4:
+    return adapt4(C);
+  case 5:
+    return adapt5(C);
+  default:
+    return adapt6(C);
+  }
+}
+
+double rfp::evalKnuth(const KnuthAdapted &KA, double X) {
+  assert(KA.Valid && "evaluating an invalid adaptation");
+  return evalKnuthOps(KA.Degree, KA.A, X);
+}

@@ -1,0 +1,74 @@
+//===- poly/KnuthAdapt.h - Knuth coefficient adaptation --------*- C++ -*-===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Knuth's coefficient adaptation (TAOCP vol. 2, Section 4.6.4; paper
+/// Section 3): reformulates a degree-4/5/6 polynomial so it evaluates with
+/// fewer multiplications than Horner's rule at the cost of extra additions.
+/// Degrees 5 and 6 require a real root of a cubic, computed in double by an
+/// external solver (poly/Cubic.h) -- exactly the rounding-error source that
+/// motivates the paper's integrated generate-check-constrain loop.
+///
+/// Evaluation forms (paper equations 3, 5, 8):
+///   deg 4: y = (x+a0)*x + a1;  u = ((y + x + a2)*y + a3) * a4
+///   deg 5: y = (x+a0)^2;       u = (((y+a1)*y + a2)*(x+a3) + a4) * a5
+///   deg 6: z = (x+a0)*x + a1;  w = (x+a2)*z + a3;
+///          u = ((w + z + a4)*w + a5) * a6
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RFP_POLY_KNUTHADAPT_H
+#define RFP_POLY_KNUTHADAPT_H
+
+#include <cassert>
+
+namespace rfp {
+
+/// Evaluates the adapted form given the raw coefficient array (single
+/// source of truth for the operation order; both the generator's checker
+/// and the shipped implementations route through this).
+inline double evalKnuthOps(unsigned Degree, const double *A, double X) {
+  switch (Degree) {
+  case 4: {
+    double Y = (X + A[0]) * X + A[1];
+    return ((Y + X + A[2]) * Y + A[3]) * A[4];
+  }
+  case 5: {
+    double T = X + A[0];
+    double Y = T * T;
+    return (((Y + A[1]) * Y + A[2]) * (X + A[3]) + A[4]) * A[5];
+  }
+  case 6: {
+    double Z = (X + A[0]) * X + A[1];
+    double W = (X + A[2]) * Z + A[3];
+    return ((W + Z + A[4]) * W + A[5]) * A[6];
+  }
+  default:
+    assert(false && "unsupported adapted degree");
+    return 0.0;
+  }
+}
+
+/// A polynomial in Knuth-adapted form.
+struct KnuthAdapted {
+  bool Valid = false; ///< Adaptation exists (degree 4..6, nonzero lead).
+  unsigned Degree = 0;
+  double A[7] = {}; ///< Adapted coefficients alpha_0..alpha_Degree.
+};
+
+/// Adapts the coefficients of a degree-4/5/6 polynomial (C[0..Degree],
+/// C[Degree] != 0). Degrees outside 4..6 return an invalid result, matching
+/// the paper: adaptation "is feasible for any polynomial of degree greater
+/// than 3" and RLibm polynomials never exceed degree 6.
+KnuthAdapted adaptCoefficients(const double *C, unsigned Degree);
+
+/// Evaluates an adapted polynomial (operation order fixed; this is the code
+/// the generator validates and the libm ships).
+double evalKnuth(const KnuthAdapted &KA, double X);
+
+} // namespace rfp
+
+#endif // RFP_POLY_KNUTHADAPT_H

@@ -1,0 +1,72 @@
+//===- poly/Polynomial.h - Polynomial representations ----------*- C++ -*-===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense polynomial representations used across the pipeline: the LP solver
+/// produces exact rational coefficients, which are rounded once to double
+/// (the representation H in which all shipped code evaluates).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RFP_POLY_POLYNOMIAL_H
+#define RFP_POLY_POLYNOMIAL_H
+
+#include "support/Rational.h"
+
+#include <vector>
+
+namespace rfp {
+
+/// Largest polynomial degree the pipeline supports. The paper's generator
+/// caps single polynomials at degree 6 and splits the domain beyond that;
+/// we allow a little slack for experiments.
+inline constexpr unsigned MaxPolyDegree = 8;
+
+/// A polynomial with double coefficients: C[0] + C[1]*x + ... + C[d]*x^d.
+struct Polynomial {
+  std::vector<double> Coeffs;
+
+  Polynomial() = default;
+  explicit Polynomial(std::vector<double> C) : Coeffs(std::move(C)) {}
+
+  unsigned degree() const {
+    assert(!Coeffs.empty());
+    return static_cast<unsigned>(Coeffs.size() - 1);
+  }
+};
+
+/// A polynomial with exact rational coefficients (LP solver output).
+struct RationalPolynomial {
+  std::vector<Rational> Coeffs;
+
+  unsigned degree() const {
+    assert(!Coeffs.empty());
+    return static_cast<unsigned>(Coeffs.size() - 1);
+  }
+
+  /// Rounds every coefficient to the nearest double. The paper notes this
+  /// rounding is already a non-linear step that the generate-check-constrain
+  /// loop must absorb (Section 5).
+  Polynomial toDouble() const {
+    Polynomial P;
+    P.Coeffs.reserve(Coeffs.size());
+    for (const Rational &C : Coeffs)
+      P.Coeffs.push_back(C.toDouble());
+    return P;
+  }
+
+  /// Exact evaluation at a rational point (Horner in exact arithmetic).
+  Rational evalExact(const Rational &X) const {
+    Rational Acc;
+    for (size_t I = Coeffs.size(); I-- > 0;)
+      Acc = Acc * X + Coeffs[I];
+    return Acc;
+  }
+};
+
+} // namespace rfp
+
+#endif // RFP_POLY_POLYNOMIAL_H

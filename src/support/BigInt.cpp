@@ -1,0 +1,483 @@
+//===- support/BigInt.cpp - Arbitrary-precision integers ------------------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BigInt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+using namespace rfp;
+
+BigInt::BigInt(int64_t V) {
+  Negative = V < 0;
+  // Avoid UB on INT64_MIN by negating in the unsigned domain.
+  uint64_t M = Negative ? ~static_cast<uint64_t>(V) + 1 : static_cast<uint64_t>(V);
+  if (M & 0xffffffffu)
+    Limbs.push_back(static_cast<uint32_t>(M));
+  if (M >> 32) {
+    if (Limbs.empty())
+      Limbs.push_back(0);
+    Limbs.push_back(static_cast<uint32_t>(M >> 32));
+  }
+  trim();
+}
+
+BigInt::BigInt(uint64_t V, bool) {
+  if (V & 0xffffffffu)
+    Limbs.push_back(static_cast<uint32_t>(V));
+  if (V >> 32) {
+    if (Limbs.empty())
+      Limbs.push_back(0);
+    Limbs.push_back(static_cast<uint32_t>(V >> 32));
+  }
+  trim();
+}
+
+BigInt BigInt::fromDecimal(const std::string &S) {
+  BigInt Result;
+  size_t I = 0;
+  bool Neg = false;
+  if (I < S.size() && (S[I] == '-' || S[I] == '+')) {
+    Neg = S[I] == '-';
+    ++I;
+  }
+  assert(I < S.size() && "empty decimal literal");
+  BigInt Ten(10);
+  for (; I < S.size(); ++I) {
+    assert(S[I] >= '0' && S[I] <= '9' && "bad digit in decimal literal");
+    Result = Result * Ten + BigInt(static_cast<int64_t>(S[I] - '0'));
+  }
+  if (Neg)
+    Result = -Result;
+  return Result;
+}
+
+BigInt BigInt::pow2(unsigned K) {
+  BigInt R(1);
+  return R.shl(K);
+}
+
+void BigInt::trim() {
+  while (!Limbs.empty() && Limbs.back() == 0)
+    Limbs.pop_back();
+  if (Limbs.empty())
+    Negative = false;
+}
+
+bool BigInt::fitsInt64() const {
+  unsigned Bits = bitLength();
+  if (Bits < 64)
+    return true;
+  // INT64_MIN = -2^63 also fits.
+  return Bits == 64 && Negative && !anyBitBelow(63);
+}
+
+int64_t BigInt::toInt64() const {
+  assert(fitsInt64() && "value does not fit in int64_t");
+  uint64_t M = 0;
+  if (!Limbs.empty())
+    M = Limbs[0];
+  if (Limbs.size() > 1)
+    M |= static_cast<uint64_t>(Limbs[1]) << 32;
+  return Negative ? -static_cast<int64_t>(M) : static_cast<int64_t>(M);
+}
+
+uint64_t BigInt::toUint64() const {
+  assert(!Negative && bitLength() <= 64 && "value does not fit in uint64_t");
+  uint64_t M = 0;
+  if (!Limbs.empty())
+    M = Limbs[0];
+  if (Limbs.size() > 1)
+    M |= static_cast<uint64_t>(Limbs[1]) << 32;
+  return M;
+}
+
+double BigInt::toDouble() const {
+  if (isZero())
+    return 0.0;
+  unsigned Bits = bitLength();
+  if (Bits <= 63) {
+    uint64_t M = Limbs[0];
+    if (Limbs.size() > 1)
+      M |= static_cast<uint64_t>(Limbs[1]) << 32;
+    double D = static_cast<double>(M);
+    return Negative ? -D : D;
+  }
+  // Extract the top 54 bits plus a sticky bit and round to nearest-even.
+  unsigned Shift = Bits - 54;
+  BigInt Top = shr(Shift);
+  uint64_t M = Top.Limbs[0];
+  if (Top.Limbs.size() > 1)
+    M |= static_cast<uint64_t>(Top.Limbs[1]) << 32;
+  bool Sticky = anyBitBelow(Shift);
+  uint64_t RoundBit = M & 1;
+  M >>= 1;
+  if (RoundBit && (Sticky || (M & 1)))
+    ++M;
+  double D = std::ldexp(static_cast<double>(M), static_cast<int>(Shift + 1));
+  return Negative ? -D : D;
+}
+
+unsigned BigInt::bitLength() const {
+  if (Limbs.empty())
+    return 0;
+  unsigned Top = 32 - static_cast<unsigned>(__builtin_clz(Limbs.back()));
+  return static_cast<unsigned>(Limbs.size() - 1) * 32 + Top;
+}
+
+bool BigInt::testBit(unsigned I) const {
+  unsigned Limb = I / 32;
+  if (Limb >= Limbs.size())
+    return false;
+  return (Limbs[Limb] >> (I % 32)) & 1;
+}
+
+bool BigInt::anyBitBelow(unsigned I) const {
+  unsigned FullLimbs = I / 32;
+  for (unsigned L = 0; L < FullLimbs && L < Limbs.size(); ++L)
+    if (Limbs[L] != 0)
+      return true;
+  unsigned Rem = I % 32;
+  if (Rem && FullLimbs < Limbs.size())
+    if (Limbs[FullLimbs] & ((1u << Rem) - 1))
+      return true;
+  return false;
+}
+
+int BigInt::magCompare(const std::vector<uint32_t> &A,
+                       const std::vector<uint32_t> &B) {
+  if (A.size() != B.size())
+    return A.size() < B.size() ? -1 : 1;
+  for (size_t I = A.size(); I-- > 0;)
+    if (A[I] != B[I])
+      return A[I] < B[I] ? -1 : 1;
+  return 0;
+}
+
+int BigInt::compare(const BigInt &RHS) const {
+  if (Negative != RHS.Negative)
+    return Negative ? -1 : 1;
+  int M = magCompare(Limbs, RHS.Limbs);
+  return Negative ? -M : M;
+}
+
+int BigInt::compareMagnitude(const BigInt &RHS) const {
+  return magCompare(Limbs, RHS.Limbs);
+}
+
+std::vector<uint32_t> BigInt::magAdd(const std::vector<uint32_t> &A,
+                                     const std::vector<uint32_t> &B) {
+  const std::vector<uint32_t> &Long = A.size() >= B.size() ? A : B;
+  const std::vector<uint32_t> &Short = A.size() >= B.size() ? B : A;
+  std::vector<uint32_t> R(Long.size() + 1, 0);
+  uint64_t Carry = 0;
+  for (size_t I = 0; I < Long.size(); ++I) {
+    uint64_t Sum = Carry + Long[I] + (I < Short.size() ? Short[I] : 0);
+    R[I] = static_cast<uint32_t>(Sum);
+    Carry = Sum >> 32;
+  }
+  R[Long.size()] = static_cast<uint32_t>(Carry);
+  return R;
+}
+
+std::vector<uint32_t> BigInt::magSub(const std::vector<uint32_t> &A,
+                                     const std::vector<uint32_t> &B) {
+  assert(magCompare(A, B) >= 0 && "magSub requires |A| >= |B|");
+  std::vector<uint32_t> R(A.size(), 0);
+  int64_t Borrow = 0;
+  for (size_t I = 0; I < A.size(); ++I) {
+    int64_t Diff = static_cast<int64_t>(A[I]) -
+                   (I < B.size() ? static_cast<int64_t>(B[I]) : 0) - Borrow;
+    Borrow = Diff < 0;
+    if (Diff < 0)
+      Diff += (1ll << 32);
+    R[I] = static_cast<uint32_t>(Diff);
+  }
+  assert(Borrow == 0 && "underflow in magSub");
+  return R;
+}
+
+std::vector<uint32_t> BigInt::magMul(const std::vector<uint32_t> &A,
+                                     const std::vector<uint32_t> &B) {
+  if (A.empty() || B.empty())
+    return {};
+  std::vector<uint32_t> R(A.size() + B.size(), 0);
+  for (size_t I = 0; I < A.size(); ++I) {
+    uint64_t Carry = 0;
+    uint64_t Ai = A[I];
+    for (size_t J = 0; J < B.size(); ++J) {
+      uint64_t Cur = R[I + J] + Ai * B[J] + Carry;
+      R[I + J] = static_cast<uint32_t>(Cur);
+      Carry = Cur >> 32;
+    }
+    R[I + B.size()] = static_cast<uint32_t>(Carry);
+  }
+  return R;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt R = *this;
+  if (!R.isZero())
+    R.Negative = !R.Negative;
+  return R;
+}
+
+BigInt BigInt::operator+(const BigInt &RHS) const {
+  BigInt R;
+  if (Negative == RHS.Negative) {
+    R.Limbs = magAdd(Limbs, RHS.Limbs);
+    R.Negative = Negative;
+  } else if (magCompare(Limbs, RHS.Limbs) >= 0) {
+    R.Limbs = magSub(Limbs, RHS.Limbs);
+    R.Negative = Negative;
+  } else {
+    R.Limbs = magSub(RHS.Limbs, Limbs);
+    R.Negative = RHS.Negative;
+  }
+  R.trim();
+  return R;
+}
+
+BigInt BigInt::operator-(const BigInt &RHS) const { return *this + (-RHS); }
+
+BigInt BigInt::operator*(const BigInt &RHS) const {
+  BigInt R;
+  R.Limbs = magMul(Limbs, RHS.Limbs);
+  R.Negative = Negative != RHS.Negative;
+  R.trim();
+  return R;
+}
+
+void BigInt::divMod(const BigInt &A, const BigInt &B, BigInt &Q, BigInt &R) {
+  assert(!B.isZero() && "division by zero");
+  int Cmp = magCompare(A.Limbs, B.Limbs);
+  if (Cmp < 0) {
+    Q = BigInt();
+    R = A;
+    return;
+  }
+
+  // Single-limb fast path.
+  if (B.Limbs.size() == 1) {
+    uint64_t D = B.Limbs[0];
+    std::vector<uint32_t> QL(A.Limbs.size(), 0);
+    uint64_t Rem = 0;
+    for (size_t I = A.Limbs.size(); I-- > 0;) {
+      uint64_t Cur = (Rem << 32) | A.Limbs[I];
+      QL[I] = static_cast<uint32_t>(Cur / D);
+      Rem = Cur % D;
+    }
+    Q.Limbs = std::move(QL);
+    Q.Negative = A.Negative != B.Negative;
+    Q.trim();
+    R = BigInt(static_cast<int64_t>(Rem));
+    if (A.Negative && !R.isZero())
+      R.Negative = true;
+    return;
+  }
+
+  // Knuth Algorithm D on normalized magnitudes.
+  unsigned Shift = static_cast<unsigned>(__builtin_clz(B.Limbs.back()));
+  BigInt U = A.shl(Shift);
+  BigInt V = B.shl(Shift);
+  U.Negative = V.Negative = false;
+  size_t N = V.Limbs.size();
+  size_t M = U.Limbs.size() - N;
+  U.Limbs.push_back(0); // Room for the virtual high limb u[m+n].
+
+  std::vector<uint32_t> QL(M + 1, 0);
+  uint64_t VTop = V.Limbs[N - 1];
+  uint64_t VNext = V.Limbs[N - 2];
+
+  for (size_t J = M + 1; J-- > 0;) {
+    // Estimate q_hat from the top two dividend limbs. When the estimate
+    // saturates at 2^32 - 1 the remainder estimate must be recomputed for
+    // that clamped value, or the correction loop below tests garbage and
+    // the digit can be off by more than the one unit add-back repairs.
+    uint64_t Num = (static_cast<uint64_t>(U.Limbs[J + N]) << 32) |
+                   U.Limbs[J + N - 1];
+    uint64_t QHat, RHat;
+    if ((Num >> 32) >= VTop) {
+      QHat = 0xffffffffull;
+      RHat = Num - QHat * VTop;
+    } else {
+      QHat = Num / VTop;
+      RHat = Num % VTop;
+    }
+    while (RHat <= 0xffffffffull &&
+           QHat * VNext > ((RHat << 32) | U.Limbs[J + N - 2])) {
+      --QHat;
+      RHat += VTop;
+    }
+
+    // Multiply-and-subtract: U[j..j+n] -= QHat * V.
+    int64_t Borrow = 0;
+    uint64_t Carry = 0;
+    for (size_t I = 0; I < N; ++I) {
+      uint64_t P = QHat * V.Limbs[I] + Carry;
+      Carry = P >> 32;
+      int64_t Sub = static_cast<int64_t>(U.Limbs[I + J]) -
+                    static_cast<int64_t>(P & 0xffffffffull) - Borrow;
+      Borrow = Sub < 0;
+      if (Sub < 0)
+        Sub += (1ll << 32);
+      U.Limbs[I + J] = static_cast<uint32_t>(Sub);
+    }
+    int64_t Sub = static_cast<int64_t>(U.Limbs[J + N]) -
+                  static_cast<int64_t>(Carry) - Borrow;
+    bool NegStep = Sub < 0;
+    if (Sub < 0)
+      Sub += (1ll << 32);
+    U.Limbs[J + N] = static_cast<uint32_t>(Sub);
+
+    // Add-back step (rare): q_hat was one too large.
+    if (NegStep) {
+      --QHat;
+      uint64_t C = 0;
+      for (size_t I = 0; I < N; ++I) {
+        uint64_t Sum = static_cast<uint64_t>(U.Limbs[I + J]) + V.Limbs[I] + C;
+        U.Limbs[I + J] = static_cast<uint32_t>(Sum);
+        C = Sum >> 32;
+      }
+      U.Limbs[J + N] = static_cast<uint32_t>(U.Limbs[J + N] + C);
+    }
+    QL[J] = static_cast<uint32_t>(QHat);
+  }
+
+  Q.Limbs = std::move(QL);
+  Q.Negative = A.Negative != B.Negative;
+  Q.trim();
+
+  U.Limbs.resize(N);
+  U.trim();
+  R = U.shr(Shift);
+  if (A.Negative && !R.isZero())
+    R.Negative = true;
+}
+
+BigInt BigInt::operator/(const BigInt &RHS) const {
+  BigInt Q, R;
+  divMod(*this, RHS, Q, R);
+  return Q;
+}
+
+BigInt BigInt::operator%(const BigInt &RHS) const {
+  BigInt Q, R;
+  divMod(*this, RHS, Q, R);
+  return R;
+}
+
+BigInt BigInt::shl(unsigned K) const {
+  if (isZero() || K == 0)
+    return *this;
+  unsigned LimbShift = K / 32, BitShift = K % 32;
+  BigInt R;
+  R.Negative = Negative;
+  R.Limbs.assign(Limbs.size() + LimbShift + 1, 0);
+  for (size_t I = 0; I < Limbs.size(); ++I) {
+    uint64_t V = static_cast<uint64_t>(Limbs[I]) << BitShift;
+    R.Limbs[I + LimbShift] |= static_cast<uint32_t>(V);
+    R.Limbs[I + LimbShift + 1] |= static_cast<uint32_t>(V >> 32);
+  }
+  R.trim();
+  return R;
+}
+
+BigInt BigInt::shr(unsigned K) const {
+  if (isZero() || K == 0)
+    return *this;
+  unsigned LimbShift = K / 32, BitShift = K % 32;
+  if (LimbShift >= Limbs.size())
+    return BigInt();
+  BigInt R;
+  R.Negative = Negative;
+  R.Limbs.assign(Limbs.size() - LimbShift, 0);
+  for (size_t I = 0; I < R.Limbs.size(); ++I) {
+    uint64_t V = Limbs[I + LimbShift] >> BitShift;
+    if (BitShift && I + LimbShift + 1 < Limbs.size())
+      V |= static_cast<uint64_t>(Limbs[I + LimbShift + 1]) << (32 - BitShift);
+    R.Limbs[I] = static_cast<uint32_t>(V);
+  }
+  R.trim();
+  return R;
+}
+
+unsigned BigInt::countTrailingZeros() const {
+  for (size_t I = 0; I < Limbs.size(); ++I)
+    if (Limbs[I] != 0)
+      return static_cast<unsigned>(I) * 32 +
+             static_cast<unsigned>(__builtin_ctz(Limbs[I]));
+  return 0;
+}
+
+BigInt BigInt::gcd(BigInt A, BigInt B) {
+  // Binary (Stein) GCD: avoids the expensive long divisions of the
+  // Euclidean algorithm; this dominates rational-arithmetic throughput in
+  // the exact LP solver.
+  A.Negative = B.Negative = false;
+  if (A.isZero())
+    return B;
+  if (B.isZero())
+    return A;
+  unsigned Za = A.countTrailingZeros();
+  unsigned Zb = B.countTrailingZeros();
+  unsigned Shift = std::min(Za, Zb);
+  A = A.shr(Za);
+  B = B.shr(Zb);
+  // Both odd from here on.
+  while (true) {
+    int Cmp = A.compareMagnitude(B);
+    if (Cmp == 0)
+      break;
+    if (Cmp < 0)
+      std::swap(A, B);
+    A = A - B; // Even and non-zero.
+    A = A.shr(A.countTrailingZeros());
+  }
+  return A.shl(Shift);
+}
+
+std::string BigInt::toDecimal() const {
+  if (isZero())
+    return "0";
+  // Peel off 9 decimal digits at a time (10^9 < 2^32).
+  std::vector<uint32_t> Work = Limbs;
+  std::string Digits;
+  while (!Work.empty()) {
+    uint64_t Rem = 0;
+    for (size_t I = Work.size(); I-- > 0;) {
+      uint64_t Cur = (Rem << 32) | Work[I];
+      Work[I] = static_cast<uint32_t>(Cur / 1000000000u);
+      Rem = Cur % 1000000000u;
+    }
+    while (!Work.empty() && Work.back() == 0)
+      Work.pop_back();
+    for (int D = 0; D < 9; ++D) {
+      Digits.push_back(static_cast<char>('0' + Rem % 10));
+      Rem /= 10;
+    }
+  }
+  while (Digits.size() > 1 && Digits.back() == '0')
+    Digits.pop_back();
+  if (Negative)
+    Digits.push_back('-');
+  std::reverse(Digits.begin(), Digits.end());
+  return Digits;
+}
+
+std::string BigInt::toHex() const {
+  if (isZero())
+    return "0x0";
+  static const char *HexDigits = "0123456789abcdef";
+  std::string S;
+  for (size_t I = Limbs.size(); I-- > 0;)
+    for (int Nib = 7; Nib >= 0; --Nib)
+      S.push_back(HexDigits[(Limbs[I] >> (Nib * 4)) & 0xf]);
+  size_t First = S.find_first_not_of('0');
+  S = S.substr(First);
+  return (Negative ? "-0x" : "0x") + S;
+}

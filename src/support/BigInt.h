@@ -1,0 +1,147 @@
+//===- support/BigInt.h - Arbitrary-precision integers ---------*- C++ -*-===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Arbitrary-precision signed integers. This is the substrate underneath the
+/// exact rational arithmetic used by the LP solver (the paper uses SoPlex,
+/// which uses GMP) and by the multiple-precision floating point library (the
+/// paper uses MPFR). Magnitudes are stored as base-2^32 limbs, least
+/// significant first; the sign is kept separately so the magnitude algorithms
+/// stay branch-free with respect to sign.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RFP_SUPPORT_BIGINT_H
+#define RFP_SUPPORT_BIGINT_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rfp {
+
+/// Arbitrary-precision signed integer.
+///
+/// Value = Sign * sum(Limbs[i] * 2^(32*i)). Zero is canonically represented
+/// with an empty limb vector and Sign == +1. All arithmetic is exact.
+class BigInt {
+public:
+  /// Constructs zero.
+  BigInt() = default;
+
+  /// Constructs from a machine integer (exact).
+  BigInt(int64_t V);
+  BigInt(uint64_t V, bool /*UnsignedTag*/);
+
+  /// Parses a base-10 literal with optional leading '-'. Asserts on
+  /// malformed input (this is an internal library, not a user parser).
+  static BigInt fromDecimal(const std::string &S);
+
+  /// Returns 2^K (K >= 0).
+  static BigInt pow2(unsigned K);
+
+  bool isZero() const { return Limbs.empty(); }
+  bool isNegative() const { return Negative; }
+  bool isOne() const { return !Negative && Limbs.size() == 1 && Limbs[0] == 1; }
+
+  /// Returns true iff the value fits in int64_t.
+  bool fitsInt64() const;
+
+  /// Converts to int64_t; asserts that the value fits.
+  int64_t toInt64() const;
+
+  /// Low 64 bits of the magnitude; asserts the magnitude fits in 64 bits
+  /// and the value is non-negative.
+  uint64_t toUint64() const;
+
+  /// Converts to double with round-to-nearest-even. Returns +-inf on
+  /// overflow. The conversion is correctly rounded.
+  double toDouble() const;
+
+  /// Number of significant bits in the magnitude (0 for zero).
+  unsigned bitLength() const;
+
+  /// Value of bit I (I = 0 is the least significant bit of the magnitude).
+  bool testBit(unsigned I) const;
+
+  /// True iff the magnitude has any set bit strictly below bit I.
+  /// Used as an exact "sticky" test when truncating I low bits.
+  bool anyBitBelow(unsigned I) const;
+
+  /// Number of trailing zero bits of the magnitude (0 for zero).
+  unsigned countTrailingZeros() const;
+
+  /// Three-way comparison: -1, 0, or +1.
+  int compare(const BigInt &RHS) const;
+  /// Magnitude-only three-way comparison.
+  int compareMagnitude(const BigInt &RHS) const;
+
+  BigInt operator-() const;
+  BigInt operator+(const BigInt &RHS) const;
+  BigInt operator-(const BigInt &RHS) const;
+  BigInt operator*(const BigInt &RHS) const;
+  /// Truncating division (C semantics: quotient rounds toward zero).
+  BigInt operator/(const BigInt &RHS) const;
+  /// Remainder paired with operator/ (sign follows the dividend).
+  BigInt operator%(const BigInt &RHS) const;
+
+  BigInt &operator+=(const BigInt &RHS) { return *this = *this + RHS; }
+  BigInt &operator-=(const BigInt &RHS) { return *this = *this - RHS; }
+  BigInt &operator*=(const BigInt &RHS) { return *this = *this * RHS; }
+
+  /// Computes quotient and remainder in one pass (Knuth Algorithm D).
+  static void divMod(const BigInt &A, const BigInt &B, BigInt &Q, BigInt &R);
+
+  /// Logical shift of the magnitude; sign is preserved.
+  BigInt shl(unsigned K) const;
+  BigInt shr(unsigned K) const;
+
+  bool operator==(const BigInt &RHS) const { return compare(RHS) == 0; }
+  bool operator!=(const BigInt &RHS) const { return compare(RHS) != 0; }
+  bool operator<(const BigInt &RHS) const { return compare(RHS) < 0; }
+  bool operator<=(const BigInt &RHS) const { return compare(RHS) <= 0; }
+  bool operator>(const BigInt &RHS) const { return compare(RHS) > 0; }
+  bool operator>=(const BigInt &RHS) const { return compare(RHS) >= 0; }
+
+  /// Greatest common divisor of the magnitudes (always non-negative).
+  static BigInt gcd(BigInt A, BigInt B);
+
+  /// Base-10 rendering with leading '-' when negative.
+  std::string toDecimal() const;
+  /// Base-16 rendering (magnitude, "0x" prefix, leading '-' when negative).
+  std::string toHex() const;
+
+private:
+  /// Drops high zero limbs and canonicalizes the sign of zero.
+  void trim();
+
+  static int magCompare(const std::vector<uint32_t> &A,
+                        const std::vector<uint32_t> &B);
+  static std::vector<uint32_t> magAdd(const std::vector<uint32_t> &A,
+                                      const std::vector<uint32_t> &B);
+  /// Requires |A| >= |B|.
+  static std::vector<uint32_t> magSub(const std::vector<uint32_t> &A,
+                                      const std::vector<uint32_t> &B);
+  static std::vector<uint32_t> magMul(const std::vector<uint32_t> &A,
+                                      const std::vector<uint32_t> &B);
+
+  std::vector<uint32_t> Limbs;
+  bool Negative = false;
+};
+
+/// Rounds Mag * 2^BinExp to the nearest double (ties to even), where Mag is
+/// a non-negative magnitude and Sticky records whether the true value has
+/// additional non-zero weight strictly below 2^BinExp. Mag must carry at
+/// least 55 significant bits whenever Sticky is set so the extra weight sits
+/// strictly below the rounding position. Handles overflow (to +-inf) and
+/// gradual underflow.
+double roundScaledToDouble(const BigInt &Mag, int64_t BinExp, bool Sticky,
+                           bool Negative);
+
+} // namespace rfp
+
+#endif // RFP_SUPPORT_BIGINT_H

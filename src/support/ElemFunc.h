@@ -1,0 +1,51 @@
+//===- support/ElemFunc.h - The six elementary functions -------*- C++ -*-===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Identifiers for the six elementary functions the paper evaluates
+/// (Section 6.1): e^x, 2^x, 10^x, ln(x), log2(x), log10(x).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RFP_SUPPORT_ELEMFUNC_H
+#define RFP_SUPPORT_ELEMFUNC_H
+
+namespace rfp {
+
+/// The elementary functions covered by the paper's prototype.
+enum class ElemFunc { Exp, Exp2, Exp10, Log, Log2, Log10 };
+
+inline constexpr ElemFunc AllElemFuncs[6] = {ElemFunc::Exp,  ElemFunc::Exp2,
+                                             ElemFunc::Exp10, ElemFunc::Log,
+                                             ElemFunc::Log2, ElemFunc::Log10};
+
+/// Display name matching the paper's tables ("ex", "2x", ...).
+inline const char *elemFuncName(ElemFunc F) {
+  switch (F) {
+  case ElemFunc::Exp:
+    return "exp";
+  case ElemFunc::Exp2:
+    return "exp2";
+  case ElemFunc::Exp10:
+    return "exp10";
+  case ElemFunc::Log:
+    return "log";
+  case ElemFunc::Log2:
+    return "log2";
+  case ElemFunc::Log10:
+    return "log10";
+  }
+  return "??";
+}
+
+/// True for e^x, 2^x, 10^x.
+inline bool isExpFamily(ElemFunc F) {
+  return F == ElemFunc::Exp || F == ElemFunc::Exp2 || F == ElemFunc::Exp10;
+}
+
+} // namespace rfp
+
+#endif // RFP_SUPPORT_ELEMFUNC_H

@@ -1,0 +1,144 @@
+//===- support/Rational.cpp - Exact rational arithmetic -------------------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rational.h"
+
+#include <cmath>
+
+using namespace rfp;
+
+Rational::Rational(BigInt N, BigInt D) : Num(std::move(N)), Den(std::move(D)) {
+  assert(!Den.isZero() && "rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (Den.isNegative()) {
+    Num = -Num;
+    Den = -Den;
+  }
+  if (Num.isZero()) {
+    Den = BigInt(1);
+    return;
+  }
+  BigInt G = BigInt::gcd(Num, Den);
+  if (!G.isOne()) {
+    Num = Num / G;
+    Den = Den / G;
+  }
+}
+
+Rational Rational::fromDouble(double V) {
+  assert(std::isfinite(V) && "fromDouble requires a finite value");
+  if (V == 0.0)
+    return Rational();
+  int Exp;
+  double Frac = std::frexp(V, &Exp); // V = Frac * 2^Exp, |Frac| in [0.5, 1)
+  int64_t Mant = static_cast<int64_t>(std::ldexp(Frac, 53));
+  int E2 = Exp - 53;
+  BigInt N(Mant);
+  if (E2 >= 0)
+    return Rational(N.shl(static_cast<unsigned>(E2)));
+  return Rational(std::move(N), BigInt::pow2(static_cast<unsigned>(-E2)));
+}
+
+double rfp::roundScaledToDouble(const BigInt &Q, int64_t BinExp, bool Sticky,
+                                bool Negative) {
+  assert(!Q.isZero() && !Q.isNegative());
+  int64_t Msb = static_cast<int64_t>(Q.bitLength()); // leading bit index + 1
+  int64_t ValueExp = Msb - 1 + BinExp;               // exponent of leading bit
+
+  if (ValueExp > 1024)
+    return Negative ? -HUGE_VAL : HUGE_VAL;
+  if (ValueExp < -1075)
+    return Negative ? -0.0 : 0.0;
+  if (ValueExp == -1075) {
+    // Value is in [2^-1075, 2^-1074): below the smallest subnormal, at or
+    // above its midpoint. Exactly the midpoint ties to even (zero).
+    bool ExactHalf = !Sticky && !Q.anyBitBelow(static_cast<unsigned>(Msb - 1));
+    double R = ExactHalf ? 0.0 : 0x1p-1074;
+    return Negative ? -R : R;
+  }
+
+  int64_t PrecBits = ValueExp >= -1022 ? 53 : 53 + (ValueExp + 1022);
+  int64_t Drop = Msb - PrecBits;
+  assert((Drop >= 1 || !Sticky) && "sticky below available precision");
+
+  BigInt M = Drop > 0 ? Q.shr(static_cast<unsigned>(Drop)) : Q;
+  bool RoundBit = Drop > 0 && Q.testBit(static_cast<unsigned>(Drop - 1));
+  bool StickyAll =
+      Sticky || (Drop > 1 && Q.anyBitBelow(static_cast<unsigned>(Drop - 1)));
+  if (RoundBit && (StickyAll || M.testBit(0)))
+    M = M + BigInt(1);
+
+  // M fits in 54 bits; ldexp handles a carry that bumped the exponent.
+  double D = std::ldexp(static_cast<double>(M.toInt64()),
+                        static_cast<int>(BinExp + (Drop > 0 ? Drop : 0)));
+  return Negative ? -D : D;
+}
+
+double Rational::toDouble() const {
+  if (Num.isZero())
+    return 0.0;
+  BigInt A = Num.isNegative() ? -Num : Num;
+  const BigInt &B = Den;
+  int64_t La = A.bitLength(), Lb = B.bitLength();
+  // Scale so the quotient has at least 56 significant bits; the division
+  // remainder provides the exact sticky bit.
+  int64_t K = 56 - (La - Lb);
+  BigInt Q, R;
+  if (K >= 0)
+    BigInt::divMod(A.shl(static_cast<unsigned>(K)), B, Q, R);
+  else
+    BigInt::divMod(A, B.shl(static_cast<unsigned>(-K)), Q, R);
+  return roundScaledToDouble(Q, -K, !R.isZero(), Num.isNegative());
+}
+
+Rational Rational::operator-() const {
+  Rational R = *this;
+  R.Num = -R.Num;
+  return R;
+}
+
+Rational Rational::operator+(const Rational &RHS) const {
+  return Rational(Num * RHS.Den + RHS.Num * Den, Den * RHS.Den);
+}
+
+Rational Rational::operator-(const Rational &RHS) const {
+  return Rational(Num * RHS.Den - RHS.Num * Den, Den * RHS.Den);
+}
+
+Rational Rational::operator*(const Rational &RHS) const {
+  return Rational(Num * RHS.Num, Den * RHS.Den);
+}
+
+Rational Rational::operator/(const Rational &RHS) const {
+  assert(!RHS.isZero() && "rational division by zero");
+  return Rational(Num * RHS.Den, Den * RHS.Num);
+}
+
+int Rational::compare(const Rational &RHS) const {
+  // Denominators are positive, so cross-multiplication preserves order.
+  return (Num * RHS.Den).compare(RHS.Num * Den);
+}
+
+Rational Rational::pow(unsigned K) const {
+  Rational Result(1);
+  Rational Base = *this;
+  while (K) {
+    if (K & 1)
+      Result *= Base;
+    Base *= Base;
+    K >>= 1;
+  }
+  return Result;
+}
+
+std::string Rational::toString() const {
+  if (Den.isOne())
+    return Num.toDecimal();
+  return Num.toDecimal() + "/" + Den.toDecimal();
+}

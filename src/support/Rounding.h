@@ -1,0 +1,60 @@
+//===- support/Rounding.h - Rounding mode enumeration ----------*- C++ -*-===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The five IEEE-754 rounding modes plus round-to-odd. Round-to-odd is the
+/// non-standard mode at the heart of RLibm-All: rounding f(x) to a 34-bit
+/// value with round-to-odd preserves the truncated bits, the rounding bit,
+/// and the sticky bit of the real value, so a second rounding to any
+/// narrower representation (10..32 bits) under any standard mode produces
+/// the correctly rounded result (paper, Section 2.2 and Figure 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RFP_SUPPORT_ROUNDING_H
+#define RFP_SUPPORT_ROUNDING_H
+
+namespace rfp {
+
+/// Rounding modes. The first five are the IEEE-754 standard modes; RO is
+/// round-to-odd (round to the adjacent value whose encoding is odd, unless
+/// the value is exactly representable).
+enum class RoundingMode {
+  NearestEven, ///< rn: round-to-nearest, ties-to-even (IEEE default)
+  NearestAway, ///< ra: round-to-nearest, ties-away-from-zero
+  TowardZero,  ///< rz: truncate
+  Upward,      ///< ru: toward +infinity
+  Downward,    ///< rd: toward -infinity
+  ToOdd,       ///< ro: round-to-odd (non-standard)
+};
+
+/// All five standard modes, in the order the paper lists them.
+inline constexpr RoundingMode StandardRoundingModes[5] = {
+    RoundingMode::NearestEven, RoundingMode::NearestAway,
+    RoundingMode::TowardZero, RoundingMode::Upward, RoundingMode::Downward};
+
+/// Short name for diagnostics ("rn", "ra", "rz", "ru", "rd", "ro").
+inline const char *roundingModeName(RoundingMode M) {
+  switch (M) {
+  case RoundingMode::NearestEven:
+    return "rn";
+  case RoundingMode::NearestAway:
+    return "ra";
+  case RoundingMode::TowardZero:
+    return "rz";
+  case RoundingMode::Upward:
+    return "ru";
+  case RoundingMode::Downward:
+    return "rd";
+  case RoundingMode::ToOdd:
+    return "ro";
+  }
+  return "??";
+}
+
+} // namespace rfp
+
+#endif // RFP_SUPPORT_ROUNDING_H

@@ -1,0 +1,227 @@
+//===- tests/BigIntTest.cpp - BigInt unit and property tests --------------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BigInt.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+using namespace rfp;
+
+namespace {
+
+BigInt randomBig(std::mt19937_64 &Rng, int Limbs, bool AllowNegative = true) {
+  BigInt V;
+  for (int I = 0; I < Limbs; ++I)
+    V = V.shl(32) + BigInt(static_cast<int64_t>(Rng() & 0xffffffffu));
+  if (AllowNegative && (Rng() & 1))
+    V = -V;
+  return V;
+}
+
+TEST(BigIntTest, ZeroBasics) {
+  BigInt Z;
+  EXPECT_TRUE(Z.isZero());
+  EXPECT_FALSE(Z.isNegative());
+  EXPECT_EQ(Z.bitLength(), 0u);
+  EXPECT_EQ(Z.toDecimal(), "0");
+  EXPECT_EQ(Z.toInt64(), 0);
+  EXPECT_EQ((Z + Z).toDecimal(), "0");
+  EXPECT_EQ((-Z).isNegative(), false);
+}
+
+TEST(BigIntTest, Int64RoundTrip) {
+  for (int64_t V : std::initializer_list<int64_t>{
+           0, 1, -1, 42, -42, 0x7fffffff, 0x80000000ll, -0x80000000ll,
+           0x123456789abcdefll, INT64_MAX, INT64_MIN + 1}) {
+    BigInt B(V);
+    EXPECT_TRUE(B.fitsInt64());
+    EXPECT_EQ(B.toInt64(), V) << V;
+  }
+  // INT64_MIN = -2^63 also round-trips.
+  BigInt Min(INT64_MIN);
+  EXPECT_TRUE(Min.fitsInt64());
+  EXPECT_EQ(Min.toInt64(), INT64_MIN);
+}
+
+TEST(BigIntTest, FitsInt64Boundary) {
+  BigInt TooBig = BigInt::pow2(63); // 2^63 does not fit.
+  EXPECT_FALSE(TooBig.fitsInt64());
+  EXPECT_TRUE((-TooBig).fitsInt64()); // -2^63 fits.
+  EXPECT_TRUE((TooBig - BigInt(1)).fitsInt64());
+  EXPECT_FALSE((-TooBig - BigInt(1)).fitsInt64());
+}
+
+TEST(BigIntTest, DecimalRoundTrip) {
+  const char *Cases[] = {"0",
+                         "1",
+                         "-1",
+                         "4294967295",
+                         "4294967296",
+                         "18446744073709551616",
+                         "-123456789012345678901234567890",
+                         "99999999999999999999999999999999999999"};
+  for (const char *S : Cases)
+    EXPECT_EQ(BigInt::fromDecimal(S).toDecimal(), S);
+}
+
+TEST(BigIntTest, HexRendering) {
+  EXPECT_EQ(BigInt(255).toHex(), "0xff");
+  EXPECT_EQ(BigInt(-16).toHex(), "-0x10");
+  EXPECT_EQ(BigInt::pow2(64).toHex(), "0x10000000000000000");
+}
+
+TEST(BigIntTest, AdditionProperties) {
+  std::mt19937_64 Rng(1);
+  for (int T = 0; T < 500; ++T) {
+    BigInt A = randomBig(Rng, 1 + T % 8);
+    BigInt B = randomBig(Rng, 1 + (T / 2) % 8);
+    EXPECT_EQ(A + B, B + A);
+    EXPECT_EQ((A + B) - B, A);
+    EXPECT_EQ(A - A, BigInt(0));
+    EXPECT_EQ(A + BigInt(0), A);
+  }
+}
+
+TEST(BigIntTest, MultiplicationProperties) {
+  std::mt19937_64 Rng(2);
+  for (int T = 0; T < 300; ++T) {
+    BigInt A = randomBig(Rng, 1 + T % 10);
+    BigInt B = randomBig(Rng, 1 + (T / 2) % 10);
+    BigInt C = randomBig(Rng, 1 + (T / 3) % 6);
+    EXPECT_EQ(A * B, B * A);
+    EXPECT_EQ(A * (B + C), A * B + A * C);
+    EXPECT_EQ(A * BigInt(1), A);
+    EXPECT_EQ((A * BigInt(0)).isZero(), true);
+  }
+}
+
+TEST(BigIntTest, DivModIdentity) {
+  std::mt19937_64 Rng(3);
+  for (int T = 0; T < 1000; ++T) {
+    BigInt A = randomBig(Rng, 1 + T % 24);
+    BigInt B = randomBig(Rng, 1 + (T / 2) % 12);
+    if (B.isZero())
+      continue;
+    BigInt Q, R;
+    BigInt::divMod(A, B, Q, R);
+    EXPECT_EQ(Q * B + R, A);
+    EXPECT_LT(R.compareMagnitude(B), 0);
+    // C semantics: remainder sign follows the dividend.
+    if (!R.isZero()) {
+      EXPECT_EQ(R.isNegative(), A.isNegative());
+    }
+  }
+}
+
+/// Regression: the Algorithm-D quotient-digit estimate saturates at
+/// 2^32 - 1 when the top dividend limb equals the top divisor limb; the
+/// remainder estimate must then be recomputed or the digit is off by more
+/// than the add-back step can repair.
+TEST(BigIntTest, DivModQhatSaturation) {
+  std::mt19937_64 Rng(4);
+  for (int T = 0; T < 20000; ++T) {
+    BigInt B = randomBig(Rng, 2 + T % 5, /*AllowNegative=*/false) + BigInt(1);
+    BigInt Q0 = randomBig(Rng, 1 + T % 4, /*AllowNegative=*/false);
+    BigInt A = Q0 * B; // Exact multiple: remainder must be zero.
+    BigInt Q, R;
+    BigInt::divMod(A, B, Q, R);
+    EXPECT_EQ(Q, Q0);
+    EXPECT_TRUE(R.isZero());
+  }
+}
+
+TEST(BigIntTest, ShiftInverses) {
+  std::mt19937_64 Rng(5);
+  for (int T = 0; T < 200; ++T) {
+    BigInt A = randomBig(Rng, 1 + T % 6);
+    unsigned K = static_cast<unsigned>(Rng() % 130);
+    EXPECT_EQ(A.shl(K).shr(K), A);
+    // shl by K multiplies by 2^K.
+    EXPECT_EQ(A.shl(K), A * BigInt::pow2(K));
+  }
+}
+
+TEST(BigIntTest, BitQueries) {
+  BigInt V = BigInt::fromDecimal("1311768467463790320"); // 0x1234567890abcdf0
+  EXPECT_EQ(V.bitLength(), 61u);
+  EXPECT_FALSE(V.testBit(0));
+  EXPECT_TRUE(V.testBit(4));
+  EXPECT_TRUE(V.anyBitBelow(5));
+  EXPECT_FALSE(V.anyBitBelow(4));
+  EXPECT_EQ(V.countTrailingZeros(), 4u);
+  EXPECT_EQ(BigInt::pow2(77).countTrailingZeros(), 77u);
+}
+
+TEST(BigIntTest, GcdProperties) {
+  std::mt19937_64 Rng(6);
+  for (int T = 0; T < 400; ++T) {
+    BigInt A = randomBig(Rng, 1 + T % 8);
+    BigInt B = randomBig(Rng, 1 + (T / 2) % 8);
+    BigInt G = BigInt::gcd(A, B);
+    if (A.isZero() && B.isZero()) {
+      EXPECT_TRUE(G.isZero());
+      continue;
+    }
+    EXPECT_FALSE(G.isNegative());
+    if (!G.isZero()) {
+      EXPECT_TRUE((A % G).isZero());
+      EXPECT_TRUE((B % G).isZero());
+    }
+  }
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(7)), BigInt(7));
+}
+
+TEST(BigIntTest, ToDoubleExactSmall) {
+  std::mt19937_64 Rng(7);
+  for (int T = 0; T < 500; ++T) {
+    int64_t V = static_cast<int64_t>(Rng() >> 12); // 52-bit: exact in double
+    if (Rng() & 1)
+      V = -V;
+    EXPECT_EQ(BigInt(V).toDouble(), static_cast<double>(V));
+  }
+}
+
+TEST(BigIntTest, ToDoubleRoundsToNearestEven) {
+  // 2^60 + 2^6 (half-ulp at 54-bit position... construct a tie):
+  // Value = 2^53 + 1: exactly between 2^53 and 2^53 + 2; ties to even 2^53.
+  BigInt Tie = BigInt::pow2(53) + BigInt(1);
+  EXPECT_EQ(Tie.toDouble(), 0x1p53);
+  // 2^53 + 3 rounds up to 2^53 + 4.
+  BigInt Up = BigInt::pow2(53) + BigInt(3);
+  EXPECT_EQ(Up.toDouble(), 0x1p53 + 4);
+  // Sticky bit breaks the tie: 2^54 + 2^1 + 1 -> rounds up.
+  BigInt Sticky = BigInt::pow2(54) + BigInt(3);
+  EXPECT_EQ(Sticky.toDouble(), 0x1p54 + 4);
+}
+
+TEST(BigIntTest, ToDoubleHuge) {
+  EXPECT_TRUE(std::isinf(BigInt::pow2(1100).toDouble()));
+  EXPECT_EQ(BigInt::pow2(1000).toDouble(), 0x1p1000);
+  EXPECT_EQ((-BigInt::pow2(1000)).toDouble(), -0x1p1000);
+}
+
+class BigIntParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BigIntParamTest, MulDivRoundTripAtWidth) {
+  int Limbs = GetParam();
+  std::mt19937_64 Rng(100 + Limbs);
+  for (int T = 0; T < 50; ++T) {
+    BigInt A = randomBig(Rng, Limbs, false) + BigInt(1);
+    BigInt B = randomBig(Rng, std::max(1, Limbs / 2), false) + BigInt(1);
+    EXPECT_EQ((A * B) / B, A);
+    EXPECT_TRUE(((A * B) % B).isZero());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BigIntParamTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 32, 64, 128));
+
+} // namespace

@@ -1,0 +1,115 @@
+//===- tests/CodegenTest.cpp - C code emission tests ----------------------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Includes an end-to-end check: the emitted C source is compiled with the
+// system compiler into a shared object, loaded with dlopen, and compared
+// bit-for-bit against the in-process evaluators.
+//
+//===----------------------------------------------------------------------===//
+
+#include "poly/Codegen.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <dlfcn.h>
+#include <fstream>
+#include <random>
+
+using namespace rfp;
+
+namespace {
+
+TEST(CodegenTest, DoubleLiteralRoundTrips) {
+  for (double V : {0.0, 1.0, -1.5, 0.1, 1e300, 0x1p-1074, -0x1.234567p-12}) {
+    std::string Lit = doubleLiteral(V);
+    EXPECT_EQ(std::strtod(Lit.c_str(), nullptr), V) << Lit;
+  }
+}
+
+TEST(CodegenTest, EmitsExpectedOperations) {
+  double C[5] = {1.0, 0.5, 0.25, 0.125, 0.0625};
+  std::string H = emitPolyFunction(EvalScheme::Horner, C, 4, "poly_h");
+  EXPECT_NE(H.find("double poly_h(double x)"), std::string::npos);
+  EXPECT_EQ(H.find("__builtin_fma"), std::string::npos);
+
+  std::string F = emitPolyFunction(EvalScheme::EstrinFMA, C, 4, "poly_f");
+  EXPECT_NE(F.find("__builtin_fma"), std::string::npos);
+
+  KnuthAdapted KA = adaptCoefficients(C, 4);
+  std::string K = emitPolyFunction(EvalScheme::Knuth, C, 4, "poly_k", &KA);
+  EXPECT_NE(K.find("double y"), std::string::npos);
+
+  std::string E = emitPolyFunction(EvalScheme::Estrin, C, 4, "poly_e");
+  EXPECT_NE(E.find("y1"), std::string::npos); // squared-variable temps
+}
+
+/// Compiles emitted C code and compares against the in-process evaluator.
+class CodegenCompileTest : public ::testing::TestWithParam<EvalScheme> {};
+
+TEST_P(CodegenCompileTest, CompiledCodeMatchesEvaluatorBitForBit) {
+  EvalScheme S = GetParam();
+  std::mt19937_64 Rng(7);
+  std::uniform_real_distribution<double> Dist(-1.0, 1.0);
+  unsigned Deg = 5;
+  double C[6];
+  for (double &V : C)
+    V = Dist(Rng);
+  KnuthAdapted KA = adaptCoefficients(C, Deg);
+  ASSERT_TRUE(S != EvalScheme::Knuth || KA.Valid);
+
+  std::string Code =
+      emitPolyFunction(S, C, Deg, "generated_poly",
+                       S == EvalScheme::Knuth ? &KA : nullptr);
+
+  char SrcPath[] = "/tmp/rfp_codegen_XXXXXX";
+  int Fd = mkstemp(SrcPath);
+  ASSERT_GE(Fd, 0);
+  close(Fd);
+  std::string CFile = std::string(SrcPath) + ".c";
+  std::string SoFile = std::string(SrcPath) + ".so";
+  {
+    std::ofstream Out(CFile);
+    Out << Code;
+  }
+  std::string Cmd = "cc -O2 -mfma -shared -fPIC -o " + SoFile + " " + CFile;
+  ASSERT_EQ(std::system(Cmd.c_str()), 0) << Code;
+
+  void *Handle = dlopen(SoFile.c_str(), RTLD_NOW);
+  ASSERT_NE(Handle, nullptr) << dlerror();
+  auto *Fn = reinterpret_cast<double (*)(double)>(
+      dlsym(Handle, "generated_poly"));
+  ASSERT_NE(Fn, nullptr);
+
+  for (int T = 0; T < 1000; ++T) {
+    double X = Dist(Rng) * 0.25;
+    double Want = evalScheme(S, C, Deg, X,
+                             S == EvalScheme::Knuth ? &KA : nullptr);
+    EXPECT_EQ(Fn(X), Want) << evalSchemeName(S) << " x=" << X;
+  }
+
+  dlclose(Handle);
+  std::remove(CFile.c_str());
+  std::remove(SoFile.c_str());
+  std::remove(SrcPath);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, CodegenCompileTest,
+                         ::testing::Values(EvalScheme::Horner,
+                                           EvalScheme::Knuth,
+                                           EvalScheme::Estrin,
+                                           EvalScheme::EstrinFMA));
+
+TEST(CodegenTest, EmitPolyEvalTargetsNamedResult) {
+  double C[4] = {1, 2, 3, 4};
+  std::string Block =
+      emitPolyEval(EvalScheme::Horner, C, 3, "r", "out", "    ");
+  EXPECT_NE(Block.find("out = "), std::string::npos);
+  EXPECT_EQ(Block.find("double out"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,99 @@
+//===- tests/CrossRoundingTest.cpp - MPFloat vs FPFormat rounding ---------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// MPFloat (unbounded exponent) and FPFormat (IEEE semantics) implement
+// correctly rounded conversion from exact rationals independently; inside
+// a format's normal range they must agree bit for bit in every mode.
+// Divergence would mean one of the two rounding cores is wrong -- this is
+// the strongest internal consistency check the repository has short of
+// MPFR itself.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fp/FPFormat.h"
+#include "mp/MPFloat.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+using namespace rfp;
+
+namespace {
+
+constexpr RoundingMode AllModes[6] = {
+    RoundingMode::NearestEven, RoundingMode::NearestAway,
+    RoundingMode::TowardZero,  RoundingMode::Upward,
+    RoundingMode::Downward,    RoundingMode::ToOdd};
+
+class CrossRoundingTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CrossRoundingTest, AgreeInsideNormalRange) {
+  unsigned TotalBits = GetParam();
+  FPFormat Fmt(TotalBits, 8);
+  unsigned Prec = Fmt.precision();
+  std::mt19937_64 Rng(1000 + TotalBits);
+
+  int Checked = 0;
+  for (int T = 0; T < 20000 && Checked < 8000; ++T) {
+    // Random rationals with ~90 bits of precision in the format's normal
+    // exponent range.
+    double Hi = std::ldexp(static_cast<double>(static_cast<int64_t>(Rng())),
+                           static_cast<int>(Rng() % 200) - 130);
+    double Lo = std::ldexp(static_cast<double>(static_cast<int64_t>(Rng())),
+                           -200);
+    if (!std::isfinite(Hi) || Hi == 0.0)
+      continue;
+    Rational V = Rational::fromDouble(Hi) + Rational::fromDouble(Lo);
+    // Keep safely inside the normal range (MPFloat has no subnormals).
+    double Mag = std::fabs(V.toDouble());
+    if (Mag < std::ldexp(1.0, Fmt.minExp() + 2) ||
+        Mag > std::ldexp(1.0, Fmt.maxExp() - 2))
+      continue;
+    ++Checked;
+
+    for (RoundingMode M : AllModes) {
+      double ViaMP = MPFloat::fromRational(V, Prec, M).toDouble();
+      double ViaFmt = Fmt.decode(Fmt.roundRational(V, M));
+      EXPECT_EQ(ViaMP, ViaFmt)
+          << "bits=" << TotalBits << " mode=" << roundingModeName(M)
+          << " value~" << V.toDouble();
+    }
+  }
+  EXPECT_GE(Checked, 2000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CrossRoundingTest,
+                         ::testing::Values(10u, 14u, 16u, 19u, 24u, 32u,
+                                           34u));
+
+TEST(CrossRoundingTest, TieCasesAgree) {
+  // Exact ties (value exactly halfway between representables) stress the
+  // nearest-even / nearest-away split identically in both cores.
+  FPFormat Fmt(16, 8); // bfloat16 layout: 8 bits of precision
+  unsigned Prec = Fmt.precision();
+  ASSERT_EQ(Prec, 8u);
+  for (int K = 0; K < 200; ++K) {
+    // v = (2m+1) * 2^(e - Prec - 1) with m in [2^(Prec-1), 2^Prec):
+    // exactly between two Prec-bit mantissa values.
+    int64_t M = 128 + (K * 7) % 127;
+    int E = (K % 40) - 20;
+    int Shift = static_cast<int>(Prec) + 1 - E;
+    Rational V(BigInt(2 * M + 1), BigInt(1));
+    if (Shift > 0)
+      V = V / Rational(BigInt::pow2(static_cast<unsigned>(Shift)));
+    else
+      V = V * Rational(BigInt::pow2(static_cast<unsigned>(-Shift)));
+    for (RoundingMode Md : AllModes) {
+      double A = MPFloat::fromRational(V, Prec, Md).toDouble();
+      double B = Fmt.decode(Fmt.roundRational(V, Md));
+      EXPECT_EQ(A, B) << "tie k=" << K << " mode=" << roundingModeName(Md);
+    }
+  }
+}
+
+} // namespace

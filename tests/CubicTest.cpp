@@ -1,0 +1,81 @@
+//===- tests/CubicTest.cpp - Cubic real-root solver tests -----------------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "poly/Cubic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+using namespace rfp;
+
+namespace {
+
+double evalCubic(double A, double B, double C, double D, double X) {
+  return ((A * X + B) * X + C) * X + D;
+}
+
+TEST(CubicTest, KnownRoots) {
+  // (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6: any of 1, 2, 3.
+  double R = realRootOfCubic(1, -6, 11, -6);
+  double Dist = std::fmin(std::fabs(R - 1),
+                          std::fmin(std::fabs(R - 2), std::fabs(R - 3)));
+  EXPECT_LT(Dist, 1e-12);
+  // x^3 = 8.
+  EXPECT_NEAR(realRootOfCubic(1, 0, 0, -8), 2.0, 1e-12);
+  // x^3 + x = 0: only real root 0.
+  EXPECT_NEAR(realRootOfCubic(1, 0, 1, 0), 0.0, 1e-12);
+}
+
+TEST(CubicTest, NegativeLeadingCoefficient) {
+  // -2x^3 + 16 = 0 -> x = 2.
+  EXPECT_NEAR(realRootOfCubic(-2, 0, 0, 16), 2.0, 1e-12);
+}
+
+TEST(CubicTest, TripleRoot) {
+  // (x - 5)^3: triple root at 5; bisection converges despite flatness.
+  double R = realRootOfCubic(1, -15, 75, -125);
+  EXPECT_NEAR(R, 5.0, 1e-4); // conditioning limit ~ eps^(1/3)
+}
+
+TEST(CubicTest, LargeAndSmallScales) {
+  // 1e10 x^3 - 1e10 = 0 -> 1.
+  EXPECT_NEAR(realRootOfCubic(1e10, 0, 0, -1e10), 1.0, 1e-10);
+  // 1e-10 (x^3 - 27) = 0 -> 3.
+  EXPECT_NEAR(realRootOfCubic(1e-10, 0, 0, -27e-10), 3.0, 1e-9);
+}
+
+TEST(CubicTest, RandomizedResidualIsTiny) {
+  std::mt19937_64 Rng(1);
+  std::uniform_real_distribution<double> Dist(-100.0, 100.0);
+  for (int T = 0; T < 3000; ++T) {
+    double A = Dist(Rng);
+    if (std::fabs(A) < 0.1)
+      A = 1.0;
+    double B = Dist(Rng), C = Dist(Rng), D = Dist(Rng);
+    double R = realRootOfCubic(A, B, C, D);
+    ASSERT_TRUE(std::isfinite(R));
+    // Residual relative to the polynomial's scale at the root.
+    double Scale = std::fabs(A * R * R * R) + std::fabs(B * R * R) +
+                   std::fabs(C * R) + std::fabs(D) + 1.0;
+    EXPECT_LT(std::fabs(evalCubic(A, B, C, D, R)) / Scale, 1e-12)
+        << A << " " << B << " " << C << " " << D;
+  }
+}
+
+TEST(CubicTest, KnuthAdaptationCubicShapes) {
+  // The cubic arising from degree-5 adaptation: -40a^3 + 24qa^2 - ... with
+  // the coefficient profile of a typical RLibm polynomial.
+  double Q = 0.346, P = 0.245, U2byU5 = 120.0;
+  double A0 = realRootOfCubic(-40.0, 24.0 * Q, -2.0 * (P + 2 * Q * Q),
+                              P * Q - U2byU5);
+  EXPECT_LT(std::fabs(evalCubic(-40.0, 24.0 * Q, -2.0 * (P + 2 * Q * Q),
+                                P * Q - U2byU5, A0)),
+            1e-8);
+}
+
+} // namespace

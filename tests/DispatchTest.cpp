@@ -1,0 +1,121 @@
+//===- tests/DispatchTest.cpp - libm API surface consistency --------------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "libm/rlibm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <random>
+
+using namespace rfp;
+using namespace rfp::libm;
+
+namespace {
+
+TEST(DispatchTest, EvalCoreMatchesNamedEntryPoints) {
+  std::mt19937_64 Rng(1);
+  for (int T = 0; T < 2000; ++T) {
+    float X;
+    uint32_t Bits = static_cast<uint32_t>(Rng());
+    std::memcpy(&X, &Bits, sizeof(X));
+    if (std::isnan(X))
+      continue;
+    auto Same = [](double A, double B) {
+      return (std::isnan(A) && std::isnan(B)) || A == B;
+    };
+    EXPECT_TRUE(Same(evalCore(ElemFunc::Exp, EvalScheme::Horner, X),
+                     exp_horner(X)));
+    EXPECT_TRUE(Same(evalCore(ElemFunc::Exp2, EvalScheme::Estrin, X),
+                     exp2_estrin(X)));
+    EXPECT_TRUE(Same(evalCore(ElemFunc::Log, EvalScheme::EstrinFMA, X),
+                     log_estrin_fma(X)));
+    EXPECT_TRUE(Same(evalCore(ElemFunc::Log10, EvalScheme::Horner, X),
+                     log10_horner(X)));
+  }
+}
+
+TEST(DispatchTest, SchemesAgreeOnRoundedResults) {
+  // Different evaluation schemes may return different H doubles, but every
+  // rounded result must agree (they were all validated against the same
+  // rounding intervals).
+  std::mt19937_64 Rng(2);
+  FPFormat F32 = FPFormat::float32();
+  for (int T = 0; T < 3000; ++T) {
+    float X;
+    uint32_t Bits = static_cast<uint32_t>(Rng());
+    std::memcpy(&X, &Bits, sizeof(X));
+    if (std::isnan(X))
+      continue;
+    for (ElemFunc F : AllElemFuncs) {
+      double Ref = evalCore(F, EvalScheme::Horner, X);
+      uint64_t RefEnc = roundResult(Ref, F32, RoundingMode::NearestEven);
+      for (EvalScheme S :
+           {EvalScheme::Knuth, EvalScheme::Estrin, EvalScheme::EstrinFMA}) {
+        if (!variantInfo(F, S).Available)
+          continue;
+        uint64_t Enc =
+            roundResult(evalCore(F, S, X), F32, RoundingMode::NearestEven);
+        EXPECT_EQ(Enc, RefEnc)
+            << elemFuncName(F) << "/" << evalSchemeName(S) << " x=" << X;
+      }
+    }
+  }
+}
+
+TEST(DispatchTest, RoundResultMatchesFormatRounding) {
+  FPFormat BF16 = FPFormat::bfloat16();
+  double H = exp_estrin_fma(1.5f);
+  EXPECT_EQ(roundResult(H, BF16, RoundingMode::Upward),
+            BF16.roundDouble(H, RoundingMode::Upward));
+}
+
+TEST(DispatchTest, MonotonicityAcrossTheFullDomain) {
+  // exp-family functions are monotone increasing; walking strided float
+  // inputs in value order must give non-decreasing float results.
+  for (ElemFunc F : {ElemFunc::Exp, ElemFunc::Exp2, ElemFunc::Exp10}) {
+    float Prev = 0.0f;
+    bool First = true;
+    for (int Milli = -95000; Milli <= 35000; Milli += 7) {
+      float X = Milli * 1e-3f;
+      float V = static_cast<float>(evalCore(F, EvalScheme::EstrinFMA, X));
+      if (!First)
+        EXPECT_GE(V, Prev) << elemFuncName(F) << " at x=" << X;
+      Prev = V;
+      First = false;
+    }
+  }
+  // log-family likewise over positive inputs.
+  for (ElemFunc F : {ElemFunc::Log, ElemFunc::Log2, ElemFunc::Log10}) {
+    float Prev = 0.0f;
+    bool First = true;
+    for (int E = -40; E <= 40; ++E) {
+      for (int M = 0; M < 8; ++M) {
+        float X = std::ldexp(1.0f + M / 8.0f, E);
+        float V = static_cast<float>(evalCore(F, EvalScheme::Estrin, X));
+        if (!First)
+          EXPECT_GE(V, Prev) << elemFuncName(F) << " at x=" << X;
+        Prev = V;
+        First = false;
+      }
+    }
+  }
+}
+
+TEST(DispatchTest, InverseFunctionPairsRoundTrip) {
+  // exp2(log2(x)) returns to x within a float ulp or two (not exact --
+  // correctly rounded composition is not the identity, but it is tight).
+  std::mt19937_64 Rng(3);
+  std::uniform_real_distribution<float> Dist(0.001f, 1000.0f);
+  for (int T = 0; T < 300; ++T) {
+    float X = Dist(Rng);
+    float RoundTrip = rfp_exp2f(rfp_log2f(X));
+    EXPECT_NEAR(RoundTrip, X, std::fabs(X) * 4e-7f) << X;
+  }
+}
+
+} // namespace

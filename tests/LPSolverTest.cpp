@@ -1,0 +1,129 @@
+//===- tests/LPSolverTest.cpp - Polynomial-synthesis LP tests -------------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lp/LPSolver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+using namespace rfp;
+
+namespace {
+
+std::vector<IntervalConstraint> bandAroundExp(int Count, double Width) {
+  std::vector<IntervalConstraint> Cons;
+  for (int I = 0; I <= Count; ++I) {
+    double X = I * (0.1 / Count);
+    double Y = std::exp(X);
+    Cons.push_back({Rational::fromDouble(X), Rational::fromDouble(Y - Width),
+                    Rational::fromDouble(Y + Width)});
+  }
+  return Cons;
+}
+
+TEST(LPSolverTest, DegreeLadderForExpBand) {
+  // exp on [0, 0.1] within 5e-7 needs degree 3 (Taylor residual analysis);
+  // degrees 1 and 2 must be infeasible, 3 and up feasible.
+  auto Cons = bandAroundExp(40, 5e-7);
+  EXPECT_FALSE(solvePolyLP(Cons, 1).Feasible);
+  EXPECT_FALSE(solvePolyLP(Cons, 2).Feasible);
+  PolyLPResult D3 = solvePolyLP(Cons, 3);
+  ASSERT_TRUE(D3.Feasible);
+  PolyLPResult D4 = solvePolyLP(Cons, 4);
+  ASSERT_TRUE(D4.Feasible);
+  // Higher degree clears at least as much margin.
+  EXPECT_GE(D4.Margin.compare(D3.Margin) >= 0 ||
+                D4.Margin == Rational(1),
+            true);
+}
+
+TEST(LPSolverTest, SolutionSatisfiesEveryConstraintExactly) {
+  auto Cons = bandAroundExp(60, 1e-6);
+  PolyLPResult R = solvePolyLP(Cons, 4);
+  ASSERT_TRUE(R.Feasible);
+  for (const IntervalConstraint &C : Cons) {
+    Rational V = R.Poly.evalExact(C.X);
+    EXPECT_LE(C.Lo.compare(V), 0);
+    EXPECT_LE(V.compare(C.Hi), 0);
+  }
+}
+
+TEST(LPSolverTest, MarginIsRelativeAndCapped) {
+  // Wide intervals: a polynomial that can center everywhere reaches the
+  // cap of 1 (relative margin).
+  std::vector<IntervalConstraint> Cons = {
+      {Rational(0), Rational(0), Rational(2)},
+      {Rational(1), Rational(1), Rational(3)},
+  };
+  PolyLPResult R = solvePolyLP(Cons, 1);
+  ASSERT_TRUE(R.Feasible);
+  EXPECT_EQ(R.Margin, Rational(1));
+}
+
+TEST(LPSolverTest, SingletonConstraintsDoNotKillTheMargin) {
+  // A singleton (exactly representable result) pins the polynomial without
+  // zeroing the relative margin of the other constraints.
+  std::vector<IntervalConstraint> Cons = {
+      {Rational(0), Rational(1), Rational(1)}, // P(0) == 1 exactly
+      {Rational(1), Rational(2), Rational(4)},
+      {Rational(2), Rational(5), Rational(9)},
+  };
+  PolyLPResult R = solvePolyLP(Cons, 2);
+  ASSERT_TRUE(R.Feasible);
+  EXPECT_EQ(R.Poly.evalExact(Rational(0)), Rational(1));
+  EXPECT_GT(R.Margin.compare(Rational(0)), 0);
+}
+
+TEST(LPSolverTest, InfeasibleContradiction) {
+  std::vector<IntervalConstraint> Cons = {
+      {Rational(BigInt(1), BigInt(2)), Rational(1), Rational(2)},
+      {Rational(BigInt(1), BigInt(2)), Rational(3), Rational(4)},
+  };
+  EXPECT_FALSE(solvePolyLP(Cons, 3).Feasible);
+}
+
+TEST(LPSolverTest, SparseTermSelection) {
+  // Fit an even function with only even powers: x^2 on [-1,1].
+  std::vector<IntervalConstraint> Cons;
+  for (int I = -10; I <= 10; ++I) {
+    double X = I * 0.1;
+    double Y = X * X;
+    Cons.push_back({Rational::fromDouble(X), Rational::fromDouble(Y - 1e-9),
+                    Rational::fromDouble(Y + 1e-9)});
+  }
+  PolyLPResult R = solvePolyLP(Cons, std::vector<unsigned>{0u, 2u});
+  ASSERT_TRUE(R.Feasible);
+  EXPECT_EQ(R.Poly.degree(), 2u);
+  // The linear coefficient slot is zero (term excluded).
+  EXPECT_TRUE(R.Poly.Coeffs[1].isZero());
+}
+
+TEST(LPSolverTest, CoefficientsNearTaylor) {
+  // With a tight band, the solved polynomial must be close to the Taylor
+  // coefficients of exp.
+  auto Cons = bandAroundExp(80, 1e-10);
+  PolyLPResult R = solvePolyLP(Cons, 5);
+  ASSERT_TRUE(R.Feasible);
+  Polynomial P = R.Poly.toDouble();
+  EXPECT_NEAR(P.Coeffs[0], 1.0, 1e-9);
+  EXPECT_NEAR(P.Coeffs[1], 1.0, 1e-6);
+  EXPECT_NEAR(P.Coeffs[2], 0.5, 1e-4);
+}
+
+TEST(LPSolverTest, ManyConstraintsStaysExact) {
+  auto Cons = bandAroundExp(400, 1e-8);
+  PolyLPResult R = solvePolyLP(Cons, 4);
+  ASSERT_TRUE(R.Feasible);
+  for (size_t I = 0; I < Cons.size(); I += 37) {
+    Rational V = R.Poly.evalExact(Cons[I].X);
+    EXPECT_LE(Cons[I].Lo.compare(V), 0);
+    EXPECT_LE(V.compare(Cons[I].Hi), 0);
+  }
+}
+
+} // namespace

@@ -1,0 +1,195 @@
+//===- tests/MPFloatTest.cpp - Multiple-precision float tests -------------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mp/MPFloat.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+using namespace rfp;
+
+namespace {
+
+constexpr RoundingMode RN = RoundingMode::NearestEven;
+
+double randomDouble(std::mt19937_64 &Rng, int ExpRange = 60) {
+  return std::ldexp(static_cast<double>(static_cast<int64_t>(Rng() >> 8)),
+                    static_cast<int>(Rng() % (2 * ExpRange)) - ExpRange - 45);
+}
+
+TEST(MPFloatTest, FromDoubleRoundTrip) {
+  std::mt19937_64 Rng(1);
+  for (int T = 0; T < 5000; ++T) {
+    double V = randomDouble(Rng);
+    EXPECT_EQ(MPFloat::fromDouble(V).toDouble(), V);
+  }
+  EXPECT_EQ(MPFloat::fromDouble(0.0).toDouble(), 0.0);
+  EXPECT_EQ(MPFloat::fromDouble(0x1p-1074).toDouble(), 0x1p-1074);
+}
+
+TEST(MPFloatTest, FromIntExact) {
+  EXPECT_EQ(MPFloat::fromInt(0).toDouble(), 0.0);
+  EXPECT_EQ(MPFloat::fromInt(-42).toDouble(), -42.0);
+  EXPECT_EQ(MPFloat::fromInt(1).scalb(100).toDouble(), 0x1p100);
+}
+
+TEST(MPFloatTest, ArithmeticMatchesDoubleAt53Bits) {
+  // Double hardware arithmetic is correctly rounded at 53 bits; MPFloat at
+  // precision 53 must agree exactly.
+  std::mt19937_64 Rng(2);
+  for (int T = 0; T < 20000; ++T) {
+    double A = randomDouble(Rng), B = randomDouble(Rng);
+    MPFloat MA = MPFloat::fromDouble(A), MB = MPFloat::fromDouble(B);
+    EXPECT_EQ(MPFloat::add(MA, MB, 53, RN).toDouble(), A + B) << A << " " << B;
+    EXPECT_EQ(MPFloat::sub(MA, MB, 53, RN).toDouble(), A - B);
+    EXPECT_EQ(MPFloat::mul(MA, MB, 53, RN).toDouble(), A * B);
+    if (B != 0.0)
+      EXPECT_EQ(MPFloat::div(MA, MB, 53, RN).toDouble(), A / B);
+  }
+}
+
+TEST(MPFloatTest, DirectedModesBracketExact) {
+  std::mt19937_64 Rng(3);
+  for (int T = 0; T < 5000; ++T) {
+    double A = randomDouble(Rng), B = randomDouble(Rng);
+    if (B == 0.0)
+      continue;
+    MPFloat MA = MPFloat::fromDouble(A), MB = MPFloat::fromDouble(B);
+    // Exact quotient as rational; rd result <= exact <= ru result.
+    MPFloat QD = MPFloat::div(MA, MB, 40, RoundingMode::Downward);
+    MPFloat QU = MPFloat::div(MA, MB, 40, RoundingMode::Upward);
+    Rational Exact = Rational::fromDouble(A) / Rational::fromDouble(B);
+    EXPECT_LE(QD.toRational().compare(Exact), 0);
+    EXPECT_GE(QU.toRational().compare(Exact), 0);
+    // rz has magnitude <= exact magnitude.
+    MPFloat QZ = MPFloat::div(MA, MB, 40, RoundingMode::TowardZero);
+    EXPECT_LE(QZ.toRational().abs().compare(Exact.abs()), 0);
+  }
+}
+
+TEST(MPFloatTest, RoundToOddSticky) {
+  // Round-to-odd at precision 4: 17 = 10001b -> 17 is inexact at 4 bits,
+  // rounds to the odd mantissa 9 * 2 = 18? No: candidates 16 (1000) and
+  // 18 (1001*2): odd mantissa is 9 -> 18.
+  MPFloat V = MPFloat::fromInt(17);
+  MPFloat R = V.round(4, RoundingMode::ToOdd);
+  EXPECT_EQ(R.toDouble(), 18.0);
+  // Exact at 5 bits: stays 17.
+  EXPECT_EQ(V.round(5, RoundingMode::ToOdd).toDouble(), 17.0);
+  // 16 is exact at 1 bit: stays 16 (no forcing to odd).
+  EXPECT_EQ(MPFloat::fromInt(16).round(2, RoundingMode::ToOdd).toDouble(),
+            16.0);
+}
+
+TEST(MPFloatTest, AddWithHugeExponentGap) {
+  // 1 + 2^-10000 at 60 bits: sticky-only contribution; ru must bump up,
+  // rn/rz must not.
+  MPFloat One = MPFloat::fromInt(1);
+  MPFloat Tiny = MPFloat::fromInt(1).scalb(-10000);
+  MPFloat RNs = MPFloat::add(One, Tiny, 60, RN);
+  EXPECT_EQ(RNs.toDouble(), 1.0);
+  MPFloat RU = MPFloat::add(One, Tiny, 60, RoundingMode::Upward);
+  EXPECT_GT(RU.toRational(), Rational(1));
+  MPFloat RD = MPFloat::sub(One, Tiny, 60, RoundingMode::Downward);
+  EXPECT_LT(RD.toRational(), Rational(1));
+  // Subtraction under rn stays 1 (the residual is far below the ulp).
+  EXPECT_EQ(MPFloat::sub(One, Tiny, 60, RN).toDouble(), 1.0);
+  // Round-to-odd flags the inexactness.
+  MPFloat RO = MPFloat::add(One, Tiny, 60, RoundingMode::ToOdd);
+  EXPECT_GT(RO.toRational(), Rational(1));
+}
+
+TEST(MPFloatTest, CancellationIsExact) {
+  // (1 + 2^-80) - 1 must be exactly 2^-80 at any precision >= 1.
+  MPFloat A = MPFloat::add(MPFloat::fromInt(1),
+                           MPFloat::fromInt(1).scalb(-80), 100, RN);
+  MPFloat D = MPFloat::sub(A, MPFloat::fromInt(1), 53, RN);
+  EXPECT_EQ(D.toRational(), Rational(BigInt(1), BigInt::pow2(80)));
+}
+
+TEST(MPFloatTest, CompareTotalOrder) {
+  MPFloat A = MPFloat::fromDouble(1.5);
+  MPFloat B = MPFloat::fromDouble(1.5000001);
+  MPFloat C = MPFloat::fromDouble(-2.0);
+  EXPECT_LT(A.compare(B), 0);
+  EXPECT_GT(B.compare(C), 0);
+  EXPECT_EQ(A.compare(A), 0);
+  EXPECT_LT(C.compare(MPFloat()), 0);
+  EXPECT_GT(A.compare(MPFloat()), 0);
+  // Same value, different representations (trailing zeros).
+  MPFloat X = MPFloat::fromInt(4);
+  MPFloat Y = MPFloat::fromInt(1).scalb(2);
+  EXPECT_EQ(X.compare(Y), 0);
+}
+
+TEST(MPFloatTest, MulRoundingAgainstRational) {
+  std::mt19937_64 Rng(4);
+  for (int T = 0; T < 3000; ++T) {
+    double A = randomDouble(Rng), B = randomDouble(Rng);
+    if (A == 0 || B == 0)
+      continue;
+    unsigned Prec = 10 + static_cast<unsigned>(Rng() % 80);
+    MPFloat P = MPFloat::mul(MPFloat::fromDouble(A), MPFloat::fromDouble(B),
+                             Prec, RN);
+    // |P - exact| <= half ulp of P.
+    Rational Exact = Rational::fromDouble(A) * Rational::fromDouble(B);
+    Rational Err = (P.toRational() - Exact).abs();
+    Rational HalfUlp =
+        Rational(BigInt(1), BigInt::pow2(Prec)) *
+        Rational::fromDouble(std::ldexp(1.0, 0)).abs(); // placeholder 2^-Prec
+    // ulp(P) = 2^(msbExp - Prec + 1).
+    int64_t UlpExp = P.msbExp() - static_cast<int64_t>(Prec) + 1;
+    Rational Ulp = UlpExp >= 0
+                       ? Rational(BigInt::pow2(static_cast<unsigned>(UlpExp)))
+                       : Rational(BigInt(1),
+                                  BigInt::pow2(static_cast<unsigned>(-UlpExp)));
+    EXPECT_LE((Err + Err).compare(Ulp), 0) << A << "*" << B << " @" << Prec;
+    (void)HalfUlp;
+  }
+}
+
+TEST(MPFloatTest, FromRationalCorrectlyRounded) {
+  // 1/3 at 10 bits round-to-nearest: mantissa 683/1024... value
+  // 683 * 2^-11 = 0.33349609375.
+  MPFloat R = MPFloat::fromRational(Rational(BigInt(1), BigInt(3)), 10, RN);
+  EXPECT_EQ(R.toRational(), Rational(BigInt(683), BigInt(2048)));
+  // Downward gives 682/2048 = 341/1024.
+  MPFloat D = MPFloat::fromRational(Rational(BigInt(1), BigInt(3)), 10,
+                                    RoundingMode::Downward);
+  EXPECT_EQ(D.toRational(), Rational(BigInt(341), BigInt(1024)));
+}
+
+TEST(MPFloatTest, ScalbIsExact) {
+  MPFloat V = MPFloat::fromDouble(1.2345);
+  EXPECT_EQ(V.scalb(10).toRational(),
+            Rational::fromDouble(1.2345) * Rational(1024));
+  EXPECT_EQ(V.scalb(-700).scalb(700).compare(V), 0);
+}
+
+class MPPrecisionSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MPPrecisionSweep, ReRoundingIsMonotoneConsistent) {
+  // Rounding to p bits then to q < p bits equals... not always (double
+  // rounding), but re-rounding to the same precision is the identity and
+  // results stay within one ulp of the exact value.
+  unsigned Prec = GetParam();
+  std::mt19937_64 Rng(40 + Prec);
+  for (int T = 0; T < 500; ++T) {
+    double A = randomDouble(Rng);
+    if (A == 0)
+      continue;
+    MPFloat V = MPFloat::fromDouble(A).round(Prec, RN);
+    EXPECT_EQ(V.round(Prec, RN).compare(V), 0);
+    EXPECT_EQ(V.round(Prec, RoundingMode::TowardZero).compare(V), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, MPPrecisionSweep,
+                         ::testing::Values(5u, 11u, 24u, 26u, 53u, 113u));
+
+} // namespace

@@ -1,0 +1,169 @@
+//===- tests/MPTranscendentalTest.cpp - MP elementary functions -----------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mp/MPTranscendental.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+using namespace rfp;
+
+namespace {
+
+constexpr RoundingMode RN = RoundingMode::NearestEven;
+
+TEST(MPTranscendentalTest, KnownConstants) {
+  // Correctly rounded doubles of the classic constants.
+  EXPECT_EQ(mpt::ln2(53).toDouble(), 0.6931471805599453094);
+  EXPECT_EQ(mpt::ln10(53).toDouble(), 2.302585092994045684);
+  EXPECT_EQ(mpt::exp(MPFloat::fromInt(1), 53, RN).toDouble(),
+            2.718281828459045235);
+  EXPECT_EQ(mpt::log(MPFloat::fromInt(3), 53, RN).toDouble(),
+            1.0986122886681096914);
+  EXPECT_EQ(mpt::log2(MPFloat::fromInt(10), 53, RN).toDouble(),
+            3.3219280948873623479);
+  EXPECT_EQ(mpt::log10(MPFloat::fromInt(2), 53, RN).toDouble(),
+            0.30102999566398119521);
+  EXPECT_EQ(mpt::exp2(MPFloat::fromDouble(0.5), 53, RN).toDouble(),
+            1.4142135623730950488); // sqrt(2)
+}
+
+TEST(MPTranscendentalTest, ExactCases) {
+  bool Exact = false;
+  // exp(0) = 1.
+  MPFloat R = mpt::exactResult(ElemFunc::Exp, MPFloat(), Exact);
+  EXPECT_TRUE(Exact);
+  EXPECT_EQ(R.toDouble(), 1.0);
+  // exp2(integers), including fromDouble-backed ones with wide mantissas.
+  R = mpt::exactResult(ElemFunc::Exp2, MPFloat::fromDouble(-140.0), Exact);
+  EXPECT_TRUE(Exact);
+  EXPECT_EQ(R.toDouble(), 0x1p-140);
+  mpt::exactResult(ElemFunc::Exp2, MPFloat::fromDouble(0.5), Exact);
+  EXPECT_FALSE(Exact);
+  // log2 of powers of two, again via fromDouble.
+  R = mpt::exactResult(ElemFunc::Log2, MPFloat::fromDouble(0x1p-149), Exact);
+  EXPECT_TRUE(Exact);
+  EXPECT_EQ(R.toDouble(), -149.0);
+  R = mpt::exactResult(ElemFunc::Log2, MPFloat::fromDouble(8.0), Exact);
+  EXPECT_TRUE(Exact);
+  EXPECT_EQ(R.toDouble(), 3.0);
+  mpt::exactResult(ElemFunc::Log2, MPFloat::fromDouble(12.0), Exact);
+  EXPECT_FALSE(Exact);
+  // log(1) = 0, log10(10^k) = k, exp10 of small non-negative integers.
+  R = mpt::exactResult(ElemFunc::Log, MPFloat::fromInt(1), Exact);
+  EXPECT_TRUE(Exact);
+  EXPECT_TRUE(R.isZero());
+  R = mpt::exactResult(ElemFunc::Log10, MPFloat::fromDouble(10000.0), Exact);
+  EXPECT_TRUE(Exact);
+  EXPECT_EQ(R.toDouble(), 4.0);
+  R = mpt::exactResult(ElemFunc::Exp10, MPFloat::fromInt(3), Exact);
+  EXPECT_TRUE(Exact);
+  EXPECT_EQ(R.toDouble(), 1000.0);
+  mpt::exactResult(ElemFunc::Exp10, MPFloat::fromInt(-3), Exact);
+  EXPECT_FALSE(Exact); // 10^-3 is not a binary value.
+}
+
+TEST(MPTranscendentalTest, AgreesWithGlibcDouble) {
+  // glibc's double functions are nearly always correctly rounded; demand
+  // agreement within one ulp and exact agreement for the vast majority.
+  std::mt19937_64 Rng(1);
+  std::uniform_real_distribution<double> DistExp(-80.0, 80.0);
+  std::uniform_real_distribution<double> DistLog(1e-30, 1e30);
+  int ExpExact = 0, LogExact = 0, N = 400;
+  for (int T = 0; T < N; ++T) {
+    double X = DistExp(Rng);
+    double Mine = mpt::exp(MPFloat::fromDouble(X), 53, RN).toDouble();
+    double Ref = std::exp(X);
+    EXPECT_NEAR(Mine, Ref, std::fabs(Ref) * 1e-15) << X;
+    ExpExact += Mine == Ref;
+
+    double Y = DistLog(Rng);
+    double MineL = mpt::log(MPFloat::fromDouble(Y), 53, RN).toDouble();
+    double RefL = std::log(Y);
+    EXPECT_NEAR(MineL, RefL, std::fabs(RefL) * 1e-15) << Y;
+    LogExact += MineL == RefL;
+  }
+  EXPECT_GT(ExpExact, N * 95 / 100);
+  EXPECT_GT(LogExact, N * 95 / 100);
+}
+
+TEST(MPTranscendentalTest, InverseRelationship) {
+  // log(exp(x)) recovers x to high precision.
+  std::mt19937_64 Rng(2);
+  std::uniform_real_distribution<double> Dist(-20.0, 20.0);
+  for (int T = 0; T < 100; ++T) {
+    double X = Dist(Rng);
+    if (std::fabs(X) < 1e-3)
+      continue;
+    MPFloat E = mpt::exp(MPFloat::fromDouble(X), 120, RN);
+    MPFloat L = mpt::log(E, 120, RN);
+    Rational Err = (L.toRational() - Rational::fromDouble(X)).abs();
+    Rational Tol = Rational::fromDouble(std::fabs(X)) *
+                   Rational(BigInt(1), BigInt::pow2(100));
+    EXPECT_LE(Err.compare(Tol), 0) << X;
+  }
+}
+
+TEST(MPTranscendentalTest, FunctionalIdentities) {
+  // exp2(x) == exp(x ln 2) and log10(x) == log2(x) * log10(2), checked at
+  // high precision against each other within relative 2^-100.
+  std::mt19937_64 Rng(3);
+  std::uniform_real_distribution<double> Dist(0.01, 100.0);
+  for (int T = 0; T < 60; ++T) {
+    double X = Dist(Rng);
+    MPFloat A = mpt::log2(MPFloat::fromDouble(X), 140, RN);
+    MPFloat B = MPFloat::div(mpt::log(MPFloat::fromDouble(X), 140, RN),
+                             mpt::ln2(140), 140, RN);
+    Rational Err = (A.toRational() - B.toRational()).abs();
+    if (A.isZero())
+      continue;
+    Rational Scale = A.toRational().abs();
+    EXPECT_LE((Err * Rational(BigInt::pow2(120))).compare(Scale), 0) << X;
+  }
+}
+
+TEST(MPTranscendentalTest, RoundingModeConsistency) {
+  // rd <= rn <= ru, and ro is odd-mantissa when inexact.
+  std::mt19937_64 Rng(4);
+  std::uniform_real_distribution<double> Dist(-30.0, 30.0);
+  for (int T = 0; T < 80; ++T) {
+    double X = Dist(Rng);
+    MPFloat D = mpt::exp(MPFloat::fromDouble(X), 34, RoundingMode::Downward);
+    MPFloat N = mpt::exp(MPFloat::fromDouble(X), 34, RN);
+    MPFloat U = mpt::exp(MPFloat::fromDouble(X), 34, RoundingMode::Upward);
+    EXPECT_LE(D.compare(N), 0);
+    EXPECT_LE(N.compare(U), 0);
+    EXPECT_NE(D.compare(U), 0); // exp(x) is irrational for x != 0
+  }
+}
+
+TEST(MPTranscendentalTest, SmallArgumentAccuracy) {
+  // exp(x) - 1 ~ x for tiny x: the correctly rounded 53-bit result of
+  // exp(2^-40) must match glibc's expm1-based reference.
+  double X = 0x1p-40;
+  double Mine = mpt::exp(MPFloat::fromDouble(X), 53, RN).toDouble();
+  EXPECT_EQ(Mine, std::exp(X));
+  // log(1 + 2^-40).
+  double Y = 1.0 + 0x1p-40;
+  EXPECT_EQ(mpt::log(MPFloat::fromDouble(Y), 53, RN).toDouble(), std::log(Y));
+}
+
+TEST(MPTranscendentalTest, HighPrecisionLn2Digits) {
+  // ln 2 to 200 bits against the first digits of the known expansion:
+  // 0.69314718055994530941723212145817656807550013436025...
+  MPFloat L = mpt::ln2(200);
+  Rational R = L.toRational();
+  // Compare floor(ln2 * 10^30) digit string.
+  BigInt Scaled = (R * Rational(BigInt::fromDecimal("1000000000000000000000000000000")))
+                      .numerator() /
+                  (R * Rational(BigInt::fromDecimal("1000000000000000000000000000000")))
+                      .denominator();
+  EXPECT_EQ(Scaled.toDecimal(), "693147180559945309417232121458");
+}
+
+} // namespace

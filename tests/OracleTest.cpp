@@ -1,0 +1,179 @@
+//===- tests/OracleTest.cpp - Correctly rounded oracle tests --------------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "oracle/Oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <random>
+
+using namespace rfp;
+
+namespace {
+
+TEST(OracleTest, DomainHandling) {
+  FPFormat F = FPFormat::float32();
+  float NaN = std::numeric_limits<float>::quiet_NaN();
+  float Inf = std::numeric_limits<float>::infinity();
+  for (ElemFunc Fn : AllElemFuncs)
+    EXPECT_TRUE(F.isNaN(Oracle::eval(Fn, NaN, F, RoundingMode::NearestEven)));
+  for (ElemFunc Fn : {ElemFunc::Exp, ElemFunc::Exp2, ElemFunc::Exp10}) {
+    EXPECT_EQ(Oracle::eval(Fn, Inf, F, RoundingMode::NearestEven),
+              F.plusInf());
+    EXPECT_EQ(F.decode(Oracle::eval(Fn, -Inf, F, RoundingMode::NearestEven)),
+              0.0);
+  }
+  for (ElemFunc Fn : {ElemFunc::Log, ElemFunc::Log2, ElemFunc::Log10}) {
+    EXPECT_TRUE(
+        F.isNaN(Oracle::eval(Fn, -1.0, F, RoundingMode::NearestEven)));
+    EXPECT_EQ(Oracle::eval(Fn, 0.0, F, RoundingMode::NearestEven),
+              F.minusInf());
+    EXPECT_EQ(Oracle::eval(Fn, Inf, F, RoundingMode::NearestEven),
+              F.plusInf());
+  }
+}
+
+TEST(OracleTest, ExactResults) {
+  FPFormat F = FPFormat::float32();
+  EXPECT_EQ(Oracle::evalValue(ElemFunc::Exp, 0.0, F,
+                              RoundingMode::NearestEven),
+            1.0);
+  EXPECT_EQ(Oracle::evalValue(ElemFunc::Exp2, 10.0, F,
+                              RoundingMode::NearestEven),
+            1024.0);
+  EXPECT_EQ(Oracle::evalValue(ElemFunc::Exp2, -149.0, F,
+                              RoundingMode::NearestEven),
+            0x1p-149);
+  EXPECT_EQ(Oracle::evalValue(ElemFunc::Log2, 0x1p-149, F,
+                              RoundingMode::NearestEven),
+            -149.0);
+  EXPECT_EQ(Oracle::evalValue(ElemFunc::Log, 1.0, F,
+                              RoundingMode::NearestEven),
+            0.0);
+  EXPECT_EQ(Oracle::evalValue(ElemFunc::Log10, 1e10f, F,
+                              RoundingMode::NearestEven),
+            10.0);
+  EXPECT_EQ(Oracle::evalValue(ElemFunc::Exp10, 5.0, F,
+                              RoundingMode::NearestEven),
+            100000.0);
+}
+
+TEST(OracleTest, MatchesGlibcFloatMostly) {
+  // glibc's float functions are NOT correctly rounded for all inputs (the
+  // paper reports millions of wrong results), but they agree with the
+  // oracle on the vast majority; check high agreement plus closeness.
+  std::mt19937_64 Rng(1);
+  FPFormat F = FPFormat::float32();
+  int Agree = 0, N = 500;
+  for (int T = 0; T < N; ++T) {
+    float X;
+    uint32_t Bits = static_cast<uint32_t>(Rng());
+    std::memcpy(&X, &Bits, sizeof(X));
+    if (std::isnan(X))
+      continue;
+    float Mine = static_cast<float>(
+        F.decode(Oracle::eval(ElemFunc::Exp, X, F, RoundingMode::NearestEven)));
+    float Ref = std::exp(X);
+    if (Mine == Ref || (std::isnan(Mine) && std::isnan(Ref)))
+      ++Agree;
+  }
+  EXPECT_GT(Agree, N * 9 / 10);
+}
+
+TEST(OracleTest, OverflowUnderflowClamp) {
+  FPFormat F = FPFormat::float32();
+  // Far beyond the range (would materialize astronomic rationals without
+  // the clamp).
+  EXPECT_EQ(Oracle::eval(ElemFunc::Exp2, 5.6e14f, F,
+                         RoundingMode::NearestEven),
+            F.plusInf());
+  EXPECT_EQ(F.decode(Oracle::eval(ElemFunc::Exp2, 5.6e14f, F,
+                                  RoundingMode::TowardZero)),
+            F.maxFinite());
+  EXPECT_EQ(F.decode(Oracle::eval(ElemFunc::Exp2, -5.6e14f, F,
+                                  RoundingMode::NearestEven)),
+            0.0);
+  EXPECT_EQ(F.decode(Oracle::eval(ElemFunc::Exp2, -5.6e14f, F,
+                                  RoundingMode::Upward)),
+            F.minSubnormal());
+  // Near-boundary inputs take the exact MP path.
+  EXPECT_EQ(Oracle::eval(ElemFunc::Exp, 89.0f, F, RoundingMode::NearestEven),
+            F.plusInf());
+  EXPECT_LT(Oracle::evalValue(ElemFunc::Exp, 88.0f, F,
+                              RoundingMode::NearestEven),
+            F.maxFinite());
+}
+
+TEST(OracleTest, SubnormalResults) {
+  FPFormat F = FPFormat::float32();
+  // exp(-103.9) ~ 2^-149.9: a float subnormal.
+  double V =
+      Oracle::evalValue(ElemFunc::Exp, -103.0f, F, RoundingMode::NearestEven);
+  EXPECT_GT(V, 0.0);
+  EXPECT_LT(V, 0x1p-126);
+  EXPECT_EQ(V, static_cast<double>(std::exp(-103.0f))); // glibc agrees here
+}
+
+/// The paper's central theorem, at oracle level: the FP34 round-to-odd
+/// result double-rounds to the correctly rounded result for EVERY format
+/// FP(k, 8), 10 <= k <= 32, and every standard mode.
+class OracleDoubleRoundingTest : public ::testing::TestWithParam<ElemFunc> {};
+
+TEST_P(OracleDoubleRoundingTest, RO34DoubleRoundsCorrectly) {
+  ElemFunc Fn = GetParam();
+  std::mt19937_64 Rng(42);
+  int Checked = 0;
+  for (int T = 0; T < 400 && Checked < 60; ++T) {
+    float X;
+    uint32_t Bits = static_cast<uint32_t>(Rng());
+    std::memcpy(&X, &Bits, sizeof(X));
+    if (std::isnan(X) || std::isinf(X))
+      continue;
+    if (!isExpFamily(Fn) && X <= 0)
+      continue;
+    FPFormat F34 = FPFormat::fp34();
+    uint64_t Enc34 = Oracle::eval(Fn, X, F34, RoundingMode::ToOdd);
+    if (!F34.isFinite(Enc34))
+      continue;
+    double RO = F34.decode(Enc34);
+    ++Checked;
+    for (unsigned K : {10u, 14u, 16u, 19u, 24u, 32u}) {
+      FPFormat Narrow = FPFormat::withBits(K);
+      for (RoundingMode M : StandardRoundingModes) {
+        uint64_t Direct = Oracle::eval(Fn, X, Narrow, M);
+        uint64_t Twice = Narrow.roundDouble(RO, M);
+        EXPECT_EQ(Direct, Twice)
+            << elemFuncName(Fn) << "(" << X << ") k=" << K << " "
+            << roundingModeName(M);
+      }
+    }
+  }
+  EXPECT_GE(Checked, 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFuncs, OracleDoubleRoundingTest,
+                         ::testing::ValuesIn(AllElemFuncs));
+
+TEST(OracleTest, RoundingModesOrdered) {
+  FPFormat F = FPFormat::float32();
+  std::mt19937_64 Rng(7);
+  for (int T = 0; T < 40; ++T) {
+    float X = std::ldexp(1.0f + static_cast<float>(Rng() % 1000) / 1000.0f,
+                         static_cast<int>(Rng() % 12) - 6);
+    double D = F.decode(Oracle::eval(ElemFunc::Log, X, F,
+                                     RoundingMode::Downward));
+    double N = F.decode(Oracle::eval(ElemFunc::Log, X, F,
+                                     RoundingMode::NearestEven));
+    double U =
+        F.decode(Oracle::eval(ElemFunc::Log, X, F, RoundingMode::Upward));
+    EXPECT_LE(D, N);
+    EXPECT_LE(N, U);
+  }
+}
+
+} // namespace

@@ -1,0 +1,215 @@
+//===- tests/RangeReductionTest.cpp - Range reduction / OC tests ----------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "libm/RangeReduction.h"
+
+#include "support/Rational.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <random>
+
+using namespace rfp;
+using namespace rfp::libm;
+
+namespace {
+
+float randomFiniteFloat(std::mt19937_64 &Rng) {
+  for (;;) {
+    uint32_t Bits = static_cast<uint32_t>(Rng());
+    float X;
+    std::memcpy(&X, &Bits, sizeof(X));
+    if (std::isfinite(X))
+      return X;
+  }
+}
+
+TEST(RangeReductionTest, Exp2DecompositionIsExact) {
+  // x = n + j/16 + r must hold *exactly* (verified in rational arithmetic),
+  // with r in [0, 2^-4) and j in [0, 15].
+  std::mt19937_64 Rng(1);
+  int Checked = 0;
+  for (int T = 0; T < 200000 && Checked < 20000; ++T) {
+    float X = randomFiniteFloat(Rng);
+    Reduction R = reduceExp2(X);
+    if (!R.PolyPath)
+      continue;
+    ++Checked;
+    ASSERT_GE(R.J, 0);
+    ASSERT_LE(R.J, 15);
+    ASSERT_GE(R.T, 0.0);
+    ASSERT_LT(R.T, 0x1p-4);
+    Rational Sum = Rational(R.N) +
+                   Rational(BigInt(R.J), BigInt(16)) +
+                   Rational::fromDouble(R.T);
+    EXPECT_EQ(Sum, Rational::fromDouble(X)) << X;
+  }
+  EXPECT_GE(Checked, 10000);
+}
+
+TEST(RangeReductionTest, ExpReductionResidualIsSmall) {
+  // r = x - k*ln2/16 with |r| <= ln2/32 plus a tiny Cody-Waite residue.
+  std::mt19937_64 Rng(2);
+  int Checked = 0;
+  for (int T = 0; T < 200000 && Checked < 20000; ++T) {
+    float X = randomFiniteFloat(Rng);
+    Reduction R = reduceExp(X);
+    if (!R.PolyPath)
+      continue;
+    ++Checked;
+    EXPECT_LE(std::fabs(R.T), 0.0217); // ln2/32 = 0.02166...
+    // Verify against a high-precision reduction: r ~ x - k*ln2/16.
+    long double K = R.N * 16 + R.J;
+    long double Ref = static_cast<long double>(X) -
+                      K * 0.04332169878499658L; // ln2/16
+    EXPECT_NEAR(static_cast<double>(Ref), R.T, 1e-12) << X;
+  }
+  EXPECT_GE(Checked, 5000);
+}
+
+TEST(RangeReductionTest, LogDecompositionIsExact) {
+  // x = 2^e * (F + f) with F = 1 + j/32 and t = f * OneByF[j].
+  std::mt19937_64 Rng(3);
+  int Checked = 0;
+  for (int T = 0; T < 100000 && Checked < 20000; ++T) {
+    float X = std::fabs(randomFiniteFloat(Rng));
+    if (X == 0.0f || std::isinf(X))
+      continue;
+    Reduction R = reduceLogKind(X);
+    if (!R.PolyPath)
+      continue;
+    ++Checked;
+    ASSERT_GE(R.J, 0);
+    ASSERT_LE(R.J, 31);
+    ASSERT_GE(R.T, 0.0);
+    ASSERT_LE(R.T, 0x1p-5);
+    // Reconstruct m = F + f where t = fl(f * 1/F): recover f exactly from
+    // the exact decomposition instead.
+    Rational F = Rational(BigInt(32 + R.J), BigInt(32));
+    Rational M = Rational::fromDouble(X) /
+                 (R.N >= 0 ? Rational(BigInt::pow2(static_cast<unsigned>(R.N)))
+                           : Rational(BigInt(1),
+                                      BigInt::pow2(static_cast<unsigned>(-R.N))));
+    Rational Frac = M - F;
+    EXPECT_GE(Frac.compare(Rational(0)), 0) << X;
+    EXPECT_LT(Frac.compare(Rational(BigInt(1), BigInt(32))), 0) << X;
+    // t equals fl(f * OneByF[j]) by construction; check closeness to f/F.
+    double TRef = (Frac / F).toDouble();
+    EXPECT_NEAR(R.T, TRef, 1e-16 + TRef * 1e-13);
+  }
+  EXPECT_GE(Checked, 10000);
+}
+
+TEST(RangeReductionTest, SubnormalLogInputsNormalize) {
+  for (float X : {0x1p-149f, 0x1.8p-140f, 0x1p-127f, 0x1.cp-130f}) {
+    Reduction R = reduceLogKind(X);
+    if (!R.PolyPath)
+      continue; // power of two handled by reduceInput wrapper
+    Rational F = Rational(BigInt(32 + R.J), BigInt(32));
+    Rational M = Rational::fromDouble(X) *
+                 Rational(BigInt::pow2(static_cast<unsigned>(-R.N)));
+    EXPECT_GE((M - F).compare(Rational(0)), 0) << X;
+    EXPECT_LT((M - F).compare(Rational(BigInt(1), BigInt(32))), 0) << X;
+  }
+}
+
+TEST(RangeReductionTest, SpecialPathsExp2) {
+  EXPECT_FALSE(reduceExp2(std::nanf("")).PolyPath);
+  EXPECT_TRUE(std::isnan(reduceExp2(std::nanf("")).Special));
+  EXPECT_EQ(reduceExp2(-HUGE_VALF).Special, 0.0);
+  EXPECT_TRUE(std::isinf(reduceExp2(HUGE_VALF).Special));
+  EXPECT_EQ(reduceExp2(128.0f).Special, HugeResult);
+  EXPECT_EQ(reduceExp2(-152.0f).Special, TinyResult);
+  EXPECT_EQ(reduceExp2(0.0f).Special, 1.0);
+  EXPECT_EQ(reduceExp2(1e-30f).Special, OnePlusTiny);
+  EXPECT_EQ(reduceExp2(-1e-30f).Special, OneMinusTiny);
+  // Integer inputs give exact powers of two.
+  EXPECT_EQ(reduceExp2(10.0f).Special, 1024.0);
+  EXPECT_EQ(reduceExp2(-140.0f).Special, 0x1p-140);
+  // Non-integer inputs take the polynomial path.
+  EXPECT_TRUE(reduceExp2(10.5f).PolyPath);
+}
+
+TEST(RangeReductionTest, SpecialPathsLogFamily) {
+  EXPECT_TRUE(std::isnan(reduceInput(ElemFunc::Log, -1.0f).Special));
+  EXPECT_EQ(reduceInput(ElemFunc::Log, 0.0f).Special, -HUGE_VAL);
+  EXPECT_EQ(reduceInput(ElemFunc::Log, -0.0f).Special, -HUGE_VAL);
+  EXPECT_EQ(reduceInput(ElemFunc::Log2, 8.0f).Special, 3.0);
+  EXPECT_EQ(reduceInput(ElemFunc::Log2, 0x1p-149f).Special, -149.0);
+  EXPECT_EQ(reduceInput(ElemFunc::Log, 1.0f).Special, 0.0);
+  EXPECT_EQ(reduceInput(ElemFunc::Log10, 1.0f).Special, 0.0);
+  // log(2^e) for e != 0 still takes the polynomial path for log/log10.
+  EXPECT_TRUE(reduceInput(ElemFunc::Log, 8.0f).PolyPath);
+  EXPECT_TRUE(reduceInput(ElemFunc::Log10, 8.0f).PolyPath);
+  EXPECT_TRUE(reduceInput(ElemFunc::Log2, 12.0f).PolyPath);
+}
+
+TEST(RangeReductionTest, OutputCompensationMonotone) {
+  // OC must be monotone non-decreasing in the polynomial value: the
+  // interval-inference boundary walk relies on it.
+  std::mt19937_64 Rng(4);
+  for (ElemFunc F : AllElemFuncs) {
+    int Checked = 0;
+    for (int T = 0; T < 50000 && Checked < 300; ++T) {
+      float X = randomFiniteFloat(Rng);
+      Reduction R = reduceInput(F, X);
+      if (!R.PolyPath)
+        continue;
+      ++Checked;
+      double Base = isExpFamily(F) ? 1.0 : R.T;
+      double Prev = -HUGE_VAL;
+      for (int S = -5; S <= 5; ++S) {
+        double V = Base + S * 1e-9;
+        double Out = outputCompensate(F, V, R);
+        EXPECT_GE(Out, Prev);
+        Prev = Out;
+      }
+    }
+  }
+}
+
+TEST(RangeReductionTest, PieceIndexCoversAndClamps) {
+  double TMin, TMax;
+  reducedDomain(ElemFunc::Exp, TMin, TMax);
+  EXPECT_EQ(pieceIndex(TMin, TMin, TMax, 4), 0);
+  EXPECT_EQ(pieceIndex(TMax, TMin, TMax, 4), 3);           // clamped
+  EXPECT_EQ(pieceIndex(TMin - 1e-9, TMin, TMax, 4), 0);    // clamped
+  EXPECT_EQ(pieceIndex(0.0, TMin, TMax, 2), 1);
+  EXPECT_EQ(pieceIndex(0.123, 0.0, 1.0, 1), 0);
+  // Every sub-domain is hit.
+  for (int P = 0; P < 8; ++P) {
+    double T = TMin + (P + 0.5) * (TMax - TMin) / 8;
+    EXPECT_EQ(pieceIndex(T, TMin, TMax, 8), P);
+  }
+}
+
+TEST(RangeReductionTest, Pow2DoubleMatchesLdexp) {
+  for (int N = -1000; N <= 1000; N += 7)
+    EXPECT_EQ(pow2Double(N), std::ldexp(1.0, N)) << N;
+}
+
+TEST(RangeReductionTest, TablesAreCorrectlyRoundedSpotCheck) {
+  // Cross-check a few table entries against independently derived values.
+  EXPECT_EQ(tables::Exp2Table[0], 1.0);
+  EXPECT_EQ(tables::Exp2Table[8], 1.4142135623730950488); // 2^(1/2)
+  EXPECT_EQ(tables::OneByFTable[0], 1.0);
+  EXPECT_EQ(tables::OneByFTable[16], 32.0 / 48.0);
+  EXPECT_EQ(tables::Log2FTable[0], 0.0);
+  EXPECT_EQ(tables::LnFTable[32 / 2], std::log(1.5));
+  EXPECT_EQ(tables::Ln2, 0.6931471805599453094);
+  // Cody-Waite head+tail reconstructs ln2/16 to quad-ish precision.
+  long double Split = static_cast<long double>(tables::Ln2By16Hi) +
+                      static_cast<long double>(tables::Ln2By16Lo);
+  EXPECT_NEAR(static_cast<double>(Split), std::log(2.0) / 16.0, 1e-17);
+  // The head really carries at most 38 significant bits (k*Hi exactness).
+  double Hi = tables::Ln2By16Hi;
+  double Scaled = std::ldexp(Hi, 42); // lift to integer-ish domain
+  EXPECT_EQ(Scaled, std::nearbyint(Scaled));
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+//===- tests/RationalTest.cpp - Rational unit and property tests ----------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rational.h"
+
+#include <gtest/gtest.h>
+
+#include <cfloat>
+#include <cmath>
+#include <random>
+
+using namespace rfp;
+
+namespace {
+
+TEST(RationalTest, NormalizationInvariants) {
+  Rational R(BigInt(6), BigInt(-4));
+  EXPECT_EQ(R.toString(), "-3/2");
+  EXPECT_FALSE(R.denominator().isNegative());
+  EXPECT_EQ(Rational(BigInt(0), BigInt(-7)).toString(), "0");
+  EXPECT_EQ(Rational(BigInt(10), BigInt(5)).toString(), "2");
+  EXPECT_TRUE(Rational(BigInt(10), BigInt(5)).isInteger());
+  EXPECT_FALSE(Rational(BigInt(1), BigInt(3)).isInteger());
+}
+
+TEST(RationalTest, ArithmeticExactness) {
+  Rational Third(BigInt(1), BigInt(3));
+  Rational Sum = Third + Third + Third;
+  EXPECT_EQ(Sum, Rational(1));
+  EXPECT_EQ(Third * Rational(3), Rational(1));
+  EXPECT_EQ(Rational(1) / Third, Rational(3));
+  EXPECT_EQ(Third - Third, Rational(0));
+  EXPECT_EQ((-Third).toString(), "-1/3");
+}
+
+TEST(RationalTest, ComparisonTotalOrder) {
+  Rational A(BigInt(1), BigInt(3));
+  Rational B(BigInt(1), BigInt(2));
+  Rational C(BigInt(-1), BigInt(2));
+  EXPECT_LT(A, B);
+  EXPECT_LT(C, A);
+  EXPECT_LE(A, A);
+  EXPECT_GT(B, C);
+  EXPECT_EQ(A.compare(A), 0);
+}
+
+TEST(RationalTest, FromDoubleIsExact) {
+  std::mt19937_64 Rng(11);
+  for (int T = 0; T < 2000; ++T) {
+    double V = std::ldexp(static_cast<double>(static_cast<int64_t>(Rng())),
+                          static_cast<int>(Rng() % 600) - 300);
+    if (!std::isfinite(V))
+      continue;
+    Rational R = Rational::fromDouble(V);
+    EXPECT_EQ(R.toDouble(), V) << V;
+  }
+}
+
+TEST(RationalTest, FromDoubleSpecialValues) {
+  EXPECT_EQ(Rational::fromDouble(0.0), Rational(0));
+  EXPECT_EQ(Rational::fromDouble(1.0), Rational(1));
+  EXPECT_EQ(Rational::fromDouble(-2.5).toString(), "-5/2");
+  EXPECT_EQ(Rational::fromDouble(0x1p-1074).toString(),
+            Rational(BigInt(1), BigInt::pow2(1074)).toString());
+  EXPECT_EQ(Rational::fromDouble(DBL_MAX).toDouble(), DBL_MAX);
+}
+
+TEST(RationalTest, ToDoubleCorrectRounding) {
+  // 1/3 rounds to the nearest double of 0.333...
+  EXPECT_EQ(Rational(BigInt(1), BigInt(3)).toDouble(), 1.0 / 3.0);
+  EXPECT_EQ(Rational(BigInt(2), BigInt(3)).toDouble(), 2.0 / 3.0);
+  EXPECT_EQ(Rational(BigInt(1), BigInt(10)).toDouble(), 0.1);
+  EXPECT_EQ(Rational(BigInt(-7), BigInt(11)).toDouble(), -7.0 / 11.0);
+  // Hardware division is correctly rounded, so these must match exactly.
+  std::mt19937_64 Rng(12);
+  for (int T = 0; T < 2000; ++T) {
+    int64_t N = static_cast<int64_t>(Rng() >> 16);
+    int64_t D = static_cast<int64_t>(Rng() >> 16) + 1;
+    if (Rng() & 1)
+      N = -N;
+    EXPECT_EQ(Rational(BigInt(N), BigInt(D)).toDouble(),
+              static_cast<double>(N) / static_cast<double>(D))
+        << N << "/" << D;
+  }
+}
+
+TEST(RationalTest, ToDoubleTieToEven) {
+  // (2^53 + 1) / 1 is a tie between 2^53 and 2^53 + 2 -> even (2^53).
+  EXPECT_EQ(Rational(BigInt::pow2(53) + BigInt(1)).toDouble(), 0x1p53);
+  // (2^54 + 2) / 2 = 2^53 + 1: same tie.
+  EXPECT_EQ(Rational(BigInt::pow2(54) + BigInt(2), BigInt(2)).toDouble(),
+            0x1p53);
+}
+
+TEST(RationalTest, ToDoubleOverflowAndUnderflow) {
+  EXPECT_TRUE(std::isinf(Rational(BigInt::pow2(1100)).toDouble()));
+  EXPECT_EQ(Rational(BigInt(1), BigInt::pow2(1200)).toDouble(), 0.0);
+  // Smallest subnormal region: 2^-1074 representable, half of it ties to 0.
+  EXPECT_EQ(Rational(BigInt(1), BigInt::pow2(1074)).toDouble(), 0x1p-1074);
+  EXPECT_EQ(Rational(BigInt(1), BigInt::pow2(1075)).toDouble(), 0.0);
+  // Just above half the smallest subnormal rounds up to it.
+  Rational JustAbove =
+      Rational(BigInt(1), BigInt::pow2(1075)) +
+      Rational(BigInt(1), BigInt::pow2(1200));
+  EXPECT_EQ(JustAbove.toDouble(), 0x1p-1074);
+}
+
+TEST(RationalTest, PowAndAbs) {
+  Rational Half(BigInt(1), BigInt(2));
+  EXPECT_EQ(Half.pow(0), Rational(1));
+  EXPECT_EQ(Half.pow(10), Rational(BigInt(1), BigInt(1024)));
+  EXPECT_EQ(Rational(-3).pow(3), Rational(-27));
+  EXPECT_EQ(Rational(-3).abs(), Rational(3));
+}
+
+/// Field-axiom style property sweep over random double-backed rationals.
+class RationalPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RationalPropertyTest, FieldAxioms) {
+  std::mt19937_64 Rng(20 + GetParam());
+  std::uniform_real_distribution<double> Dist(-1e6, 1e6);
+  for (int T = 0; T < 200; ++T) {
+    Rational A = Rational::fromDouble(Dist(Rng));
+    Rational B = Rational::fromDouble(Dist(Rng));
+    Rational C = Rational::fromDouble(Dist(Rng));
+    EXPECT_EQ(A + B, B + A);
+    EXPECT_EQ((A + B) + C, A + (B + C));
+    EXPECT_EQ(A * (B + C), A * B + A * C);
+    if (!B.isZero()) {
+      EXPECT_EQ((A / B) * B, A);
+    }
+    EXPECT_EQ(A - A, Rational(0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RationalPropertyTest,
+                         ::testing::Range(0, 5));
+
+} // namespace

@@ -1,0 +1,176 @@
+//===- tests/RoundingIntervalTest.cpp - Interval machinery tests ----------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RoundingInterval.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <random>
+
+using namespace rfp;
+
+namespace {
+
+TEST(RoundingIntervalTest, OddValueGetsOpenNeighbourInterval) {
+  FPFormat F34 = FPFormat::fp34();
+  // 1 + 2^-25 is the successor of 1.0 in FP34 and has an odd encoding.
+  double Y = 1.0 + 0x1p-25;
+  ASSERT_TRUE(F34.isRepresentable(Y));
+  HInterval I = roundingIntervalRO(Y, F34);
+  ASSERT_TRUE(I.Valid);
+  EXPECT_GT(I.Lo, 1.0);
+  EXPECT_LT(I.Hi, 1.0 + 0x1p-24);
+  EXPECT_LE(I.Lo, Y);
+  EXPECT_GE(I.Hi, Y);
+  // The interval is maximal: one double below Lo (or above Hi) leaves it.
+  EXPECT_EQ(std::nextafter(I.Lo, -HUGE_VAL), 1.0);
+  EXPECT_EQ(std::nextafter(I.Hi, HUGE_VAL), 1.0 + 0x1p-24);
+}
+
+TEST(RoundingIntervalTest, EvenValueIsSingleton) {
+  FPFormat F34 = FPFormat::fp34();
+  HInterval I = roundingIntervalRO(1.0, F34);
+  ASSERT_TRUE(I.Valid);
+  EXPECT_TRUE(I.isSingleton());
+  EXPECT_EQ(I.Lo, 1.0);
+}
+
+TEST(RoundingIntervalTest, EveryPointRoundsBack) {
+  // Property: every double sampled inside [Lo, Hi] rounds (RO, FP34) to
+  // exactly the value the interval was built for.
+  FPFormat F34 = FPFormat::fp34();
+  std::mt19937_64 Rng(1);
+  for (int T = 0; T < 3000; ++T) {
+    double V = std::ldexp(static_cast<double>(static_cast<int64_t>(Rng())),
+                          static_cast<int>(Rng() % 100) - 80);
+    if (!std::isfinite(V) || V == 0.0)
+      continue;
+    double Y = F34.decode(F34.roundDouble(V, RoundingMode::ToOdd));
+    if (std::isinf(Y))
+      continue;
+    HInterval I = roundingIntervalRO(Y, F34);
+    ASSERT_TRUE(I.Valid);
+    EXPECT_LE(I.Lo, V);
+    EXPECT_GE(I.Hi, V);
+    for (double Frac : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      double P = I.Lo + Frac * (I.Hi - I.Lo);
+      if (P < I.Lo || P > I.Hi)
+        continue;
+      EXPECT_EQ(F34.decode(F34.roundDouble(P, RoundingMode::ToOdd)), Y);
+    }
+    // Just outside rounds elsewhere (when the boundary is not +-max).
+    if (!I.isSingleton()) {
+      double Below = std::nextafter(I.Lo, -HUGE_VAL);
+      EXPECT_NE(F34.decode(F34.roundDouble(Below, RoundingMode::ToOdd)), Y);
+    }
+  }
+}
+
+TEST(RoundingIntervalTest, SubnormalBoundary) {
+  FPFormat F34 = FPFormat::fp34();
+  double MinSub = F34.minSubnormal(); // odd encoding (0x...1)
+  HInterval I = roundingIntervalRO(MinSub, F34);
+  ASSERT_TRUE(I.Valid);
+  EXPECT_GT(I.Lo, 0.0);
+  EXPECT_LT(I.Hi, 2 * MinSub);
+  EXPECT_EQ(F34.decode(F34.roundDouble(I.Lo, RoundingMode::ToOdd)), MinSub);
+}
+
+TEST(InferenceTest, ExpFamilyRoundTrip) {
+  // For exp-family reductions: every v in the inferred [Alpha, Beta]
+  // compensates into [Lo, Hi], and the interval is maximal.
+  std::mt19937_64 Rng(2);
+  FPFormat F34 = FPFormat::fp34();
+  int Checked = 0;
+  for (int T = 0; T < 100000 && Checked < 2000; ++T) {
+    uint32_t Bits = static_cast<uint32_t>(Rng());
+    float X;
+    std::memcpy(&X, &Bits, sizeof(X));
+    if (!std::isfinite(X))
+      continue;
+    libm::Reduction R = libm::reduceInput(ElemFunc::Exp, X);
+    if (!R.PolyPath)
+      continue;
+    ++Checked;
+    // Build a plausible target interval around e^x.
+    double Y = F34.decode(
+        F34.roundDouble(std::exp(static_cast<double>(X)), RoundingMode::ToOdd));
+    if (std::isinf(Y) || Y == 0.0)
+      continue;
+    HInterval HI = roundingIntervalRO(Y, F34);
+    HInterval PI = inferPolyInterval(ElemFunc::Exp, R, HI.Lo, HI.Hi);
+    if (!PI.Valid)
+      continue; // narrow interval; the generator would special-case
+    for (double V : {PI.Lo, 0.5 * (PI.Lo + PI.Hi), PI.Hi}) {
+      double Out = libm::outputCompensate(ElemFunc::Exp, V, R);
+      EXPECT_GE(Out, HI.Lo) << X;
+      EXPECT_LE(Out, HI.Hi) << X;
+    }
+    // Maximality: one ulp outside the inferred interval lands outside --
+    // unless the compensation plateaus (adjacent poly values rounding to
+    // the same double) or the conservative adjustment cap stopped early.
+    double Below = std::nextafter(PI.Lo, -HUGE_VAL);
+    double OutBelow = libm::outputCompensate(ElemFunc::Exp, Below, R);
+    EXPECT_TRUE(OutBelow < HI.Lo ||
+                OutBelow == libm::outputCompensate(ElemFunc::Exp, PI.Lo, R));
+    double Above = std::nextafter(PI.Hi, HUGE_VAL);
+    double OutAbove = libm::outputCompensate(ElemFunc::Exp, Above, R);
+    EXPECT_TRUE(OutAbove > HI.Hi ||
+                OutAbove == libm::outputCompensate(ElemFunc::Exp, PI.Hi, R));
+  }
+  EXPECT_GE(Checked, 500);
+}
+
+TEST(InferenceTest, LogFamilyRoundTrip) {
+  std::mt19937_64 Rng(3);
+  FPFormat F34 = FPFormat::fp34();
+  int Checked = 0;
+  for (int T = 0; T < 100000 && Checked < 2000; ++T) {
+    uint32_t Bits = static_cast<uint32_t>(Rng()) & 0x7fffffff;
+    float X;
+    std::memcpy(&X, &Bits, sizeof(X));
+    if (!std::isfinite(X) || X <= 0)
+      continue;
+    libm::Reduction R = libm::reduceInput(ElemFunc::Log2, X);
+    if (!R.PolyPath)
+      continue;
+    ++Checked;
+    double Y = F34.decode(F34.roundDouble(std::log2(static_cast<double>(X)),
+                                          RoundingMode::ToOdd));
+    HInterval HI = roundingIntervalRO(Y, F34);
+    HInterval PI = inferPolyInterval(ElemFunc::Log2, R, HI.Lo, HI.Hi);
+    if (!PI.Valid)
+      continue;
+    for (double V : {PI.Lo, PI.Hi}) {
+      double Out = libm::outputCompensate(ElemFunc::Log2, V, R);
+      EXPECT_GE(Out, HI.Lo) << X;
+      EXPECT_LE(Out, HI.Hi) << X;
+    }
+  }
+  EXPECT_GE(Checked, 500);
+}
+
+TEST(InferenceTest, EmptyIntervalReported) {
+  // A zero-width target on a multiplicative compensation whose scale
+  // cannot hit it exactly must come back invalid.
+  libm::Reduction R{};
+  R.PolyPath = true;
+  R.T = 0.01;
+  R.N = 0;
+  R.J = 5; // scale = 2^(5/16), irrational
+  double Target = 1.2345678901234567;
+  HInterval PI = inferPolyInterval(ElemFunc::Exp2, R, Target, Target);
+  // Either a valid singleton that compensates exactly, or invalid.
+  if (PI.Valid) {
+    EXPECT_EQ(libm::outputCompensate(ElemFunc::Exp2, PI.Lo, R), Target);
+  } else {
+    SUCCEED();
+  }
+}
+
+} // namespace

@@ -1,0 +1,194 @@
+//===- tests/SimplexTest.cpp - Exact LP solver tests ----------------------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lp/Simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace rfp;
+
+namespace {
+
+using Matrix = std::vector<std::vector<Rational>>;
+using Vector = std::vector<Rational>;
+
+Vector vec(std::initializer_list<int64_t> V) {
+  Vector R;
+  for (int64_t X : V)
+    R.push_back(Rational(X));
+  return R;
+}
+
+TEST(SimplexTest, SimpleBoundedMaximum) {
+  // max x + y s.t. x <= 3, y <= 4, x + y <= 5.
+  Matrix A = {vec({1, 0}), vec({0, 1}), vec({1, 1})};
+  Vector B = vec({3, 4, 5});
+  LPResult R = maximizeLP(A, B, vec({1, 1}));
+  ASSERT_TRUE(R.isOptimal());
+  EXPECT_EQ(R.Objective, Rational(5));
+}
+
+TEST(SimplexTest, FreeVariablesGoNegative) {
+  // max -x s.t. x >= -7 (i.e. -x <= 7): optimum -x = 7 at x = -7.
+  Matrix A = {vec({-1})};
+  Vector B = vec({7});
+  LPResult R = maximizeLP(A, B, vec({-1}));
+  ASSERT_TRUE(R.isOptimal());
+  EXPECT_EQ(R.Z[0], Rational(-7));
+  EXPECT_EQ(R.Objective, Rational(7));
+}
+
+TEST(SimplexTest, Unbounded) {
+  // max x with only x >= 0 (-x <= 0): unbounded.
+  Matrix A = {vec({-1})};
+  Vector B = vec({0});
+  LPResult R = maximizeLP(A, B, vec({1}));
+  EXPECT_EQ(R.StatusCode, LPResult::Status::Unbounded);
+}
+
+TEST(SimplexTest, Infeasible) {
+  // x <= 1 and -x <= -2 (x >= 2): empty.
+  Matrix A = {vec({1}), vec({-1})};
+  Vector B = vec({1, -2});
+  LPResult R = maximizeLP(A, B, vec({1}));
+  EXPECT_EQ(R.StatusCode, LPResult::Status::Infeasible);
+}
+
+TEST(SimplexTest, EqualityViaTwoInequalities) {
+  // x + y == 2 (two inequalities), max x - y with x <= 5: x=5, y=-3.
+  Matrix A = {vec({1, 1}), vec({-1, -1}), vec({1, 0})};
+  Vector B = vec({2, -2, 5});
+  LPResult R = maximizeLP(A, B, vec({1, -1}));
+  ASSERT_TRUE(R.isOptimal());
+  EXPECT_EQ(R.Z[0], Rational(5));
+  EXPECT_EQ(R.Z[1], Rational(-3));
+  EXPECT_EQ(R.Objective, Rational(8));
+}
+
+TEST(SimplexTest, DegenerateVertexTerminates) {
+  // Multiple constraints through one vertex (degenerate); Bland's rule
+  // must still terminate at the optimum.
+  Matrix A = {vec({1, 0}), vec({0, 1}), vec({1, 1}), vec({2, 1}),
+              vec({1, 2})};
+  Vector B = vec({1, 1, 2, 3, 3});
+  LPResult R = maximizeLP(A, B, vec({1, 1}));
+  ASSERT_TRUE(R.isOptimal());
+  EXPECT_EQ(R.Objective, Rational(2));
+}
+
+TEST(SimplexTest, RationalCoefficients) {
+  // max z s.t. z <= 1/3 + 1/7.
+  Matrix A = {{Rational(1)}};
+  Vector B = {Rational(BigInt(1), BigInt(3)) + Rational(BigInt(1), BigInt(7))};
+  LPResult R = maximizeLP(A, B, vec({1}));
+  ASSERT_TRUE(R.isOptimal());
+  EXPECT_EQ(R.Objective, Rational(BigInt(10), BigInt(21)));
+}
+
+TEST(SimplexTest, RandomizedSolutionsAreFeasibleAndTight) {
+  std::mt19937_64 Rng(123);
+  std::uniform_int_distribution<int> D(-5, 5);
+  int Optimal = 0;
+  for (int Trial = 0; Trial < 1500; ++Trial) {
+    size_t N = 2 + Trial % 4, M = 3 + Trial % 8;
+    Matrix A(M, Vector(N));
+    Vector B(M), C(N);
+    for (auto &Row : A)
+      for (auto &V : Row)
+        V = Rational(D(Rng));
+    for (auto &V : B)
+      V = Rational(D(Rng) + 6);
+    for (auto &V : C)
+      V = Rational(D(Rng));
+    LPResult R = maximizeLP(A, B, C);
+    if (!R.isOptimal())
+      continue;
+    ++Optimal;
+    Rational Obj;
+    for (size_t K = 0; K < N; ++K)
+      Obj += C[K] * R.Z[K];
+    EXPECT_EQ(Obj, R.Objective);
+    for (size_t I = 0; I < M; ++I) {
+      Rational Dot;
+      for (size_t K = 0; K < N; ++K)
+        Dot += A[I][K] * R.Z[K];
+      EXPECT_LE(Dot.compare(B[I]), 0) << "trial " << Trial << " row " << I;
+    }
+  }
+  EXPECT_GT(Optimal, 300);
+}
+
+TEST(SimplexTest, LargeScaleRationals) {
+  // Entries with double-denominator scale (2^-1074-ish) must solve
+  // exactly; regression for the Algorithm-D quotient-digit bug.
+  Matrix A = {{Rational::fromDouble(0x1.234p-500), Rational(1)},
+              {Rational::fromDouble(-0x1.234p-500), Rational(1)},
+              {Rational(0), Rational(1)}};
+  Vector B = {Rational::fromDouble(0x1p-400), Rational::fromDouble(0x1p-400),
+              Rational(1)};
+  LPResult R = maximizeLP(A, B, vec({0, 1}));
+  ASSERT_TRUE(R.isOptimal());
+  // Adding the two banded rows: 2y <= 2^-399, so the optimum is 2^-400
+  // (attained at x = 0).
+  EXPECT_EQ(R.Objective, Rational::fromDouble(0x1p-400));
+}
+
+TEST(SimplexTest, RedundantRowsHandled) {
+  // Duplicated constraints (redundant dual columns).
+  Matrix A = {vec({1, 1}), vec({1, 1}), vec({1, 1}), vec({1, 0})};
+  Vector B = vec({4, 4, 4, 1});
+  LPResult R = maximizeLP(A, B, vec({1, 1}));
+  ASSERT_TRUE(R.isOptimal());
+  EXPECT_EQ(R.Objective, Rational(4));
+}
+
+class SimplexDimensionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexDimensionSweep, ChebyshevLikeCentersAreValid) {
+  // The margin-maximization pattern used by the poly LP: max d with
+  // a.x - d >= l, a.x + d <= h over random banded data.
+  int N = GetParam();
+  std::mt19937_64 Rng(7 + N);
+  std::uniform_int_distribution<int> D(-4, 4);
+  for (int Trial = 0; Trial < 60; ++Trial) {
+    size_t M = 6 + Trial % 10;
+    Matrix A;
+    Vector B;
+    for (size_t I = 0; I < M; ++I) {
+      Vector RowHi(N + 1), RowLo(N + 1);
+      int64_t Center = D(Rng);
+      for (int K = 0; K < N; ++K) {
+        int64_t V = D(Rng);
+        RowHi[K] = Rational(V);
+        RowLo[K] = Rational(-V);
+      }
+      RowHi[N] = RowLo[N] = Rational(1);
+      A.push_back(RowHi);
+      B.push_back(Rational(Center + 5));
+      A.push_back(RowLo);
+      B.push_back(Rational(-(Center - 5)));
+    }
+    Vector C(N + 1);
+    C[N] = Rational(1);
+    LPResult R = maximizeLP(A, B, C);
+    ASSERT_TRUE(R.isOptimal());
+    EXPECT_GE(R.Objective.compare(Rational(0)), 0);
+    // Every band is actually cleared by the margin.
+    for (size_t I = 0; I < A.size(); ++I) {
+      Rational Dot;
+      for (size_t K = 0; K <= static_cast<size_t>(N); ++K)
+        Dot += A[I][K] * R.Z[K];
+      EXPECT_LE(Dot.compare(B[I]), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SimplexDimensionSweep,
+                         ::testing::Values(1, 2, 4, 7, 9));
+
+} // namespace

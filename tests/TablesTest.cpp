@@ -1,0 +1,89 @@
+//===- tests/TablesTest.cpp - Generated-table staleness guard -------------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Cross-checks every committed entry of src/libm/generated/Tables.inc
+// against the MP oracle substrate, so the tables cannot silently go stale
+// relative to tools/gentables (whose computation this reproduces).
+//
+//===----------------------------------------------------------------------===//
+
+#include "libm/Tables.h"
+
+#include "mp/MPTranscendental.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace rfp;
+using namespace rfp::libm;
+
+namespace {
+
+constexpr RoundingMode RN = RoundingMode::NearestEven;
+
+TEST(TablesTest, Exp2TableIsCorrectlyRounded) {
+  for (int J = 0; J < 16; ++J) {
+    MPFloat X = MPFloat::div(MPFloat::fromInt(J), MPFloat::fromInt(16), 64, RN);
+    EXPECT_EQ(tables::Exp2Table[J], mpt::exp2(X, 53, RN).toDouble()) << J;
+  }
+}
+
+TEST(TablesTest, LogTablesAreCorrectlyRounded) {
+  for (int J = 0; J < 32; ++J) {
+    MPFloat F =
+        MPFloat::div(MPFloat::fromInt(32 + J), MPFloat::fromInt(32), 64, RN);
+    EXPECT_EQ(tables::Log2FTable[J], mpt::log2(F, 53, RN).toDouble()) << J;
+    EXPECT_EQ(tables::LnFTable[J], mpt::log(F, 53, RN).toDouble()) << J;
+    EXPECT_EQ(tables::Log10FTable[J], mpt::log10(F, 53, RN).toDouble()) << J;
+    EXPECT_EQ(tables::OneByFTable[J],
+              MPFloat::div(MPFloat::fromInt(32), MPFloat::fromInt(32 + J), 53,
+                           RN)
+                  .toDouble())
+        << J;
+  }
+}
+
+TEST(TablesTest, CodyWaiteSplitsReconstruct) {
+  // Hi+Lo must reconstruct the exact constant to ~90 bits, with Hi
+  // carrying at most 38 significant bits so k*Hi stays exact.
+  MPFloat Ln2by16 =
+      MPFloat::div(mpt::ln2(200), MPFloat::fromInt(16), 150, RN);
+  MPFloat Recon = MPFloat::add(MPFloat::fromDouble(tables::Ln2By16Hi),
+                               MPFloat::fromDouble(tables::Ln2By16Lo), 150,
+                               RN);
+  Rational Err = (Recon.toRational() - Ln2by16.toRational()).abs();
+  EXPECT_LE(Err.compare(Rational(BigInt(1), BigInt::pow2(90))), 0);
+  // Hi carries at most 38 significant bits: lifting it by 2^42 lands on an
+  // integer (msb of ln2/16 is at 2^-5).
+  double Lifted = std::ldexp(tables::Ln2By16Hi, 42);
+  EXPECT_EQ(Lifted, std::nearbyint(Lifted));
+
+  MPFloat Lg2by16 = MPFloat::div(
+      MPFloat::div(mpt::ln2(200), mpt::ln10(200), 150, RN),
+      MPFloat::fromInt(16), 150, RN);
+  MPFloat Recon10 = MPFloat::add(MPFloat::fromDouble(tables::Log10_2By16Hi),
+                                 MPFloat::fromDouble(tables::Log10_2By16Lo),
+                                 150, RN);
+  Rational Err10 = (Recon10.toRational() - Lg2by16.toRational()).abs();
+  EXPECT_LE(Err10.compare(Rational(BigInt(1), BigInt::pow2(92))), 0);
+}
+
+TEST(TablesTest, ScalarConstantsAreCorrectlyRounded) {
+  EXPECT_EQ(tables::Ln2, mpt::ln2(53).toDouble());
+  EXPECT_EQ(tables::Log10_2,
+            MPFloat::div(mpt::ln2(200), mpt::ln10(200), 53, RN).toDouble());
+  EXPECT_EQ(tables::SixteenByLn2,
+            MPFloat::div(MPFloat::fromInt(16), mpt::ln2(200), 53, RN)
+                .toDouble());
+  EXPECT_EQ(
+      tables::SixteenLog2_10,
+      MPFloat::mulInt(MPFloat::div(mpt::ln10(200), mpt::ln2(200), 150, RN),
+                      16, 53, RN)
+          .toDouble());
+}
+
+} // namespace

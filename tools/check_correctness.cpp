@@ -1,0 +1,147 @@
+//===- tools/check_correctness.cpp - Standalone correctness checker -------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The analogue of the paper artifact's correctness_test framework: checks a
+// shipped implementation against the on-the-fly oracle over a strided
+// sweep of float inputs (the artifact streams 12 GB oracle files instead),
+// for one format/mode or for the full 10..32-bit x 5-mode matrix.
+//
+//   check_correctness <func> [scheme] [stride] [--all-formats]
+//
+//   func:   exp | exp2 | exp10 | log | log2 | log10
+//   scheme: horner | knuth | estrin | estrin-fma   (default: all four)
+//   stride: bit-pattern stride (default 16183; 1 = exhaustive, very slow)
+//
+// Exit code 0 iff no wrong results were found.
+//
+//===----------------------------------------------------------------------===//
+
+#include "libm/rlibm.h"
+#include "oracle/Oracle.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+using namespace rfp;
+using namespace rfp::libm;
+
+namespace {
+
+long checkVariant(ElemFunc F, EvalScheme S, uint64_t Stride,
+                  bool AllFormats) {
+  FPFormat F32 = FPFormat::float32();
+  FPFormat F34 = FPFormat::fp34();
+  long Wrong = 0, Total = 0;
+  for (uint64_t B = 0; B < (1ull << 32); B += Stride) {
+    float X;
+    uint32_t Bits = static_cast<uint32_t>(B);
+    std::memcpy(&X, &Bits, sizeof(X));
+    double H = evalCore(F, S, X);
+    if (AllFormats) {
+      uint64_t Enc34 = Oracle::eval(F, X, F34, RoundingMode::ToOdd);
+      if (F34.isNaN(Enc34)) {
+        Wrong += !std::isnan(H);
+        ++Total;
+        continue;
+      }
+      double RO = F34.decode(Enc34);
+      ++Total;
+      for (unsigned K = 10; K <= 32; ++K) {
+        FPFormat Fmt = FPFormat::withBits(K);
+        for (RoundingMode M : StandardRoundingModes) {
+          if (Fmt.roundDouble(H, M) != Fmt.roundDouble(RO, M)) {
+            ++Wrong;
+            if (Wrong <= 5)
+              std::printf("  WRONG %s/%s x=%a k=%u mode=%s\n",
+                          elemFuncName(F), evalSchemeName(S), X, K,
+                          roundingModeName(M));
+            K = 33;
+            break;
+          }
+        }
+      }
+    } else {
+      uint64_t Want = Oracle::eval(F, X, F32, RoundingMode::NearestEven);
+      ++Total;
+      if (F32.isNaN(Want)) {
+        Wrong += !std::isnan(H);
+        continue;
+      }
+      if (F32.roundDouble(H, RoundingMode::NearestEven) != Want) {
+        ++Wrong;
+        if (Wrong <= 5)
+          std::printf("  WRONG %s/%s x=%a got=%a want=%a\n", elemFuncName(F),
+                      evalSchemeName(S), X,
+                      F32.decode(F32.roundDouble(H, RoundingMode::NearestEven)),
+                      F32.decode(Want));
+      }
+    }
+  }
+  std::printf("%-8s %-12s checked %ld inputs%s: %ld wrong\n", elemFuncName(F),
+              evalSchemeName(S), Total,
+              AllFormats ? " x 23 formats x 5 modes" : "", Wrong);
+  return Wrong;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <func> [scheme] [stride] [--all-formats]\n",
+                 Argv[0]);
+    return 2;
+  }
+  ElemFunc Func = ElemFunc::Exp;
+  bool FuncFound = false;
+  for (ElemFunc F : AllElemFuncs)
+    if (std::strcmp(Argv[1], elemFuncName(F)) == 0) {
+      Func = F;
+      FuncFound = true;
+    }
+  if (!FuncFound) {
+    std::fprintf(stderr, "unknown function '%s'\n", Argv[1]);
+    return 2;
+  }
+
+  int SchemeIdx = -1;
+  uint64_t Stride = 16183;
+  bool AllFormats = false;
+  for (int I = 2; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--all-formats") == 0) {
+      AllFormats = true;
+      continue;
+    }
+    bool IsScheme = false;
+    for (int S = 0; S < 4; ++S)
+      if (std::strcmp(Argv[I],
+                      evalSchemeName(static_cast<EvalScheme>(S))) == 0) {
+        SchemeIdx = S;
+        IsScheme = true;
+      }
+    if (!IsScheme)
+      Stride = static_cast<uint64_t>(std::atoll(Argv[I]));
+  }
+  if (Stride == 0) {
+    std::fprintf(stderr, "stride must be positive\n");
+    return 2;
+  }
+
+  long Wrong = 0;
+  for (int S = 0; S < 4; ++S) {
+    if (SchemeIdx >= 0 && S != SchemeIdx)
+      continue;
+    if (!variantInfo(Func, static_cast<EvalScheme>(S)).Available) {
+      std::printf("%-8s %-12s N/A\n", elemFuncName(Func),
+                  evalSchemeName(static_cast<EvalScheme>(S)));
+      continue;
+    }
+    Wrong += checkVariant(Func, static_cast<EvalScheme>(S), Stride,
+                          AllFormats);
+  }
+  return Wrong == 0 ? 0 : 1;
+}

@@ -1,0 +1,274 @@
+//===- tools/polygen.cpp - Generate the shipped coefficient tables --------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives the integrated generate-adapt-check-constrain pipeline (paper
+// Algorithm 2) for the six elementary functions and all four evaluation
+// schemes, and emits src/libm/generated/<Func>Coeffs.inc. Run from the
+// repository root:
+//
+//   polygen [stride] [window] [func ...]
+//
+// stride: float bit-pattern sampling stride for generation inputs
+// window: dense boundary window half-width (bit patterns)
+// func:   subset of {exp, exp2, exp10, log, log2, log10}; default all
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PolyGen.h"
+
+#include "oracle/Oracle.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace rfp;
+
+namespace {
+
+const char *incName(ElemFunc F) {
+  switch (F) {
+  case ElemFunc::Exp:
+    return "Exp";
+  case ElemFunc::Exp2:
+    return "Exp2";
+  case ElemFunc::Exp10:
+    return "Exp10";
+  case ElemFunc::Log:
+    return "Log";
+  case ElemFunc::Log2:
+    return "Log2";
+  case ElemFunc::Log10:
+    return "Log10";
+  }
+  return "";
+}
+
+const char *schemeIdent(EvalScheme S) {
+  switch (S) {
+  case EvalScheme::Horner:
+    return "Horner";
+  case EvalScheme::Knuth:
+    return "Knuth";
+  case EvalScheme::Estrin:
+    return "Estrin";
+  case EvalScheme::EstrinFMA:
+    return "EstrinFMA";
+  }
+  return "";
+}
+
+void emitScheme(FILE *Out, const char *Ident, const GeneratedImpl &Impl,
+                const GeneratedImpl &Fallback) {
+  // An unavailable variant carries the Horner data (never dispatched to;
+  // callers must consult SchemeTable::Available).
+  const GeneratedImpl &Use = Impl.Success ? Impl : Fallback;
+
+  std::fprintf(Out, "// --- %s%s\n", Ident,
+               Impl.Success ? "" : " (UNAVAILABLE: fallback data)");
+  std::fprintf(Out, "inline constexpr unsigned %sDegrees[] = {", Ident);
+  for (int P = 0; P < Use.NumPieces; ++P)
+    std::fprintf(Out, "%u,", Use.PieceDegrees[P]);
+  std::fprintf(Out, "};\n");
+
+  std::fprintf(Out,
+               "inline constexpr double %sCoeffs[][rfp::MaxPolyDegree + 1] = "
+               "{\n",
+               Ident);
+  for (int P = 0; P < Use.NumPieces; ++P) {
+    std::fprintf(Out, "    {");
+    for (unsigned D = 0; D <= rfp::MaxPolyDegree; ++D)
+      std::fprintf(Out, "%a,",
+                   D < Use.Pieces[P].Coeffs.size() ? Use.Pieces[P].Coeffs[D]
+                                                   : 0.0);
+    std::fprintf(Out, "},\n");
+  }
+  std::fprintf(Out, "};\n");
+
+  bool IsKnuth = std::strcmp(Ident, "Knuth") == 0;
+  if (IsKnuth) {
+    std::fprintf(Out, "inline constexpr double %sAdapted[][7] = {\n", Ident);
+    for (int P = 0; P < Use.NumPieces; ++P) {
+      std::fprintf(Out, "    {");
+      for (int D = 0; D < 7; ++D)
+        std::fprintf(Out, "%a,",
+                     (Impl.Success && Use.Adapted[P].Valid) ? Use.Adapted[P].A[D]
+                                                            : 0.0);
+      std::fprintf(Out, "},\n");
+    }
+    std::fprintf(Out, "};\n");
+  }
+
+  std::fprintf(Out,
+               "inline constexpr rfp::libm::SpecialEntry %sSpecials[] = {\n",
+               Ident);
+  if (Use.Specials.empty())
+    std::fprintf(Out, "    {0u, 0.0}, // placeholder; count below is 0\n");
+  for (const GeneratedImpl::Special &Sp : Use.Specials)
+    std::fprintf(Out, "    {0x%08xu, %a},\n", Sp.Bits, Sp.H);
+  std::fprintf(Out, "};\n");
+
+  std::fprintf(
+      Out,
+      "inline constexpr rfp::libm::SchemeTable %s = {\n"
+      "    /*Available=*/%s, /*NumPieces=*/%d, %sDegrees, %sCoeffs,\n"
+      "    /*Adapted=*/%s, %sSpecials, /*NumSpecials=*/%d,\n"
+      "    /*LPSolves=*/%uu, /*LoopIterations=*/%uu,\n"
+      "    /*GenInputs=*/%lluull, /*GenConstraints=*/%lluull,\n"
+      "};\n\n",
+      Ident, Impl.Success ? "true" : "false", Use.NumPieces, Ident, Ident,
+      IsKnuth ? (std::string(Ident) + "Adapted").c_str() : "nullptr", Ident,
+      static_cast<int>(Use.Specials.size()), Impl.LPSolves,
+      Impl.LoopIterations,
+      static_cast<unsigned long long>(Impl.NumInputs),
+      static_cast<unsigned long long>(Impl.NumConstraints));
+}
+
+/// Post-generation verification sweep: checks every implementation over
+/// several independent bit-pattern strides against the oracle's FP34
+/// round-to-odd rounding interval, and patches any violating input into
+/// the special-case table (the paper's special-case mechanism, applied to
+/// inputs the sampled generation did not see). Returns the number of
+/// patches applied across all schemes.
+size_t verifyAndPatch(ElemFunc F, GeneratedImpl Impls[4]) {
+  static constexpr uint64_t Strides[] = {104729, 33331, 15013,
+                                         7919,   2000003, 3200093};
+  FPFormat F34 = FPFormat::fp34();
+  size_t Patched = 0;
+  for (uint64_t Stride : Strides) {
+    for (uint64_t B = 0; B < (1ull << 32); B += Stride) {
+      float X;
+      uint32_t Bits = static_cast<uint32_t>(B);
+      std::memcpy(&X, &Bits, sizeof(X));
+      if (std::isnan(X))
+        continue;
+      bool OracleDone = false;
+      double RoLo = 0, RoHi = 0, Y34 = 0;
+      bool OracleNaN = false;
+      for (int S = 0; S < 4; ++S) {
+        if (!Impls[S].Success)
+          continue;
+        double H = Impls[S].evalH(X);
+        if (!OracleDone) {
+          OracleDone = true;
+          uint64_t Enc = Oracle::eval(F, X, F34, RoundingMode::ToOdd);
+          OracleNaN = F34.isNaN(Enc);
+          if (!OracleNaN) {
+            Y34 = F34.decode(Enc);
+            if (std::isinf(Y34)) {
+              // +inf results come only from +inf inputs (handled in the
+              // reduction); treat as exact.
+              RoLo = RoHi = Y34;
+            } else {
+              HInterval HI = roundingIntervalRO(Y34, F34);
+              RoLo = HI.Lo;
+              RoHi = HI.Hi;
+            }
+          }
+        }
+        if (OracleNaN) {
+          if (!std::isnan(H))
+            std::fprintf(stderr, "  PATCH-FATAL: NaN domain mismatch x=%a\n",
+                         static_cast<double>(X));
+          continue;
+        }
+        if (std::isinf(Y34)) {
+          if (H != Y34)
+            std::fprintf(stderr, "  PATCH-FATAL: inf mismatch x=%a\n",
+                         static_cast<double>(X));
+          continue;
+        }
+        if (H >= RoLo && H <= RoHi)
+          continue;
+        // Outside the rounding interval: patch as a special case (skip if
+        // a previous stride already patched this exact input).
+        bool Already = false;
+        for (const GeneratedImpl::Special &Sp : Impls[S].Specials)
+          Already |= Sp.Bits == Bits;
+        if (Already)
+          continue;
+        Impls[S].Specials.push_back({Bits, Y34});
+        ++Patched;
+        std::fprintf(stderr, "  patched %s/%s x=%a (H=%a not in [%a,%a])\n",
+                     elemFuncName(F),
+                     evalSchemeName(static_cast<EvalScheme>(S)),
+                     static_cast<double>(X), H, RoLo, RoHi);
+      }
+    }
+  }
+  return Patched;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  GenConfig Cfg;
+  Cfg.SampleStride = 2521;
+  Cfg.BoundaryWindow = 2048;
+  Cfg.DegreeLadder = {3, 4, 5, 6};
+
+  std::vector<ElemFunc> Funcs;
+  int ArgIdx = 1;
+  if (ArgIdx < Argc && std::isdigit(Argv[ArgIdx][0]))
+    Cfg.SampleStride = static_cast<uint32_t>(std::atoi(Argv[ArgIdx++]));
+  if (ArgIdx < Argc && std::isdigit(Argv[ArgIdx][0]))
+    Cfg.BoundaryWindow = static_cast<uint32_t>(std::atoi(Argv[ArgIdx++]));
+  for (; ArgIdx < Argc; ++ArgIdx)
+    for (ElemFunc F : AllElemFuncs)
+      if (std::strcmp(Argv[ArgIdx], elemFuncName(F)) == 0)
+        Funcs.push_back(F);
+  if (Funcs.empty())
+    Funcs.assign(AllElemFuncs, AllElemFuncs + 6);
+
+  auto Log = [](const std::string &S) {
+    std::fprintf(stderr, "  %s\n", S.c_str());
+    std::fflush(stderr);
+  };
+
+  for (ElemFunc F : Funcs) {
+    std::fprintf(stderr, "=== %s (stride %u, window %u)\n", elemFuncName(F),
+                 Cfg.SampleStride, Cfg.BoundaryWindow);
+    PolyGenerator Gen(F, Cfg);
+    Gen.prepare(Log);
+
+    GeneratedImpl Impls[4];
+    for (int S = 0; S < 4; ++S) {
+      Impls[S] = Gen.generate(static_cast<EvalScheme>(S), Log);
+      std::fprintf(stderr, "  %s: %s pieces=%d specials=%zu lp=%u\n",
+                   evalSchemeName(static_cast<EvalScheme>(S)),
+                   Impls[S].Success ? "ok" : "UNAVAILABLE", Impls[S].NumPieces,
+                   Impls[S].Specials.size(), Impls[S].LPSolves);
+    }
+    if (!Impls[0].Success) {
+      std::fprintf(stderr, "FATAL: Horner baseline failed for %s\n",
+                   elemFuncName(F));
+      return 1;
+    }
+    size_t Patched = verifyAndPatch(F, Impls);
+    std::fprintf(stderr, "  verification sweeps: %zu special-case patches\n",
+                 Patched);
+
+    std::string Path =
+        std::string("src/libm/generated/") + incName(F) + "Coeffs.inc";
+    FILE *Out = std::fopen(Path.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "cannot open %s (run from the repo root)\n",
+                   Path.c_str());
+      return 1;
+    }
+    std::fprintf(Out,
+                 "// Generated by tools/polygen (stride %u, window %u).\n"
+                 "// Do not edit by hand. See DESIGN.md.\n\n",
+                 Cfg.SampleStride, Cfg.BoundaryWindow);
+    for (int S = 0; S < 4; ++S)
+      emitScheme(Out, schemeIdent(static_cast<EvalScheme>(S)), Impls[S],
+                 Impls[0]);
+    std::fclose(Out);
+    std::fprintf(stderr, "  wrote %s\n", Path.c_str());
+  }
+  return 0;
+}
