@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen.dir/codegen.cpp.o"
+  "CMakeFiles/codegen.dir/codegen.cpp.o.d"
+  "codegen"
+  "codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_function.dir/generate_function.cpp.o"
+  "CMakeFiles/generate_function.dir/generate_function.cpp.o.d"
+  "generate_function"
+  "generate_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

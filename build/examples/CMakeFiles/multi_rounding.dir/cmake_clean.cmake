@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_rounding.dir/multi_rounding.cpp.o"
+  "CMakeFiles/multi_rounding.dir/multi_rounding.cpp.o.d"
+  "multi_rounding"
+  "multi_rounding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_rounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

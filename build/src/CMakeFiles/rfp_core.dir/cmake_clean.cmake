@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_core.dir/core/FunctionCodegen.cpp.o"
+  "CMakeFiles/rfp_core.dir/core/FunctionCodegen.cpp.o.d"
+  "CMakeFiles/rfp_core.dir/core/PolyGen.cpp.o"
+  "CMakeFiles/rfp_core.dir/core/PolyGen.cpp.o.d"
+  "CMakeFiles/rfp_core.dir/core/RoundingInterval.cpp.o"
+  "CMakeFiles/rfp_core.dir/core/RoundingInterval.cpp.o.d"
+  "librfp_core.a"
+  "librfp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_fp.dir/fp/FPFormat.cpp.o"
+  "CMakeFiles/rfp_fp.dir/fp/FPFormat.cpp.o.d"
+  "librfp_fp.a"
+  "librfp_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

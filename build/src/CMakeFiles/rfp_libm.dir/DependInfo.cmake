@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/libm/Dispatch.cpp" "src/CMakeFiles/rfp_libm.dir/libm/Dispatch.cpp.o" "gcc" "src/CMakeFiles/rfp_libm.dir/libm/Dispatch.cpp.o.d"
+  "/root/repo/src/libm/Exp.cpp" "src/CMakeFiles/rfp_libm.dir/libm/Exp.cpp.o" "gcc" "src/CMakeFiles/rfp_libm.dir/libm/Exp.cpp.o.d"
+  "/root/repo/src/libm/Exp10.cpp" "src/CMakeFiles/rfp_libm.dir/libm/Exp10.cpp.o" "gcc" "src/CMakeFiles/rfp_libm.dir/libm/Exp10.cpp.o.d"
+  "/root/repo/src/libm/Exp2.cpp" "src/CMakeFiles/rfp_libm.dir/libm/Exp2.cpp.o" "gcc" "src/CMakeFiles/rfp_libm.dir/libm/Exp2.cpp.o.d"
+  "/root/repo/src/libm/Log.cpp" "src/CMakeFiles/rfp_libm.dir/libm/Log.cpp.o" "gcc" "src/CMakeFiles/rfp_libm.dir/libm/Log.cpp.o.d"
+  "/root/repo/src/libm/Log10.cpp" "src/CMakeFiles/rfp_libm.dir/libm/Log10.cpp.o" "gcc" "src/CMakeFiles/rfp_libm.dir/libm/Log10.cpp.o.d"
+  "/root/repo/src/libm/Log2.cpp" "src/CMakeFiles/rfp_libm.dir/libm/Log2.cpp.o" "gcc" "src/CMakeFiles/rfp_libm.dir/libm/Log2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rfp_fp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfp_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_libm.dir/libm/Dispatch.cpp.o"
+  "CMakeFiles/rfp_libm.dir/libm/Dispatch.cpp.o.d"
+  "CMakeFiles/rfp_libm.dir/libm/Exp.cpp.o"
+  "CMakeFiles/rfp_libm.dir/libm/Exp.cpp.o.d"
+  "CMakeFiles/rfp_libm.dir/libm/Exp10.cpp.o"
+  "CMakeFiles/rfp_libm.dir/libm/Exp10.cpp.o.d"
+  "CMakeFiles/rfp_libm.dir/libm/Exp2.cpp.o"
+  "CMakeFiles/rfp_libm.dir/libm/Exp2.cpp.o.d"
+  "CMakeFiles/rfp_libm.dir/libm/Log.cpp.o"
+  "CMakeFiles/rfp_libm.dir/libm/Log.cpp.o.d"
+  "CMakeFiles/rfp_libm.dir/libm/Log10.cpp.o"
+  "CMakeFiles/rfp_libm.dir/libm/Log10.cpp.o.d"
+  "CMakeFiles/rfp_libm.dir/libm/Log2.cpp.o"
+  "CMakeFiles/rfp_libm.dir/libm/Log2.cpp.o.d"
+  "librfp_libm.a"
+  "librfp_libm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_libm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_lp.dir/lp/LPSolver.cpp.o"
+  "CMakeFiles/rfp_lp.dir/lp/LPSolver.cpp.o.d"
+  "CMakeFiles/rfp_lp.dir/lp/Simplex.cpp.o"
+  "CMakeFiles/rfp_lp.dir/lp/Simplex.cpp.o.d"
+  "librfp_lp.a"
+  "librfp_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_mp.dir/mp/MPFloat.cpp.o"
+  "CMakeFiles/rfp_mp.dir/mp/MPFloat.cpp.o.d"
+  "CMakeFiles/rfp_mp.dir/mp/MPTranscendental.cpp.o"
+  "CMakeFiles/rfp_mp.dir/mp/MPTranscendental.cpp.o.d"
+  "librfp_mp.a"
+  "librfp_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

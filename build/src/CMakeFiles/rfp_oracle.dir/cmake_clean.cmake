@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_oracle.dir/oracle/Oracle.cpp.o"
+  "CMakeFiles/rfp_oracle.dir/oracle/Oracle.cpp.o.d"
+  "librfp_oracle.a"
+  "librfp_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

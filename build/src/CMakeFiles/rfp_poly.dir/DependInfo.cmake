@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poly/Codegen.cpp" "src/CMakeFiles/rfp_poly.dir/poly/Codegen.cpp.o" "gcc" "src/CMakeFiles/rfp_poly.dir/poly/Codegen.cpp.o.d"
+  "/root/repo/src/poly/Cubic.cpp" "src/CMakeFiles/rfp_poly.dir/poly/Cubic.cpp.o" "gcc" "src/CMakeFiles/rfp_poly.dir/poly/Cubic.cpp.o.d"
+  "/root/repo/src/poly/EvalScheme.cpp" "src/CMakeFiles/rfp_poly.dir/poly/EvalScheme.cpp.o" "gcc" "src/CMakeFiles/rfp_poly.dir/poly/EvalScheme.cpp.o.d"
+  "/root/repo/src/poly/KnuthAdapt.cpp" "src/CMakeFiles/rfp_poly.dir/poly/KnuthAdapt.cpp.o" "gcc" "src/CMakeFiles/rfp_poly.dir/poly/KnuthAdapt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rfp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

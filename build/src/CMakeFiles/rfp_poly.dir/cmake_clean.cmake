@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_poly.dir/poly/Codegen.cpp.o"
+  "CMakeFiles/rfp_poly.dir/poly/Codegen.cpp.o.d"
+  "CMakeFiles/rfp_poly.dir/poly/Cubic.cpp.o"
+  "CMakeFiles/rfp_poly.dir/poly/Cubic.cpp.o.d"
+  "CMakeFiles/rfp_poly.dir/poly/EvalScheme.cpp.o"
+  "CMakeFiles/rfp_poly.dir/poly/EvalScheme.cpp.o.d"
+  "CMakeFiles/rfp_poly.dir/poly/KnuthAdapt.cpp.o"
+  "CMakeFiles/rfp_poly.dir/poly/KnuthAdapt.cpp.o.d"
+  "librfp_poly.a"
+  "librfp_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

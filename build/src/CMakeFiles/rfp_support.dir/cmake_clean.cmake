@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_support.dir/support/BigInt.cpp.o"
+  "CMakeFiles/rfp_support.dir/support/BigInt.cpp.o.d"
+  "CMakeFiles/rfp_support.dir/support/Rational.cpp.o"
+  "CMakeFiles/rfp_support.dir/support/Rational.cpp.o.d"
+  "librfp_support.a"
+  "librfp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

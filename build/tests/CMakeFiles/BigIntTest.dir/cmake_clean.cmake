@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "BigIntTest"
+  "BigIntTest.pdb"
+  "BigIntTest[1]_tests.cmake"
+  "CMakeFiles/BigIntTest.dir/BigIntTest.cpp.o"
+  "CMakeFiles/BigIntTest.dir/BigIntTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/BigIntTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CrossRoundingTest.dir/CrossRoundingTest.cpp.o"
+  "CMakeFiles/CrossRoundingTest.dir/CrossRoundingTest.cpp.o.d"
+  "CrossRoundingTest"
+  "CrossRoundingTest.pdb"
+  "CrossRoundingTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CrossRoundingTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

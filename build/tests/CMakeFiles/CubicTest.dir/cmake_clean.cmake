@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CubicTest.dir/CubicTest.cpp.o"
+  "CMakeFiles/CubicTest.dir/CubicTest.cpp.o.d"
+  "CubicTest"
+  "CubicTest.pdb"
+  "CubicTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CubicTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

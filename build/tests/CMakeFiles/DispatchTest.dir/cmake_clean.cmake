@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/DispatchTest.dir/DispatchTest.cpp.o"
+  "CMakeFiles/DispatchTest.dir/DispatchTest.cpp.o.d"
+  "DispatchTest"
+  "DispatchTest.pdb"
+  "DispatchTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/DispatchTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

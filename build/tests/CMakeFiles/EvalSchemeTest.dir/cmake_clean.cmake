@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/EvalSchemeTest.dir/EvalSchemeTest.cpp.o"
+  "CMakeFiles/EvalSchemeTest.dir/EvalSchemeTest.cpp.o.d"
+  "EvalSchemeTest"
+  "EvalSchemeTest.pdb"
+  "EvalSchemeTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/EvalSchemeTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/FPFormatTest.dir/FPFormatTest.cpp.o"
+  "CMakeFiles/FPFormatTest.dir/FPFormatTest.cpp.o.d"
+  "FPFormatTest"
+  "FPFormatTest.pdb"
+  "FPFormatTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/FPFormatTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/FunctionCodegenTest.dir/FunctionCodegenTest.cpp.o"
+  "CMakeFiles/FunctionCodegenTest.dir/FunctionCodegenTest.cpp.o.d"
+  "FunctionCodegenTest"
+  "FunctionCodegenTest.pdb"
+  "FunctionCodegenTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/FunctionCodegenTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

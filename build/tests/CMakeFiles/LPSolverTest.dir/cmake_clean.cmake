@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/LPSolverTest.dir/LPSolverTest.cpp.o"
+  "CMakeFiles/LPSolverTest.dir/LPSolverTest.cpp.o.d"
+  "LPSolverTest"
+  "LPSolverTest.pdb"
+  "LPSolverTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/LPSolverTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/LibmCorrectnessTest.dir/LibmCorrectnessTest.cpp.o"
+  "CMakeFiles/LibmCorrectnessTest.dir/LibmCorrectnessTest.cpp.o.d"
+  "LibmCorrectnessTest"
+  "LibmCorrectnessTest.pdb"
+  "LibmCorrectnessTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/LibmCorrectnessTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/LibmSpecialTest.cpp" "tests/CMakeFiles/LibmSpecialTest.dir/LibmSpecialTest.cpp.o" "gcc" "tests/CMakeFiles/LibmSpecialTest.dir/LibmSpecialTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rfp_libm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfp_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfp_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfp_fp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfp_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

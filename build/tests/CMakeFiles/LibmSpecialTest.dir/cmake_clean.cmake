@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/LibmSpecialTest.dir/LibmSpecialTest.cpp.o"
+  "CMakeFiles/LibmSpecialTest.dir/LibmSpecialTest.cpp.o.d"
+  "LibmSpecialTest"
+  "LibmSpecialTest.pdb"
+  "LibmSpecialTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/LibmSpecialTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MPFloatTest.dir/MPFloatTest.cpp.o"
+  "CMakeFiles/MPFloatTest.dir/MPFloatTest.cpp.o.d"
+  "MPFloatTest"
+  "MPFloatTest.pdb"
+  "MPFloatTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MPFloatTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

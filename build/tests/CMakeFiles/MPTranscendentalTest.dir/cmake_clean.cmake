@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MPTranscendentalTest.dir/MPTranscendentalTest.cpp.o"
+  "CMakeFiles/MPTranscendentalTest.dir/MPTranscendentalTest.cpp.o.d"
+  "MPTranscendentalTest"
+  "MPTranscendentalTest.pdb"
+  "MPTranscendentalTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MPTranscendentalTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

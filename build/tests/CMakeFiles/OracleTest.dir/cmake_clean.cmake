@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/OracleTest.dir/OracleTest.cpp.o"
+  "CMakeFiles/OracleTest.dir/OracleTest.cpp.o.d"
+  "OracleTest"
+  "OracleTest.pdb"
+  "OracleTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/OracleTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/RangeReductionTest.dir/RangeReductionTest.cpp.o"
+  "CMakeFiles/RangeReductionTest.dir/RangeReductionTest.cpp.o.d"
+  "RangeReductionTest"
+  "RangeReductionTest.pdb"
+  "RangeReductionTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/RangeReductionTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

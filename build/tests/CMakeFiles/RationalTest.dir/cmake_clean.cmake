@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/RationalTest.dir/RationalTest.cpp.o"
+  "CMakeFiles/RationalTest.dir/RationalTest.cpp.o.d"
+  "RationalTest"
+  "RationalTest.pdb"
+  "RationalTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/RationalTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

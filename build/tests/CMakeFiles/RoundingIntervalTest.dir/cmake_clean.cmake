@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/RoundingIntervalTest.dir/RoundingIntervalTest.cpp.o"
+  "CMakeFiles/RoundingIntervalTest.dir/RoundingIntervalTest.cpp.o.d"
+  "RoundingIntervalTest"
+  "RoundingIntervalTest.pdb"
+  "RoundingIntervalTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/RoundingIntervalTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

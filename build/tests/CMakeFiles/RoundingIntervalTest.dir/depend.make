@@ -1,0 +1,2 @@
+# Empty dependencies file for RoundingIntervalTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SimplexTest.dir/SimplexTest.cpp.o"
+  "CMakeFiles/SimplexTest.dir/SimplexTest.cpp.o.d"
+  "SimplexTest"
+  "SimplexTest.pdb"
+  "SimplexTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SimplexTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TablesTest.dir/TablesTest.cpp.o"
+  "CMakeFiles/TablesTest.dir/TablesTest.cpp.o.d"
+  "TablesTest"
+  "TablesTest.pdb"
+  "TablesTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TablesTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

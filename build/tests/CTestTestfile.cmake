@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/BigIntTest[1]_include.cmake")
+include("/root/repo/build/tests/RationalTest[1]_include.cmake")
+include("/root/repo/build/tests/FPFormatTest[1]_include.cmake")
+include("/root/repo/build/tests/MPFloatTest[1]_include.cmake")
+include("/root/repo/build/tests/MPTranscendentalTest[1]_include.cmake")
+include("/root/repo/build/tests/OracleTest[1]_include.cmake")
+include("/root/repo/build/tests/SimplexTest[1]_include.cmake")
+include("/root/repo/build/tests/LPSolverTest[1]_include.cmake")
+include("/root/repo/build/tests/EvalSchemeTest[1]_include.cmake")
+include("/root/repo/build/tests/CubicTest[1]_include.cmake")
+include("/root/repo/build/tests/CodegenTest[1]_include.cmake")
+include("/root/repo/build/tests/RangeReductionTest[1]_include.cmake")
+include("/root/repo/build/tests/RoundingIntervalTest[1]_include.cmake")
+include("/root/repo/build/tests/PipelineTest[1]_include.cmake")
+include("/root/repo/build/tests/FunctionCodegenTest[1]_include.cmake")
+include("/root/repo/build/tests/TablesTest[1]_include.cmake")
+include("/root/repo/build/tests/CrossRoundingTest[1]_include.cmake")
+include("/root/repo/build/tests/LibmCorrectnessTest[1]_include.cmake")
+include("/root/repo/build/tests/LibmSpecialTest[1]_include.cmake")
+include("/root/repo/build/tests/DispatchTest[1]_include.cmake")

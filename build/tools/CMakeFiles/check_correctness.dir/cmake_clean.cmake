@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_correctness.dir/check_correctness.cpp.o"
+  "CMakeFiles/check_correctness.dir/check_correctness.cpp.o.d"
+  "check_correctness"
+  "check_correctness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gentables.dir/gentables.cpp.o"
+  "CMakeFiles/gentables.dir/gentables.cpp.o.d"
+  "gentables"
+  "gentables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gentables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polygen.dir/polygen.cpp.o"
+  "CMakeFiles/polygen.dir/polygen.cpp.o.d"
+  "polygen"
+  "polygen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polygen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
