@@ -15,6 +15,7 @@
 #ifndef RFP_BENCH_CYCLETIMER_H
 #define RFP_BENCH_CYCLETIMER_H
 
+#include <chrono>
 #include <cstdint>
 #include <x86intrin.h>
 
@@ -77,6 +78,25 @@ inline double timerOverheadPerCall(size_t Count = 100000) {
       Best = Total;
   }
   return static_cast<double>(Best) / Count;
+}
+
+/// Calibrates the TSC rate against the steady clock (~25 ms busy-wait) so
+/// cycle counts can be reported as nanoseconds in the machine-readable
+/// benchmark output. The TSC is invariant on every platform we target, so
+/// one calibration per process is enough.
+inline double cyclesPerNanosecond() {
+  using Clock = std::chrono::steady_clock;
+  auto T0 = Clock::now();
+  uint64_t C0 = readCycles();
+  while (std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               T0)
+             .count() < 25000) {
+  }
+  auto T1 = Clock::now();
+  uint64_t C1 = readCycles();
+  double Ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0).count());
+  return Ns > 0 ? static_cast<double>(C1 - C0) / Ns : 1.0;
 }
 
 /// Latency harness: evaluates a *dependent chain* of calls (each input

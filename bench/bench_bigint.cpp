@@ -1,0 +1,75 @@
+//===- bench/bench_bigint.cpp - BigInt/Rational hot-path microbench -------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Microbenchmarks for the arithmetic the exact-rational LP solver leans on:
+// 1xN limb products (every pivot multiplies long numerators/denominators by
+// small factors) and Rational normalization of integer-valued results.
+// Tracks the effect of the single-limb magMul fast path and the
+// Den.isOne() normalize early-out (numbers recorded in EXPERIMENTS.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rational.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rfp;
+
+namespace {
+
+/// A reproducible ~NumLimbs-limb positive integer.
+BigInt bigOperand(unsigned NumLimbs) {
+  BigInt V(0x9e3779b97f4a7c15ull, true);
+  for (unsigned I = 1; I * 2 < NumLimbs; ++I)
+    V = V * BigInt(0xdeadbeefcafef00dull, true) + BigInt(12345);
+  return V;
+}
+
+void BM_MagMulSingleLimb(benchmark::State &State) {
+  BigInt Long = bigOperand(static_cast<unsigned>(State.range(0)));
+  BigInt Small(0x12345677);
+  for (auto _ : State) {
+    BigInt P = Long * Small;
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_MagMulSingleLimb)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_MagMulMultiLimb(benchmark::State &State) {
+  BigInt A = bigOperand(static_cast<unsigned>(State.range(0)));
+  BigInt B = bigOperand(static_cast<unsigned>(State.range(0)) / 2 + 2);
+  for (auto _ : State) {
+    BigInt P = A * B;
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_MagMulMultiLimb)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_RationalNormalizeInteger(benchmark::State &State) {
+  // Integer-valued rationals: the Den.isOne() early-out skips the gcd.
+  BigInt N = bigOperand(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    Rational R(N);
+    Rational Sq = R * R;
+    benchmark::DoNotOptimize(Sq);
+  }
+}
+BENCHMARK(BM_RationalNormalizeInteger)->Arg(8)->Arg(32);
+
+void BM_RationalNormalizeFraction(benchmark::State &State) {
+  // Dyadic fractions still take the gcd path (power-of-two denominators).
+  Rational A = Rational::fromDouble(0x1.fedcba9876543p-7);
+  Rational B = Rational::fromDouble(0x1.23456789abcdep+9);
+  for (auto _ : State) {
+    Rational P = A * B + A;
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_RationalNormalizeFraction);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -21,6 +21,7 @@
 
 #include "libm/rlibm.h"
 #include "oracle/Oracle.h"
+#include "support/ThreadPool.h"
 
 #include <cmath>
 #include <cstdio>
@@ -80,51 +81,74 @@ double glibcDouble(ElemFunc F, float X) {
 }
 
 Counts countWrong(ElemFunc F) {
-  Counts C;
   FPFormat F32 = FPFormat::float32();
   FPFormat BF16 = FPFormat::bfloat16();
   FPFormat F34 = FPFormat::fp34();
-  for (uint64_t B = 0; B < (1ull << 32); B += Stride) {
-    float X;
-    uint32_t Bits = static_cast<uint32_t>(B);
-    std::memcpy(&X, &Bits, sizeof(X));
-    if (std::isnan(X))
-      continue;
-    uint64_t Enc34 = Oracle::eval(F, X, F34, RoundingMode::ToOdd);
-    if (F34.isNaN(Enc34))
-      continue; // NaN domains agree everywhere
-    ++C.Total;
-    double RO = F34.decode(Enc34);
-    uint64_t Want32 = F32.roundDouble(RO, RoundingMode::NearestEven);
-    uint64_t WantBf = BF16.roundDouble(RO, RoundingMode::NearestEven);
+  bool Avail[4];
+  for (int SI = 0; SI < 4; ++SI)
+    Avail[SI] = variantInfo(F, static_cast<EvalScheme>(SI)).Available;
 
-    for (int SI = 0; SI < 4; ++SI) {
-      EvalScheme S = static_cast<EvalScheme>(SI);
-      if (!variantInfo(F, S).Available) {
-        C.Ours[SI] = -1;
-        continue;
-      }
-      double H = evalCore(F, S, X);
-      if (F32.roundDouble(H, RoundingMode::NearestEven) != Want32)
-        ++C.Ours[SI];
-    }
+  // Oracle-bound sweep: every strided input is independent, so chunks run
+  // in parallel and the pure-count partials are summed in chunk order.
+  uint64_t NumSteps = ((1ull << 32) + Stride - 1) / Stride;
+  Counts C = parallelReduce<Counts>(
+      NumSteps, Counts(),
+      [&](size_t Begin, size_t End) {
+        Counts T;
+        for (size_t I = Begin; I < End; ++I) {
+          uint64_t B = static_cast<uint64_t>(I) * Stride;
+          float X;
+          uint32_t Bits = static_cast<uint32_t>(B);
+          std::memcpy(&X, &Bits, sizeof(X));
+          if (std::isnan(X))
+            continue;
+          uint64_t Enc34 = Oracle::eval(F, X, F34, RoundingMode::ToOdd);
+          if (F34.isNaN(Enc34))
+            continue; // NaN domains agree everywhere
+          ++T.Total;
+          double RO = F34.decode(Enc34);
+          uint64_t Want32 = F32.roundDouble(RO, RoundingMode::NearestEven);
+          uint64_t WantBf = BF16.roundDouble(RO, RoundingMode::NearestEven);
 
-    float GF = static_cast<float>(glibcFloat(F, X));
-    if (F32.roundDouble(GF, RoundingMode::NearestEven) != Want32)
-      ++C.GlibcFloat;
-    // Double rounding of the (nearly always correctly rounded) double
-    // result to float: the naive approach from Figure 3.
-    float GD = static_cast<float>(glibcDouble(F, X));
-    if (F32.roundDouble(GD, RoundingMode::NearestEven) != Want32)
-      ++C.GlibcDouble;
-    // bfloat16 via the float32 result (double rounding, Figure 3) vs via
-    // our H value directly.
-    if (BF16.roundDouble(GF, RoundingMode::NearestEven) != WantBf)
-      ++C.GlibcFloatBf16;
-    double HBest = evalCore(F, EvalScheme::EstrinFMA, X);
-    if (BF16.roundDouble(HBest, RoundingMode::NearestEven) != WantBf)
-      ++C.OursBf16;
-  }
+          for (int SI = 0; SI < 4; ++SI) {
+            if (!Avail[SI])
+              continue;
+            double H = evalCore(F, static_cast<EvalScheme>(SI), X);
+            if (F32.roundDouble(H, RoundingMode::NearestEven) != Want32)
+              ++T.Ours[SI];
+          }
+
+          float GF = static_cast<float>(glibcFloat(F, X));
+          if (F32.roundDouble(GF, RoundingMode::NearestEven) != Want32)
+            ++T.GlibcFloat;
+          // Double rounding of the (nearly always correctly rounded) double
+          // result to float: the naive approach from Figure 3.
+          float GD = static_cast<float>(glibcDouble(F, X));
+          if (F32.roundDouble(GD, RoundingMode::NearestEven) != Want32)
+            ++T.GlibcDouble;
+          // bfloat16 via the float32 result (double rounding, Figure 3) vs
+          // via our H value directly.
+          if (BF16.roundDouble(GF, RoundingMode::NearestEven) != WantBf)
+            ++T.GlibcFloatBf16;
+          double HBest = evalCore(F, EvalScheme::EstrinFMA, X);
+          if (BF16.roundDouble(HBest, RoundingMode::NearestEven) != WantBf)
+            ++T.OursBf16;
+        }
+        return T;
+      },
+      [](Counts A, Counts B) {
+        for (int SI = 0; SI < 4; ++SI)
+          A.Ours[SI] += B.Ours[SI];
+        A.GlibcFloat += B.GlibcFloat;
+        A.GlibcDouble += B.GlibcDouble;
+        A.GlibcFloatBf16 += B.GlibcFloatBf16;
+        A.OursBf16 += B.OursBf16;
+        A.Total += B.Total;
+        return A;
+      });
+  for (int SI = 0; SI < 4; ++SI)
+    if (!Avail[SI])
+      C.Ours[SI] = -1;
   return C;
 }
 

@@ -1,0 +1,207 @@
+//===- bench/bench_polygen.cpp - Generator pipeline wall-clock ------------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the end-to-end polynomial generation pipeline -- prepare()
+// (oracle-bound constraint construction) plus generate() for every
+// available scheme -- across a ladder of thread counts, and emits a
+// machine-readable JSON report:
+//
+//   * wall-clock ms for prepare and generate at each thread count
+//   * speedup relative to the single-threaded run
+//   * the oracle cache hit rate observed during the generate (check) phase
+//   * whether the generated output is bit-identical across thread counts
+//     (coefficients, piece degrees, special cases) -- the determinism
+//     contract of the parallel layer
+//
+//   bench_polygen [func] [--stride N] [--threads a,b,c] [--json[=path]]
+//
+// Default stride is CI-scale (65537); pass --stride 1009 for the default
+// GenConfig sampling density used by the shipped tables.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PolyGen.h"
+#include "oracle/OracleCache.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace rfp;
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+struct RunResult {
+  unsigned Threads = 0;
+  double PrepareMs = 0, GenerateMs = 0;
+  double CheckPhaseHitRate = 0;
+  std::vector<GeneratedImpl> Impls;
+};
+
+bool identicalOutput(const GeneratedImpl &A, const GeneratedImpl &B) {
+  if (A.Success != B.Success || A.NumPieces != B.NumPieces ||
+      A.PieceDegrees != B.PieceDegrees ||
+      A.Specials.size() != B.Specials.size())
+    return false;
+  for (size_t I = 0; I < A.Specials.size(); ++I)
+    if (A.Specials[I].Bits != B.Specials[I].Bits ||
+        std::memcmp(&A.Specials[I].H, &B.Specials[I].H, sizeof(double)) != 0)
+      return false;
+  for (int P = 0; P < A.NumPieces; ++P) {
+    if (A.Pieces[P].Coeffs.size() != B.Pieces[P].Coeffs.size())
+      return false;
+    // memcmp, not ==: bit-identical includes the sign of zero and NaN bits.
+    if (!A.Pieces[P].Coeffs.empty() &&
+        std::memcmp(A.Pieces[P].Coeffs.data(), B.Pieces[P].Coeffs.data(),
+                    A.Pieces[P].Coeffs.size() * sizeof(double)) != 0)
+      return false;
+  }
+  return true;
+}
+
+RunResult runPipeline(ElemFunc F, GenConfig Cfg, unsigned Threads) {
+  Cfg.NumThreads = Threads;
+  oracle_cache::clear();
+
+  RunResult R;
+  R.Threads = Threads;
+  PolyGenerator Gen(F, Cfg);
+
+  auto T0 = std::chrono::steady_clock::now();
+  Gen.prepare();
+  R.PrepareMs = msSince(T0);
+
+  OracleCacheStats Before = oracle_cache::stats();
+  T0 = std::chrono::steady_clock::now();
+  for (EvalScheme S : AllEvalSchemes)
+    R.Impls.push_back(Gen.generate(S));
+  R.GenerateMs = msSince(T0);
+
+  OracleCacheStats After = oracle_cache::stats();
+  uint64_t Hits = After.Hits - Before.Hits;
+  uint64_t Misses = After.Misses - Before.Misses;
+  R.CheckPhaseHitRate =
+      Hits + Misses == 0 ? 1.0
+                         : static_cast<double>(Hits) / (Hits + Misses);
+  return R;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ElemFunc Func = ElemFunc::Exp;
+  GenConfig Cfg;
+  Cfg.SampleStride = 65537; // CI-scale default; --stride 1009 = full density
+  Cfg.BoundaryWindow = 256;
+  std::vector<unsigned> ThreadLadder = {1, 2, 4};
+  std::string JsonPath = "bench_polygen.json";
+
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--stride") == 0 && I + 1 < Argc) {
+      Cfg.SampleStride = static_cast<uint32_t>(std::atol(Argv[++I]));
+    } else if (std::strcmp(Argv[I], "--threads") == 0 && I + 1 < Argc) {
+      ThreadLadder.clear();
+      for (const char *P = Argv[++I]; *P;) {
+        if (*P < '0' || *P > '9') {
+          std::fprintf(stderr,
+                       "--threads expects a comma-separated list of counts "
+                       "(0 = auto), got '%s'\n",
+                       Argv[I]);
+          return 2;
+        }
+        ThreadLadder.push_back(static_cast<unsigned>(std::atol(P)));
+        while (*P && *P != ',')
+          ++P;
+        if (*P == ',')
+          ++P;
+      }
+    } else if (std::strcmp(Argv[I], "--json") == 0) {
+      JsonPath = "bench_polygen.json";
+    } else if (std::strncmp(Argv[I], "--json=", 7) == 0) {
+      JsonPath = Argv[I] + 7;
+    } else {
+      bool Known = false;
+      for (ElemFunc F : AllElemFuncs)
+        if (std::strcmp(Argv[I], elemFuncName(F)) == 0) {
+          Func = F;
+          Known = true;
+        }
+      if (!Known) {
+        std::fprintf(stderr,
+                     "unknown argument '%s'\nusage: bench_polygen [func] "
+                     "[--stride N] [--threads a,b,c] [--json[=path]]\n",
+                     Argv[I]);
+        return 2;
+      }
+    }
+  }
+
+  std::printf("Generator pipeline wall-clock, %s, stride %u\n",
+              elemFuncName(Func), Cfg.SampleStride);
+  std::printf("%8s %12s %12s %12s %10s %10s\n", "threads", "prepare ms",
+              "generate ms", "total ms", "speedup", "hit rate");
+
+  std::vector<RunResult> Runs;
+  for (unsigned T : ThreadLadder)
+    Runs.push_back(runPipeline(Func, Cfg, T));
+
+  double BaseTotal = Runs.empty()
+                         ? 0
+                         : Runs.front().PrepareMs + Runs.front().GenerateMs;
+  bool AllIdentical = true;
+  for (const RunResult &R : Runs) {
+    double Total = R.PrepareMs + R.GenerateMs;
+    std::printf("%8u %12.1f %12.1f %12.1f %9.2fx %9.1f%%\n", R.Threads,
+                R.PrepareMs, R.GenerateMs, Total,
+                Total > 0 ? BaseTotal / Total : 0.0,
+                100.0 * R.CheckPhaseHitRate);
+    for (size_t S = 0; S < R.Impls.size(); ++S)
+      if (!identicalOutput(Runs.front().Impls[S], R.Impls[S]))
+        AllIdentical = false;
+  }
+  std::printf("output bit-identical across thread counts: %s\n",
+              AllIdentical ? "yes" : "NO -- DETERMINISM VIOLATION");
+
+  if (!JsonPath.empty()) {
+    FILE *Out = std::fopen(JsonPath.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    std::fprintf(Out,
+                 "{\n  \"benchmark\": \"bench_polygen\",\n"
+                 "  \"func\": \"%s\",\n  \"sample_stride\": %u,\n"
+                 "  \"bit_identical_across_threads\": %s,\n  \"runs\": [\n",
+                 elemFuncName(Func), Cfg.SampleStride,
+                 AllIdentical ? "true" : "false");
+    for (size_t I = 0; I < Runs.size(); ++I) {
+      const RunResult &R = Runs[I];
+      double Total = R.PrepareMs + R.GenerateMs;
+      std::fprintf(Out,
+                   "    {\"threads\": %u, \"prepare_ms\": %.2f, "
+                   "\"generate_ms\": %.2f, \"total_ms\": %.2f, "
+                   "\"speedup_vs_1thread\": %.3f, "
+                   "\"check_phase_cache_hit_rate\": %.4f}%s\n",
+                   R.Threads, R.PrepareMs, R.GenerateMs, Total,
+                   Total > 0 ? BaseTotal / Total : 0.0, R.CheckPhaseHitRate,
+                   I + 1 < Runs.size() ? "," : "");
+    }
+    std::fprintf(Out, "  ]\n}\n");
+    std::fclose(Out);
+    std::printf("wrote %s\n", JsonPath.c_str());
+  }
+  return AllIdentical ? 0 : 1;
+}

@@ -20,6 +20,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
 using namespace rfp;
@@ -77,13 +78,64 @@ CoreFn coreFor(ElemFunc F, EvalScheme S) {
   return Table[static_cast<int>(F)][static_cast<int>(S)];
 }
 
+/// Emits the measured series as machine-readable JSON (schema documented in
+/// DESIGN.md, "Experiment index") so perf trajectory can be tracked across
+/// PRs. Latencies are reported both in cycles and ns/op via a one-shot TSC
+/// calibration; speedups are relative to the Horner baseline.
+void writeJson(const char *Path, double Overhead, double CyclesPerNs,
+               const double Cycles[6][4], const double PerCall[6][4],
+               const double Speedup[6][4]) {
+  FILE *Out = std::fopen(Path, "w");
+  if (!Out) {
+    std::fprintf(stderr, "cannot write %s\n", Path);
+    return;
+  }
+  std::fprintf(Out, "{\n  \"benchmark\": \"bench_speedup\",\n");
+  std::fprintf(Out, "  \"timer_overhead_cycles\": %.2f,\n", Overhead);
+  std::fprintf(Out, "  \"cycles_per_ns\": %.4f,\n  \"functions\": [\n",
+               CyclesPerNs);
+  for (int FI = 0; FI < 6; ++FI) {
+    std::fprintf(Out, "    {\"func\": \"%s\", \"schemes\": [\n",
+                 elemFuncName(AllElemFuncs[FI]));
+    bool First = true;
+    for (int SI = 0; SI < 4; ++SI) {
+      if (Cycles[FI][SI] < 0)
+        continue;
+      std::fprintf(
+          Out,
+          "      %s{\"scheme\": \"%s\", \"latency_cycles\": %.2f, "
+          "\"latency_ns_per_op\": %.3f, \"percall_net_cycles\": %.2f, "
+          "\"speedup_vs_horner_pct\": %.3f}",
+          First ? "" : ",", evalSchemeName(static_cast<EvalScheme>(SI)),
+          Cycles[FI][SI], Cycles[FI][SI] / CyclesPerNs, PerCall[FI][SI],
+          SI == 0 ? 0.0 : Speedup[FI][SI]);
+      std::fprintf(Out, "\n");
+      First = false;
+    }
+    std::fprintf(Out, "    ]}%s\n", FI + 1 < 6 ? "," : "");
+  }
+  std::fprintf(Out, "  ]\n}\n");
+  std::fclose(Out);
+  std::printf("\nwrote %s\n", Path);
+}
+
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0)
+      JsonPath = "bench_speedup.json";
+    else if (std::strncmp(Argv[I], "--json=", 7) == 0)
+      JsonPath = Argv[I] + 7;
+  }
+
   double Sink = 0.0;
   double SpeedupSum[4] = {0, 0, 0, 0};
   int SpeedupCount[4] = {0, 0, 0, 0};
   double PerFunc[6][4] = {};
+  double AllCycles[6][4] = {};
+  double AllPerCall[6][4] = {};
   double Overhead = timerOverheadPerCall();
 
   std::printf("Table 2 / Figure 6: speedup over the RLIBM (Horner) baseline\n");
@@ -112,6 +164,10 @@ int main() {
           measureBest(coreFor(F, S), Inputs.data(), Inputs.size(), Sink);
       PerCall[SI] =
           static_cast<double>(Total) / Inputs.size() - Overhead;
+    }
+    for (int SI = 0; SI < 4; ++SI) {
+      AllCycles[FI][SI] = Cycles[SI];
+      AllPerCall[FI][SI] = PerCall[SI];
     }
     std::printf("%-8s %12.1f", elemFuncName(F), Cycles[0]);
     for (int SI = 1; SI < 4; ++SI) {
@@ -154,5 +210,9 @@ int main() {
     std::printf("\n");
   }
   std::printf("\n(sink %g)\n", Sink == 12345.0 ? 1.0 : 0.0);
+
+  if (!JsonPath.empty())
+    writeJson(JsonPath.c_str(), Overhead, cyclesPerNanosecond(), AllCycles,
+              AllPerCall, PerFunc);
   return 0;
 }

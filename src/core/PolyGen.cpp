@@ -8,12 +8,16 @@
 
 #include "lp/LPSolver.h"
 #include "oracle/Oracle.h"
+#include "oracle/OracleCache.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
 #include <cstring>
+#include <mutex>
 #include <unordered_map>
 
 using namespace rfp;
@@ -146,44 +150,72 @@ void PolyGenerator::prepare(LogFn Log) {
   std::unordered_map<uint64_t, size_t> Index;
   Index.reserve(Inputs.size());
 
-  size_t Done = 0;
-  for (float X : Inputs) {
-    if (Log && (++Done % 200000) == 0)
-      Log("oracle progress: " + std::to_string(Done) + "/" +
-          std::to_string(NumInputs));
+  // Phase 1 (parallel, oracle-bound): one independent oracle query + interval
+  // inference per input. Results land in a vector slot per input index.
+  struct PreparedInput {
+    double Y34;
+    double T;
+    double Lo, Hi;
+    bool PIValid;
+  };
+  std::vector<PreparedInput> Derived(Inputs.size());
+  std::atomic<size_t> Done{0};
+  std::mutex LogMutex;
+  parallelFor(
+      Inputs.size(),
+      [&](size_t Begin, size_t End) {
+        for (size_t I = Begin; I < End; ++I) {
+          float X = Inputs[I];
+          uint64_t Enc = oracle_cache::evalToOdd34(Func, floatToBits(X));
+          assert(F34.isFinite(Enc) && "poly-path input with non-finite oracle");
+          double Y34 = F34.decode(Enc);
+          HInterval HI = roundingIntervalRO(Y34, F34);
+          libm::Reduction R = libm::reduceInput(Func, X);
+          HInterval PI = inferPolyInterval(Func, R, HI.Lo, HI.Hi);
+          Derived[I] = {Y34, R.T, PI.Lo, PI.Hi, PI.Valid};
+        }
+        if (Log) {
+          size_t D = Done.fetch_add(End - Begin) + (End - Begin);
+          if ((D * 8) / Inputs.size() != ((D - (End - Begin)) * 8) / Inputs.size()) {
+            std::lock_guard<std::mutex> L(LogMutex);
+            Log("oracle progress: " + std::to_string(D) + "/" +
+                std::to_string(NumInputs));
+          }
+        }
+      },
+      Config.NumThreads);
 
-    uint64_t Enc = Oracle::eval(Func, X, F34, RoundingMode::ToOdd);
-    assert(F34.isFinite(Enc) && "poly-path input with non-finite oracle");
-    double Y34 = F34.decode(Enc);
-    HInterval HI = roundingIntervalRO(Y34, F34);
-
-    libm::Reduction R = libm::reduceInput(Func, X);
-    HInterval PI = inferPolyInterval(Func, R, HI.Lo, HI.Hi);
-    uint32_t XBits = floatToBits(X);
-    if (!PI.Valid) {
-      ForcedSpecials.push_back({XBits, Y34});
+  // Phase 2 (serial, cheap): merge in ascending input-index order -- the
+  // exact order the old serial loop used -- so the constraint set, the
+  // intersection outcomes, and the forced specials are bit-identical for
+  // every thread count.
+  for (size_t I = 0; I < Inputs.size(); ++I) {
+    const PreparedInput &D = Derived[I];
+    uint32_t XBits = floatToBits(Inputs[I]);
+    if (!D.PIValid) {
+      ForcedSpecials.push_back({XBits, D.Y34});
       continue;
     }
 
-    auto [It, Fresh] = Index.try_emplace(doubleKey(R.T), Constraints.size());
+    auto [It, Fresh] = Index.try_emplace(doubleKey(D.T), Constraints.size());
     if (Fresh) {
       Constraints.push_back(
-          {R.T, PI.Lo, PI.Hi, PI.Lo, PI.Hi, {XBits}});
+          {D.T, D.Lo, D.Hi, D.Lo, D.Hi, {XBits}});
       continue;
     }
     MergedConstraint &M = Constraints[It->second];
-    double NewAlpha = std::max(M.Alpha, PI.Lo);
-    double NewBeta = std::min(M.Beta, PI.Hi);
+    double NewAlpha = std::max(M.Alpha, D.Lo);
+    double NewBeta = std::min(M.Beta, D.Hi);
     if (NewAlpha > NewBeta) {
       // The paper's CombineRedIntervals would report an empty intersection;
       // we keep the existing constraint and special-case the new input.
-      ForcedSpecials.push_back({XBits, Y34});
+      ForcedSpecials.push_back({XBits, D.Y34});
       continue;
     }
     M.Alpha = NewAlpha;
     M.Beta = NewBeta;
-    M.Alpha0 = std::max(M.Alpha0, PI.Lo);
-    M.Beta0 = std::min(M.Beta0, PI.Hi);
+    M.Alpha0 = std::max(M.Alpha0, D.Lo);
+    M.Beta0 = std::min(M.Beta0, D.Hi);
     M.Inputs.push_back(XBits);
   }
 
@@ -233,15 +265,16 @@ bool PolyGenerator::generatePiece(EvalScheme S,
   // Retires a constraint whose interval was exhausted: its inputs become
   // explicit special cases (what the paper counts in Table 1). Returns
   // false when the special-case budget is exceeded.
+  // The oracle values were already computed during prepare(), so these
+  // re-queries (repeated on every degree/shape attempt that retires the
+  // same constraint) hit the memoizing cache instead of re-running Ziv.
   FPFormat F34 = FPFormat::fp34();
   auto RetireConstraint = [&](MergedConstraint &M) {
     if (Impl.Specials.size() + M.Inputs.size() >
         static_cast<size_t>(Config.MaxSpecialCases))
       return false;
     for (uint32_t XBits : M.Inputs) {
-      float X = bitsToFloat(XBits);
-      double Y34 =
-          F34.decode(Oracle::eval(Func, X, F34, RoundingMode::ToOdd));
+      double Y34 = F34.decode(oracle_cache::evalToOdd34(Func, XBits));
       Impl.Specials.push_back({XBits, Y34});
     }
     M.Dead = true;
@@ -295,13 +328,27 @@ bool PolyGenerator::generatePiece(EvalScheme S,
     }
 
     // Check step (Algorithm 2 lines 13-17): evaluate with the shipped
-    // operation order on *every* constraint of the piece.
+    // operation order on *every* constraint of the piece. The evaluations
+    // are read-only and independent, so they run in parallel into an
+    // index-addressed vector; the constraint mutations below stay serial
+    // and visit ascending indices, keeping the shrink/retire sequence
+    // bit-identical for every thread count.
+    std::vector<double> Evals(Piece.size());
+    parallelFor(
+        Piece.size(),
+        [&](size_t Begin, size_t End) {
+          for (size_t I = Begin; I < End; ++I)
+            if (!Piece[I]->Dead)
+              Evals[I] = evalCandidate(S, P, KA, Piece[I]->T);
+        },
+        Config.NumThreads);
+
     size_t Violations = 0;
     for (size_t I = 0; I < Piece.size(); ++I) {
       MergedConstraint &M = *Piece[I];
       if (M.Dead)
         continue;
-      double V = evalCandidate(S, P, KA, M.T);
+      double V = Evals[I];
       bool Bad = false;
       if (V < M.Alpha) {
         // ConstrainInterval: move the violated bound one step inward.
@@ -418,30 +465,41 @@ size_t PolyGenerator::countPostProcessViolations(const GeneratedImpl &Base,
   double TMin, TMax;
   libm::reducedDomain(Func, TMin, TMax);
 
-  size_t BadInputs = 0;
-  for (const MergedConstraint &M : Constraints) {
-    int Piece = libm::pieceIndex(M.T, TMin, TMax, Base.NumPieces);
-    const Polynomial &P = Base.Pieces[Piece];
-    KnuthAdapted KA;
-    if (S == EvalScheme::Knuth) {
-      KA = adaptCoefficients(P.Coeffs.data(), P.degree());
-      if (!KA.Valid)
-        continue;
-    }
-    // Count only *additional* damage: constraints the baseline scheme
-    // satisfies but the post-process-adapted evaluation violates.
-    // (Constraints the baseline already special-cases violate under every
-    // scheme and are not the post-process effect the paper measures.)
-    double BaseV = evalCandidate(Base.Scheme, P,
-                                 Base.Scheme == EvalScheme::Knuth
-                                     ? Base.Adapted[Piece]
-                                     : KA,
-                                 M.T);
-    if (BaseV < M.Alpha0 || BaseV > M.Beta0)
-      continue;
-    double V = evalCandidate(S, P, KA, M.T);
-    if (V < M.Alpha0 || V > M.Beta0)
-      BadInputs += M.Inputs.size();
-  }
-  return BadInputs;
+  // Pure counting sweep: each constraint contributes independently, so the
+  // chunks run in parallel and the per-chunk counts merge in chunk order
+  // (sum of size_t -- order-insensitive, but the merge rule keeps the
+  // pattern uniform with the other sweeps).
+  return parallelReduce<size_t>(
+      Constraints.size(), 0,
+      [&](size_t Begin, size_t End) {
+        size_t BadInputs = 0;
+        for (size_t I = Begin; I < End; ++I) {
+          const MergedConstraint &M = Constraints[I];
+          int Piece = libm::pieceIndex(M.T, TMin, TMax, Base.NumPieces);
+          const Polynomial &P = Base.Pieces[Piece];
+          KnuthAdapted KA;
+          if (S == EvalScheme::Knuth) {
+            KA = adaptCoefficients(P.Coeffs.data(), P.degree());
+            if (!KA.Valid)
+              continue;
+          }
+          // Count only *additional* damage: constraints the baseline scheme
+          // satisfies but the post-process-adapted evaluation violates.
+          // (Constraints the baseline already special-cases violate under
+          // every scheme and are not the post-process effect the paper
+          // measures.)
+          double BaseV = evalCandidate(Base.Scheme, P,
+                                       Base.Scheme == EvalScheme::Knuth
+                                           ? Base.Adapted[Piece]
+                                           : KA,
+                                       M.T);
+          if (BaseV < M.Alpha0 || BaseV > M.Beta0)
+            continue;
+          double V = evalCandidate(S, P, KA, M.T);
+          if (V < M.Alpha0 || V > M.Beta0)
+            BadInputs += M.Inputs.size();
+        }
+        return BadInputs;
+      },
+      [](size_t A, size_t B) { return A + B; }, Config.NumThreads);
 }

@@ -61,6 +61,12 @@ struct GenConfig {
   std::vector<int> PieceLadder = {1, 2, 4, 8};
   /// Degree ladder tried within each piece (Knuth clamps the start to 4).
   std::vector<unsigned> DegreeLadder = {3, 4, 5, 6};
+  /// Worker threads for the oracle-bound sweeps (constraint construction,
+  /// the check phase, violation counting). 0 defers to the RFP_THREADS
+  /// environment variable, then hardware_concurrency(). Generated output
+  /// is bit-identical for every thread count (see DESIGN.md, "Threading
+  /// model and determinism").
+  unsigned NumThreads = 0;
 };
 
 /// One generated implementation: everything needed to ship f(x) under one

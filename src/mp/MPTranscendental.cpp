@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <map>
+#include <mutex>
 
 using namespace rfp;
 using namespace rfp::mpt;
@@ -119,9 +120,16 @@ MPFloat zivRound(ComputeFn Compute, unsigned Prec, RoundingMode M) {
 
 } // namespace
 
+// The constant caches are shared across the oracle's worker threads (the
+// generator sweeps run under rfp::parallelFor), so lookups take a mutex.
+// The compute under the lock is rare (one entry per precision bucket) and
+// deterministic, so holding the lock across it is fine.
+
 MPFloat mpt::ln2(unsigned Prec) {
   static std::map<unsigned, MPFloat> Cache;
+  static std::mutex CacheMutex;
   unsigned B = bucket(Prec + GuardBits + 16);
+  std::lock_guard<std::mutex> L(CacheMutex);
   auto It = Cache.find(B);
   if (It == Cache.end()) {
     // ln2 = 2*atanh(1/3).
@@ -134,7 +142,9 @@ MPFloat mpt::ln2(unsigned Prec) {
 
 MPFloat mpt::ln10(unsigned Prec) {
   static std::map<unsigned, MPFloat> Cache;
+  static std::mutex CacheMutex;
   unsigned B = bucket(Prec + GuardBits + 16);
+  std::lock_guard<std::mutex> L(CacheMutex);
   auto It = Cache.find(B);
   if (It == Cache.end())
     It = Cache.emplace(B, lnCore(MPFloat::fromInt(10), B + 32)).first;

@@ -1,0 +1,94 @@
+//===- oracle/OracleCache.cpp - Memoizing oracle result cache -------------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "oracle/OracleCache.h"
+
+#include "oracle/Oracle.h"
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
+using namespace rfp;
+
+namespace {
+
+constexpr unsigned NumShards = 64;
+
+struct Shard {
+  std::mutex M;
+  std::unordered_map<uint64_t, uint64_t> Map;
+};
+
+struct CacheState {
+  Shard Shards[NumShards];
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+};
+
+CacheState &state() {
+  static CacheState S;
+  return S;
+}
+
+/// 64-bit mix (splitmix64 finalizer): the strided sweeps would otherwise
+/// pile consecutive keys onto one shard and one hash bucket run.
+uint64_t mix(uint64_t K) {
+  K += 0x9e3779b97f4a7c15ull;
+  K = (K ^ (K >> 30)) * 0xbf58476d1ce4e5b9ull;
+  K = (K ^ (K >> 27)) * 0x94d049bb133111ebull;
+  return K ^ (K >> 31);
+}
+
+} // namespace
+
+uint64_t rfp::oracle_cache::evalToOdd34(ElemFunc Fn, uint32_t XBits) {
+  CacheState &S = state();
+  uint64_t Key = (static_cast<uint64_t>(Fn) << 32) | XBits;
+  uint64_t Hashed = mix(Key);
+  Shard &Sh = S.Shards[Hashed % NumShards];
+
+  {
+    std::lock_guard<std::mutex> L(Sh.M);
+    auto It = Sh.Map.find(Key);
+    if (It != Sh.Map.end()) {
+      S.Hits.fetch_add(1, std::memory_order_relaxed);
+      return It->second;
+    }
+  }
+  // Compute outside the shard lock: an oracle miss takes microseconds and
+  // would serialize every other query on this shard. Concurrent misses on
+  // the same key both compute the (deterministic) value; the second insert
+  // is a no-op.
+  S.Misses.fetch_add(1, std::memory_order_relaxed);
+  float X;
+  std::memcpy(&X, &XBits, sizeof(X));
+  uint64_t Enc = Oracle::eval(Fn, X, FPFormat::fp34(), RoundingMode::ToOdd);
+  {
+    std::lock_guard<std::mutex> L(Sh.M);
+    Sh.Map.emplace(Key, Enc);
+  }
+  return Enc;
+}
+
+OracleCacheStats rfp::oracle_cache::stats() {
+  CacheState &S = state();
+  OracleCacheStats St;
+  St.Hits = S.Hits.load(std::memory_order_relaxed);
+  St.Misses = S.Misses.load(std::memory_order_relaxed);
+  return St;
+}
+
+void rfp::oracle_cache::clear() {
+  CacheState &S = state();
+  for (Shard &Sh : S.Shards) {
+    std::lock_guard<std::mutex> L(Sh.M);
+    Sh.Map.clear();
+  }
+  S.Hits.store(0, std::memory_order_relaxed);
+  S.Misses.store(0, std::memory_order_relaxed);
+}

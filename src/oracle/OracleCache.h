@@ -1,0 +1,63 @@
+//===- oracle/OracleCache.h - Memoizing oracle result cache ----*- C++ -*-===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe, sharded memoization cache for the hot oracle query of the
+/// pipeline: the FP(34, 8) round-to-odd result of f(x) for a float input x
+/// (the paper's oracle files hold exactly this). The generator's check
+/// phase re-queries the same inputs on every generate-check-constrain
+/// iteration (constraint retirement re-derives the special-case value each
+/// time a shape is attempted), so repeated queries hit a lock-striped hash
+/// map instead of re-running the MPFloat + Ziv widening pipeline.
+///
+/// The key is (ElemFunc, input float bits) -- the format and mode are fixed
+/// by construction, so they are not part of the key. Sharding is by the low
+/// bits of a mixed key hash: queries from a strided input sweep land on
+/// different shards, keeping lock contention negligible.
+///
+/// The cached value is computed by Oracle::eval, which is deterministic, so
+/// the cache is transparent: hit or miss, the caller sees bit-identical
+/// encodings regardless of thread count or query order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RFP_ORACLE_ORACLECACHE_H
+#define RFP_ORACLE_ORACLECACHE_H
+
+#include "support/ElemFunc.h"
+
+#include <cstdint>
+
+namespace rfp {
+
+/// Hit/miss counters for the process-wide FP34 round-to-odd cache.
+struct OracleCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  double hitRate() const {
+    uint64_t Total = Hits + Misses;
+    return Total == 0 ? 0.0 : static_cast<double>(Hits) / Total;
+  }
+};
+
+/// Process-wide sharded cache over Oracle::eval(Fn, x, fp34, ToOdd).
+namespace oracle_cache {
+
+/// Cached FP(34, 8) round-to-odd encoding of f(x) where x is the float with
+/// bit pattern \p XBits. Thread-safe; computes and inserts on miss.
+uint64_t evalToOdd34(ElemFunc Fn, uint32_t XBits);
+
+/// Snapshot of the global hit/miss counters.
+OracleCacheStats stats();
+
+/// Drops all cached entries and zeroes the counters (test isolation).
+void clear();
+
+} // namespace oracle_cache
+
+} // namespace rfp
+
+#endif // RFP_ORACLE_ORACLECACHE_H

@@ -205,6 +205,24 @@ std::vector<uint32_t> BigInt::magMul(const std::vector<uint32_t> &A,
                                      const std::vector<uint32_t> &B) {
   if (A.empty() || B.empty())
     return {};
+  // Single-limb fast path: the LP solver's exact-rational pivots multiply
+  // long numerators/denominators by small factors constantly, so 1xN
+  // products dominate. One flat carry loop avoids the zeroed N+1-limb
+  // accumulator and the inner-loop read-modify-write of the general case
+  // (see EXPERIMENTS.md for the measured effect).
+  if (A.size() == 1 || B.size() == 1) {
+    uint64_t F = A.size() == 1 ? A[0] : B[0];
+    const std::vector<uint32_t> &Long = A.size() == 1 ? B : A;
+    std::vector<uint32_t> R(Long.size() + 1);
+    uint64_t Carry = 0;
+    for (size_t I = 0; I < Long.size(); ++I) {
+      uint64_t Cur = F * Long[I] + Carry;
+      R[I] = static_cast<uint32_t>(Cur);
+      Carry = Cur >> 32;
+    }
+    R[Long.size()] = static_cast<uint32_t>(Carry);
+    return R;
+  }
   std::vector<uint32_t> R(A.size() + B.size(), 0);
   for (size_t I = 0; I < A.size(); ++I) {
     uint64_t Carry = 0;

@@ -24,6 +24,12 @@ void Rational::normalize() {
     Den = BigInt(1);
     return;
   }
+  // Integer-valued rationals (Den == 1) need no gcd; they are common --
+  // every Rational(int64_t)/Rational(BigInt) and every dyadic product that
+  // cancelled its denominator lands here -- and the binary gcd against a
+  // long numerator is pure waste.
+  if (Den.isOne())
+    return;
   BigInt G = BigInt::gcd(Num, Den);
   if (!G.isOne()) {
     Num = Num / G;

@@ -14,6 +14,7 @@
 #include "core/PolyGen.h"
 
 #include "oracle/Oracle.h"
+#include "oracle/OracleCache.h"
 
 #include <gtest/gtest.h>
 
@@ -106,6 +107,77 @@ TEST(PipelineMiscTest, GenerationIsDeterministic) {
   ASSERT_EQ(A.NumPieces, B.NumPieces);
   for (int P = 0; P < A.NumPieces; ++P)
     EXPECT_EQ(A.Pieces[P].Coeffs, B.Pieces[P].Coeffs);
+}
+
+TEST(PipelineMiscTest, GenerationIsBitIdenticalAcrossThreadCounts) {
+  // The parallel layer's hard requirement: coefficients, piece degrees, and
+  // special cases must be bit-identical for every NumThreads setting. Runs
+  // the full pipeline at 1 and 4 threads and compares everything.
+  GenConfig Cfg = smallConfig();
+  Cfg.NumThreads = 1;
+  PolyGenerator Serial(ElemFunc::Exp2, Cfg);
+  Cfg.NumThreads = 4;
+  PolyGenerator Parallel(ElemFunc::Exp2, Cfg);
+  Serial.prepare();
+  Parallel.prepare();
+  ASSERT_EQ(Serial.numConstraints(), Parallel.numConstraints());
+  ASSERT_EQ(Serial.numInputs(), Parallel.numInputs());
+
+  for (EvalScheme S : {EvalScheme::Horner, EvalScheme::EstrinFMA}) {
+    GeneratedImpl A = Serial.generate(S);
+    GeneratedImpl B = Parallel.generate(S);
+    ASSERT_EQ(A.Success, B.Success) << evalSchemeName(S);
+    if (!A.Success)
+      continue;
+    EXPECT_EQ(A.LPSolves, B.LPSolves);
+    EXPECT_EQ(A.LoopIterations, B.LoopIterations);
+    ASSERT_EQ(A.NumPieces, B.NumPieces);
+    EXPECT_EQ(A.PieceDegrees, B.PieceDegrees);
+    for (int P = 0; P < A.NumPieces; ++P) {
+      ASSERT_EQ(A.Pieces[P].Coeffs.size(), B.Pieces[P].Coeffs.size());
+      for (size_t C = 0; C < A.Pieces[P].Coeffs.size(); ++C) {
+        uint64_t BitsA, BitsB;
+        std::memcpy(&BitsA, &A.Pieces[P].Coeffs[C], sizeof(BitsA));
+        std::memcpy(&BitsB, &B.Pieces[P].Coeffs[C], sizeof(BitsB));
+        EXPECT_EQ(BitsA, BitsB)
+            << evalSchemeName(S) << " piece " << P << " coeff " << C;
+      }
+    }
+    ASSERT_EQ(A.Specials.size(), B.Specials.size());
+    for (size_t I = 0; I < A.Specials.size(); ++I) {
+      EXPECT_EQ(A.Specials[I].Bits, B.Specials[I].Bits);
+      uint64_t HA, HB;
+      std::memcpy(&HA, &A.Specials[I].H, sizeof(HA));
+      std::memcpy(&HB, &B.Specials[I].H, sizeof(HB));
+      EXPECT_EQ(HA, HB);
+    }
+  }
+}
+
+TEST(PipelineMiscTest, OracleCacheHitsDuringCheckPhase) {
+  // Every oracle value the check phase needs (constraint retirement) was
+  // already computed during prepare(), so the memoizing cache should serve
+  // the generate() phase almost entirely from hits (> 50% required).
+  oracle_cache::clear();
+  GenConfig Cfg = smallConfig();
+  PolyGenerator Gen(ElemFunc::Exp, Cfg);
+  Gen.prepare();
+  OracleCacheStats AfterPrepare = oracle_cache::stats();
+  for (EvalScheme S : AllEvalSchemes)
+    Gen.generate(S);
+  OracleCacheStats AfterGenerate = oracle_cache::stats();
+  uint64_t Hits = AfterGenerate.Hits - AfterPrepare.Hits;
+  uint64_t Misses = AfterGenerate.Misses - AfterPrepare.Misses;
+  if (Hits + Misses > 0) {
+    EXPECT_GT(static_cast<double>(Hits) / (Hits + Misses), 0.5);
+  }
+  // And a re-prepare of the same function is served from the cache.
+  PolyGenerator Again(ElemFunc::Exp, Cfg);
+  OracleCacheStats Before = oracle_cache::stats();
+  Again.prepare();
+  OracleCacheStats After = oracle_cache::stats();
+  EXPECT_EQ(After.Misses, Before.Misses);
+  EXPECT_GT(After.Hits, Before.Hits);
 }
 
 TEST(PipelineMiscTest, PostProcessAdaptationViolatesIntervals) {

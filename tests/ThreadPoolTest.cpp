@@ -1,0 +1,177 @@
+//===- tests/ThreadPoolTest.cpp - Parallel execution layer tests ----------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The contract under test (see src/support/ThreadPool.h): chunk partitions
+// depend only on N and the chunk size, per-chunk results merge in ascending
+// chunk order, exceptions propagate to the submitter, and nested parallel
+// sections are safe (they run inline). Together these make every
+// parallelFor/parallelReduce computation bit-identical for any thread
+// count -- the property the generator's determinism guarantee rests on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+using namespace rfp;
+
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (unsigned Threads : {1u, 2u, 4u, 7u}) {
+    std::vector<std::atomic<int>> Touched(10007);
+    for (auto &T : Touched)
+      T.store(0);
+    parallelFor(
+        Touched.size(),
+        [&](size_t Begin, size_t End) {
+          for (size_t I = Begin; I < End; ++I)
+            Touched[I].fetch_add(1);
+        },
+        Threads);
+    for (size_t I = 0; I < Touched.size(); ++I)
+      ASSERT_EQ(Touched[I].load(), 1) << "index " << I << " with " << Threads
+                                      << " threads";
+  }
+}
+
+TEST(ThreadPoolTest, ChunkPartitionIsIndependentOfThreadCount) {
+  // The partition must depend only on (N, ChunkSize): record the chunk
+  // boundaries seen at several thread counts and require equality.
+  auto Boundaries = [](unsigned Threads) {
+    std::set<std::pair<size_t, size_t>> B;
+    std::mutex M;
+    parallelFor(
+        5000,
+        [&](size_t Begin, size_t End) {
+          std::lock_guard<std::mutex> L(M);
+          B.insert({Begin, End});
+        },
+        Threads);
+    return B;
+  };
+  auto Serial = Boundaries(1);
+  EXPECT_EQ(Serial, Boundaries(2));
+  EXPECT_EQ(Serial, Boundaries(4));
+  EXPECT_EQ(Serial, Boundaries(16));
+}
+
+TEST(ThreadPoolTest, ReduceMergesInChunkIndexOrder) {
+  // String concatenation is not commutative: only an index-ordered merge
+  // yields the same string for every thread count.
+  auto Concat = [](unsigned Threads) {
+    return parallelReduce<std::string>(
+        1000, std::string(),
+        [](size_t Begin, size_t End) {
+          std::string S;
+          for (size_t I = Begin; I < End; ++I)
+            S += std::to_string(I) + ",";
+          return S;
+        },
+        [](std::string A, std::string B) { return A + B; }, Threads,
+        /*ChunkSize=*/37);
+  };
+  std::string Expected;
+  for (size_t I = 0; I < 1000; ++I)
+    Expected += std::to_string(I) + ",";
+  EXPECT_EQ(Concat(1), Expected);
+  EXPECT_EQ(Concat(2), Expected);
+  EXPECT_EQ(Concat(4), Expected);
+  EXPECT_EQ(Concat(13), Expected);
+}
+
+TEST(ThreadPoolTest, ReduceSumMatchesSerial) {
+  auto Sum = [](unsigned Threads) {
+    return parallelReduce<long>(
+        100000, 0L,
+        [](size_t Begin, size_t End) {
+          long S = 0;
+          for (size_t I = Begin; I < End; ++I)
+            S += static_cast<long>(I);
+          return S;
+        },
+        [](long A, long B) { return A + B; }, Threads);
+  };
+  long Expected = 100000L * 99999L / 2;
+  EXPECT_EQ(Sum(1), Expected);
+  EXPECT_EQ(Sum(4), Expected);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToSubmitter) {
+  for (unsigned Threads : {1u, 4u}) {
+    EXPECT_THROW(
+        parallelFor(
+            1000,
+            [](size_t Begin, size_t End) {
+              for (size_t I = Begin; I < End; ++I)
+                if (I == 613)
+                  throw std::runtime_error("chunk failure");
+            },
+            Threads),
+        std::runtime_error);
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionDoesNotPoisonThePool) {
+  // After a throwing job the pool must still run subsequent jobs normally.
+  EXPECT_THROW(parallelFor(
+                   100, [](size_t, size_t) { throw std::logic_error("x"); },
+                   4),
+               std::logic_error);
+  std::atomic<size_t> Count{0};
+  parallelFor(
+      100, [&](size_t Begin, size_t End) { Count += End - Begin; }, 4);
+  EXPECT_EQ(Count.load(), 100u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineAndCompletes) {
+  // A nested parallel section must neither deadlock (the pool runs one job
+  // at a time) nor change results: it executes inline on whichever thread
+  // issued it.
+  std::vector<std::atomic<int>> Touched(64 * 64);
+  for (auto &T : Touched)
+    T.store(0);
+  parallelFor(
+      64,
+      [&](size_t OuterBegin, size_t OuterEnd) {
+        for (size_t Outer = OuterBegin; Outer < OuterEnd; ++Outer)
+          parallelFor(
+              64,
+              [&](size_t InnerBegin, size_t InnerEnd) {
+                for (size_t Inner = InnerBegin; Inner < InnerEnd; ++Inner)
+                  Touched[Outer * 64 + Inner].fetch_add(1);
+              },
+              4);
+      },
+      4);
+  for (size_t I = 0; I < Touched.size(); ++I)
+    ASSERT_EQ(Touched[I].load(), 1) << "cell " << I;
+}
+
+TEST(ThreadPoolTest, ResolveThreadsPrefersExplicitRequest) {
+  EXPECT_EQ(ThreadPool::resolveThreads(3), 3u);
+  EXPECT_GE(ThreadPool::resolveThreads(0), 1u);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoop) {
+  bool Called = false;
+  parallelFor(0, [&](size_t, size_t) { Called = true; }, 4);
+  EXPECT_FALSE(Called);
+  EXPECT_EQ(parallelReduce<int>(
+                0, 42, [](size_t, size_t) { return 0; },
+                [](int A, int B) { return A + B; }, 4),
+            42);
+}
+
+} // namespace

@@ -21,70 +21,108 @@
 
 #include "libm/rlibm.h"
 #include "oracle/Oracle.h"
+#include "support/ThreadPool.h"
 
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <string>
+#include <vector>
 
 using namespace rfp;
 using namespace rfp::libm;
 
 namespace {
 
+/// Per-chunk tally of the validation sweep. Diagnostic lines are collected
+/// per chunk and merged in chunk-index order, so the printed report is
+/// identical for every thread count.
+struct CheckTally {
+  long Wrong = 0, Total = 0;
+  std::vector<std::string> Samples; ///< First few wrong-result diagnostics.
+};
+
 long checkVariant(ElemFunc F, EvalScheme S, uint64_t Stride,
                   bool AllFormats) {
   FPFormat F32 = FPFormat::float32();
   FPFormat F34 = FPFormat::fp34();
-  long Wrong = 0, Total = 0;
-  for (uint64_t B = 0; B < (1ull << 32); B += Stride) {
-    float X;
-    uint32_t Bits = static_cast<uint32_t>(B);
-    std::memcpy(&X, &Bits, sizeof(X));
-    double H = evalCore(F, S, X);
-    if (AllFormats) {
-      uint64_t Enc34 = Oracle::eval(F, X, F34, RoundingMode::ToOdd);
-      if (F34.isNaN(Enc34)) {
-        Wrong += !std::isnan(H);
-        ++Total;
-        continue;
-      }
-      double RO = F34.decode(Enc34);
-      ++Total;
-      for (unsigned K = 10; K <= 32; ++K) {
-        FPFormat Fmt = FPFormat::withBits(K);
-        for (RoundingMode M : StandardRoundingModes) {
-          if (Fmt.roundDouble(H, M) != Fmt.roundDouble(RO, M)) {
-            ++Wrong;
-            if (Wrong <= 5)
-              std::printf("  WRONG %s/%s x=%a k=%u mode=%s\n",
-                          elemFuncName(F), evalSchemeName(S), X, K,
-                          roundingModeName(M));
-            K = 33;
-            break;
+  uint64_t NumSteps = ((1ull << 32) + Stride - 1) / Stride;
+
+  auto CheckChunk = [&](size_t Begin, size_t End) {
+    CheckTally T;
+    char Buf[160];
+    for (size_t I = Begin; I < End; ++I) {
+      uint64_t B = static_cast<uint64_t>(I) * Stride;
+      float X;
+      uint32_t Bits = static_cast<uint32_t>(B);
+      std::memcpy(&X, &Bits, sizeof(X));
+      double H = evalCore(F, S, X);
+      if (AllFormats) {
+        uint64_t Enc34 = Oracle::eval(F, X, F34, RoundingMode::ToOdd);
+        if (F34.isNaN(Enc34)) {
+          T.Wrong += !std::isnan(H);
+          ++T.Total;
+          continue;
+        }
+        double RO = F34.decode(Enc34);
+        ++T.Total;
+        for (unsigned K = 10; K <= 32; ++K) {
+          FPFormat Fmt = FPFormat::withBits(K);
+          for (RoundingMode M : StandardRoundingModes) {
+            if (Fmt.roundDouble(H, M) != Fmt.roundDouble(RO, M)) {
+              ++T.Wrong;
+              if (T.Samples.size() < 5) {
+                std::snprintf(Buf, sizeof(Buf),
+                              "  WRONG %s/%s x=%a k=%u mode=%s\n",
+                              elemFuncName(F), evalSchemeName(S), X, K,
+                              roundingModeName(M));
+                T.Samples.push_back(Buf);
+              }
+              K = 33;
+              break;
+            }
+          }
+        }
+      } else {
+        uint64_t Want = Oracle::eval(F, X, F32, RoundingMode::NearestEven);
+        ++T.Total;
+        if (F32.isNaN(Want)) {
+          T.Wrong += !std::isnan(H);
+          continue;
+        }
+        if (F32.roundDouble(H, RoundingMode::NearestEven) != Want) {
+          ++T.Wrong;
+          if (T.Samples.size() < 5) {
+            std::snprintf(
+                Buf, sizeof(Buf), "  WRONG %s/%s x=%a got=%a want=%a\n",
+                elemFuncName(F), evalSchemeName(S), X,
+                F32.decode(F32.roundDouble(H, RoundingMode::NearestEven)),
+                F32.decode(Want));
+            T.Samples.push_back(Buf);
           }
         }
       }
-    } else {
-      uint64_t Want = Oracle::eval(F, X, F32, RoundingMode::NearestEven);
-      ++Total;
-      if (F32.isNaN(Want)) {
-        Wrong += !std::isnan(H);
-        continue;
-      }
-      if (F32.roundDouble(H, RoundingMode::NearestEven) != Want) {
-        ++Wrong;
-        if (Wrong <= 5)
-          std::printf("  WRONG %s/%s x=%a got=%a want=%a\n", elemFuncName(F),
-                      evalSchemeName(S), X,
-                      F32.decode(F32.roundDouble(H, RoundingMode::NearestEven)),
-                      F32.decode(Want));
-      }
     }
-  }
+    return T;
+  };
+
+  CheckTally Sum = parallelReduce<CheckTally>(
+      NumSteps, CheckTally(), CheckChunk,
+      [](CheckTally A, CheckTally B) {
+        A.Wrong += B.Wrong;
+        A.Total += B.Total;
+        for (std::string &Smp : B.Samples)
+          if (A.Samples.size() < 5)
+            A.Samples.push_back(std::move(Smp));
+        return A;
+      });
+
+  for (const std::string &Smp : Sum.Samples)
+    std::fputs(Smp.c_str(), stdout);
   std::printf("%-8s %-12s checked %ld inputs%s: %ld wrong\n", elemFuncName(F),
-              evalSchemeName(S), Total,
-              AllFormats ? " x 23 formats x 5 modes" : "", Wrong);
-  return Wrong;
+              evalSchemeName(S), Sum.Total,
+              AllFormats ? " x 23 formats x 5 modes" : "", Sum.Wrong);
+  return Sum.Wrong;
 }
 
 } // namespace
