@@ -4,17 +4,32 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Microbenchmarks for the arithmetic the exact-rational LP solver leans on:
-// 1xN limb products (every pivot multiplies long numerators/denominators by
-// small factors) and Rational normalization of integer-valued results.
-// Tracks the effect of the single-limb magMul fast path and the
-// Den.isOne() normalize early-out (numbers recorded in EXPERIMENTS.md).
+// Microbenchmarks for the arithmetic the exact-rational LP solver leans on,
+// structured as limb-size ladders that bracket the small-buffer capacity
+// (4 limbs) and the Karatsuba threshold (BigInt::KaratsubaThreshold limbs):
+//
+//   * BM_MulBalanced vs BM_MulSchoolbook -- the same balanced products with
+//     the Karatsuba dispatch on and off; the crossover locates the right
+//     threshold (recorded in EXPERIMENTS.md).
+//   * BM_MagMulSingleLimb / BM_MagMulLopsided -- the pivot-loop shapes
+//     (long x short) that must stay on the schoolbook fast path.
+//   * BM_Gcd -- Stein's gcd, the Henrici rational hot path.
+//   * BM_SmallValueChurn -- copy/arithmetic churn at 1..4 limbs, where the
+//     small-buffer representation avoids every heap touch.
+//   * BM_RationalNormalize* -- the Den.isOne() and Henrici fast paths.
+//
+// Emits google-benchmark JSON to bench_bigint.json by default (the custom
+// main injects --benchmark_out; pass your own to override).
 //
 //===----------------------------------------------------------------------===//
 
 #include "support/Rational.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 using namespace rfp;
 
@@ -28,6 +43,48 @@ BigInt bigOperand(unsigned NumLimbs) {
   return V;
 }
 
+/// Balanced product ladder bracketing the Karatsuba threshold: sizes below,
+/// at, and well above BigInt::KaratsubaThreshold limbs.
+void BM_MulBalanced(benchmark::State &State) {
+  BigInt A = bigOperand(static_cast<unsigned>(State.range(0)));
+  BigInt B = bigOperand(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    BigInt P = A * B;
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_MulBalanced)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(48)
+    ->Arg(64)
+    ->Arg(96)
+    ->Arg(128)
+    ->Arg(256);
+
+/// The same ladder with the dispatch pinned to schoolbook: the ratio to
+/// BM_MulBalanced at each size shows where Karatsuba starts paying.
+void BM_MulSchoolbook(benchmark::State &State) {
+  BigInt A = bigOperand(static_cast<unsigned>(State.range(0)));
+  BigInt B = bigOperand(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    BigInt P = BigInt::mulSchoolbook(A, B);
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_MulSchoolbook)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(48)
+    ->Arg(64)
+    ->Arg(96)
+    ->Arg(128)
+    ->Arg(256);
+
 void BM_MagMulSingleLimb(benchmark::State &State) {
   BigInt Long = bigOperand(static_cast<unsigned>(State.range(0)));
   BigInt Small(0x12345677);
@@ -38,15 +95,46 @@ void BM_MagMulSingleLimb(benchmark::State &State) {
 }
 BENCHMARK(BM_MagMulSingleLimb)->Arg(8)->Arg(32)->Arg(128);
 
-void BM_MagMulMultiLimb(benchmark::State &State) {
+/// Long x short products (the fraction-free pivot shape): min(size) stays
+/// below the threshold, so these must never enter the Karatsuba path.
+void BM_MagMulLopsided(benchmark::State &State) {
   BigInt A = bigOperand(static_cast<unsigned>(State.range(0)));
-  BigInt B = bigOperand(static_cast<unsigned>(State.range(0)) / 2 + 2);
+  BigInt B = bigOperand(static_cast<unsigned>(State.range(0)) / 8 + 2);
   for (auto _ : State) {
     BigInt P = A * B;
     benchmark::DoNotOptimize(P);
   }
 }
-BENCHMARK(BM_MagMulMultiLimb)->Arg(8)->Arg(32)->Arg(128);
+BENCHMARK(BM_MagMulLopsided)->Arg(32)->Arg(64)->Arg(128);
+
+/// Stein gcd ladder: the Henrici add/mul fast paths call this on operands
+/// near the size of the *reduced* result.
+void BM_Gcd(benchmark::State &State) {
+  unsigned L = static_cast<unsigned>(State.range(0));
+  BigInt A = bigOperand(L);
+  BigInt B = bigOperand(L) * BigInt(6) + BigInt(1);
+  for (auto _ : State) {
+    BigInt G = BigInt::gcd(A, B);
+    benchmark::DoNotOptimize(G);
+  }
+}
+BENCHMARK(BM_Gcd)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+/// Value churn at small sizes: straddles the 4-limb inline capacity, so
+/// Arg(3)/Arg(4) run heap-free under the small-buffer layout while Arg(6)
+/// pays for allocation.
+void BM_SmallValueChurn(benchmark::State &State) {
+  BigInt Seed = bigOperand(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    BigInt A = Seed;           // copy
+    BigInt B = A + BigInt(1);  // small add
+    BigInt C = B - Seed;       // back to one limb
+    A = std::move(B);
+    benchmark::DoNotOptimize(A);
+    benchmark::DoNotOptimize(C);
+  }
+}
+BENCHMARK(BM_SmallValueChurn)->Arg(1)->Arg(3)->Arg(4)->Arg(6);
 
 void BM_RationalNormalizeInteger(benchmark::State &State) {
   // Integer-valued rationals: the Den.isOne() early-out skips the gcd.
@@ -60,7 +148,8 @@ void BM_RationalNormalizeInteger(benchmark::State &State) {
 BENCHMARK(BM_RationalNormalizeInteger)->Arg(8)->Arg(32);
 
 void BM_RationalNormalizeFraction(benchmark::State &State) {
-  // Dyadic fractions still take the gcd path (power-of-two denominators).
+  // Dyadic fractions exercise the Henrici cross-gcd paths (power-of-two
+  // denominators cancel by shifts).
   Rational A = Rational::fromDouble(0x1.fedcba9876543p-7);
   Rational B = Rational::fromDouble(0x1.23456789abcdep+9);
   for (auto _ : State) {
@@ -72,4 +161,24 @@ BENCHMARK(BM_RationalNormalizeFraction);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main: default to JSON output in bench_bigint.json so CI and
+// EXPERIMENTS.md runs get machine-readable numbers without extra flags,
+// while still honoring any --benchmark_* flags passed explicitly.
+int main(int Argc, char **Argv) {
+  std::vector<char *> Args(Argv, Argv + Argc);
+  bool HasOut = false;
+  for (int I = 1; I < Argc; ++I)
+    if (std::strncmp(Argv[I], "--benchmark_out", 15) == 0)
+      HasOut = true;
+  std::string OutFlag = "--benchmark_out=bench_bigint.json";
+  std::string FmtFlag = "--benchmark_out_format=json";
+  if (!HasOut) {
+    Args.push_back(OutFlag.data());
+    Args.push_back(FmtFlag.data());
+  }
+  int N = static_cast<int>(Args.size());
+  benchmark::Initialize(&N, Args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -48,6 +48,9 @@ struct RunResult {
   unsigned Threads = 0;
   double PrepareMs = 0, GenerateMs = 0;
   double CheckPhaseHitRate = 0;
+  /// Per-phase LP stats summed over all schemes' generate() runs. The
+  /// pivot/row counters are thread-count-invariant; only LPTimeMs moves.
+  GeneratedImpl::GenStats LPStats;
   std::vector<GeneratedImpl> Impls;
 };
 
@@ -89,6 +92,12 @@ RunResult runPipeline(ElemFunc F, GenConfig Cfg, unsigned Threads) {
   for (EvalScheme S : AllEvalSchemes)
     R.Impls.push_back(Gen.generate(S));
   R.GenerateMs = msSince(T0);
+  for (const GeneratedImpl &Impl : R.Impls) {
+    R.LPStats.LPTimeMs += Impl.Stats.LPTimeMs;
+    R.LPStats.LPPivots += Impl.Stats.LPPivots;
+    R.LPStats.LPRowsBeforeDedup += Impl.Stats.LPRowsBeforeDedup;
+    R.LPStats.LPRowsAfterDedup += Impl.Stats.LPRowsAfterDedup;
+  }
 
   OracleCacheStats After = oracle_cache::stats();
   uint64_t Hits = After.Hits - Before.Hits;
@@ -151,8 +160,9 @@ int main(int Argc, char **Argv) {
 
   std::printf("Generator pipeline wall-clock, %s, stride %u\n",
               elemFuncName(Func), Cfg.SampleStride);
-  std::printf("%8s %12s %12s %12s %10s %10s\n", "threads", "prepare ms",
-              "generate ms", "total ms", "speedup", "hit rate");
+  std::printf("%8s %12s %12s %12s %10s %10s %10s %8s\n", "threads",
+              "prepare ms", "generate ms", "total ms", "speedup", "hit rate",
+              "lp ms", "pivots");
 
   std::vector<RunResult> Runs;
   for (unsigned T : ThreadLadder)
@@ -164,10 +174,11 @@ int main(int Argc, char **Argv) {
   bool AllIdentical = true;
   for (const RunResult &R : Runs) {
     double Total = R.PrepareMs + R.GenerateMs;
-    std::printf("%8u %12.1f %12.1f %12.1f %9.2fx %9.1f%%\n", R.Threads,
-                R.PrepareMs, R.GenerateMs, Total,
+    std::printf("%8u %12.1f %12.1f %12.1f %9.2fx %9.1f%% %10.1f %8llu\n",
+                R.Threads, R.PrepareMs, R.GenerateMs, Total,
                 Total > 0 ? BaseTotal / Total : 0.0,
-                100.0 * R.CheckPhaseHitRate);
+                100.0 * R.CheckPhaseHitRate, R.LPStats.LPTimeMs,
+                static_cast<unsigned long long>(R.LPStats.LPPivots));
     for (size_t S = 0; S < R.Impls.size(); ++S)
       if (!identicalOutput(Runs.front().Impls[S], R.Impls[S]))
         AllIdentical = false;
@@ -194,9 +205,18 @@ int main(int Argc, char **Argv) {
                    "    {\"threads\": %u, \"prepare_ms\": %.2f, "
                    "\"generate_ms\": %.2f, \"total_ms\": %.2f, "
                    "\"speedup_vs_1thread\": %.3f, "
-                   "\"check_phase_cache_hit_rate\": %.4f}%s\n",
+                   "\"check_phase_cache_hit_rate\": %.4f, "
+                   "\"lp_time_ms\": %.2f, \"lp_pivots\": %llu, "
+                   "\"lp_rows_before_dedup\": %llu, "
+                   "\"lp_rows_after_dedup\": %llu}%s\n",
                    R.Threads, R.PrepareMs, R.GenerateMs, Total,
                    Total > 0 ? BaseTotal / Total : 0.0, R.CheckPhaseHitRate,
+                   R.LPStats.LPTimeMs,
+                   static_cast<unsigned long long>(R.LPStats.LPPivots),
+                   static_cast<unsigned long long>(
+                       R.LPStats.LPRowsBeforeDedup),
+                   static_cast<unsigned long long>(
+                       R.LPStats.LPRowsAfterDedup),
                    I + 1 < Runs.size() ? "," : "");
     }
     std::fprintf(Out, "  ]\n}\n");

@@ -1,0 +1,248 @@
+//===- bench/bench_simplex.cpp - Exact LP solver wall-clock ---------------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the exact-rational simplex core on constraint systems captured
+// from the real generation pipeline: prepare() builds the merged reduced
+// rounding-interval constraints for a function, and the benchmark replays
+// the LPs the generator would pose -- one degree-5 solve per piece of the
+// 4-piece partition, plus one whole-domain degree-6 solve (the hardest
+// system a shape escalation reaches). Each solve subsamples the piece the
+// same way generatePiece does (MaxLPConstraints evenly spaced, extremes
+// included), so row counts and coefficient magnitudes match production.
+//
+// Reported per system and thread count: best-of-N wall-clock ms, simplex
+// pivot count, and LP rows before/after duplicate-row merging. Pivot
+// counts must be identical across the thread ladder (the determinism
+// contract); a mismatch makes the run exit 1.
+//
+//   bench_simplex [func] [--stride N] [--threads a,b,c] [--repeats N]
+//                 [--json[=path]]
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PolyGen.h"
+#include "libm/RangeReduction.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace rfp;
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// One captured LP system: a named constraint subset plus the polynomial
+/// degree the generator would request for it.
+struct LPSystem {
+  std::string Name;
+  unsigned Degree = 0;
+  std::vector<IntervalConstraint> Cons;
+};
+
+/// Subsamples a constraint span exactly like PolyGenerator::generatePiece:
+/// evenly spaced with the extremes included, capped near MaxLPConstraints.
+std::vector<IntervalConstraint>
+sampleLike(const std::vector<IntervalConstraint> &Piece, size_t MaxCons) {
+  std::vector<IntervalConstraint> Out;
+  if (Piece.empty())
+    return Out;
+  size_t Step = std::max<size_t>(1, Piece.size() / MaxCons);
+  for (size_t I = 0; I < Piece.size(); I += Step)
+    Out.push_back(Piece[I]);
+  if ((Piece.size() - 1) % Step != 0)
+    Out.push_back(Piece.back());
+  return Out;
+}
+
+/// Builds the benchmark systems from one function's merged constraints.
+std::vector<LPSystem> captureSystems(ElemFunc F, const GenConfig &Cfg) {
+  PolyGenerator Gen(F, Cfg);
+  Gen.prepare();
+  std::vector<IntervalConstraint> All = Gen.exportLPConstraints();
+
+  double TMin, TMax;
+  libm::reducedDomain(F, TMin, TMax);
+  constexpr int NumPieces = 4;
+  std::vector<std::vector<IntervalConstraint>> Pieces(NumPieces);
+  for (const IntervalConstraint &C : All)
+    Pieces[libm::pieceIndex(C.X.toDouble(), TMin, TMax, NumPieces)].push_back(
+        C);
+
+  std::vector<LPSystem> Systems;
+  for (int P = 0; P < NumPieces; ++P) {
+    if (Pieces[P].empty())
+      continue;
+    LPSystem S;
+    S.Name = std::string(elemFuncName(F)) + "/piece" + std::to_string(P) +
+             "of4/deg5";
+    S.Degree = 5;
+    S.Cons = sampleLike(Pieces[P], Cfg.MaxLPConstraints);
+    Systems.push_back(std::move(S));
+  }
+  LPSystem Whole;
+  Whole.Name = std::string(elemFuncName(F)) + "/whole/deg6";
+  Whole.Degree = 6;
+  Whole.Cons = sampleLike(All, Cfg.MaxLPConstraints);
+  Systems.push_back(std::move(Whole));
+  return Systems;
+}
+
+struct Measurement {
+  unsigned Threads = 0;
+  double BestMs = 0;
+  unsigned Pivots = 0;
+  unsigned RowsBefore = 0, RowsAfter = 0;
+  bool Feasible = false;
+};
+
+Measurement measure(const LPSystem &Sys, unsigned Threads, unsigned Repeats) {
+  Measurement M;
+  M.Threads = Threads;
+  M.BestMs = HUGE_VAL;
+  for (unsigned R = 0; R < Repeats; ++R) {
+    auto T0 = std::chrono::steady_clock::now();
+    PolyLPResult LP = solvePolyLP(Sys.Cons, Sys.Degree, Threads);
+    M.BestMs = std::min(M.BestMs, msSince(T0));
+    M.Pivots = LP.Pivots;
+    M.RowsBefore = LP.RowsBeforeDedup;
+    M.RowsAfter = LP.RowsAfterDedup;
+    M.Feasible = LP.Feasible;
+  }
+  return M;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ElemFunc Func = ElemFunc::Exp;
+  GenConfig Cfg;
+  Cfg.SampleStride = 65537; // CI-scale default, like bench_polygen
+  Cfg.BoundaryWindow = 256;
+  std::vector<unsigned> ThreadLadder = {1, 2, 4};
+  unsigned Repeats = 3;
+  std::string JsonPath = "bench_simplex.json";
+
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--stride") == 0 && I + 1 < Argc) {
+      Cfg.SampleStride = static_cast<uint32_t>(std::atol(Argv[++I]));
+    } else if (std::strcmp(Argv[I], "--repeats") == 0 && I + 1 < Argc) {
+      Repeats = static_cast<unsigned>(std::atol(Argv[++I]));
+    } else if (std::strcmp(Argv[I], "--threads") == 0 && I + 1 < Argc) {
+      ThreadLadder.clear();
+      for (const char *P = Argv[++I]; *P;) {
+        if (*P < '0' || *P > '9') {
+          std::fprintf(stderr,
+                       "--threads expects a comma-separated list of counts "
+                       "(0 = auto), got '%s'\n",
+                       Argv[I]);
+          return 2;
+        }
+        ThreadLadder.push_back(static_cast<unsigned>(std::atol(P)));
+        while (*P && *P != ',')
+          ++P;
+        if (*P == ',')
+          ++P;
+      }
+    } else if (std::strcmp(Argv[I], "--json") == 0) {
+      JsonPath = "bench_simplex.json";
+    } else if (std::strncmp(Argv[I], "--json=", 7) == 0) {
+      JsonPath = Argv[I] + 7;
+    } else {
+      bool Known = false;
+      for (ElemFunc F : AllElemFuncs)
+        if (std::strcmp(Argv[I], elemFuncName(F)) == 0) {
+          Func = F;
+          Known = true;
+        }
+      if (!Known) {
+        std::fprintf(stderr,
+                     "unknown argument '%s'\nusage: bench_simplex [func] "
+                     "[--stride N] [--threads a,b,c] [--repeats N] "
+                     "[--json[=path]]\n",
+                     Argv[I]);
+        return 2;
+      }
+    }
+  }
+
+  std::printf("Capturing constraint systems (%s, stride %u)...\n",
+              elemFuncName(Func), Cfg.SampleStride);
+  std::vector<LPSystem> Systems = captureSystems(Func, Cfg);
+
+  std::printf("%-24s %8s %10s %8s %12s %10s\n", "system", "threads",
+              "best ms", "pivots", "rows(dedup)", "speedup");
+
+  struct Row {
+    const LPSystem *Sys;
+    std::vector<Measurement> Ms;
+  };
+  std::vector<Row> Rows;
+  bool PivotsInvariant = true;
+  for (const LPSystem &Sys : Systems) {
+    Row R{&Sys, {}};
+    for (unsigned T : ThreadLadder)
+      R.Ms.push_back(measure(Sys, T, Repeats));
+    double BaseMs = R.Ms.front().BestMs;
+    for (const Measurement &M : R.Ms) {
+      if (M.Pivots != R.Ms.front().Pivots)
+        PivotsInvariant = false;
+      std::printf("%-24s %8u %10.2f %8u %6u->%-5u %9.2fx\n",
+                  Sys.Name.c_str(), M.Threads, M.BestMs, M.Pivots,
+                  M.RowsBefore, M.RowsAfter,
+                  M.BestMs > 0 ? BaseMs / M.BestMs : 0.0);
+    }
+    Rows.push_back(std::move(R));
+  }
+  std::printf("pivot counts thread-invariant: %s\n",
+              PivotsInvariant ? "yes" : "NO -- DETERMINISM VIOLATION");
+
+  if (!JsonPath.empty()) {
+    FILE *Out = std::fopen(JsonPath.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    std::fprintf(Out,
+                 "{\n  \"benchmark\": \"bench_simplex\",\n"
+                 "  \"func\": \"%s\",\n  \"sample_stride\": %u,\n"
+                 "  \"repeats\": %u,\n"
+                 "  \"pivots_thread_invariant\": %s,\n  \"systems\": [\n",
+                 elemFuncName(Func), Cfg.SampleStride, Repeats,
+                 PivotsInvariant ? "true" : "false");
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      std::fprintf(Out,
+                   "    {\"name\": \"%s\", \"degree\": %u, "
+                   "\"constraints\": %zu, \"runs\": [\n",
+                   R.Sys->Name.c_str(), R.Sys->Degree, R.Sys->Cons.size());
+      for (size_t J = 0; J < R.Ms.size(); ++J) {
+        const Measurement &M = R.Ms[J];
+        std::fprintf(Out,
+                     "      {\"threads\": %u, \"best_ms\": %.3f, "
+                     "\"pivots\": %u, \"rows_before_dedup\": %u, "
+                     "\"rows_after_dedup\": %u, \"feasible\": %s}%s\n",
+                     M.Threads, M.BestMs, M.Pivots, M.RowsBefore,
+                     M.RowsAfter, M.Feasible ? "true" : "false",
+                     J + 1 < R.Ms.size() ? "," : "");
+      }
+      std::fprintf(Out, "    ]}%s\n", I + 1 < Rows.size() ? "," : "");
+    }
+    std::fprintf(Out, "  ]\n}\n");
+    std::fclose(Out);
+    std::printf("wrote %s\n", JsonPath.c_str());
+  }
+  return PivotsInvariant ? 0 : 1;
+}

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
@@ -295,7 +296,15 @@ bool PolyGenerator::generatePiece(EvalScheme S,
     }
 
     ++Impl.LPSolves;
-    PolyLPResult LP = solvePolyLP(LPCons, Degree);
+    auto LPStart = std::chrono::steady_clock::now();
+    PolyLPResult LP = solvePolyLP(LPCons, Degree, Config.NumThreads);
+    Impl.Stats.LPTimeMs +=
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - LPStart)
+            .count();
+    Impl.Stats.LPPivots += LP.Pivots;
+    Impl.Stats.LPRowsBeforeDedup += LP.RowsBeforeDedup;
+    Impl.Stats.LPRowsAfterDedup += LP.RowsAfterDedup;
     if (!LP.Feasible) {
       if (getenv("RFP_GEN_DEBUG"))
         fprintf(stderr, "[dbg] iter %u: LP infeasible (deg %u, %zu cons)\n",
@@ -457,6 +466,16 @@ GeneratedImpl PolyGenerator::generate(EvalScheme S, LogFn Log) {
     return Impl;
   }
   return Impl; // Success == false.
+}
+
+std::vector<IntervalConstraint> PolyGenerator::exportLPConstraints() const {
+  assert(Prepared && "call prepare() first");
+  std::vector<IntervalConstraint> Out;
+  Out.reserve(Constraints.size());
+  for (const MergedConstraint &M : Constraints)
+    Out.push_back({Rational::fromDouble(M.T), Rational::fromDouble(M.Alpha),
+                   Rational::fromDouble(M.Beta)});
+  return Out;
 }
 
 size_t PolyGenerator::countPostProcessViolations(const GeneratedImpl &Base,

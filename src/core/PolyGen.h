@@ -34,6 +34,7 @@
 #define RFP_CORE_POLYGEN_H
 
 #include "core/RoundingInterval.h"
+#include "lp/LPSolver.h"
 #include "poly/EvalScheme.h"
 #include "support/ElemFunc.h"
 
@@ -92,6 +93,17 @@ struct GeneratedImpl {
   size_t NumInputs = 0;        ///< Generation inputs considered.
   size_t NumConstraints = 0;   ///< Merged reduced constraints.
 
+  /// Per-phase generation statistics. The counters (pivots, rows) are
+  /// deterministic and thread-count-invariant; only the wall-clock time
+  /// varies between runs.
+  struct GenStats {
+    double LPTimeMs = 0.0;          ///< Wall clock spent inside solvePolyLP.
+    uint64_t LPPivots = 0;          ///< Simplex pivots across all solves.
+    uint64_t LPRowsBeforeDedup = 0; ///< LP rows built, summed over solves.
+    uint64_t LPRowsAfterDedup = 0;  ///< LP rows kept after duplicate merge.
+  };
+  GenStats Stats;
+
   unsigned maxDegree() const {
     unsigned D = 0;
     for (unsigned PD : PieceDegrees)
@@ -130,6 +142,12 @@ public:
   size_t numConstraints() const { return Constraints.size(); }
   size_t numInputs() const { return NumInputs; }
   ElemFunc func() const { return Func; }
+
+  /// Snapshot of the merged reduced constraints as exact LP rows, in
+  /// ascending reduced-input order. Requires prepare(). This is the raw
+  /// material solvePolyLP consumes; the simplex benchmark replays it
+  /// against captured real-pipeline systems.
+  std::vector<IntervalConstraint> exportLPConstraints() const;
 
 private:
   struct MergedConstraint {

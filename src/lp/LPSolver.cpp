@@ -7,12 +7,65 @@
 #include "lp/LPSolver.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <vector>
 
 using namespace rfp;
 
+namespace {
+
+/// Cheap numeric key for a coefficient row: FNV-style combination of the
+/// canonical numerator/denominator limb hashes. Collisions are resolved
+/// with an exact comparison, so the hash only has to be good, not perfect.
+uint64_t rowKey(const std::vector<Rational> &Row) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  constexpr uint64_t Prime = 0x100000001b3ull;
+  for (const Rational &V : Row) {
+    H = (H ^ V.numerator().hash()) * Prime;
+    H = (H ^ V.denominator().hash()) * Prime;
+  }
+  return H;
+}
+
+/// Merges rows with identical coefficient vectors, keeping the minimum
+/// RHS (the others are dominated: any point satisfying the tightest copy
+/// satisfies them all). First-occurrence order is preserved so the column
+/// numbering -- and hence the pivot sequence -- only changes when
+/// duplicates actually exist.
+void dedupRows(std::vector<std::vector<Rational>> &A,
+               std::vector<Rational> &B) {
+  std::unordered_map<uint64_t, std::vector<size_t>> Seen;
+  Seen.reserve(A.size());
+  std::vector<std::vector<Rational>> OutA;
+  std::vector<Rational> OutB;
+  OutA.reserve(A.size());
+  OutB.reserve(B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    std::vector<size_t> &Bucket = Seen[rowKey(A[I])];
+    size_t Found = SIZE_MAX;
+    for (size_t Idx : Bucket)
+      if (OutA[Idx] == A[I]) {
+        Found = Idx;
+        break;
+      }
+    if (Found == SIZE_MAX) {
+      Bucket.push_back(OutA.size());
+      OutA.push_back(std::move(A[I]));
+      OutB.push_back(std::move(B[I]));
+    } else if (B[I] < OutB[Found]) {
+      OutB[Found] = std::move(B[I]);
+    }
+  }
+  A = std::move(OutA);
+  B = std::move(OutB);
+}
+
+} // namespace
+
 PolyLPResult
 rfp::solvePolyLP(const std::vector<IntervalConstraint> &Constraints,
-                 const std::vector<unsigned> &TermExponents) {
+                 const std::vector<unsigned> &TermExponents,
+                 unsigned NumThreads) {
   assert(!TermExponents.empty() && "need at least one term");
   size_t NumTerms = TermExponents.size();
   size_t NumVars = NumTerms + 1; // Coefficients plus the margin delta.
@@ -55,9 +108,14 @@ rfp::solvePolyLP(const std::vector<IntervalConstraint> &Constraints,
   std::vector<Rational> Objective(NumVars);
   Objective[NumTerms] = Rational(1); // maximize the relative margin
 
-  LPResult LP = maximizeLP(A, B, Objective);
-
   PolyLPResult R;
+  R.RowsBeforeDedup = static_cast<unsigned>(A.size());
+  dedupRows(A, B);
+  R.RowsAfterDedup = static_cast<unsigned>(A.size());
+
+  LPResult LP = maximizeLP(A, B, Objective, NumThreads);
+  R.Pivots = LP.Pivots;
+
   if (!LP.isOptimal() || LP.Objective.isNegative())
     return R;
   R.Feasible = true;
@@ -72,9 +130,9 @@ rfp::solvePolyLP(const std::vector<IntervalConstraint> &Constraints,
 
 PolyLPResult
 rfp::solvePolyLP(const std::vector<IntervalConstraint> &Constraints,
-                 unsigned Degree) {
+                 unsigned Degree, unsigned NumThreads) {
   std::vector<unsigned> Terms(Degree + 1);
   for (unsigned E = 0; E <= Degree; ++E)
     Terms[E] = E;
-  return solvePolyLP(Constraints, Terms);
+  return solvePolyLP(Constraints, Terms, NumThreads);
 }

@@ -41,17 +41,30 @@ struct PolyLPResult {
   Rational Margin;
   /// Exact coefficients (degree + 1 entries) when Feasible.
   RationalPolynomial Poly;
+  /// Simplex pivots spent on this solve (thread-count-invariant).
+  unsigned Pivots = 0;
+  /// LP rows built from the constraints, before/after duplicate-row
+  /// merging. Equal when every constraint row is distinct (always the
+  /// case for rounding-interval constraints merged by reduced input).
+  unsigned RowsBeforeDedup = 0;
+  unsigned RowsAfterDedup = 0;
 };
 
 /// Solves the RLibm LP for a polynomial with terms x^e for each e in
 /// \p TermExponents (e.g. {0,1,2,3,4} for a dense degree-4 polynomial).
 /// Coefficients for missing exponents are zero in the returned polynomial.
+///
+/// Rows with identical coefficient vectors are merged before the solve,
+/// keeping the tightest (minimum) right-hand side -- the duplicates are
+/// dominated and cannot change the optimum. \p NumThreads is forwarded to
+/// maximizeLP (see Simplex.h for the determinism contract).
 PolyLPResult solvePolyLP(const std::vector<IntervalConstraint> &Constraints,
-                         const std::vector<unsigned> &TermExponents);
+                         const std::vector<unsigned> &TermExponents,
+                         unsigned NumThreads = 0);
 
 /// Dense-degree convenience overload: terms 0..Degree.
 PolyLPResult solvePolyLP(const std::vector<IntervalConstraint> &Constraints,
-                         unsigned Degree);
+                         unsigned Degree, unsigned NumThreads = 0);
 
 } // namespace rfp
 

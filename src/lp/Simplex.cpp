@@ -10,8 +10,8 @@
 //     min B.y   s.t.  A^T y = C,  y >= 0.
 //
 // The dual has |C| equality rows (tiny: polynomial coefficients + margin)
-// and |B| variables, matching the RLibm LP shape. Two implementation
-// choices keep exact arithmetic fast:
+// and |B| variables, matching the RLibm LP shape. Implementation choices
+// that keep exact arithmetic fast:
 //
 //  * Revised simplex: only the n x n basis inverse is maintained; the
 //    thousands of nonbasic columns are touched only by pricing.
@@ -22,6 +22,19 @@
 //        Minv'[k][j] = (u_r * Minv[k][j] - u_k * Minv[r][j]) / P
 //    divides exactly (Edmonds / Bareiss), so no gcd normalization ever
 //    runs and entry growth is bounded by minors of the input.
+//
+//  * The basic solution x_B = Minv * rhs is maintained incrementally with
+//    the same fraction-free recurrence instead of being recomputed as an
+//    N x N product every iteration.
+//
+//  * Basis membership is a bitmap (one byte per column), not an O(N) scan
+//    per pricing candidate.
+//
+//  * The O(N*M) pricing sweep -- and, for large N, the column transform
+//    and the pivot update -- run chunked on the shared ThreadPool. Bland's
+//    entering column is the minimum index with negative reduced cost, so
+//    the parallel pick is deterministic by construction; all arithmetic is
+//    exact, so evaluation order cannot perturb values.
 //
 // Inputs are integerized by scaling each dual column (primal constraint)
 // by the lcm of its denominators, which rescales the dual variable but
@@ -34,35 +47,86 @@
 
 #include "lp/Simplex.h"
 
+#include "support/ThreadPool.h"
+
 #include <cassert>
+#include <cmath>
 
 using namespace rfp;
 
 namespace {
 
+/// log2 of |V| to double precision, for nonzero V. Pure function of the
+/// limb bits, so identical on every thread count.
+double approxLog2(const BigInt &V) {
+  unsigned Bits = V.bitLength();
+  if (Bits <= 53)
+    return std::log2(std::fabs(V.toDouble()));
+  return std::log2(std::fabs(V.shr(Bits - 53).toDouble())) +
+         static_cast<double>(Bits - 53);
+}
+
+/// Sign-magnitude approximation Mant * 2^Exp of a BigInt, frexp
+/// normalized (0.5 <= |Mant| < 1; Mant == 0 iff the value is zero). The
+/// wide exponent sidesteps double overflow: simplex intermediates reach
+/// thousands of bits.
+struct Apx {
+  double Mant = 0.0;
+  int64_t Exp = 0;
+};
+
+Apx approxOf(const BigInt &V) {
+  Apx A;
+  A.Mant = V.frexpApprox(A.Exp);
+  return A;
+}
+
 /// Exact division helper: asserts the division is exact.
 BigInt exactDiv(const BigInt &N, const BigInt &D) {
+  if (N.isZero())
+    return BigInt();
   BigInt Q, R;
   BigInt::divMod(N, D, Q, R);
   assert(R.isZero() && "fraction-free pivot division was not exact");
   return Q;
 }
 
+/// Columns per pricing block: the Bland fallback sweep runs
+/// block-sequentially so the scan can stop at the first block containing a
+/// negative reduced cost instead of pricing all M columns, while each
+/// block still fans out across the pool.
+constexpr size_t PricingBlock = 2048;
+
+/// Consecutive degenerate pivots tolerated under the greedy entering rule
+/// before switching to Bland's rule (which cannot cycle). The first
+/// nondegenerate pivot switches back.
+constexpr unsigned DegenerateLimit = 16;
+
+/// Row count at and above which the column transform and the pivot update
+/// are worth fanning out. The pipeline's LPs have N <= ~8, where the
+/// barrier costs more than the work; randomized/benchmark LPs can be
+/// bigger. Determinism does not depend on this value (rows are
+/// index-addressed and arithmetic is exact).
+constexpr size_t ParallelRowThreshold = 16;
+
 class RevisedDualSimplex {
 public:
   RevisedDualSimplex(const std::vector<std::vector<Rational>> &A,
                      const std::vector<Rational> &B,
-                     const std::vector<Rational> &C)
-      : N(C.size()), M(B.size()) {
+                     const std::vector<Rational> &C, unsigned NumThreads)
+      : N(C.size()), M(B.size()),
+        Threads(ThreadPool::resolveThreads(NumThreads)) {
     // Integerize each dual column (primal row) with its own scale; the
     // RHS of the dual equalities is the primal objective C.
     Cols.resize(M);
     Cost2.resize(M);
+    ScaleLog2.resize(M);
     for (size_t J = 0; J < M; ++J) {
       BigInt Scale = BigInt(1);
       for (size_t K = 0; K < N; ++K)
         Scale = lcm(Scale, A[J][K].denominator());
       Scale = lcm(Scale, B[J].denominator());
+      ScaleLog2[J] = approxLog2(Scale);
       Cols[J].resize(N);
       for (size_t K = 0; K < N; ++K)
         Cols[J][K] = scaleToInt(A[J][K], Scale);
@@ -93,27 +157,49 @@ public:
           Cols[J][K] = -Cols[J][K];
       }
 
-    // Artificial basis: Minv = I, P = 1.
+    // Per-entry approximations for the pricing screen, taken after the
+    // row scaling so they mirror the integers actually priced.
+    ApproxCols.resize(M);
+    ApproxCost.resize(M);
+    for (size_t J = 0; J < M; ++J) {
+      ApproxCols[J].resize(N);
+      for (size_t K = 0; K < N; ++K)
+        ApproxCols[J][K] = approxOf(Cols[J][K]);
+      ApproxCost[J] = approxOf(Cost2[J]);
+    }
+
+    // Artificial basis: Minv = I, P = 1, x_B = rhs.
     Minv.assign(N, std::vector<BigInt>(N));
     for (size_t K = 0; K < N; ++K)
       Minv[K][K] = BigInt(1);
     P = BigInt(1);
     Basis.resize(N);
-    for (size_t K = 0; K < N; ++K)
+    InBasis.assign(M + N, 0);
+    for (size_t K = 0; K < N; ++K) {
       Basis[K] = M + K; // artificial k
+      InBasis[M + K] = 1;
+    }
+    XB = Rhs;
   }
 
   LPResult solve() {
-    if (!phase1())
-      return {LPResult::Status::Unbounded, {}, Rational()};
-    if (!phase2())
-      return {LPResult::Status::Infeasible, {}, Rational()};
+    LPResult R;
+    if (!phase1()) {
+      R.StatusCode = LPResult::Status::Unbounded;
+      R.Pivots = Pivots;
+      return R;
+    }
+    if (!phase2()) {
+      R.StatusCode = LPResult::Status::Infeasible;
+      R.Pivots = Pivots;
+      return R;
+    }
 
     // Dual prices y/P at optimum give the primal solution (after undoing
     // the row flips/scales).
     std::vector<BigInt> Y = priceVector(/*Phase1=*/false);
-    LPResult R;
     R.StatusCode = LPResult::Status::Optimal;
+    R.Pivots = Pivots;
     R.Z.resize(N);
     for (size_t K = 0; K < N; ++K) {
       Rational ZK(Y[K], P);
@@ -122,7 +208,6 @@ public:
       R.Z[K] = ZK * Rational(RowScale[K]);
     }
     // Objective: sum over basic dual variables of cost * value.
-    std::vector<BigInt> XB = basicSolution();
     for (size_t K = 0; K < N; ++K)
       if (Basis[K] < M)
         R.Objective += Rational(Cost2[Basis[K]]) * Rational(XB[K], P);
@@ -148,7 +233,9 @@ private:
     return Phase1 ? BigInt(0) : Cost2[J];
   }
 
-  /// y = c_B^T * Minv (true prices are y / P).
+  /// y = c_B^T * Minv (true prices are y / P). O(N^2): cheap next to the
+  /// O(N*M) pricing sweep, so recomputed per iteration (the cost vector
+  /// changes between phases, which an incremental y would have to track).
   std::vector<BigInt> priceVector(bool Phase1) const {
     std::vector<BigInt> Y(N);
     for (size_t K = 0; K < N; ++K) {
@@ -164,6 +251,180 @@ private:
     return Y;
   }
 
+  /// Numerator of the reduced cost of nonbasic column J:
+  ///   cost_j * P - y . D_j   (true reduced cost is this over P * Scale_j).
+  BigInt reducedCostNum(const std::vector<BigInt> &Y, size_t J,
+                        bool Phase1) const {
+    BigInt Num;
+    if (J < M) {
+      Num = cost(J, Phase1) * P;
+      const std::vector<BigInt> &D = Cols[J];
+      for (size_t K = 0; K < N; ++K)
+        if (!Y[K].isZero() && !D[K].isZero())
+          Num = Num - Y[K] * D[K];
+    } else {
+      Num = cost(J, Phase1) * P - Y[J - M];
+    }
+    return Num;
+  }
+
+  /// Certified sign of the true reduced cost of real column J from the
+  /// floating-point screen: +1 means provably >= 0 (not entering), -1
+  /// provably < 0 (legal entering column; Log2Mag receives the log2
+  /// magnitude of the numerator), 0 means the approximation cannot
+  /// separate the value from zero and the caller must price exactly.
+  ///
+  /// Soundness: every term a*b is approximated with relative error below
+  /// ~2^-49 (frexpApprox truncation) and the summation adds at most
+  /// (N+1)^2 * 2^-52 in units of the largest term, so a comparison
+  /// threshold of (N+2) * 2^-40 over-covers both by ~2^9. Certified
+  /// answers are therefore exact truths; only near-ties fall through.
+  int approxRcSign(const std::vector<Apx> &YA, const Apx &PA, size_t J,
+                   bool Phase1, double &Log2Mag) const {
+    const std::vector<Apx> &D = ApproxCols[J];
+    bool HasCost =
+        !Phase1 && ApproxCost[J].Mant != 0.0 && PA.Mant != 0.0;
+    int64_t EMax = INT64_MIN;
+    if (HasCost)
+      EMax = ApproxCost[J].Exp + PA.Exp;
+    for (size_t K = 0; K < N; ++K)
+      if (YA[K].Mant != 0.0 && D[K].Mant != 0.0) {
+        int64_t E = YA[K].Exp + D[K].Exp;
+        if (E > EMax)
+          EMax = E;
+      }
+    if (EMax == INT64_MIN)
+      return 1; // Every term is exactly zero: the reduced cost is 0.
+    auto Term = [&](double M1, double M2, int64_t E) {
+      int64_t Shift = E - EMax;
+      // Terms more than ~1100 binary orders below the largest underflow
+      // to zero; their true contribution is far inside the error bound.
+      if (Shift < -1100)
+        return 0.0;
+      return std::ldexp(M1 * M2, static_cast<int>(Shift));
+    };
+    double S = 0.0;
+    if (HasCost)
+      S += Term(ApproxCost[J].Mant, PA.Mant, ApproxCost[J].Exp + PA.Exp);
+    for (size_t K = 0; K < N; ++K)
+      if (YA[K].Mant != 0.0 && D[K].Mant != 0.0)
+        S -= Term(YA[K].Mant, D[K].Mant, YA[K].Exp + D[K].Exp);
+    double Err = std::ldexp(static_cast<double>(N) + 2.0, -40);
+    if (S <= Err && S >= -Err)
+      return 0;
+    int NumSign = S < 0 ? -1 : 1;
+    int RcSign = P.isNegative() ? -NumSign : NumSign;
+    if (RcSign < 0)
+      Log2Mag = std::log2(std::fabs(S)) + static_cast<double>(EMax);
+    return RcSign;
+  }
+
+  /// Sign of the true reduced cost of nonbasic column J: screened when
+  /// the screen is decisive, exact otherwise. On negative, Key receives
+  /// the greedy selection key.
+  int pricedSign(const std::vector<BigInt> &Y, const std::vector<Apx> &YA,
+                 const Apx &PA, size_t J, bool Phase1, double &Key) const {
+    if (J < M) {
+      double Lg = 0.0;
+      int S = approxRcSign(YA, PA, J, Phase1, Lg);
+      if (S != 0) {
+        if (S < 0)
+          Key = Lg - ScaleLog2[J];
+        return S;
+      }
+    }
+    BigInt Num = reducedCostNum(Y, J, Phase1);
+    int S = trueSign(Num);
+    if (S < 0)
+      Key = enteringKey(Num, J);
+    return S;
+  }
+
+  /// Selection key for the greedy entering rule: log2 of the scale-free
+  /// magnitude of a negative reduced cost. The integer numerators carry a
+  /// per-column factor P * Scale_j; P is common to all columns and Scale_j
+  /// is divided back out so dyadic inputs with wildly different binary
+  /// exponents compete on the true reduced-cost magnitude. A double
+  /// suffices: any negative column is a *legal* pivot, the key only ranks
+  /// them, and it is a pure function of the limb bits, so every thread
+  /// count ranks identically.
+  double enteringKey(const BigInt &Num, size_t J) const {
+    return approxLog2(Num) - (J < M ? ScaleLog2[J] : 0.0);
+  }
+
+  /// Entering column, or SIZE_MAX at optimality. Greedy mode (default)
+  /// prices every nonbasic column and takes the most negative scale-free
+  /// reduced cost (ties: minimum index) -- near-minimal iteration counts
+  /// on the pipeline's margin LPs. Bland mode (UseBland, engaged after a
+  /// degenerate streak) takes the minimum index with negative reduced
+  /// cost, which cannot cycle; its serial scan early-exits per column and
+  /// its parallel scan early-exits per block. Both rules reduce over
+  /// per-index results in index order, so the choice -- and therefore the
+  /// whole pivot sequence -- is thread-count-invariant.
+  size_t findEntering(const std::vector<BigInt> &Y, bool Phase1) const {
+    size_t Limit = Phase1 ? M + N : M;
+    std::vector<Apx> YA(N);
+    for (size_t K = 0; K < N; ++K)
+      YA[K] = approxOf(Y[K]);
+    Apx PA = approxOf(P);
+    double Dummy = 0.0;
+    if (UseBland) {
+      if (Threads <= 1) {
+        for (size_t J = 0; J < Limit; ++J)
+          if (!InBasis[J] && pricedSign(Y, YA, PA, J, Phase1, Dummy) < 0)
+            return J;
+        return SIZE_MAX;
+      }
+      std::vector<int8_t> Signs(PricingBlock);
+      for (size_t Base = 0; Base < Limit; Base += PricingBlock) {
+        size_t Count = std::min(PricingBlock, Limit - Base);
+        parallelFor(
+            Count,
+            [&](size_t Begin, size_t End) {
+              double K = 0.0;
+              for (size_t I = Begin; I < End; ++I) {
+                size_t J = Base + I;
+                Signs[I] = InBasis[J] ? int8_t(0)
+                                      : int8_t(pricedSign(Y, YA, PA, J,
+                                                          Phase1, K));
+              }
+            },
+            Threads);
+        for (size_t I = 0; I < Count; ++I)
+          if (Signs[I] < 0)
+            return Base + I;
+      }
+      return SIZE_MAX;
+    }
+
+    auto Price = [&](size_t J, int8_t &Sign, double &Key) {
+      if (InBasis[J]) {
+        Sign = 0;
+        return;
+      }
+      Sign = static_cast<int8_t>(pricedSign(Y, YA, PA, J, Phase1, Key));
+    };
+    std::vector<int8_t> Signs(Limit);
+    std::vector<double> Keys(Limit);
+    if (Threads <= 1) {
+      for (size_t J = 0; J < Limit; ++J)
+        Price(J, Signs[J], Keys[J]);
+    } else {
+      parallelFor(
+          Limit,
+          [&](size_t Begin, size_t End) {
+            for (size_t J = Begin; J < End; ++J)
+              Price(J, Signs[J], Keys[J]);
+          },
+          Threads);
+    }
+    size_t Best = SIZE_MAX;
+    for (size_t J = 0; J < Limit; ++J)
+      if (Signs[J] < 0 && (Best == SIZE_MAX || Keys[J] > Keys[Best]))
+        Best = J;
+    return Best;
+  }
+
   /// u = Minv * column(J) (true column is u / P).
   std::vector<BigInt> transformedColumn(size_t J) const {
     std::vector<BigInt> U(N);
@@ -174,31 +435,37 @@ private:
       return U;
     }
     const std::vector<BigInt> &D = Cols[J];
-    for (size_t I = 0; I < N; ++I) {
-      BigInt Acc;
-      for (size_t K = 0; K < N; ++K) {
-        if (Minv[I][K].isZero() || D[K].isZero())
-          continue;
-        Acc = Acc + Minv[I][K] * D[K];
+    auto Rows = [&](size_t Begin, size_t End) {
+      for (size_t I = Begin; I < End; ++I) {
+        BigInt Acc;
+        for (size_t K = 0; K < N; ++K) {
+          if (Minv[I][K].isZero() || D[K].isZero())
+            continue;
+          Acc = Acc + Minv[I][K] * D[K];
+        }
+        U[I] = std::move(Acc);
       }
-      U[I] = std::move(Acc);
-    }
+    };
+    if (Threads > 1 && N >= ParallelRowThreshold)
+      parallelFor(N, Rows, Threads);
+    else
+      Rows(0, N);
     return U;
   }
 
-  /// x_B = Minv * rhs (true values are x_B / P; all >= 0 by invariant).
-  std::vector<BigInt> basicSolution() const {
-    std::vector<BigInt> X(N);
-    for (size_t I = 0; I < N; ++I) {
-      BigInt Acc;
-      for (size_t K = 0; K < N; ++K) {
-        if (Minv[I][K].isZero() || Rhs[K].isZero())
-          continue;
-        Acc = Acc + Minv[I][K] * Rhs[K];
-      }
-      X[I] = std::move(Acc);
+  /// Row \p K of the transformed column J -- dot(Minv[K], D_J) -- without
+  /// forming the other N - 1 rows. The phase-1 eviction scan needs only
+  /// this entry to decide whether a column can pivot an artificial out.
+  BigInt transformedEntry(size_t K, size_t J) const {
+    assert(J < M);
+    const std::vector<BigInt> &D = Cols[J];
+    BigInt Acc;
+    for (size_t T = 0; T < N; ++T) {
+      if (Minv[K][T].isZero() || D[T].isZero())
+        continue;
+      Acc = Acc + Minv[K][T] * D[T];
     }
-    return X;
+    return Acc;
   }
 
   /// Sign of a true tableau quantity stored as integer numerator over P.
@@ -209,57 +476,58 @@ private:
     return P.isNegative() ? -S : S;
   }
 
-  /// Basis change with the fraction-free update rule.
+  /// Basis change with the fraction-free update rule. Updates Minv, the
+  /// incremental basic solution, the membership bitmap, and P.
   void pivot(size_t Row, const std::vector<BigInt> &U, size_t EnterCol) {
     BigInt NewP = U[Row];
     assert(!NewP.isZero() && "pivot on zero element");
-    std::vector<std::vector<BigInt>> Next(N, std::vector<BigInt>(N));
-    for (size_t K = 0; K < N; ++K) {
-      for (size_t J = 0; J < N; ++J) {
+    std::vector<std::vector<BigInt>> Next(N);
+    auto Rows = [&](size_t Begin, size_t End) {
+      for (size_t K = Begin; K < End; ++K) {
+        std::vector<BigInt> NK(N);
         if (K == Row) {
-          Next[K][J] = Minv[K][J];
-          continue;
+          NK = Minv[K];
+        } else {
+          for (size_t J = 0; J < N; ++J)
+            NK[J] = exactDiv(NewP * Minv[K][J] - U[K] * Minv[Row][J], P);
         }
-        Next[K][J] = exactDiv(NewP * Minv[K][J] - U[K] * Minv[Row][J], P);
+        Next[K] = std::move(NK);
       }
+    };
+    if (Threads > 1 && N >= ParallelRowThreshold)
+      parallelFor(N, Rows, Threads);
+    else
+      Rows(0, N);
+
+    // x_B = Minv * rhs obeys the same row recurrence as Minv itself, so
+    // one O(N) sweep replaces the old O(N^2) recomputation per iteration.
+    for (size_t K = 0; K < N; ++K) {
+      if (K == Row)
+        continue;
+      XB[K] = exactDiv(NewP * XB[K] - U[K] * XB[Row], P);
     }
+
     Minv = std::move(Next);
     P = std::move(NewP);
+    InBasis[Basis[Row]] = 0;
+    InBasis[EnterCol] = 1;
     Basis[Row] = EnterCol;
+    ++Pivots;
   }
 
-  /// One phase of Bland-rule iterations. Returns false when the phase's
-  /// objective is unbounded below (only possible in phase 2).
+  /// One phase of simplex iterations (greedy entering rule with Bland
+  /// anti-cycling fallback). Returns false when the phase's objective is
+  /// unbounded below (only possible in phase 2).
   bool iterate(bool Phase1) {
+    UseBland = false;
+    DegenStreak = 0;
     for (;;) {
       std::vector<BigInt> Y = priceVector(Phase1);
-      // Bland: smallest column index with negative reduced cost
-      //   sign( cost_j * P - y . D_j ) * sign(P) < 0.
-      size_t Enter = SIZE_MAX;
-      size_t Limit = Phase1 ? M + N : M;
-      for (size_t J = 0; J < Limit; ++J) {
-        if (isBasic(J))
-          continue;
-        BigInt Num;
-        if (J < M) {
-          Num = cost(J, Phase1) * P;
-          const std::vector<BigInt> &D = Cols[J];
-          for (size_t K = 0; K < N; ++K)
-            if (!Y[K].isZero() && !D[K].isZero())
-              Num = Num - Y[K] * D[K];
-        } else {
-          Num = cost(J, Phase1) * P - Y[J - M];
-        }
-        if (trueSign(Num) < 0) {
-          Enter = J;
-          break;
-        }
-      }
+      size_t Enter = findEntering(Y, Phase1);
       if (Enter == SIZE_MAX)
         return true;
 
       std::vector<BigInt> U = transformedColumn(Enter);
-      std::vector<BigInt> XB = basicSolution();
       // Ratio test over rows with true u > 0; P cancels in the ratios
       // x_k / u_k, so compare with integer cross products.
       size_t Leave = SIZE_MAX;
@@ -282,15 +550,19 @@ private:
       }
       if (Leave == SIZE_MAX)
         return false; // Unbounded in this phase.
+      // Anti-cycling: a degenerate pivot leaves the objective unchanged.
+      // After DegenerateLimit of them in a row, fall back to Bland's rule
+      // (which provably terminates) until progress resumes.
+      bool Degenerate = XB[Leave].isZero();
       pivot(Leave, U, Enter);
+      if (Degenerate) {
+        if (++DegenStreak >= DegenerateLimit)
+          UseBland = true;
+      } else {
+        DegenStreak = 0;
+        UseBland = false;
+      }
     }
-  }
-
-  bool isBasic(size_t J) const {
-    for (size_t K = 0; K < N; ++K)
-      if (Basis[K] == J)
-        return true;
-    return false;
   }
 
   bool phase1() {
@@ -298,22 +570,23 @@ private:
     assert(Ok && "phase-1 objective cannot be unbounded");
     (void)Ok;
     // Any artificial still at a positive value => dual infeasible.
-    std::vector<BigInt> XB = basicSolution();
     for (size_t K = 0; K < N; ++K)
       if (Basis[K] >= M && trueSign(XB[K]) > 0)
         return false;
-    // Drive zero-valued artificials out when a real pivot exists.
+    // Drive zero-valued artificials out when a real pivot exists. Probe
+    // each candidate column with the single transformed entry this row
+    // needs (skipping columns whose entry is zero) and form the full
+    // column only for the pivot actually taken.
     for (size_t K = 0; K < N; ++K) {
       if (Basis[K] < M)
         continue;
       for (size_t J = 0; J < M; ++J) {
-        if (isBasic(J))
+        if (InBasis[J])
           continue;
-        std::vector<BigInt> U = transformedColumn(J);
-        if (!U[K].isZero()) {
-          pivot(K, U, J);
-          break;
-        }
+        if (transformedEntry(K, J).isZero())
+          continue;
+        pivot(K, transformedColumn(J), J);
+        break;
       }
     }
     return true;
@@ -323,24 +596,34 @@ private:
 
   size_t N; ///< Dual equality rows (primal unknowns).
   size_t M; ///< Dual variables (primal constraints).
+  unsigned Threads; ///< Resolved worker budget for the parallel kernels.
   std::vector<std::vector<BigInt>> Cols; ///< Integerized dual columns.
   std::vector<BigInt> Cost2;             ///< Phase-2 costs (scaled b).
+  std::vector<double> ScaleLog2; ///< log2 of each column's integerization.
+  std::vector<std::vector<Apx>> ApproxCols; ///< Screen images of Cols.
+  std::vector<Apx> ApproxCost;              ///< Screen images of Cost2.
   std::vector<BigInt> Rhs;               ///< Flipped/scaled C.
   std::vector<BigInt> RowScale;
   std::vector<int> RowSign;
   std::vector<std::vector<BigInt>> Minv; ///< Basis inverse numerators.
   BigInt P;                              ///< Common denominator of Minv.
+  std::vector<BigInt> XB;  ///< Incremental basic solution (x_B * P).
   std::vector<size_t> Basis;
+  std::vector<uint8_t> InBasis; ///< Membership bitmap over all M+N columns.
+  unsigned Pivots = 0;
+  bool UseBland = false;    ///< Anti-cycling fallback engaged.
+  unsigned DegenStreak = 0; ///< Consecutive degenerate pivots.
 };
 
 } // namespace
 
 LPResult rfp::maximizeLP(const std::vector<std::vector<Rational>> &A,
                          const std::vector<Rational> &B,
-                         const std::vector<Rational> &C) {
+                         const std::vector<Rational> &C,
+                         unsigned NumThreads) {
   assert(A.size() == B.size() && "constraint row/rhs mismatch");
   for ([[maybe_unused]] const auto &Row : A)
     assert(Row.size() == C.size() && "constraint width mismatch");
-  RevisedDualSimplex S(A, B, C);
+  RevisedDualSimplex S(A, B, C, NumThreads);
   return S.solve();
 }

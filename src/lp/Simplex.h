@@ -37,6 +37,9 @@ struct LPResult {
   std::vector<Rational> Z;
   /// Optimal objective value, when Optimal.
   Rational Objective;
+  /// Simplex pivots performed (both phases, including artificial
+  /// evictions); thread-count-invariant by the determinism contract.
+  unsigned Pivots = 0;
 
   bool isOptimal() const { return StatusCode == Status::Optimal; }
 };
@@ -44,9 +47,16 @@ struct LPResult {
 /// Solves: maximize C . z subject to A[i] . z <= B[i], with z free
 /// (unconstrained sign). Dimensions: |C| unknowns, |A| == |B| constraints.
 /// Exact rational arithmetic throughout.
+///
+/// \p NumThreads follows ThreadPool::resolveThreads (0 = RFP_THREADS env,
+/// then hardware). The pricing / column-transform / pivot-update kernels
+/// run on the shared pool; Bland's rule makes the entering column the
+/// minimum index with negative reduced cost, so the result -- including
+/// the pivot sequence -- is bit-identical for every thread count.
 LPResult maximizeLP(const std::vector<std::vector<Rational>> &A,
                     const std::vector<Rational> &B,
-                    const std::vector<Rational> &C);
+                    const std::vector<Rational> &C,
+                    unsigned NumThreads = 0);
 
 } // namespace rfp
 

@@ -148,13 +148,21 @@ bool BigInt::anyBitBelow(unsigned I) const {
   return false;
 }
 
-int BigInt::magCompare(const std::vector<uint32_t> &A,
-                       const std::vector<uint32_t> &B) {
+// NOTE on the loops below: limb accesses go through raw pointers hoisted
+// before each loop, not through LimbVec::operator[]. The element type is
+// uint32_t and so are the LimbVec header fields, so the compiler must
+// assume a store through the element pointer can alias the inline/heap
+// discriminant and would re-resolve data() after every write; hoisting the
+// pointer once restores vector-grade codegen (measured ~2x on the
+// schoolbook inner loop).
+
+int BigInt::magCompare(const LimbVec &A, const LimbVec &B) {
   if (A.size() != B.size())
     return A.size() < B.size() ? -1 : 1;
+  const uint32_t *AD = A.data(), *BD = B.data();
   for (size_t I = A.size(); I-- > 0;)
-    if (A[I] != B[I])
-      return A[I] < B[I] ? -1 : 1;
+    if (AD[I] != BD[I])
+      return AD[I] < BD[I] ? -1 : 1;
   return 0;
 }
 
@@ -169,40 +177,161 @@ int BigInt::compareMagnitude(const BigInt &RHS) const {
   return magCompare(Limbs, RHS.Limbs);
 }
 
-std::vector<uint32_t> BigInt::magAdd(const std::vector<uint32_t> &A,
-                                     const std::vector<uint32_t> &B) {
-  const std::vector<uint32_t> &Long = A.size() >= B.size() ? A : B;
-  const std::vector<uint32_t> &Short = A.size() >= B.size() ? B : A;
-  std::vector<uint32_t> R(Long.size() + 1, 0);
+LimbVec BigInt::magAdd(const LimbVec &A, const LimbVec &B) {
+  const LimbVec &Long = A.size() >= B.size() ? A : B;
+  const LimbVec &Short = A.size() >= B.size() ? B : A;
+  size_t LongN = Long.size(), ShortN = Short.size();
+  LimbVec R;
+  R.resize(LongN + 1);
+  const uint32_t *LD = Long.data(), *SD = Short.data();
+  uint32_t *RD = R.data();
   uint64_t Carry = 0;
-  for (size_t I = 0; I < Long.size(); ++I) {
-    uint64_t Sum = Carry + Long[I] + (I < Short.size() ? Short[I] : 0);
-    R[I] = static_cast<uint32_t>(Sum);
+  size_t I = 0;
+  for (; I < ShortN; ++I) {
+    uint64_t Sum = Carry + LD[I] + SD[I];
+    RD[I] = static_cast<uint32_t>(Sum);
     Carry = Sum >> 32;
   }
-  R[Long.size()] = static_cast<uint32_t>(Carry);
+  for (; I < LongN; ++I) {
+    uint64_t Sum = Carry + LD[I];
+    RD[I] = static_cast<uint32_t>(Sum);
+    Carry = Sum >> 32;
+  }
+  RD[LongN] = static_cast<uint32_t>(Carry);
   return R;
 }
 
-std::vector<uint32_t> BigInt::magSub(const std::vector<uint32_t> &A,
-                                     const std::vector<uint32_t> &B) {
+LimbVec BigInt::magSub(const LimbVec &A, const LimbVec &B) {
   assert(magCompare(A, B) >= 0 && "magSub requires |A| >= |B|");
-  std::vector<uint32_t> R(A.size(), 0);
+  size_t AN = A.size(), BN = B.size();
+  LimbVec R;
+  R.resize(AN);
+  const uint32_t *AD = A.data(), *BD = B.data();
+  uint32_t *RD = R.data();
   int64_t Borrow = 0;
-  for (size_t I = 0; I < A.size(); ++I) {
-    int64_t Diff = static_cast<int64_t>(A[I]) -
-                   (I < B.size() ? static_cast<int64_t>(B[I]) : 0) - Borrow;
+  size_t I = 0;
+  for (; I < BN; ++I) {
+    int64_t Diff =
+        static_cast<int64_t>(AD[I]) - static_cast<int64_t>(BD[I]) - Borrow;
     Borrow = Diff < 0;
     if (Diff < 0)
       Diff += (1ll << 32);
-    R[I] = static_cast<uint32_t>(Diff);
+    RD[I] = static_cast<uint32_t>(Diff);
+  }
+  for (; I < AN; ++I) {
+    int64_t Diff = static_cast<int64_t>(AD[I]) - Borrow;
+    Borrow = Diff < 0;
+    if (Diff < 0)
+      Diff += (1ll << 32);
+    RD[I] = static_cast<uint32_t>(Diff);
   }
   assert(Borrow == 0 && "underflow in magSub");
   return R;
 }
 
-std::vector<uint32_t> BigInt::magMul(const std::vector<uint32_t> &A,
-                                     const std::vector<uint32_t> &B) {
+namespace {
+
+/// Drops high zero limbs (magnitude canonical form for the helpers that
+/// compare sizes).
+void trimVec(LimbVec &V) {
+  while (!V.empty() && V.back() == 0)
+    V.pop_back();
+}
+
+/// Low M limbs of X (trimmed) into Lo, the rest into Hi.
+void splitAt(const LimbVec &X, size_t M, LimbVec &Lo, LimbVec &Hi) {
+  const uint32_t *XD = X.data();
+  size_t Cut = std::min(M, X.size());
+  Lo.resize(Cut);
+  std::memcpy(Lo.data(), XD, Cut * sizeof(uint32_t));
+  trimVec(Lo);
+  Hi.clear();
+  if (X.size() > M) {
+    Hi.resize(X.size() - M);
+    std::memcpy(Hi.data(), XD + M, (X.size() - M) * sizeof(uint32_t));
+  }
+}
+
+/// R += V * 2^(32*Off). R must be pre-sized so the sum fits (true for the
+/// Karatsuba recombination, where the running total never exceeds A*B).
+void addInto(LimbVec &R, const LimbVec &V, size_t Off) {
+  uint32_t *RD = R.data() + Off;
+  const uint32_t *VD = V.data();
+  uint64_t Carry = 0;
+  size_t I = 0;
+  for (; I < V.size(); ++I) {
+    uint64_t Sum = static_cast<uint64_t>(RD[I]) + VD[I] + Carry;
+    RD[I] = static_cast<uint32_t>(Sum);
+    Carry = Sum >> 32;
+  }
+  while (Carry) {
+    assert(Off + I < R.size() && "Karatsuba recombination overflow");
+    uint64_t Sum = static_cast<uint64_t>(RD[I]) + Carry;
+    RD[I] = static_cast<uint32_t>(Sum);
+    Carry = Sum >> 32;
+    ++I;
+  }
+}
+
+} // namespace
+
+LimbVec BigInt::magMulSchoolbook(const LimbVec &A, const LimbVec &B) {
+  size_t AN = A.size(), BN = B.size();
+  LimbVec R;
+  R.assign(AN + BN, 0);
+  const uint32_t *AD = A.data(), *BD = B.data();
+  uint32_t *RD = R.data();
+  for (size_t I = 0; I < AN; ++I) {
+    uint64_t Carry = 0;
+    uint64_t Ai = AD[I];
+    uint32_t *Row = RD + I;
+    for (size_t J = 0; J < BN; ++J) {
+      uint64_t Cur = Row[J] + Ai * BD[J] + Carry;
+      Row[J] = static_cast<uint32_t>(Cur);
+      Carry = Cur >> 32;
+    }
+    Row[BN] = static_cast<uint32_t>(Carry);
+  }
+  return R;
+}
+
+LimbVec BigInt::magMulKaratsuba(const LimbVec &A, const LimbVec &B) {
+  // A = A1*2^(32m) + A0, B likewise. Then
+  //   A*B = Z2*2^(64m) + Z1*2^(32m) + Z0
+  // with Z0 = A0*B0, Z2 = A1*B1, and the middle term computed from one
+  // multiplication: Z1 = (A0+A1)*(B0+B1) - Z0 - Z2 (both subtractions are
+  // non-negative). Recursion goes through magMul so sub-products drop back
+  // to schoolbook below the threshold.
+  size_t M = (std::max(A.size(), B.size()) + 1) / 2;
+  LimbVec A0, A1, B0, B1;
+  splitAt(A, M, A0, A1);
+  splitAt(B, M, B0, B1);
+
+  LimbVec Z0 = magMul(A0, B0);
+  trimVec(Z0);
+  LimbVec Z2 = magMul(A1, B1);
+  trimVec(Z2);
+
+  LimbVec SA = magAdd(A0, A1);
+  trimVec(SA);
+  LimbVec SB = magAdd(B0, B1);
+  trimVec(SB);
+  LimbVec Z1 = magMul(SA, SB);
+  trimVec(Z1);
+  Z1 = magSub(Z1, Z0);
+  trimVec(Z1);
+  Z1 = magSub(Z1, Z2);
+  trimVec(Z1);
+
+  LimbVec R;
+  R.assign(A.size() + B.size(), 0);
+  addInto(R, Z0, 0);
+  addInto(R, Z1, M);
+  addInto(R, Z2, 2 * M);
+  return R;
+}
+
+LimbVec BigInt::magMul(const LimbVec &A, const LimbVec &B) {
   if (A.empty() || B.empty())
     return {};
   // Single-limb fast path: the LP solver's exact-rational pivots multiply
@@ -212,28 +341,32 @@ std::vector<uint32_t> BigInt::magMul(const std::vector<uint32_t> &A,
   // (see EXPERIMENTS.md for the measured effect).
   if (A.size() == 1 || B.size() == 1) {
     uint64_t F = A.size() == 1 ? A[0] : B[0];
-    const std::vector<uint32_t> &Long = A.size() == 1 ? B : A;
-    std::vector<uint32_t> R(Long.size() + 1);
+    const LimbVec &Long = A.size() == 1 ? B : A;
+    size_t N = Long.size();
+    LimbVec R;
+    R.resize(N + 1);
+    const uint32_t *LD = Long.data();
+    uint32_t *RD = R.data();
     uint64_t Carry = 0;
-    for (size_t I = 0; I < Long.size(); ++I) {
-      uint64_t Cur = F * Long[I] + Carry;
-      R[I] = static_cast<uint32_t>(Cur);
+    for (size_t I = 0; I < N; ++I) {
+      uint64_t Cur = F * LD[I] + Carry;
+      RD[I] = static_cast<uint32_t>(Cur);
       Carry = Cur >> 32;
     }
-    R[Long.size()] = static_cast<uint32_t>(Carry);
+    RD[N] = static_cast<uint32_t>(Carry);
     return R;
   }
-  std::vector<uint32_t> R(A.size() + B.size(), 0);
-  for (size_t I = 0; I < A.size(); ++I) {
-    uint64_t Carry = 0;
-    uint64_t Ai = A[I];
-    for (size_t J = 0; J < B.size(); ++J) {
-      uint64_t Cur = R[I + J] + Ai * B[J] + Carry;
-      R[I + J] = static_cast<uint32_t>(Cur);
-      Carry = Cur >> 32;
-    }
-    R[I + B.size()] = static_cast<uint32_t>(Carry);
-  }
+  if (std::min(A.size(), B.size()) >= KaratsubaThreshold)
+    return magMulKaratsuba(A, B);
+  return magMulSchoolbook(A, B);
+}
+
+BigInt BigInt::mulSchoolbook(const BigInt &A, const BigInt &B) {
+  BigInt R;
+  if (!A.Limbs.empty() && !B.Limbs.empty())
+    R.Limbs = magMulSchoolbook(A.Limbs, B.Limbs);
+  R.Negative = A.Negative != B.Negative;
+  R.trim();
   return R;
 }
 
@@ -282,11 +415,14 @@ void BigInt::divMod(const BigInt &A, const BigInt &B, BigInt &Q, BigInt &R) {
   // Single-limb fast path.
   if (B.Limbs.size() == 1) {
     uint64_t D = B.Limbs[0];
-    std::vector<uint32_t> QL(A.Limbs.size(), 0);
+    LimbVec QL;
+    QL.resize(A.Limbs.size());
+    const uint32_t *AD = A.Limbs.data();
+    uint32_t *QD = QL.data();
     uint64_t Rem = 0;
     for (size_t I = A.Limbs.size(); I-- > 0;) {
-      uint64_t Cur = (Rem << 32) | A.Limbs[I];
-      QL[I] = static_cast<uint32_t>(Cur / D);
+      uint64_t Cur = (Rem << 32) | AD[I];
+      QD[I] = static_cast<uint32_t>(Cur / D);
       Rem = Cur % D;
     }
     Q.Limbs = std::move(QL);
@@ -307,17 +443,20 @@ void BigInt::divMod(const BigInt &A, const BigInt &B, BigInt &Q, BigInt &R) {
   size_t M = U.Limbs.size() - N;
   U.Limbs.push_back(0); // Room for the virtual high limb u[m+n].
 
-  std::vector<uint32_t> QL(M + 1, 0);
-  uint64_t VTop = V.Limbs[N - 1];
-  uint64_t VNext = V.Limbs[N - 2];
+  LimbVec QL;
+  QL.resize(M + 1);
+  uint32_t *QD = QL.data();
+  uint32_t *UD = U.Limbs.data();
+  const uint32_t *VD = V.Limbs.data();
+  uint64_t VTop = VD[N - 1];
+  uint64_t VNext = VD[N - 2];
 
   for (size_t J = M + 1; J-- > 0;) {
     // Estimate q_hat from the top two dividend limbs. When the estimate
     // saturates at 2^32 - 1 the remainder estimate must be recomputed for
     // that clamped value, or the correction loop below tests garbage and
     // the digit can be off by more than the one unit add-back repairs.
-    uint64_t Num = (static_cast<uint64_t>(U.Limbs[J + N]) << 32) |
-                   U.Limbs[J + N - 1];
+    uint64_t Num = (static_cast<uint64_t>(UD[J + N]) << 32) | UD[J + N - 1];
     uint64_t QHat, RHat;
     if ((Num >> 32) >= VTop) {
       QHat = 0xffffffffull;
@@ -327,7 +466,7 @@ void BigInt::divMod(const BigInt &A, const BigInt &B, BigInt &Q, BigInt &R) {
       RHat = Num % VTop;
     }
     while (RHat <= 0xffffffffull &&
-           QHat * VNext > ((RHat << 32) | U.Limbs[J + N - 2])) {
+           QHat * VNext > ((RHat << 32) | UD[J + N - 2])) {
       --QHat;
       RHat += VTop;
     }
@@ -336,34 +475,34 @@ void BigInt::divMod(const BigInt &A, const BigInt &B, BigInt &Q, BigInt &R) {
     int64_t Borrow = 0;
     uint64_t Carry = 0;
     for (size_t I = 0; I < N; ++I) {
-      uint64_t P = QHat * V.Limbs[I] + Carry;
+      uint64_t P = QHat * VD[I] + Carry;
       Carry = P >> 32;
-      int64_t Sub = static_cast<int64_t>(U.Limbs[I + J]) -
+      int64_t Sub = static_cast<int64_t>(UD[I + J]) -
                     static_cast<int64_t>(P & 0xffffffffull) - Borrow;
       Borrow = Sub < 0;
       if (Sub < 0)
         Sub += (1ll << 32);
-      U.Limbs[I + J] = static_cast<uint32_t>(Sub);
+      UD[I + J] = static_cast<uint32_t>(Sub);
     }
-    int64_t Sub = static_cast<int64_t>(U.Limbs[J + N]) -
+    int64_t Sub = static_cast<int64_t>(UD[J + N]) -
                   static_cast<int64_t>(Carry) - Borrow;
     bool NegStep = Sub < 0;
     if (Sub < 0)
       Sub += (1ll << 32);
-    U.Limbs[J + N] = static_cast<uint32_t>(Sub);
+    UD[J + N] = static_cast<uint32_t>(Sub);
 
     // Add-back step (rare): q_hat was one too large.
     if (NegStep) {
       --QHat;
       uint64_t C = 0;
       for (size_t I = 0; I < N; ++I) {
-        uint64_t Sum = static_cast<uint64_t>(U.Limbs[I + J]) + V.Limbs[I] + C;
-        U.Limbs[I + J] = static_cast<uint32_t>(Sum);
+        uint64_t Sum = static_cast<uint64_t>(UD[I + J]) + VD[I] + C;
+        UD[I + J] = static_cast<uint32_t>(Sum);
         C = Sum >> 32;
       }
-      U.Limbs[J + N] = static_cast<uint32_t>(U.Limbs[J + N] + C);
+      UD[J + N] = static_cast<uint32_t>(UD[J + N] + C);
     }
-    QL[J] = static_cast<uint32_t>(QHat);
+    QD[J] = static_cast<uint32_t>(QHat);
   }
 
   Q.Limbs = std::move(QL);
@@ -396,10 +535,12 @@ BigInt BigInt::shl(unsigned K) const {
   BigInt R;
   R.Negative = Negative;
   R.Limbs.assign(Limbs.size() + LimbShift + 1, 0);
+  const uint32_t *SD = Limbs.data();
+  uint32_t *RD = R.Limbs.data() + LimbShift;
   for (size_t I = 0; I < Limbs.size(); ++I) {
-    uint64_t V = static_cast<uint64_t>(Limbs[I]) << BitShift;
-    R.Limbs[I + LimbShift] |= static_cast<uint32_t>(V);
-    R.Limbs[I + LimbShift + 1] |= static_cast<uint32_t>(V >> 32);
+    uint64_t V = static_cast<uint64_t>(SD[I]) << BitShift;
+    RD[I] |= static_cast<uint32_t>(V);
+    RD[I + 1] |= static_cast<uint32_t>(V >> 32);
   }
   R.trim();
   return R;
@@ -414,11 +555,14 @@ BigInt BigInt::shr(unsigned K) const {
   BigInt R;
   R.Negative = Negative;
   R.Limbs.assign(Limbs.size() - LimbShift, 0);
-  for (size_t I = 0; I < R.Limbs.size(); ++I) {
-    uint64_t V = Limbs[I + LimbShift] >> BitShift;
-    if (BitShift && I + LimbShift + 1 < Limbs.size())
-      V |= static_cast<uint64_t>(Limbs[I + LimbShift + 1]) << (32 - BitShift);
-    R.Limbs[I] = static_cast<uint32_t>(V);
+  const uint32_t *SD = Limbs.data() + LimbShift;
+  uint32_t *RD = R.Limbs.data();
+  size_t N = R.Limbs.size();
+  for (size_t I = 0; I < N; ++I) {
+    uint64_t V = SD[I] >> BitShift;
+    if (BitShift && I + 1 < N)
+      V |= static_cast<uint64_t>(SD[I + 1]) << (32 - BitShift);
+    RD[I] = static_cast<uint32_t>(V);
   }
   R.trim();
   return R;
@@ -441,6 +585,10 @@ BigInt BigInt::gcd(BigInt A, BigInt B) {
     return B;
   if (B.isZero())
     return A;
+  // gcd(x, 1) = 1: frequent in the Henrici fast paths (integer-valued
+  // operands), and Stein on a long operand against 1 walks every bit.
+  if (A.isOne() || B.isOne())
+    return BigInt(1);
   unsigned Za = A.countTrailingZeros();
   unsigned Zb = B.countTrailingZeros();
   unsigned Shift = std::min(Za, Zb);
@@ -459,11 +607,40 @@ BigInt BigInt::gcd(BigInt A, BigInt B) {
   return A.shl(Shift);
 }
 
+double BigInt::frexpApprox(int64_t &Exp) const {
+  if (isZero()) {
+    Exp = 0;
+    return 0.0;
+  }
+  const uint32_t *D = Limbs.data();
+  size_t NL = Limbs.size();
+  double V = static_cast<double>(D[NL - 1]);
+  if (NL >= 2)
+    V = V * 4294967296.0 + static_cast<double>(D[NL - 2]);
+  if (NL >= 3)
+    V = V * 4294967296.0 + static_cast<double>(D[NL - 3]);
+  int E;
+  V = std::frexp(V, &E);
+  size_t Used = NL < 3 ? NL : 3;
+  Exp = static_cast<int64_t>(E) + 32 * static_cast<int64_t>(NL - Used);
+  return Negative ? -V : V;
+}
+
+uint64_t BigInt::hash() const {
+  uint64_t H = 0xcbf29ce484222325ull; // FNV-1a offset basis.
+  constexpr uint64_t Prime = 0x100000001b3ull;
+  H = (H ^ (Negative ? 1u : 0u)) * Prime;
+  const uint32_t *D = Limbs.data();
+  for (size_t I = 0, E = Limbs.size(); I < E; ++I)
+    H = (H ^ D[I]) * Prime;
+  return H;
+}
+
 std::string BigInt::toDecimal() const {
   if (isZero())
     return "0";
   // Peel off 9 decimal digits at a time (10^9 < 2^32).
-  std::vector<uint32_t> Work = Limbs;
+  LimbVec Work = Limbs;
   std::string Digits;
   while (!Work.empty()) {
     uint64_t Rem = 0;

@@ -12,6 +12,13 @@
 /// significant first; the sign is kept separately so the magnitude algorithms
 /// stay branch-free with respect to sign.
 ///
+/// Performance model (see DESIGN.md, "Exact-arithmetic substrate"): limb
+/// storage is a small-buffer vector with inline capacity for 4 limbs (128
+/// bits of magnitude), so the dominant small-operand path -- interval
+/// endpoints, LP columns, pivot scalars -- never touches the heap.
+/// Multiplication switches from schoolbook to Karatsuba above a tuned limb
+/// threshold.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RFP_SUPPORT_BIGINT_H
@@ -19,10 +26,121 @@
 
 #include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <string>
-#include <vector>
 
 namespace rfp {
+
+/// Small-buffer limb vector: the first InlineCapacity limbs live inside the
+/// object (no allocation); larger magnitudes spill to the heap. The API is
+/// the subset of std::vector<uint32_t> the BigInt algorithms use. Capacity
+/// never shrinks, so repeated resize/assign cycles on a heap-backed value
+/// (the long-division work buffers) do not reallocate.
+class LimbVec {
+public:
+  /// 4 limbs = 128-bit magnitudes inline. Rounding intervals, integerized
+  /// LP columns, and most pivot scalars fit; the basis-inverse numerators
+  /// in deep pivots are the main heap clients.
+  static constexpr uint32_t InlineCapacity = 4;
+
+  LimbVec() = default;
+  LimbVec(const LimbVec &O) { assignRaw(O.data(), O.Sz); }
+  LimbVec(LimbVec &&O) noexcept { moveFrom(O); }
+  LimbVec &operator=(const LimbVec &O) {
+    if (this != &O)
+      assignRaw(O.data(), O.Sz);
+    return *this;
+  }
+  LimbVec &operator=(LimbVec &&O) noexcept {
+    if (this != &O) {
+      release();
+      moveFrom(O);
+    }
+    return *this;
+  }
+  ~LimbVec() { release(); }
+
+  size_t size() const { return Sz; }
+  bool empty() const { return Sz == 0; }
+  bool isInline() const { return Cap == InlineCapacity; }
+
+  uint32_t *data() { return isInline() ? Inline : Heap; }
+  const uint32_t *data() const { return isInline() ? Inline : Heap; }
+  uint32_t &operator[](size_t I) { return data()[I]; }
+  uint32_t operator[](size_t I) const { return data()[I]; }
+  uint32_t &back() { return data()[Sz - 1]; }
+  uint32_t back() const { return data()[Sz - 1]; }
+
+  void clear() { Sz = 0; }
+  void pop_back() { --Sz; }
+  void push_back(uint32_t V) {
+    if (Sz == Cap)
+      grow(Sz + 1, /*PreserveContents=*/true);
+    data()[Sz++] = V;
+  }
+
+  /// std::vector semantics: new slots (when growing) are zero-filled.
+  void resize(size_t N) {
+    if (N > Cap)
+      grow(N, /*PreserveContents=*/true);
+    uint32_t *D = data();
+    for (size_t I = Sz; I < N; ++I)
+      D[I] = 0;
+    Sz = static_cast<uint32_t>(N);
+  }
+
+  void assign(size_t N, uint32_t V) {
+    if (N > Cap)
+      grow(N, /*PreserveContents=*/false);
+    uint32_t *D = data();
+    for (size_t I = 0; I < N; ++I)
+      D[I] = V;
+    Sz = static_cast<uint32_t>(N);
+  }
+
+private:
+  void assignRaw(const uint32_t *Src, uint32_t N) {
+    if (N > Cap)
+      grow(N, /*PreserveContents=*/false);
+    std::memcpy(data(), Src, N * sizeof(uint32_t));
+    Sz = N;
+  }
+
+  void moveFrom(LimbVec &O) {
+    if (O.isInline()) {
+      std::memcpy(Inline, O.Inline, O.Sz * sizeof(uint32_t));
+      Cap = InlineCapacity;
+    } else {
+      Heap = O.Heap;
+      Cap = O.Cap;
+      O.Cap = InlineCapacity;
+    }
+    Sz = O.Sz;
+    O.Sz = 0;
+  }
+
+  void release() {
+    if (!isInline())
+      delete[] Heap;
+  }
+
+  void grow(size_t MinCap, bool PreserveContents) {
+    size_t NewCap = Cap * 2 > MinCap ? Cap * 2 : MinCap;
+    uint32_t *NewHeap = new uint32_t[NewCap];
+    if (PreserveContents && Sz)
+      std::memcpy(NewHeap, data(), Sz * sizeof(uint32_t));
+    release();
+    Heap = NewHeap;
+    Cap = static_cast<uint32_t>(NewCap);
+  }
+
+  uint32_t Sz = 0;
+  uint32_t Cap = InlineCapacity;
+  union {
+    uint32_t Inline[InlineCapacity] = {};
+    uint32_t *Heap;
+  };
+};
 
 /// Arbitrary-precision signed integer.
 ///
@@ -96,6 +214,16 @@ public:
   /// Computes quotient and remainder in one pass (Knuth Algorithm D).
   static void divMod(const BigInt &A, const BigInt &B, BigInt &Q, BigInt &R);
 
+  /// Limb count at and above which operator* switches from schoolbook to
+  /// Karatsuba (both operands must reach it). Tuned with bench_bigint's
+  /// mul ladder; see EXPERIMENTS.md.
+  static constexpr size_t KaratsubaThreshold = 64;
+
+  /// Schoolbook multiplication regardless of operand size. Exposed for the
+  /// Karatsuba differential tests and the threshold-bracketing benchmark;
+  /// use operator* everywhere else.
+  static BigInt mulSchoolbook(const BigInt &A, const BigInt &B);
+
   /// Logical shift of the magnitude; sign is preserved.
   BigInt shl(unsigned K) const;
   BigInt shr(unsigned K) const;
@@ -111,6 +239,18 @@ public:
   static BigInt gcd(BigInt A, BigInt B);
 
   /// Base-10 rendering with leading '-' when negative.
+  /// Signed frexp-style approximation: returns a mantissa Mant with
+  /// 0.5 <= |Mant| < 1 and sets Exp such that the value is approximately
+  /// Mant * 2^Exp (relative error < 3 * 2^-52, from truncating to the top
+  /// ~96 bits). Returns 0 with Exp = 0 for zero. O(1): reads the top
+  /// limbs only -- unlike toDouble(), never overflows for huge values.
+  double frexpApprox(int64_t &Exp) const;
+
+  /// 64-bit FNV-1a hash of the sign and canonical limb representation.
+  /// Equal values hash equally; intended for hash-map keys with an exact
+  /// equality check on collision.
+  uint64_t hash() const;
+
   std::string toDecimal() const;
   /// Base-16 rendering (magnitude, "0x" prefix, leading '-' when negative).
   std::string toHex() const;
@@ -119,17 +259,15 @@ private:
   /// Drops high zero limbs and canonicalizes the sign of zero.
   void trim();
 
-  static int magCompare(const std::vector<uint32_t> &A,
-                        const std::vector<uint32_t> &B);
-  static std::vector<uint32_t> magAdd(const std::vector<uint32_t> &A,
-                                      const std::vector<uint32_t> &B);
+  static int magCompare(const LimbVec &A, const LimbVec &B);
+  static LimbVec magAdd(const LimbVec &A, const LimbVec &B);
   /// Requires |A| >= |B|.
-  static std::vector<uint32_t> magSub(const std::vector<uint32_t> &A,
-                                      const std::vector<uint32_t> &B);
-  static std::vector<uint32_t> magMul(const std::vector<uint32_t> &A,
-                                      const std::vector<uint32_t> &B);
+  static LimbVec magSub(const LimbVec &A, const LimbVec &B);
+  static LimbVec magMul(const LimbVec &A, const LimbVec &B);
+  static LimbVec magMulSchoolbook(const LimbVec &A, const LimbVec &B);
+  static LimbVec magMulKaratsuba(const LimbVec &A, const LimbVec &B);
 
-  std::vector<uint32_t> Limbs;
+  LimbVec Limbs;
   bool Negative = false;
 };
 

@@ -109,24 +109,93 @@ Rational Rational::operator-() const {
   return R;
 }
 
+Rational Rational::addSub(const Rational &RHS, bool Sub) const {
+  // Henrici addition (the mpq_add scheme). With g = gcd(d1, d2):
+  //   t = n1*(d2/g) +- n2*(d1/g)   over the lcm (d1/g)*d2,
+  //   g2 = gcd(t, g),  result = (t/g2) / ((d1/g)*(d2/g2)),
+  // which is fully reduced. When g == 1 (and in particular for integer
+  // operands) no reduction is needed at all -- the common LP case, since
+  // dyadic denominators share their full power of two.
+  if (isZero())
+    return Sub ? -RHS : RHS;
+  if (RHS.isZero())
+    return *this;
+  if (Den.isOne() && RHS.Den.isOne()) {
+    BigInt T = Sub ? Num - RHS.Num : Num + RHS.Num;
+    return Rational(std::move(T), BigInt(1), CanonicalTag{});
+  }
+  BigInt G = BigInt::gcd(Den, RHS.Den);
+  if (G.isOne()) {
+    BigInt Cross = RHS.Num * Den;
+    BigInt T = Num * RHS.Den;
+    T = Sub ? T - Cross : T + Cross;
+    if (T.isZero())
+      return Rational();
+    return Rational(std::move(T), Den * RHS.Den, CanonicalTag{});
+  }
+  BigInt D1 = Den / G, D2 = RHS.Den / G;
+  BigInt Cross = RHS.Num * D1;
+  BigInt T = Num * D2;
+  T = Sub ? T - Cross : T + Cross;
+  if (T.isZero())
+    return Rational();
+  BigInt G2 = BigInt::gcd(T, G);
+  if (G2.isOne())
+    return Rational(std::move(T), D1 * RHS.Den, CanonicalTag{});
+  return Rational(T / G2, D1 * (RHS.Den / G2), CanonicalTag{});
+}
+
 Rational Rational::operator+(const Rational &RHS) const {
-  return Rational(Num * RHS.Den + RHS.Num * Den, Den * RHS.Den);
+  return addSub(RHS, /*Sub=*/false);
 }
 
 Rational Rational::operator-(const Rational &RHS) const {
-  return Rational(Num * RHS.Den - RHS.Num * Den, Den * RHS.Den);
+  return addSub(RHS, /*Sub=*/true);
 }
 
 Rational Rational::operator*(const Rational &RHS) const {
-  return Rational(Num * RHS.Num, Den * RHS.Den);
+  // Henrici multiplication: cancel gcd(n1, d2) and gcd(n2, d1) before the
+  // products; the result is then reduced by construction (the inputs are
+  // canonical, so no factor of d1 survives against n1, and likewise for
+  // d2/n2).
+  if (isZero() || RHS.isZero())
+    return Rational();
+  if (Den.isOne() && RHS.Den.isOne())
+    return Rational(Num * RHS.Num, BigInt(1), CanonicalTag{});
+  BigInt G1 = BigInt::gcd(Num, RHS.Den);
+  BigInt G2 = BigInt::gcd(RHS.Num, Den);
+  BigInt N = G1.isOne() ? Num : Num / G1;
+  BigInt N2 = G2.isOne() ? RHS.Num : RHS.Num / G2;
+  BigInt D = G2.isOne() ? Den : Den / G2;
+  BigInt D2 = G1.isOne() ? RHS.Den : RHS.Den / G1;
+  return Rational(N * N2, D * D2, CanonicalTag{});
 }
 
 Rational Rational::operator/(const Rational &RHS) const {
   assert(!RHS.isZero() && "rational division by zero");
-  return Rational(Num * RHS.Den, Den * RHS.Num);
+  // a/b / (c/d) = (a*d) / (b*c), reduced via the same cross-gcds; the sign
+  // moves to the numerator to restore Den > 0.
+  if (isZero())
+    return Rational();
+  BigInt G1 = BigInt::gcd(Num, RHS.Num);
+  BigInt G2 = BigInt::gcd(RHS.Den, Den);
+  BigInt N = (G1.isOne() ? Num : Num / G1) * (G2.isOne() ? RHS.Den : RHS.Den / G2);
+  BigInt D = (G2.isOne() ? Den : Den / G2) * (G1.isOne() ? RHS.Num : RHS.Num / G1);
+  if (D.isNegative()) {
+    N = -N;
+    D = -D;
+  }
+  return Rational(std::move(N), std::move(D), CanonicalTag{});
 }
 
 int Rational::compare(const Rational &RHS) const {
+  // Sign classes decide most comparisons without any multiplication.
+  int SL = Num.isZero() ? 0 : (Num.isNegative() ? -1 : 1);
+  int SR = RHS.Num.isZero() ? 0 : (RHS.Num.isNegative() ? -1 : 1);
+  if (SL != SR)
+    return SL < SR ? -1 : 1;
+  if (SL == 0)
+    return 0;
   // Denominators are positive, so cross-multiplication preserves order.
   return (Num * RHS.Den).compare(RHS.Num * Den);
 }

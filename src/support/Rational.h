@@ -21,6 +21,14 @@ namespace rfp {
 
 /// Exact rational number. Invariants: Den > 0; gcd(|Num|, Den) == 1;
 /// zero is 0/1.
+///
+/// The arithmetic operators use Henrici's cross-gcd fast paths (the mpq
+/// scheme): instead of forming the full cross products and reducing the
+/// result with one large gcd, they cancel the small gcds between each
+/// numerator and the opposite denominator first, so intermediate operands
+/// stay near the size of the *reduced* result. For the LP pipeline's
+/// dyadic data (power-of-two denominators) the gcds are cheap shifts and
+/// the products shrink by the full cancelled factor.
 class Rational {
 public:
   /// Constructs zero.
@@ -74,6 +82,18 @@ public:
   std::string toString() const;
 
 private:
+  /// Tag for the private constructor taking an already-canonical pair
+  /// (Den > 0, gcd(|Num|, Den) == 1): the Henrici paths produce reduced
+  /// results by construction, so re-running the gcd would be pure waste.
+  struct CanonicalTag {};
+  Rational(BigInt N, BigInt D, CanonicalTag)
+      : Num(std::move(N)), Den(std::move(D)) {
+    assert(!Den.isNegative() && !Den.isZero() && "canonical denominator");
+  }
+
+  /// Shared Henrici add/sub core (Sub negates RHS's numerator).
+  Rational addSub(const Rational &RHS, bool Sub) const;
+
   void normalize();
 
   BigInt Num;

@@ -208,6 +208,91 @@ TEST(BigIntTest, ToDoubleHuge) {
   EXPECT_EQ((-BigInt::pow2(1000)).toDouble(), -0x1p1000);
 }
 
+TEST(BigIntTest, KaratsubaMatchesSchoolbook) {
+  // Differential check of the Karatsuba dispatch: random operands whose
+  // sizes straddle KaratsubaThreshold (below / at / above, balanced and
+  // lopsided) must agree with the always-schoolbook reference bit for bit.
+  std::mt19937_64 Rng(40);
+  const int Th = static_cast<int>(BigInt::KaratsubaThreshold);
+  const int Sizes[] = {1,      Th / 2, Th - 1,    Th,        Th + 1,
+                       2 * Th, 3 * Th, 4 * Th - 1, 4 * Th + 3};
+  for (int LA : Sizes)
+    for (int LB : Sizes)
+      for (int T = 0; T < 4; ++T) {
+        BigInt A = randomBig(Rng, LA);
+        BigInt B = randomBig(Rng, LB);
+        EXPECT_EQ(A * B, BigInt::mulSchoolbook(A, B))
+            << "sizes " << LA << " x " << LB;
+      }
+}
+
+TEST(BigIntTest, KaratsubaLimbEdgePatterns) {
+  // Adversarial limb patterns for the split/recombine paths: all-ones
+  // limbs maximize every carry chain, and sparse values exercise the
+  // trimmed (short) halves after splitting.
+  const int Th = static_cast<int>(BigInt::KaratsubaThreshold);
+  BigInt AllOnes;
+  for (int I = 0; I < 3 * Th; ++I)
+    AllOnes = AllOnes.shl(32) + BigInt(0xffffffffll);
+  EXPECT_EQ(AllOnes * AllOnes, BigInt::mulSchoolbook(AllOnes, AllOnes));
+  // 2^k * 2^m with huge zero gaps: the split halves trim to single limbs.
+  BigInt SparseA = BigInt::pow2(32 * 3 * static_cast<unsigned>(Th) - 1);
+  BigInt SparseB = BigInt::pow2(32 * 2 * static_cast<unsigned>(Th) + 7);
+  EXPECT_EQ(SparseA * SparseB, BigInt::mulSchoolbook(SparseA, SparseB));
+  EXPECT_EQ(AllOnes * SparseB, BigInt::mulSchoolbook(AllOnes, SparseB));
+}
+
+TEST(BigIntTest, SmallBufferBoundaryCopyMoveAssign) {
+  // The inline capacity is 4 limbs; 3/4 stay inline, 5 spills to the
+  // heap. Copy/move/assign across the boundary in both directions must
+  // preserve values (and moved-from objects must stay assignable).
+  std::mt19937_64 Rng(41);
+  for (int LA : {1, 3, 4, 5, 9})
+    for (int LB : {1, 3, 4, 5, 9}) {
+      BigInt A = randomBig(Rng, LA);
+      BigInt B = randomBig(Rng, LB);
+      BigInt ACopy = A, BCopy = B;
+
+      BigInt C(A); // copy-construct
+      EXPECT_EQ(C, ACopy);
+      C = B; // copy-assign across representations
+      EXPECT_EQ(C, BCopy);
+      C = C; // self-assignment
+      EXPECT_EQ(C, BCopy);
+
+      BigInt D(std::move(A)); // move-construct
+      EXPECT_EQ(D, ACopy);
+      A = BCopy; // moved-from reuse
+      EXPECT_EQ(A, BCopy);
+      D = std::move(B); // move-assign across representations
+      EXPECT_EQ(D, BCopy);
+      B = ACopy;
+      EXPECT_EQ(B, ACopy);
+
+      std::swap(A, B); // swap mixes inline and heap states
+      EXPECT_EQ(A, ACopy);
+      EXPECT_EQ(B, BCopy);
+    }
+}
+
+TEST(BigIntTest, SmallBufferGrowthAcrossBoundary) {
+  // Incremental growth through the 4-limb boundary: repeated mul+add
+  // forces the inline->heap transition inside arithmetic (not just in
+  // copies). Each step must be invertible by divMod, and the decimal
+  // round-trip must stay faithful while the representation switches.
+  BigInt V(0x7fffffffll);
+  BigInt M(0xfffffffbll);
+  for (int I = 0; I < 12; ++I) {
+    BigInt Prev = V;
+    V = V * M + BigInt(I);
+    BigInt Q, R;
+    BigInt::divMod(V, M, Q, R);
+    EXPECT_EQ(Q, Prev) << "step " << I;
+    EXPECT_EQ(R, BigInt(I)) << "step " << I;
+    EXPECT_EQ(BigInt::fromDecimal(V.toDecimal()), V) << "step " << I;
+  }
+}
+
 class BigIntParamTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(BigIntParamTest, MulDivRoundTripAtWidth) {

@@ -131,6 +131,11 @@ TEST(PipelineMiscTest, GenerationIsBitIdenticalAcrossThreadCounts) {
       continue;
     EXPECT_EQ(A.LPSolves, B.LPSolves);
     EXPECT_EQ(A.LoopIterations, B.LoopIterations);
+    // The simplex inner loops are parallel too; the pivot sequence (and
+    // the dedup row counts) must not depend on the thread count.
+    EXPECT_EQ(A.Stats.LPPivots, B.Stats.LPPivots);
+    EXPECT_EQ(A.Stats.LPRowsBeforeDedup, B.Stats.LPRowsBeforeDedup);
+    EXPECT_EQ(A.Stats.LPRowsAfterDedup, B.Stats.LPRowsAfterDedup);
     ASSERT_EQ(A.NumPieces, B.NumPieces);
     EXPECT_EQ(A.PieceDegrees, B.PieceDegrees);
     for (int P = 0; P < A.NumPieces; ++P) {

@@ -116,6 +116,63 @@ TEST(RationalTest, PowAndAbs) {
   EXPECT_EQ(Rational(-3).abs(), Rational(3));
 }
 
+TEST(RationalTest, HenriciMatchesNaiveCrossMultiply) {
+  // Differential check of the Henrici cross-gcd fast paths against the
+  // textbook formulas routed through the normalizing public constructor.
+  // Random n/d pairs with shared factors force every branch: g == 1,
+  // g > 1 with g2 == 1, g2 > 1, integer operands, and exact cancellation.
+  std::mt19937_64 Rng(31);
+  auto RandomRational = [&Rng]() {
+    int64_t N = static_cast<int64_t>(Rng() % 2000) - 1000;
+    int64_t D = static_cast<int64_t>(Rng() % 720) + 1;
+    return Rational(BigInt(N), BigInt(D));
+  };
+  for (int T = 0; T < 500; ++T) {
+    Rational A = RandomRational();
+    Rational B = RandomRational();
+    const BigInt &N1 = A.numerator(), &D1 = A.denominator();
+    const BigInt &N2 = B.numerator(), &D2 = B.denominator();
+
+    Rational SumRef(N1 * D2 + N2 * D1, D1 * D2);
+    EXPECT_EQ(A + B, SumRef);
+    Rational DiffRef(N1 * D2 - N2 * D1, D1 * D2);
+    EXPECT_EQ(A - B, DiffRef);
+    Rational ProdRef(N1 * N2, D1 * D2);
+    EXPECT_EQ(A * B, ProdRef);
+    if (!B.isZero()) {
+      Rational QuotRef(N1 * D2, D1 * N2);
+      EXPECT_EQ(A / B, QuotRef);
+    }
+
+    // The fast paths must also leave results canonical: positive
+    // denominator, fully reduced (gcd of the stored pair is 1).
+    Rational S = A + B;
+    EXPECT_FALSE(S.denominator().isNegative());
+    EXPECT_TRUE(S.isZero() ||
+                BigInt::gcd(S.numerator(), S.denominator()).isOne());
+    Rational Pr = A * B;
+    EXPECT_TRUE(Pr.isZero() ||
+                BigInt::gcd(Pr.numerator(), Pr.denominator()).isOne());
+  }
+}
+
+TEST(RationalTest, HenriciSharedDenominatorFamilies) {
+  // Dyadic operands (the LP pipeline's dominant shape) and exact-cancel
+  // sums, where gcd(d1, d2) is a full power of two and t can vanish.
+  Rational A = Rational::fromDouble(0x1.123456789abcdp-4);
+  Rational B = Rational::fromDouble(0x1.fedcba9876543p-6);
+  Rational SumRef(A.numerator() * B.denominator() +
+                      B.numerator() * A.denominator(),
+                  A.denominator() * B.denominator());
+  EXPECT_EQ(A + B, SumRef);
+  EXPECT_EQ((A + B) - B, A);
+  EXPECT_EQ(A - A, Rational(0));
+  EXPECT_EQ((A - A).denominator(), BigInt(1));
+  // Integer fast path.
+  EXPECT_EQ(Rational(7) + Rational(-9), Rational(-2));
+  EXPECT_EQ(Rational(7) * Rational(-9), Rational(-63));
+}
+
 /// Field-axiom style property sweep over random double-backed rationals.
 class RationalPropertyTest : public ::testing::TestWithParam<int> {};
 

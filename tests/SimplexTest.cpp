@@ -147,6 +147,51 @@ TEST(SimplexTest, RedundantRowsHandled) {
   EXPECT_EQ(R.Objective, Rational(4));
 }
 
+TEST(SimplexTest, ParallelPricingMatchesSerialAcrossThreadCounts) {
+  // The determinism contract: identical status, solution, objective, AND
+  // pivot sequence (witnessed by the pivot count) for every thread count.
+  // The serial path early-exits the Bland scan per column; the parallel
+  // path prices block-wise -- both must choose the same entering columns.
+  std::mt19937_64 Rng(321);
+  std::uniform_int_distribution<int> D(-5, 5);
+  int Optimal = 0;
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    size_t N = 2 + Trial % 5, M = 4 + Trial % 17;
+    Matrix A(M, Vector(N));
+    Vector B(M), C(N);
+    for (auto &Row : A)
+      for (auto &V : Row)
+        V = Rational(D(Rng));
+    for (auto &V : B)
+      V = Rational(D(Rng) + 6);
+    for (auto &V : C)
+      V = Rational(D(Rng));
+
+    LPResult Serial = maximizeLP(A, B, C, 1);
+    LPResult Par = maximizeLP(A, B, C, 4);
+    ASSERT_EQ(Serial.StatusCode, Par.StatusCode) << "trial " << Trial;
+    EXPECT_EQ(Serial.Pivots, Par.Pivots) << "trial " << Trial;
+    if (!Serial.isOptimal())
+      continue;
+    ++Optimal;
+    EXPECT_EQ(Serial.Objective, Par.Objective) << "trial " << Trial;
+    ASSERT_EQ(Serial.Z.size(), Par.Z.size());
+    for (size_t K = 0; K < Serial.Z.size(); ++K)
+      EXPECT_EQ(Serial.Z[K], Par.Z[K]) << "trial " << Trial << " z" << K;
+  }
+  EXPECT_GT(Optimal, 40);
+}
+
+TEST(SimplexTest, PivotCountsAreReported) {
+  // Any LP that requires at least one basis change reports nonzero
+  // pivots; the trivial all-slack optimum reports what phase 1 spent.
+  Matrix A = {vec({1, 0}), vec({0, 1}), vec({1, 1})};
+  Vector B = vec({3, 4, 5});
+  LPResult R = maximizeLP(A, B, vec({1, 1}));
+  ASSERT_TRUE(R.isOptimal());
+  EXPECT_GT(R.Pivots, 0u);
+}
+
 class SimplexDimensionSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(SimplexDimensionSweep, ChebyshevLikeCentersAreValid) {
