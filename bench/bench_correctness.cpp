@@ -17,8 +17,14 @@
 //     result (the Figure 3 double-rounding failure)        -> expected > 0
 //   * wrong bfloat16 results from our H value               -> expected 0
 //
+// --batch evaluates our variants through the batch layer (evalBatch over
+// each chunk's gathered inputs) instead of per-call evalCore. Since the
+// batch contract is bit-identity, the counts must be identical either
+// way; a nonzero "ours" column under --batch is a batch-layer bug.
+//
 //===----------------------------------------------------------------------===//
 
+#include "libm/Batch.h"
 #include "libm/rlibm.h"
 #include "oracle/Oracle.h"
 #include "support/ThreadPool.h"
@@ -26,6 +32,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
 using namespace rfp;
 using namespace rfp::libm;
@@ -80,7 +87,7 @@ double glibcDouble(ElemFunc F, float X) {
   return 0;
 }
 
-Counts countWrong(ElemFunc F) {
+Counts countWrong(ElemFunc F, bool UseBatch) {
   FPFormat F32 = FPFormat::float32();
   FPFormat BF16 = FPFormat::bfloat16();
   FPFormat F34 = FPFormat::fp34();
@@ -95,6 +102,12 @@ Counts countWrong(ElemFunc F) {
       NumSteps, Counts(),
       [&](size_t Begin, size_t End) {
         Counts T;
+        // Gather the chunk's in-domain inputs and oracle targets first, so
+        // --batch can evaluate each variant with one evalBatch call over
+        // the whole chunk instead of per-call evalCore.
+        std::vector<float> Xs;
+        std::vector<uint64_t> Want32s, WantBfs;
+        Xs.reserve(End - Begin);
         for (size_t I = Begin; I < End; ++I) {
           uint64_t B = static_cast<uint64_t>(I) * Stride;
           float X;
@@ -105,34 +118,49 @@ Counts countWrong(ElemFunc F) {
           uint64_t Enc34 = Oracle::eval(F, X, F34, RoundingMode::ToOdd);
           if (F34.isNaN(Enc34))
             continue; // NaN domains agree everywhere
-          ++T.Total;
           double RO = F34.decode(Enc34);
-          uint64_t Want32 = F32.roundDouble(RO, RoundingMode::NearestEven);
-          uint64_t WantBf = BF16.roundDouble(RO, RoundingMode::NearestEven);
+          Xs.push_back(X);
+          Want32s.push_back(F32.roundDouble(RO, RoundingMode::NearestEven));
+          WantBfs.push_back(BF16.roundDouble(RO, RoundingMode::NearestEven));
+        }
+        T.Total = static_cast<long>(Xs.size());
 
-          for (int SI = 0; SI < 4; ++SI) {
-            if (!Avail[SI])
-              continue;
-            double H = evalCore(F, static_cast<EvalScheme>(SI), X);
-            if (F32.roundDouble(H, RoundingMode::NearestEven) != Want32)
+        std::vector<double> H(Xs.size());
+        for (int SI = 0; SI < 4; ++SI) {
+          if (!Avail[SI])
+            continue;
+          EvalScheme S = static_cast<EvalScheme>(SI);
+          if (UseBatch)
+            evalBatch(F, S, Xs.data(), H.data(), Xs.size());
+          else
+            for (size_t I = 0; I < Xs.size(); ++I)
+              H[I] = evalCore(F, S, Xs[I]);
+          for (size_t I = 0; I < Xs.size(); ++I) {
+            if (F32.roundDouble(H[I], RoundingMode::NearestEven) !=
+                Want32s[I])
               ++T.Ours[SI];
+            // bfloat16 via our H value directly (no double rounding),
+            // checked on the Estrin+FMA variant.
+            if (S == EvalScheme::EstrinFMA &&
+                BF16.roundDouble(H[I], RoundingMode::NearestEven) !=
+                    WantBfs[I])
+              ++T.OursBf16;
           }
+        }
 
+        for (size_t I = 0; I < Xs.size(); ++I) {
+          float X = Xs[I];
           float GF = static_cast<float>(glibcFloat(F, X));
-          if (F32.roundDouble(GF, RoundingMode::NearestEven) != Want32)
+          if (F32.roundDouble(GF, RoundingMode::NearestEven) != Want32s[I])
             ++T.GlibcFloat;
           // Double rounding of the (nearly always correctly rounded) double
           // result to float: the naive approach from Figure 3.
           float GD = static_cast<float>(glibcDouble(F, X));
-          if (F32.roundDouble(GD, RoundingMode::NearestEven) != Want32)
+          if (F32.roundDouble(GD, RoundingMode::NearestEven) != Want32s[I])
             ++T.GlibcDouble;
-          // bfloat16 via the float32 result (double rounding, Figure 3) vs
-          // via our H value directly.
-          if (BF16.roundDouble(GF, RoundingMode::NearestEven) != WantBf)
+          // bfloat16 via the float32 result (double rounding, Figure 3).
+          if (BF16.roundDouble(GF, RoundingMode::NearestEven) != WantBfs[I])
             ++T.GlibcFloatBf16;
-          double HBest = evalCore(F, EvalScheme::EstrinFMA, X);
-          if (BF16.roundDouble(HBest, RoundingMode::NearestEven) != WantBf)
-            ++T.OursBf16;
         }
         return T;
       },
@@ -154,18 +182,31 @@ Counts countWrong(ElemFunc F) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bool UseBatch = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--batch") == 0) {
+      UseBatch = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--batch]\n", Argv[0]);
+      return 2;
+    }
+  }
   std::printf("Section 6.3: wrong-result counts on a %llu-input sample per "
               "function\n",
               static_cast<unsigned long long>((1ull << 32) / Stride));
-  std::printf("(counts; 0 = correctly rounded on every sampled input)\n\n");
+  std::printf("(counts; 0 = correctly rounded on every sampled input)\n");
+  if (UseBatch)
+    std::printf("(our variants evaluated through evalBatch, ISA %s)\n",
+                libm::batchISAName(libm::activeBatchISA()));
+  std::printf("\n");
   std::printf("%-8s %8s | %8s %8s %8s %8s | %11s %11s | %12s %9s\n", "f(x)",
               "inputs", "horner", "knuth", "estrin", "e+fma", "glibc-f32",
               "glibc-f64", "f32->bf16", "ours-bf16");
   for (ElemFunc F : AllElemFuncs) {
-    Counts C = countWrong(F);
+    Counts C = countWrong(F, UseBatch);
     auto Cell = [](long V) {
-      static char Buf[16];
+      static char Buf[24];
       if (V < 0)
         std::snprintf(Buf, sizeof(Buf), "N/A");
       else

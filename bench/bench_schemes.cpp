@@ -4,23 +4,31 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Ablation microbenchmark (google-benchmark) for the design choices the
-// paper discusses in Sections 3-4: raw polynomial-evaluation latency of
-// Horner vs Knuth-adapted vs Estrin vs Estrin+FMA across degrees 4..6,
-// isolated from range reduction and output compensation. This exposes the
-// ILP argument directly: Horner's serial dependence chain vs Estrin's
+// Ablation microbenchmark for the design choices the paper discusses in
+// Sections 3-4: raw polynomial-evaluation latency of Horner vs
+// Knuth-adapted vs Estrin vs Estrin+FMA across degrees 4..6, isolated
+// from range reduction and output compensation. This exposes the ILP
+// argument directly: Horner's serial dependence chain vs Estrin's
 // parallel sub-expressions vs fused multiply-adds.
+//
+// Uses the same rdtscp latency-chain harness as bench_speedup (each call's
+// input depends on the previous result, so the chain length is what is
+// measured) and emits the same JSON schema family via --json[=path].
 //
 //===----------------------------------------------------------------------===//
 
+#include "CycleTimer.h"
+
 #include "poly/EvalScheme.h"
 
-#include <benchmark/benchmark.h>
-
+#include <cstdio>
+#include <cstring>
 #include <random>
+#include <string>
 #include <vector>
 
 using namespace rfp;
+using namespace rfp::bench;
 
 namespace {
 
@@ -41,83 +49,152 @@ struct Fixture {
   }
 };
 
-Fixture &fixtureFor(unsigned Degree) {
-  static Fixture F4(4), F5(5), F6(6);
-  switch (Degree) {
-  case 4:
-    return F4;
-  case 5:
-    return F5;
-  default:
-    return F6;
+/// Latency chain over the fixture inputs: each evaluation's input is
+/// perturbed by the previous result times zero, which the compiler cannot
+/// fold under strict FP semantics, so calls serialize and the measured
+/// cycles/op is the dependence-chain latency. Best of \p Repeats passes.
+template <typename FnT>
+double measureChain(FnT Fn, const Fixture &F, double &Sink,
+                    int Repeats = 7) {
+  constexpr size_t Iters = 1 << 16;
+  uint64_t Best = ~0ull;
+  for (int R = 0; R < Repeats; ++R) {
+    double Carry = 0.0;
+    uint64_t T0 = readCycles();
+    for (size_t I = 0; I < Iters; ++I)
+      Carry = Fn(F, F.Xs[I & 4095] + Carry * 0.0);
+    uint64_t T1 = readCycles();
+    Sink += Carry;
+    if (T1 - T0 < Best)
+      Best = T1 - T0;
   }
+  return static_cast<double>(Best) / Iters;
 }
 
-void BM_Horner(benchmark::State &State) {
-  unsigned Degree = static_cast<unsigned>(State.range(0));
-  Fixture &F = fixtureFor(Degree);
-  size_t I = 0;
-  for (auto _ : State) {
-    benchmark::DoNotOptimize(
-        evalHorner(F.C, Degree, F.Xs[I++ & 4095]));
-  }
-}
-
-void BM_Knuth(benchmark::State &State) {
-  unsigned Degree = static_cast<unsigned>(State.range(0));
-  Fixture &F = fixtureFor(Degree);
-  size_t I = 0;
-  for (auto _ : State) {
-    benchmark::DoNotOptimize(evalKnuth(F.KA, F.Xs[I++ & 4095]));
-  }
-}
-
-void BM_Estrin(benchmark::State &State) {
-  unsigned Degree = static_cast<unsigned>(State.range(0));
-  Fixture &F = fixtureFor(Degree);
-  size_t I = 0;
-  for (auto _ : State) {
-    benchmark::DoNotOptimize(
-        evalEstrin(F.C, Degree, F.Xs[I++ & 4095]));
-  }
-}
-
-void BM_EstrinFMA(benchmark::State &State) {
-  unsigned Degree = static_cast<unsigned>(State.range(0));
-  Fixture &F = fixtureFor(Degree);
-  size_t I = 0;
-  for (auto _ : State) {
-    benchmark::DoNotOptimize(
-        evalEstrinFMA(F.C, Degree, F.Xs[I++ & 4095]));
-  }
-}
-
-// Compile-time-degree forms (what the shipped functions inline).
-template <unsigned Degree> void BM_HornerStatic(benchmark::State &State) {
-  Fixture &F = fixtureFor(Degree);
-  size_t I = 0;
-  for (auto _ : State)
-    benchmark::DoNotOptimize(hornerN<Degree>(F.C, F.Xs[I++ & 4095]));
-}
-
-template <unsigned Degree> void BM_EstrinFMAStatic(benchmark::State &State) {
-  Fixture &F = fixtureFor(Degree);
-  size_t I = 0;
-  for (auto _ : State)
-    benchmark::DoNotOptimize(estrinFMAN<Degree>(F.C, F.Xs[I++ & 4095]));
-}
-
-BENCHMARK(BM_Horner)->Arg(4)->Arg(5)->Arg(6);
-BENCHMARK(BM_Knuth)->Arg(4)->Arg(5)->Arg(6);
-BENCHMARK(BM_Estrin)->Arg(4)->Arg(5)->Arg(6);
-BENCHMARK(BM_EstrinFMA)->Arg(4)->Arg(5)->Arg(6);
-BENCHMARK(BM_HornerStatic<4>);
-BENCHMARK(BM_HornerStatic<5>);
-BENCHMARK(BM_HornerStatic<6>);
-BENCHMARK(BM_EstrinFMAStatic<4>);
-BENCHMARK(BM_EstrinFMAStatic<5>);
-BENCHMARK(BM_EstrinFMAStatic<6>);
+/// One measured row: a scheme name and its cycles/op per degree 4..6.
+struct Row {
+  const char *Name;
+  double Cycles[3];
+};
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0)
+      JsonPath = "bench_schemes.json";
+    else if (std::strncmp(Argv[I], "--json=", 7) == 0)
+      JsonPath = Argv[I] + 7;
+    else {
+      std::fprintf(stderr, "usage: %s [--json[=path]]\n", Argv[0]);
+      return 2;
+    }
+  }
+
+  double Overhead = timerOverheadPerCall();
+  double CyclesPerNs = cyclesPerNanosecond();
+  double Sink = 0.0;
+  Fixture Fixtures[3] = {Fixture(4), Fixture(5), Fixture(6)};
+
+  Row Rows[] = {
+      {"horner", {}},
+      {"knuth", {}},
+      {"estrin", {}},
+      {"estrin_fma", {}},
+      {"horner_static", {}},
+      {"estrin_fma_static", {}},
+  };
+
+  for (int DI = 0; DI < 3; ++DI) {
+    const Fixture &F = Fixtures[DI];
+    unsigned Degree = 4 + DI;
+    Rows[0].Cycles[DI] = measureChain(
+        [Degree](const Fixture &Fx, double X) {
+          return evalHorner(Fx.C, Degree, X);
+        },
+        F, Sink);
+    Rows[1].Cycles[DI] = measureChain(
+        [](const Fixture &Fx, double X) { return evalKnuth(Fx.KA, X); }, F,
+        Sink);
+    Rows[2].Cycles[DI] = measureChain(
+        [Degree](const Fixture &Fx, double X) {
+          return evalEstrin(Fx.C, Degree, X);
+        },
+        F, Sink);
+    Rows[3].Cycles[DI] = measureChain(
+        [Degree](const Fixture &Fx, double X) {
+          return evalEstrinFMA(Fx.C, Degree, X);
+        },
+        F, Sink);
+  }
+  // Compile-time-degree forms (what the shipped functions inline).
+  Rows[4].Cycles[0] = measureChain(
+      [](const Fixture &Fx, double X) { return hornerN<4>(Fx.C, X); },
+      Fixtures[0], Sink);
+  Rows[4].Cycles[1] = measureChain(
+      [](const Fixture &Fx, double X) { return hornerN<5>(Fx.C, X); },
+      Fixtures[1], Sink);
+  Rows[4].Cycles[2] = measureChain(
+      [](const Fixture &Fx, double X) { return hornerN<6>(Fx.C, X); },
+      Fixtures[2], Sink);
+  Rows[5].Cycles[0] = measureChain(
+      [](const Fixture &Fx, double X) { return estrinFMAN<4>(Fx.C, X); },
+      Fixtures[0], Sink);
+  Rows[5].Cycles[1] = measureChain(
+      [](const Fixture &Fx, double X) { return estrinFMAN<5>(Fx.C, X); },
+      Fixtures[1], Sink);
+  Rows[5].Cycles[2] = measureChain(
+      [](const Fixture &Fx, double X) { return estrinFMAN<6>(Fx.C, X); },
+      Fixtures[2], Sink);
+
+  std::printf("Scheme ablation: polynomial-evaluation latency (cycles/op, "
+              "dependent chain, best of 7)\n");
+  std::printf("(timer overhead %.1f cycles per rdtscp pair, outside the "
+              "chain; %.2f cycles/ns)\n\n",
+              Overhead, CyclesPerNs);
+  std::printf("%-18s %10s %10s %10s\n", "scheme", "deg4", "deg5", "deg6");
+  for (const Row &R : Rows) {
+    std::printf("%-18s %10.2f %10.2f %10.2f\n", R.Name, R.Cycles[0],
+                R.Cycles[1], R.Cycles[2]);
+  }
+  std::printf("\nSpeedup vs horner (dynamic rows):\n");
+  for (int RI = 1; RI < 4; ++RI) {
+    std::printf("%-18s", Rows[RI].Name);
+    for (int DI = 0; DI < 3; ++DI)
+      std::printf(" %9.2f%%",
+                  (Rows[0].Cycles[DI] / Rows[RI].Cycles[DI] - 1.0) * 100.0);
+    std::printf("\n");
+  }
+  std::printf("(sink %g)\n", Sink == 12345.0 ? 1.0 : 0.0);
+
+  if (!JsonPath.empty()) {
+    FILE *Out = std::fopen(JsonPath.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    std::fprintf(Out, "{\n  \"benchmark\": \"bench_schemes\",\n");
+    std::fprintf(Out, "  \"timer_overhead_cycles\": %.2f,\n", Overhead);
+    std::fprintf(Out, "  \"cycles_per_ns\": %.4f,\n  \"degrees\": [\n",
+                 CyclesPerNs);
+    for (int DI = 0; DI < 3; ++DI) {
+      std::fprintf(Out, "    {\"degree\": %d, \"schemes\": [\n", 4 + DI);
+      for (size_t RI = 0; RI < sizeof(Rows) / sizeof(Rows[0]); ++RI) {
+        double Cyc = Rows[RI].Cycles[DI];
+        std::fprintf(Out,
+                     "      %s{\"scheme\": \"%s\", \"latency_cycles\": "
+                     "%.2f, \"latency_ns_per_op\": %.3f, "
+                     "\"speedup_vs_horner_pct\": %.3f}\n",
+                     RI == 0 ? "" : ",", Rows[RI].Name, Cyc,
+                     Cyc / CyclesPerNs,
+                     (Rows[0].Cycles[DI] / Cyc - 1.0) * 100.0);
+      }
+      std::fprintf(Out, "    ]}%s\n", DI < 2 ? "," : "");
+    }
+    std::fprintf(Out, "  ]\n}\n");
+    std::fclose(Out);
+    std::printf("\nwrote %s\n", JsonPath.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,160 @@
+//===- libm/Batch.cpp - Batch dispatch and scalar fallback kernels --------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Runtime dispatch for the batch API. The kernel table is resolved exactly
+// once per process (CPUID + the RFP_BATCH_ISA override) and cached; each
+// evalBatch call is one table load and one indirect call. The scalar
+// kernels below are plain loops over the per-call cores, so they are
+// bit-identical to the per-call API by construction; the AVX2 kernels
+// (BatchKernelsAVX2.cpp, present when RFP_HAVE_AVX2_KERNELS) earn the same
+// property instruction by instruction. Where the AVX2 table has no kernel
+// (Knuth -- see DESIGN.md), the scalar loop fills the slot.
+//
+//===----------------------------------------------------------------------===//
+
+#include "libm/Batch.h"
+
+#include "libm/BatchKernels.h"
+#include "libm/rlibm.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+using namespace rfp;
+using namespace rfp::libm;
+
+namespace {
+
+/// Portable fallback: the per-call core in a loop. The core pointer is
+/// hoisted out of the loop, so this is the existing per-call path minus
+/// the per-element dispatch.
+template <int FI, int SI>
+void scalarKernel(const float *In, double *H, size_t N) {
+  double (*Core)(float) = detail::scalarCoreFor(static_cast<ElemFunc>(FI),
+                                                static_cast<EvalScheme>(SI));
+  for (size_t I = 0; I < N; ++I)
+    H[I] = Core(In[I]);
+}
+
+struct KernelSet {
+  BatchKernelFn Fn[6][4];
+  BatchISA ISA;
+};
+
+#define RFP_SCALAR_ROW(FI)                                                     \
+  {scalarKernel<FI, 0>, scalarKernel<FI, 1>, scalarKernel<FI, 2>,              \
+   scalarKernel<FI, 3>}
+
+constexpr KernelSet ScalarSet = {
+    {RFP_SCALAR_ROW(0), RFP_SCALAR_ROW(1), RFP_SCALAR_ROW(2),
+     RFP_SCALAR_ROW(3), RFP_SCALAR_ROW(4), RFP_SCALAR_ROW(5)},
+    BatchISA::Scalar};
+
+#undef RFP_SCALAR_ROW
+
+#ifdef RFP_HAVE_AVX2_KERNELS
+bool cpuHasAVX2() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+/// The AVX2 set: vector kernels where they exist, scalar loops elsewhere.
+const KernelSet &avx2Set() {
+  static const KernelSet Set = [] {
+    KernelSet S = ScalarSet;
+    S.ISA = BatchISA::AVX2;
+    for (int FI = 0; FI < 6; ++FI)
+      for (int SI = 0; SI < 4; ++SI)
+        if (detail::AVX2BatchKernels[FI][SI])
+          S.Fn[FI][SI] = detail::AVX2BatchKernels[FI][SI];
+    return S;
+  }();
+  return Set;
+}
+#endif
+
+/// One-time resolution: best compiled-in set the CPU supports, overridable
+/// with RFP_BATCH_ISA=scalar|avx2|auto.
+const KernelSet &activeSet() {
+  static const KernelSet &Set = []() -> const KernelSet & {
+    const char *Env = std::getenv("RFP_BATCH_ISA");
+    bool ForceScalar = Env && std::strcmp(Env, "scalar") == 0;
+#ifdef RFP_HAVE_AVX2_KERNELS
+    if (!ForceScalar && cpuHasAVX2())
+      return avx2Set();
+#endif
+    (void)ForceScalar;
+    return ScalarSet;
+  }();
+  return Set;
+}
+
+const KernelSet &setFor(BatchISA ISA) {
+#ifdef RFP_HAVE_AVX2_KERNELS
+  if (ISA == BatchISA::AVX2 && cpuHasAVX2())
+    return avx2Set();
+#endif
+  (void)ISA;
+  return ScalarSet;
+}
+
+void evalBatchF(ElemFunc F, const float *In, float *Out, size_t N) {
+  double H[256];
+  while (N > 0) {
+    size_t Chunk = N < 256 ? N : 256;
+    evalBatch(F, EvalScheme::EstrinFMA, In, H, Chunk);
+    for (size_t I = 0; I < Chunk; ++I)
+      Out[I] = static_cast<float>(H[I]);
+    In += Chunk;
+    Out += Chunk;
+    N -= Chunk;
+  }
+}
+
+} // namespace
+
+const char *rfp::libm::batchISAName(BatchISA ISA) {
+  switch (ISA) {
+  case BatchISA::Scalar:
+    return "scalar";
+  case BatchISA::AVX2:
+    return "avx2";
+  }
+  return "??";
+}
+
+BatchISA rfp::libm::activeBatchISA() { return activeSet().ISA; }
+
+void rfp::libm::evalBatch(ElemFunc F, EvalScheme S, const float *In, double *H,
+                          size_t N) {
+  assert(variantInfo(F, S).Available && "variant not generated");
+  activeSet().Fn[static_cast<int>(F)][static_cast<int>(S)](In, H, N);
+}
+
+void rfp::libm::evalBatchWithISA(BatchISA ISA, ElemFunc F, EvalScheme S,
+                                 const float *In, double *H, size_t N) {
+  assert(variantInfo(F, S).Available && "variant not generated");
+  setFor(ISA).Fn[static_cast<int>(F)][static_cast<int>(S)](In, H, N);
+}
+
+void rfp::libm::rfp_expf_batch(const float *In, float *Out, size_t N) {
+  evalBatchF(ElemFunc::Exp, In, Out, N);
+}
+void rfp::libm::rfp_exp2f_batch(const float *In, float *Out, size_t N) {
+  evalBatchF(ElemFunc::Exp2, In, Out, N);
+}
+void rfp::libm::rfp_exp10f_batch(const float *In, float *Out, size_t N) {
+  evalBatchF(ElemFunc::Exp10, In, Out, N);
+}
+void rfp::libm::rfp_logf_batch(const float *In, float *Out, size_t N) {
+  evalBatchF(ElemFunc::Log, In, Out, N);
+}
+void rfp::libm::rfp_log2f_batch(const float *In, float *Out, size_t N) {
+  evalBatchF(ElemFunc::Log2, In, Out, N);
+}
+void rfp::libm::rfp_log10f_batch(const float *In, float *Out, size_t N) {
+  evalBatchF(ElemFunc::Log10, In, Out, N);
+}

@@ -1,0 +1,98 @@
+//===- libm/Batch.h - Batch (array) evaluation API -------------*- C++ -*-===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Array entry points for the shipped functions: evaluate N inputs in one
+/// call, backed by hand-written AVX2+FMA kernels with a portable
+/// scalar-loop fallback, selected once per process by runtime CPUID
+/// dispatch (the resolved kernel table is cached; there is no per-call
+/// feature test).
+///
+/// The contract that makes the batch layer safe to use anywhere the
+/// per-call API is: for every element, the H (double) result is
+/// **bit-identical** to the corresponding `<func>_<scheme>(float)` core.
+/// The RLibm-All guarantee -- rounding H to any FP(k, 8) format with
+/// 10 <= k <= 32 under any of the five IEEE modes yields the correctly
+/// rounded f(x) -- is therefore inherited from the scalar cores rather
+/// than re-proven (DESIGN.md, "Batch evaluation layer").
+///
+/// \p In and the output buffer must not overlap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RFP_LIBM_BATCH_H
+#define RFP_LIBM_BATCH_H
+
+#include "poly/EvalScheme.h"
+#include "support/ElemFunc.h"
+
+#include <cstddef>
+
+namespace rfp {
+namespace libm {
+
+/// Instruction sets the batch dispatcher can resolve to.
+enum class BatchISA { Scalar, AVX2 };
+
+/// Display name ("scalar", "avx2").
+const char *batchISAName(BatchISA ISA);
+
+/// The ISA resolved for this process: the best compiled-in kernel set the
+/// CPU supports. The environment variable RFP_BATCH_ISA=scalar|avx2|auto
+/// overrides the choice (consulted once, at first use; forcing an ISA the
+/// CPU or build cannot provide falls back to scalar).
+BatchISA activeBatchISA();
+
+/// Evaluates f over In[0..N) under scheme S, writing the H (double)
+/// results. Bit-identical to calling evalCore per element. Asserts the
+/// variant is available (see variantInfo).
+void evalBatch(ElemFunc F, EvalScheme S, const float *In, double *H,
+               size_t N);
+
+/// Same, with an explicit ISA (testing / benchmarking). An ISA that is not
+/// compiled in or not supported by this CPU falls back to scalar.
+void evalBatchWithISA(BatchISA ISA, ElemFunc F, EvalScheme S, const float *In,
+                      double *H, size_t N);
+
+// Per-function batch cores (H results), default scheme Estrin+FMA.
+inline void exp_batch(const float *In, double *H, size_t N,
+                      EvalScheme S = EvalScheme::EstrinFMA) {
+  evalBatch(ElemFunc::Exp, S, In, H, N);
+}
+inline void exp2_batch(const float *In, double *H, size_t N,
+                       EvalScheme S = EvalScheme::EstrinFMA) {
+  evalBatch(ElemFunc::Exp2, S, In, H, N);
+}
+inline void exp10_batch(const float *In, double *H, size_t N,
+                        EvalScheme S = EvalScheme::EstrinFMA) {
+  evalBatch(ElemFunc::Exp10, S, In, H, N);
+}
+inline void log_batch(const float *In, double *H, size_t N,
+                      EvalScheme S = EvalScheme::EstrinFMA) {
+  evalBatch(ElemFunc::Log, S, In, H, N);
+}
+inline void log2_batch(const float *In, double *H, size_t N,
+                       EvalScheme S = EvalScheme::EstrinFMA) {
+  evalBatch(ElemFunc::Log2, S, In, H, N);
+}
+inline void log10_batch(const float *In, double *H, size_t N,
+                        EvalScheme S = EvalScheme::EstrinFMA) {
+  evalBatch(ElemFunc::Log10, S, In, H, N);
+}
+
+/// float32 round-to-nearest convenience wrappers (Estrin+FMA variant): the
+/// array analogues of rfp_expf and friends in rlibm.h.
+void rfp_expf_batch(const float *In, float *Out, size_t N);
+void rfp_exp2f_batch(const float *In, float *Out, size_t N);
+void rfp_exp10f_batch(const float *In, float *Out, size_t N);
+void rfp_logf_batch(const float *In, float *Out, size_t N);
+void rfp_log2f_batch(const float *In, float *Out, size_t N);
+void rfp_log10f_batch(const float *In, float *Out, size_t N);
+
+} // namespace libm
+} // namespace rfp
+
+#endif // RFP_LIBM_BATCH_H

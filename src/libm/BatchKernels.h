@@ -1,0 +1,76 @@
+//===- libm/BatchKernels.h - Internal batch-kernel interface ---*- C++ -*-===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal interface between the batch dispatcher (Batch.cpp), the
+/// ISA-specific kernel translation units (BatchKernelsAVX2.cpp), and the
+/// SIMD-friendly coefficient layout emitted by tools/polygen into
+/// src/libm/generated/<Func>Batch.inc. Nothing here is public API; consumers
+/// use libm/Batch.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RFP_LIBM_BATCHKERNELS_H
+#define RFP_LIBM_BATCHKERNELS_H
+
+#include "libm/Frame.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rfp {
+namespace libm {
+
+/// Structure-of-arrays view of one generated implementation's coefficients,
+/// emitted next to the scalar SchemeTable by tools/polygen. Row I of
+/// CoeffsSoA holds coefficient I of every piece, padded to PiecePad entries
+/// so rows stay 32-byte aligned and a 32-bit piece-index gather can fetch
+/// four lanes' coefficients in one instruction.
+struct BatchSchemeTable {
+  bool Available;
+  int NumPieces;
+  int PiecePad;           ///< Row stride: NumPieces rounded up to 4.
+  int32_t UniformDegree;  ///< Degree shared by every piece, or 0 when mixed.
+  int32_t NumDistinctDegrees;
+  int32_t DistinctDegrees[4];
+  const int32_t *Degrees;  ///< [PiecePad] per-piece degree, gather-friendly.
+  const double *CoeffsSoA; ///< [(MaxPolyDegree + 1) * PiecePad], 32B aligned.
+};
+
+/// A batch kernel evaluates one (function, scheme) core over N inputs,
+/// writing the H (double) results. Kernels guarantee bit-identity with the
+/// per-call scalar core on every element.
+using BatchKernelFn = void (*)(const float *In, double *H, size_t N);
+
+namespace detail {
+
+/// Per-function access to the four SIMD coefficient tables, in EvalScheme
+/// order (mirrors the SchemeTable accessors in Frame.h).
+const BatchSchemeTable *expBatchTables();
+const BatchSchemeTable *exp2BatchTables();
+const BatchSchemeTable *exp10BatchTables();
+const BatchSchemeTable *logBatchTables();
+const BatchSchemeTable *log2BatchTables();
+const BatchSchemeTable *log10BatchTables();
+const BatchSchemeTable *batchTablesFor(ElemFunc F);
+
+/// The per-call scalar core for (F, S) -- the same entry points evalCore
+/// dispatches to. The kernels use it for lane fallback and loop tails.
+double (*scalarCoreFor(ElemFunc F, EvalScheme S))(float);
+
+/// AVX2+FMA kernel table, defined only in BatchKernelsAVX2.cpp (the one TU
+/// built with -mavx2; see src/CMakeLists.txt). Entries are null where no
+/// vector kernel exists (Knuth: its compiled scalar form is FMA-contraction
+/// ambiguous, see DESIGN.md "Batch evaluation layer") and the dispatcher
+/// substitutes the scalar loop. Referenced only when RFP_HAVE_AVX2_KERNELS
+/// is defined.
+extern const BatchKernelFn AVX2BatchKernels[6][4];
+
+} // namespace detail
+} // namespace libm
+} // namespace rfp
+
+#endif // RFP_LIBM_BATCHKERNELS_H

@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "libm/BatchKernels.h"
 #include "libm/Frame.h"
 #include "libm/rlibm.h"
 
@@ -28,7 +29,25 @@ const SchemeTable *rfp::libm::detail::tablesFor(ElemFunc F) {
   __builtin_unreachable();
 }
 
-double rfp::libm::evalCore(ElemFunc F, EvalScheme S, float X) {
+const BatchSchemeTable *rfp::libm::detail::batchTablesFor(ElemFunc F) {
+  switch (F) {
+  case ElemFunc::Exp:
+    return expBatchTables();
+  case ElemFunc::Exp2:
+    return exp2BatchTables();
+  case ElemFunc::Exp10:
+    return exp10BatchTables();
+  case ElemFunc::Log:
+    return logBatchTables();
+  case ElemFunc::Log2:
+    return log2BatchTables();
+  case ElemFunc::Log10:
+    return log10BatchTables();
+  }
+  __builtin_unreachable();
+}
+
+double (*rfp::libm::detail::scalarCoreFor(ElemFunc F, EvalScheme S))(float) {
   using Fn = double (*)(float);
   // Indexed [func][scheme] in enum order.
   static constexpr Fn Table[6][4] = {
@@ -39,8 +58,12 @@ double rfp::libm::evalCore(ElemFunc F, EvalScheme S, float X) {
       {log2_horner, log2_knuth, log2_estrin, log2_estrin_fma},
       {log10_horner, log10_knuth, log10_estrin, log10_estrin_fma},
   };
+  return Table[static_cast<int>(F)][static_cast<int>(S)];
+}
+
+double rfp::libm::evalCore(ElemFunc F, EvalScheme S, float X) {
   assert(variantInfo(F, S).Available && "variant not generated");
-  return Table[static_cast<int>(F)][static_cast<int>(S)](X);
+  return detail::scalarCoreFor(F, S)(X);
 }
 
 uint64_t rfp::libm::roundResult(double H, const FPFormat &Fmt,

@@ -1,0 +1,89 @@
+//===- libm/Functions.cpp - The 24 correctly rounded implementations ------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// One template-instantiating TU for all six functions (exp, exp2, exp10,
+// log, log2, log10) x four evaluation schemes: RLibm baseline (Horner),
+// RLibm-Knuth, RLibm-Estrin, RLibm-Estrin+FMA. Coefficient tables are
+// produced by tools/polygen via the integrated generate-adapt-check-
+// constrain loop (paper Algorithm 2); the *Batch.inc files carry the same
+// coefficients re-emitted in the SIMD-friendly SoA layout the batch
+// kernels gather from. Each function's tables live in their own namespace
+// and the entry points are stamped out by instantiating evalFrame with the
+// function and scheme fixed at compile time -- replacing six copy-pasted
+// per-function TUs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "libm/BatchKernels.h"
+#include "libm/Frame.h"
+#include "libm/rlibm.h"
+
+namespace {
+namespace exp_gen {
+#include "libm/generated/ExpBatch.inc"
+#include "libm/generated/ExpCoeffs.inc"
+} // namespace exp_gen
+namespace exp2_gen {
+#include "libm/generated/Exp2Batch.inc"
+#include "libm/generated/Exp2Coeffs.inc"
+} // namespace exp2_gen
+namespace exp10_gen {
+#include "libm/generated/Exp10Batch.inc"
+#include "libm/generated/Exp10Coeffs.inc"
+} // namespace exp10_gen
+namespace log_gen {
+#include "libm/generated/LogBatch.inc"
+#include "libm/generated/LogCoeffs.inc"
+} // namespace log_gen
+namespace log2_gen {
+#include "libm/generated/Log2Batch.inc"
+#include "libm/generated/Log2Coeffs.inc"
+} // namespace log2_gen
+namespace log10_gen {
+#include "libm/generated/Log10Batch.inc"
+#include "libm/generated/Log10Coeffs.inc"
+} // namespace log10_gen
+} // namespace
+
+using namespace rfp;
+using namespace rfp::libm;
+
+#define RFP_DEFINE_FUNCTION(name, accessor, batchAccessor, ns, func)           \
+  double rfp::libm::name##_horner(float X) {                                   \
+    return evalFrame<func, EvalScheme::Horner>(ns::Horner, X);                 \
+  }                                                                            \
+  double rfp::libm::name##_knuth(float X) {                                    \
+    return evalFrame<func, EvalScheme::Knuth>(ns::Knuth, X);                   \
+  }                                                                            \
+  double rfp::libm::name##_estrin(float X) {                                   \
+    return evalFrame<func, EvalScheme::Estrin>(ns::Estrin, X);                 \
+  }                                                                            \
+  double rfp::libm::name##_estrin_fma(float X) {                               \
+    return evalFrame<func, EvalScheme::EstrinFMA>(ns::EstrinFMA, X);           \
+  }                                                                            \
+  const SchemeTable *rfp::libm::detail::accessor() {                           \
+    static const SchemeTable Tables[4] = {ns::Horner, ns::Knuth, ns::Estrin,   \
+                                          ns::EstrinFMA};                      \
+    return Tables;                                                             \
+  }                                                                            \
+  const BatchSchemeTable *rfp::libm::detail::batchAccessor() {                 \
+    static const BatchSchemeTable Tables[4] = {                                \
+        ns::HornerBatch, ns::KnuthBatch, ns::EstrinBatch, ns::EstrinFMABatch}; \
+    return Tables;                                                             \
+  }
+
+RFP_DEFINE_FUNCTION(exp, expTables, expBatchTables, exp_gen, ElemFunc::Exp)
+RFP_DEFINE_FUNCTION(exp2, exp2Tables, exp2BatchTables, exp2_gen,
+                    ElemFunc::Exp2)
+RFP_DEFINE_FUNCTION(exp10, exp10Tables, exp10BatchTables, exp10_gen,
+                    ElemFunc::Exp10)
+RFP_DEFINE_FUNCTION(log, logTables, logBatchTables, log_gen, ElemFunc::Log)
+RFP_DEFINE_FUNCTION(log2, log2Tables, log2BatchTables, log2_gen,
+                    ElemFunc::Log2)
+RFP_DEFINE_FUNCTION(log10, log10Tables, log10BatchTables, log10_gen,
+                    ElemFunc::Log10)
+
+#undef RFP_DEFINE_FUNCTION

@@ -74,6 +74,21 @@ inline constexpr double ReducedMinExp10 =
     -0x1.34413509f79ffp-7; // -log10(2)/32
 inline constexpr double ReducedMaxExp10 = 0x1.34413509f79ffp-7;
 
+/// Special-path thresholds of the exp-family reductions, named so the SIMD
+/// batch kernels (libm/BatchKernelsAVX2.cpp) and the scalar reducers below
+/// compare against the exact same constants: the batch layer's bit-identity
+/// invariant requires both sides to classify every input identically.
+inline constexpr double ExpHugeThreshold = 0x1.62e42fefa39efp+6; // 128*ln2
+inline constexpr double ExpTinyThreshold = -104.7; // < ln(2^-151)
+inline constexpr double ExpSmallThreshold = 0x1p-27;
+inline constexpr double Exp10HugeThreshold =
+    0x1.34413509f79ffp+5; // 128*log10(2)
+inline constexpr double Exp10TinyThreshold = -45.46; // < -151*log10(2)
+inline constexpr double Exp10SmallThreshold = 0x1p-28;
+inline constexpr double Exp2HugeThreshold = 128.0;
+inline constexpr double Exp2TinyThreshold = -151.0;
+inline constexpr double Exp2SmallThreshold = 0x1p-26;
+
 /// 2^N as a double for N in the normal range (branch-free ldexp).
 inline double pow2Double(int N) {
   uint64_t Bits = static_cast<uint64_t>(1023 + N) << 52;
@@ -82,29 +97,34 @@ inline double pow2Double(int N) {
   return R;
 }
 
-inline void reducedDomain(ElemFunc F, double &TMin, double &TMax) {
-  TMin = 0.0;
-  TMax = 1.0;
+/// Reduced domain as a constexpr value, so call sites with a compile-time
+/// function id (the batch kernels) can fold it without odr-using any
+/// runtime symbol from this header.
+struct ReducedDomain {
+  double TMin;
+  double TMax;
+};
+
+constexpr ReducedDomain reducedDomainOf(ElemFunc F) {
   switch (F) {
   case ElemFunc::Exp2:
-    TMin = 0.0;
-    TMax = 0x1p-4;
-    break;
+    return {0.0, 0x1p-4};
   case ElemFunc::Exp:
-    TMin = ReducedMinExp;
-    TMax = ReducedMaxExp;
-    break;
+    return {ReducedMinExp, ReducedMaxExp};
   case ElemFunc::Exp10:
-    TMin = ReducedMinExp10;
-    TMax = ReducedMaxExp10;
-    break;
+    return {ReducedMinExp10, ReducedMaxExp10};
   case ElemFunc::Log:
   case ElemFunc::Log2:
   case ElemFunc::Log10:
-    TMin = 0.0;
-    TMax = 0x1p-5;
-    break;
+    return {0.0, 0x1p-5};
   }
+  return {0.0, 1.0};
+}
+
+inline void reducedDomain(ElemFunc F, double &TMin, double &TMax) {
+  ReducedDomain D = reducedDomainOf(F);
+  TMin = D.TMin;
+  TMax = D.TMax;
 }
 
 /// Maps a reduced input to its sub-domain for a piecewise polynomial.
@@ -136,15 +156,15 @@ inline Reduction reduceExp2(float X) {
     R.Special = X > 0 ? std::numeric_limits<double>::infinity() : 0.0;
     return R;
   }
-  if (Xd >= 128.0) {
+  if (Xd >= Exp2HugeThreshold) {
     R.Special = HugeResult;
     return R;
   }
-  if (Xd < -151.0) {
+  if (Xd < Exp2TinyThreshold) {
     R.Special = TinyResult;
     return R;
   }
-  if (std::fabs(Xd) < 0x1p-26) { // |2^x - 1| < one FP34 ulp of 1
+  if (std::fabs(Xd) < Exp2SmallThreshold) { // |2^x - 1| < one FP34 ulp of 1
     R.Special = Xd == 0.0 ? 1.0 : (Xd > 0.0 ? OnePlusTiny : OneMinusTiny);
     return R;
   }
@@ -204,16 +224,16 @@ inline Reduction reduceExpKind(float X, double HugeThreshold,
 inline Reduction reduceExp(float X) {
   // e^x overflows every target above ln(2^128) and underflows below
   // ln(2^-151) ~ -104.67.
-  return reduceExpKind(X, 0x1.62e42fefa39efp+6 /*128*ln2*/, -104.7, 0x1p-27,
-                       tables::SixteenByLn2, tables::Ln2By16Hi,
-                       tables::Ln2By16Lo);
+  return reduceExpKind(X, ExpHugeThreshold, ExpTinyThreshold,
+                       ExpSmallThreshold, tables::SixteenByLn2,
+                       tables::Ln2By16Hi, tables::Ln2By16Lo);
 }
 
 inline Reduction reduceExp10(float X) {
   // 10^x overflows above 128*log10(2) ~ 38.53 and underflows below
   // -151*log10(2) ~ -45.45.
-  return reduceExpKind(X, 0x1.34413509f79ffp+5 /*128*log10(2)*/, -45.46,
-                       0x1p-28, tables::SixteenLog2_10,
+  return reduceExpKind(X, Exp10HugeThreshold, Exp10TinyThreshold,
+                       Exp10SmallThreshold, tables::SixteenLog2_10,
                        tables::Log10_2By16Hi, tables::Log10_2By16Lo);
 }
 

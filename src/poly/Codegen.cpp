@@ -6,8 +6,10 @@
 
 #include "poly/Codegen.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <vector>
 
 using namespace rfp;
 
@@ -154,4 +156,69 @@ std::string rfp::emitPolyFunction(EvalScheme S, const double *C,
   Code += emitPolyEval(S, C, Degree, "x", "result", "  ", KA);
   Code += "  return result;\n}\n";
   return Code;
+}
+
+std::string rfp::emitBatchTable(const std::string &Ident, bool Available,
+                                int NumPieces, const unsigned *Degrees,
+                                const double *Coeffs, unsigned CoeffStride) {
+  assert(NumPieces >= 1 && "batch table needs at least one piece");
+  int Pad = (NumPieces + 3) & ~3;
+
+  unsigned MaxDegree = 0;
+  for (int P = 0; P < NumPieces; ++P)
+    MaxDegree = std::max(MaxDegree, Degrees[P]);
+  assert(MaxDegree < CoeffStride && "degree exceeds coefficient stride");
+
+  // Distinct degrees in ascending order (at most four: the generator's
+  // degree ladder).
+  std::vector<unsigned> Distinct;
+  for (int P = 0; P < NumPieces; ++P)
+    if (std::find(Distinct.begin(), Distinct.end(), Degrees[P]) ==
+        Distinct.end())
+      Distinct.push_back(Degrees[P]);
+  std::sort(Distinct.begin(), Distinct.end());
+  assert(Distinct.size() <= 4 && "more distinct degrees than the ladder");
+  unsigned Uniform = Distinct.size() == 1 ? Distinct[0] : 0;
+
+  std::string Out;
+  char Buf[128];
+
+  // One row per coefficient index; pad pieces get 0.0 (never gathered: the
+  // kernels clamp piece indexes to [0, NumPieces)).
+  Out += "alignas(32) inline constexpr double " + Ident + "BatchCoeffs[] = {\n";
+  for (unsigned D = 0; D < CoeffStride; ++D) {
+    Out += "    ";
+    for (int P = 0; P < Pad; ++P) {
+      std::snprintf(Buf, sizeof(Buf), "%a,",
+                    P < NumPieces ? Coeffs[P * CoeffStride + D] : 0.0);
+      Out += Buf;
+    }
+    Out += "\n";
+  }
+  Out += "};\n";
+
+  Out += "alignas(16) inline constexpr int32_t " + Ident + "BatchDegrees[] = {";
+  for (int P = 0; P < Pad; ++P) {
+    std::snprintf(Buf, sizeof(Buf), "%u,",
+                  Degrees[P < NumPieces ? P : NumPieces - 1]);
+    Out += Buf;
+  }
+  Out += "};\n";
+
+  std::snprintf(Buf, sizeof(Buf),
+                "    /*Available=*/%s, /*NumPieces=*/%d, /*PiecePad=*/%d,\n",
+                Available ? "true" : "false", NumPieces, Pad);
+  Out += "inline constexpr rfp::libm::BatchSchemeTable " + Ident + "Batch = {\n";
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "    /*UniformDegree=*/%u, /*NumDistinctDegrees=*/%zu, {",
+                Uniform, Distinct.size());
+  Out += Buf;
+  for (size_t I = 0; I < 4; ++I) {
+    std::snprintf(Buf, sizeof(Buf), "%u,",
+                  I < Distinct.size() ? Distinct[I] : 0u);
+    Out += Buf;
+  }
+  Out += "},\n    " + Ident + "BatchDegrees, " + Ident + "BatchCoeffs,\n};\n\n";
+  return Out;
 }

@@ -40,6 +40,19 @@ std::string emitPolyFunction(EvalScheme S, const double *C, unsigned Degree,
                              const std::string &Name,
                              const KnuthAdapted *KA = nullptr);
 
+/// Emits the SIMD-friendly (structure-of-arrays) form of a piecewise
+/// coefficient table: per-coefficient rows padded to a multiple of four
+/// pieces and 32-byte aligned, so a vector kernel can gather coefficient I
+/// for four lanes' pieces with one instruction. \p Coeffs is row-major
+/// [NumPieces][CoeffStride] with coefficient D of piece P at
+/// Coeffs[P * CoeffStride + D]; \p Degrees has one entry per piece. The
+/// emitted initializer is an `rfp::libm::BatchSchemeTable` named
+/// `<Ident>Batch` (the emitter only produces that text; it does not depend
+/// on the libm headers).
+std::string emitBatchTable(const std::string &Ident, bool Available,
+                           int NumPieces, const unsigned *Degrees,
+                           const double *Coeffs, unsigned CoeffStride);
+
 } // namespace rfp
 
 #endif // RFP_POLY_CODEGEN_H

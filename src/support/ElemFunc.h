@@ -42,7 +42,7 @@ inline const char *elemFuncName(ElemFunc F) {
 }
 
 /// True for e^x, 2^x, 10^x.
-inline bool isExpFamily(ElemFunc F) {
+inline constexpr bool isExpFamily(ElemFunc F) {
   return F == ElemFunc::Exp || F == ElemFunc::Exp2 || F == ElemFunc::Exp10;
 }
 

@@ -1,0 +1,173 @@
+//===- tests/BatchParityTest.cpp - Batch vs scalar bit-identity -----------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The batch layer's whole contract is one invariant: for every element,
+// the H value written by evalBatch is bit-identical to the per-call scalar
+// core's. These tests pin it for all 24 (function, scheme) variants under
+// both the active ISA and the forced scalar kernels, over:
+//
+//   * strided sweeps of the full float bit space (sampled tier-1 version
+//     of the 2^28-point sweep `bench_batch --verify` runs in full),
+//   * dense windows around every special-case threshold, where the lane
+//     mask's classification must flip at exactly the scalar bit,
+//   * odd lengths and misaligned buffers (the kernels use unaligned
+//     loads/stores; nothing may assume N % 4 == 0 or 32-byte bases).
+//
+//===----------------------------------------------------------------------===//
+
+#include "libm/Batch.h"
+#include "libm/rlibm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+using namespace rfp;
+using namespace rfp::libm;
+
+namespace {
+
+uint64_t bitsOf(double V) {
+  uint64_t B;
+  std::memcpy(&B, &V, sizeof(B));
+  return B;
+}
+
+float floatFromBits(uint32_t Bits) {
+  float X;
+  std::memcpy(&X, &Bits, sizeof(X));
+  return X;
+}
+
+/// Checks every available variant over \p Inputs under \p ISA: batch H
+/// must equal the scalar core H bit for bit (NaNs included -- the scalar
+/// core produces one canonical NaN, and fallback lanes reuse it).
+void expectParity(BatchISA ISA, const std::vector<float> &Inputs) {
+  std::vector<double> H(Inputs.size());
+  for (ElemFunc F : AllElemFuncs) {
+    for (EvalScheme S : AllEvalSchemes) {
+      if (!variantInfo(F, S).Available)
+        continue;
+      evalBatchWithISA(ISA, F, S, Inputs.data(), H.data(), Inputs.size());
+      for (size_t I = 0; I < Inputs.size(); ++I) {
+        double Want = evalCore(F, S, Inputs[I]);
+        ASSERT_EQ(bitsOf(Want), bitsOf(H[I]))
+            << elemFuncName(F) << "/" << evalSchemeName(S) << " under "
+            << batchISAName(ISA) << " x=" << Inputs[I] << " ("
+            << std::hexfloat << Inputs[I] << ") batch=" << H[I]
+            << " scalar=" << Want;
+      }
+    }
+  }
+}
+
+std::vector<float> stridedInputs(uint64_t Stride) {
+  std::vector<float> Inputs;
+  Inputs.reserve((1ull << 32) / Stride + 1);
+  for (uint64_t B = 0; B < (1ull << 32); B += Stride)
+    Inputs.push_back(floatFromBits(static_cast<uint32_t>(B)));
+  return Inputs;
+}
+
+/// Dense windows around the inputs where the lane mask's classification
+/// changes: overflow/underflow/small-input thresholds, the subnormal
+/// boundary, powers of two (log table-exact), and integers (exp2).
+std::vector<float> boundaryInputs() {
+  const float Centers[] = {
+      // exp thresholds: 128*ln2, -104.7 region, 2^-27
+      0x1.62e42ep+6f, -104.7f, 0x1p-27f, -0x1p-27f,
+      // exp2 thresholds and an exact-integer neighborhood
+      128.0f, -151.0f, 0x1p-26f, -0x1p-26f, 3.0f, -7.0f,
+      // exp10 thresholds
+      0x1.344135p+5f, -45.46f, 0x1p-28f, -0x1p-28f,
+      // log family: 1.0 (T==0, J==0), other powers of two, the
+      // subnormal/normal boundary, zero
+      1.0f, 2.0f, 0.25f, 0x1p-126f, 0.0f,
+      // infinities and the largest finites
+      std::numeric_limits<float>::infinity(),
+      -std::numeric_limits<float>::infinity(),
+  };
+  std::vector<float> Inputs;
+  for (float C : Centers) {
+    uint32_t Bits;
+    std::memcpy(&Bits, &C, sizeof(Bits));
+    for (int D = -48; D <= 48; ++D)
+      Inputs.push_back(floatFromBits(Bits + static_cast<uint32_t>(D)));
+  }
+  return Inputs;
+}
+
+TEST(BatchParityTest, StridedSweepActiveISA) {
+  expectParity(activeBatchISA(), stridedInputs(15013));
+}
+
+TEST(BatchParityTest, StridedSweepForcedScalar) {
+  expectParity(BatchISA::Scalar, stridedInputs(104729));
+}
+
+TEST(BatchParityTest, StridedSweepForcedAVX2) {
+  // On machines (or builds) without AVX2 this resolves to scalar kernels
+  // and still must hold.
+  expectParity(BatchISA::AVX2, stridedInputs(104729));
+}
+
+TEST(BatchParityTest, BoundaryWindows) {
+  std::vector<float> Inputs = boundaryInputs();
+  expectParity(activeBatchISA(), Inputs);
+  expectParity(BatchISA::Scalar, Inputs);
+}
+
+TEST(BatchParityTest, OddLengthsAndMisalignedBuffers) {
+  // Inputs sized and offset so the kernels see every tail length and
+  // byte-misaligned bases (the float base odd by one element, the double
+  // base too).
+  std::vector<float> Pool = stridedInputs(2000003);
+  std::vector<float> In(Pool.size() + 1);
+  std::vector<double> Out(Pool.size() + 1);
+  std::copy(Pool.begin(), Pool.end(), In.begin() + 1);
+  for (size_t N : {size_t(0), size_t(1), size_t(2), size_t(3), size_t(4),
+                   size_t(5), size_t(7), size_t(9), size_t(31),
+                   Pool.size()}) {
+    evalBatch(ElemFunc::Exp, EvalScheme::EstrinFMA, In.data() + 1,
+              Out.data() + 1, N);
+    for (size_t I = 0; I < N; ++I)
+      ASSERT_EQ(bitsOf(exp_estrin_fma(In[1 + I])), bitsOf(Out[1 + I]))
+          << "N=" << N << " I=" << I;
+  }
+}
+
+TEST(BatchParityTest, FloatWrappersMatchScalarWrappers) {
+  std::vector<float> Inputs = stridedInputs(2000003);
+  std::vector<float> Out(Inputs.size());
+  using WrapFn = void (*)(const float *, float *, size_t);
+  using ScalarFn = float (*)(float);
+  const WrapFn Wraps[6] = {rfp_expf_batch, rfp_exp2f_batch, rfp_exp10f_batch,
+                           rfp_logf_batch, rfp_log2f_batch, rfp_log10f_batch};
+  const ScalarFn Scalars[6] = {rfp_expf, rfp_exp2f, rfp_exp10f,
+                               rfp_logf, rfp_log2f, rfp_log10f};
+  for (int FI = 0; FI < 6; ++FI) {
+    Wraps[FI](Inputs.data(), Out.data(), Inputs.size());
+    for (size_t I = 0; I < Inputs.size(); ++I) {
+      float Want = Scalars[FI](Inputs[I]);
+      uint32_t WantBits, GotBits;
+      std::memcpy(&WantBits, &Want, sizeof(WantBits));
+      std::memcpy(&GotBits, &Out[I], sizeof(GotBits));
+      ASSERT_EQ(WantBits, GotBits)
+          << elemFuncName(AllElemFuncs[FI]) << " x=" << Inputs[I];
+    }
+  }
+}
+
+TEST(BatchParityTest, ISAResolutionIsStableAndNamed) {
+  BatchISA First = activeBatchISA();
+  EXPECT_EQ(First, activeBatchISA()); // cached, not re-resolved
+  EXPECT_TRUE(std::strcmp(batchISAName(First), "scalar") == 0 ||
+              std::strcmp(batchISAName(First), "avx2") == 0);
+}
+
+} // namespace

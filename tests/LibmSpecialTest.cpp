@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "libm/Batch.h"
 #include "libm/rlibm.h"
 
 #include "oracle/Oracle.h"
@@ -11,7 +12,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <vector>
 
 using namespace rfp;
 using namespace rfp::libm;
@@ -151,6 +154,91 @@ TEST(LibmSpecialTest, SpecialsTablesAreConsulted) {
       EXPECT_LE(Info.NumSpecials, 24);
     }
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Batch layer: special values in adjacent lanes
+//===----------------------------------------------------------------------===//
+
+/// Bitwise comparison (NaN payloads and signed zeros included).
+uint64_t bitsOf(double V) {
+  uint64_t B;
+  std::memcpy(&B, &V, sizeof(B));
+  return B;
+}
+
+/// Asserts evalBatch over In equals per-element evalCore bitwise, under
+/// both the dispatched ISA and the forced-scalar path.
+void expectBatchMatchesCore(ElemFunc F, EvalScheme S, const float *In,
+                            size_t N) {
+  std::vector<double> H(N, -42.0), Want(N);
+  for (size_t I = 0; I < N; ++I)
+    Want[I] = evalCore(F, S, In[I]);
+  for (BatchISA ISA : {activeBatchISA(), BatchISA::Scalar}) {
+    std::fill(H.begin(), H.end(), -42.0);
+    evalBatchWithISA(ISA, F, S, In, H.data(), N);
+    for (size_t I = 0; I < N; ++I)
+      EXPECT_EQ(bitsOf(H[I]), bitsOf(Want[I]))
+          << elemFuncName(F) << "/" << evalSchemeName(S) << " isa "
+          << batchISAName(ISA) << " lane " << I << " x=" << In[I];
+  }
+}
+
+TEST(LibmSpecialTest, BatchAdjacentSpecialLanes) {
+  // Every lane of a 4-wide block can need the scalar fallback for a
+  // different reason; interleave them with polynomial-path neighbours so
+  // the lane mask must route each lane individually.
+  const float Mixed[] = {
+      NaN,        0.5f,       Inf,      1.5f,       // NaN / inf next to normals
+      -Inf,       1e30f,      0x1p-149f, 10.0f,     // overflow-huge, subnormal,
+      -0.0f,      0.0f,       1.0f,      1024.0f,   //   table-exact (exp2/log2)
+      88.9f,      -104.5f,    -150.0f,   127.5f,    // exp-family over/underflow
+      0x1.8p-140f, 3.7f,      -2.0f,     0x1.cp-127f,
+      NaN,        NaN,        Inf,       -Inf,      // specials filling a block
+  };
+  constexpr size_t N = sizeof(Mixed) / sizeof(Mixed[0]);
+  for (ElemFunc F : AllElemFuncs)
+    for (EvalScheme S : AllEvalSchemes)
+      if (variantInfo(F, S).Available)
+        expectBatchMatchesCore(F, S, Mixed, N);
+}
+
+TEST(LibmSpecialTest, BatchMisalignedAndOddLengths) {
+  // Odd lengths exercise the scalar tail; the +1 element offsets make both
+  // buffers misaligned for any 16/32-byte vector access.
+  std::vector<float> Backing;
+  for (int I = 0; I < 70; ++I)
+    Backing.push_back(-20.0f + 0.61f * static_cast<float>(I));
+  Backing[13] = NaN;
+  Backing[14] = Inf;
+  Backing[37] = 0x1p-149f;
+  for (size_t N : {0u, 1u, 2u, 3u, 5u, 7u, 31u, 69u}) {
+    const float *In = Backing.data() + 1;
+    std::vector<double> H(N + 1), Want(N);
+    for (size_t I = 0; I < N; ++I)
+      Want[I] = evalCore(ElemFunc::Exp, EvalScheme::EstrinFMA, In[I]);
+    evalBatch(ElemFunc::Exp, EvalScheme::EstrinFMA, In, H.data() + 1, N);
+    for (size_t I = 0; I < N; ++I)
+      EXPECT_EQ(bitsOf(H[I + 1]), bitsOf(Want[I])) << "N=" << N << " lane " << I;
+  }
+}
+
+TEST(LibmSpecialTest, BatchFloatWrappersMatchScalarWrappers) {
+  const float In[] = {NaN, -Inf, Inf, 0.0f, -0.0f, 1.0f,  0.5f,
+                      2.0f, 100.0f, 1e30f, 0x1p-149f, -3.25f, 88.9f};
+  constexpr size_t N = sizeof(In) / sizeof(In[0]);
+  float Out[N];
+  auto BitsF = [](float V) {
+    uint32_t B;
+    std::memcpy(&B, &V, sizeof(B));
+    return B;
+  };
+  rfp_expf_batch(In, Out, N);
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(BitsF(Out[I]), BitsF(rfp_expf(In[I]))) << "exp lane " << I;
+  rfp_logf_batch(In, Out, N);
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(BitsF(Out[I]), BitsF(rfp_logf(In[I]))) << "log lane " << I;
 }
 
 } // namespace

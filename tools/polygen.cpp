@@ -6,20 +6,28 @@
 //
 // Drives the integrated generate-adapt-check-constrain pipeline (paper
 // Algorithm 2) for the six elementary functions and all four evaluation
-// schemes, and emits src/libm/generated/<Func>Coeffs.inc. Run from the
-// repository root:
+// schemes, and emits src/libm/generated/<Func>Coeffs.inc plus the
+// SIMD-layout twin <Func>Batch.inc the batch kernels gather from. Run from
+// the repository root:
 //
 //   polygen [stride] [window] [func ...]
+//   polygen --batch [func ...]
 //
-// stride: float bit-pattern sampling stride for generation inputs
-// window: dense boundary window half-width (bit patterns)
-// func:   subset of {exp, exp2, exp10, log, log2, log10}; default all
+// stride:  float bit-pattern sampling stride for generation inputs
+// window:  dense boundary window half-width (bit patterns)
+// func:    subset of {exp, exp2, exp10, log, log2, log10}; default all
+// --batch: skip generation and re-emit only the <Func>Batch.inc files from
+//          the *committed* coefficient tables (compiled into this binary),
+//          guaranteeing the SoA layout and the scalar tables can never
+//          drift apart.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/PolyGen.h"
 
+#include "libm/Frame.h"
 #include "oracle/Oracle.h"
+#include "poly/Codegen.h"
 
 #include <cmath>
 #include <cstdio>
@@ -27,6 +35,29 @@
 #include <string>
 
 using namespace rfp;
+
+// The committed scalar tables, for --batch re-emission. Namespaced exactly
+// like src/libm/Functions.cpp so the same .inc files compile unchanged.
+namespace {
+namespace exp_gen {
+#include "libm/generated/ExpCoeffs.inc"
+}
+namespace exp2_gen {
+#include "libm/generated/Exp2Coeffs.inc"
+}
+namespace exp10_gen {
+#include "libm/generated/Exp10Coeffs.inc"
+}
+namespace log_gen {
+#include "libm/generated/LogCoeffs.inc"
+}
+namespace log2_gen {
+#include "libm/generated/Log2Coeffs.inc"
+}
+namespace log10_gen {
+#include "libm/generated/Log10Coeffs.inc"
+}
+} // namespace
 
 namespace {
 
@@ -128,6 +159,132 @@ void emitScheme(FILE *Out, const char *Ident, const GeneratedImpl &Impl,
       static_cast<unsigned long long>(Impl.NumConstraints));
 }
 
+/// One scheme's coefficient data in the shape emitBatchTable consumes.
+struct BatchSource {
+  bool Available = false;
+  int NumPieces = 1;
+  std::vector<unsigned> Degrees;
+  std::vector<double> Coeffs; ///< [NumPieces][MaxPolyDegree + 1] row-major.
+};
+
+BatchSource batchSourceFromImpl(const GeneratedImpl &Impl,
+                                const GeneratedImpl &Fallback) {
+  // Mirrors emitScheme: an unavailable variant carries the fallback data.
+  const GeneratedImpl &Use = Impl.Success ? Impl : Fallback;
+  BatchSource Src;
+  Src.Available = Impl.Success;
+  Src.NumPieces = Use.NumPieces;
+  for (int P = 0; P < Use.NumPieces; ++P) {
+    Src.Degrees.push_back(Use.PieceDegrees[P]);
+    for (unsigned D = 0; D <= MaxPolyDegree; ++D)
+      Src.Coeffs.push_back(D < Use.Pieces[P].Coeffs.size()
+                               ? Use.Pieces[P].Coeffs[D]
+                               : 0.0);
+  }
+  return Src;
+}
+
+BatchSource batchSourceFromTable(const libm::SchemeTable &T) {
+  BatchSource Src;
+  Src.Available = T.Available;
+  Src.NumPieces = T.NumPieces;
+  for (int P = 0; P < T.NumPieces; ++P) {
+    Src.Degrees.push_back(T.Degrees[P]);
+    for (unsigned D = 0; D <= MaxPolyDegree; ++D)
+      Src.Coeffs.push_back(T.Coeffs[P][D]);
+  }
+  return Src;
+}
+
+/// Writes src/libm/generated/<Func>Batch.inc: the four schemes'
+/// coefficients in the SoA layout (emitBatchTable) the batch kernels
+/// gather from. Returns false if the file cannot be opened.
+bool writeBatchInc(ElemFunc F, const BatchSource Sources[4],
+                   const char *Provenance) {
+  std::string Path =
+      std::string("src/libm/generated/") + incName(F) + "Batch.inc";
+  FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "cannot open %s (run from the repo root)\n",
+                 Path.c_str());
+    return false;
+  }
+  std::fprintf(Out,
+               "// Generated by tools/polygen (%s).\n"
+               "// SIMD (structure-of-arrays) twin of %sCoeffs.inc: same\n"
+               "// coefficients, rows padded for 4-lane gathers. Do not edit\n"
+               "// by hand. See DESIGN.md, \"Batch evaluation layer\".\n\n",
+               Provenance, incName(F));
+  for (int S = 0; S < 4; ++S) {
+    std::string Code = emitBatchTable(
+        schemeIdent(static_cast<EvalScheme>(S)), Sources[S].Available,
+        Sources[S].NumPieces, Sources[S].Degrees.data(),
+        Sources[S].Coeffs.data(), MaxPolyDegree + 1);
+    std::fputs(Code.c_str(), Out);
+  }
+  std::fclose(Out);
+  std::fprintf(stderr, "  wrote %s\n", Path.c_str());
+  return true;
+}
+
+/// --batch mode: re-emit every <Func>Batch.inc from the committed scalar
+/// tables compiled into this binary (no generation, no oracle).
+int emitBatchFromCommitted(const std::vector<ElemFunc> &Funcs) {
+  for (ElemFunc F : Funcs) {
+    const libm::SchemeTable *Tables = nullptr;
+    switch (F) {
+    case ElemFunc::Exp: {
+      static const libm::SchemeTable T[4] = {exp_gen::Horner, exp_gen::Knuth,
+                                             exp_gen::Estrin,
+                                             exp_gen::EstrinFMA};
+      Tables = T;
+      break;
+    }
+    case ElemFunc::Exp2: {
+      static const libm::SchemeTable T[4] = {exp2_gen::Horner, exp2_gen::Knuth,
+                                             exp2_gen::Estrin,
+                                             exp2_gen::EstrinFMA};
+      Tables = T;
+      break;
+    }
+    case ElemFunc::Exp10: {
+      static const libm::SchemeTable T[4] = {
+          exp10_gen::Horner, exp10_gen::Knuth, exp10_gen::Estrin,
+          exp10_gen::EstrinFMA};
+      Tables = T;
+      break;
+    }
+    case ElemFunc::Log: {
+      static const libm::SchemeTable T[4] = {log_gen::Horner, log_gen::Knuth,
+                                             log_gen::Estrin,
+                                             log_gen::EstrinFMA};
+      Tables = T;
+      break;
+    }
+    case ElemFunc::Log2: {
+      static const libm::SchemeTable T[4] = {log2_gen::Horner, log2_gen::Knuth,
+                                             log2_gen::Estrin,
+                                             log2_gen::EstrinFMA};
+      Tables = T;
+      break;
+    }
+    case ElemFunc::Log10: {
+      static const libm::SchemeTable T[4] = {
+          log10_gen::Horner, log10_gen::Knuth, log10_gen::Estrin,
+          log10_gen::EstrinFMA};
+      Tables = T;
+      break;
+    }
+    }
+    BatchSource Sources[4];
+    for (int S = 0; S < 4; ++S)
+      Sources[S] = batchSourceFromTable(Tables[S]);
+    if (!writeBatchInc(F, Sources, "--batch, from the committed tables"))
+      return 1;
+  }
+  return 0;
+}
+
 /// Post-generation verification sweep: checks every implementation over
 /// several independent bit-pattern strides against the oracle's FP34
 /// round-to-odd rounding interval, and patches any violating input into
@@ -213,6 +370,11 @@ int main(int Argc, char **Argv) {
 
   std::vector<ElemFunc> Funcs;
   int ArgIdx = 1;
+  bool BatchOnly = false;
+  if (ArgIdx < Argc && std::strcmp(Argv[ArgIdx], "--batch") == 0) {
+    BatchOnly = true;
+    ++ArgIdx;
+  }
   if (ArgIdx < Argc && std::isdigit(Argv[ArgIdx][0]))
     Cfg.SampleStride = static_cast<uint32_t>(std::atoi(Argv[ArgIdx++]));
   if (ArgIdx < Argc && std::isdigit(Argv[ArgIdx][0]))
@@ -223,6 +385,9 @@ int main(int Argc, char **Argv) {
         Funcs.push_back(F);
   if (Funcs.empty())
     Funcs.assign(AllElemFuncs, AllElemFuncs + 6);
+
+  if (BatchOnly)
+    return emitBatchFromCommitted(Funcs);
 
   auto Log = [](const std::string &S) {
     std::fprintf(stderr, "  %s\n", S.c_str());
@@ -269,6 +434,15 @@ int main(int Argc, char **Argv) {
                  Impls[0]);
     std::fclose(Out);
     std::fprintf(stderr, "  wrote %s\n", Path.c_str());
+
+    BatchSource Sources[4];
+    for (int S = 0; S < 4; ++S)
+      Sources[S] = batchSourceFromImpl(Impls[S], Impls[0]);
+    char Provenance[64];
+    std::snprintf(Provenance, sizeof(Provenance), "stride %u, window %u",
+                  Cfg.SampleStride, Cfg.BoundaryWindow);
+    if (!writeBatchInc(F, Sources, Provenance))
+      return 1;
   }
   return 0;
 }
