@@ -1,0 +1,171 @@
+//===- bench/JsonWriter.h - Shared bench report plumbing -------*- C++ -*-===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one place the bench executables agree on reporting: the `--json`,
+/// `--trace` and `--metrics-json` flags, the report envelope, and the
+/// serializer (support/Json.h -- the same one the telemetry subsystem
+/// uses, so every JSON byte the project emits goes through one escaping
+/// and number-formatting policy). Each bench keeps its own schema; this
+/// header only removes the seven hand-rolled fprintf emitters that used
+/// to produce the envelopes around them.
+///
+/// Usage:
+///
+///   ReportOptions Opts;
+///   for (int I = 1; I < Argc; ++I)
+///     if (Opts.parse(Argc, Argv, I, "bench_foo.json"))
+///       continue;
+///     ... bench-specific flags ...
+///   ...
+///   if (!Opts.JsonPath.empty()) {
+///     Report Rep(Opts.JsonPath, "bench_foo");
+///     if (!Rep.ok()) return 1;
+///     json::Writer &W = Rep.writer();
+///     W.kv("some_field", Value); ...
+///   }
+///   Opts.finish(); // metrics dump + trace close, no-ops when unused
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RFP_BENCH_JSONWRITER_H
+#define RFP_BENCH_JSONWRITER_H
+
+#include "support/Json.h"
+#include "support/Telemetry.h"
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rfp {
+namespace bench {
+
+/// Command-line plumbing shared by every bench: report, trace and metrics
+/// flags. `parse` consumes one argument (advancing \p I for the two-token
+/// forms) and returns whether it recognized it.
+///
+///   --json[=path]            write the bench report (default \p
+///                            DefaultJsonPath)
+///   --trace <file>           stream Chrome trace_event JSON (also
+///                            reachable via RFP_TRACE=<file>)
+///   --metrics-json <file>    dump the telemetry counter/histogram
+///                            registry at exit ("-" = stdout)
+struct ReportOptions {
+  std::string JsonPath;    ///< Empty = no report requested.
+  std::string MetricsPath; ///< Empty = no metrics dump requested.
+
+  bool parse(int Argc, char **Argv, int &I, const char *DefaultJsonPath) {
+    const char *A = Argv[I];
+    if (std::strcmp(A, "--json") == 0) {
+      JsonPath = DefaultJsonPath;
+      return true;
+    }
+    if (std::strncmp(A, "--json=", 7) == 0) {
+      JsonPath = A + 7;
+      return true;
+    }
+    if (std::strcmp(A, "--trace") == 0 && I + 1 < Argc) {
+      telemetry::startTrace(Argv[++I]);
+      return true;
+    }
+    if (std::strncmp(A, "--trace=", 8) == 0) {
+      telemetry::startTrace(A + 8);
+      return true;
+    }
+    if (std::strcmp(A, "--metrics-json") == 0 && I + 1 < Argc) {
+      MetricsPath = Argv[++I];
+      return true;
+    }
+    if (std::strncmp(A, "--metrics-json=", 15) == 0) {
+      MetricsPath = A + 15;
+      return true;
+    }
+    return false;
+  }
+
+  /// The usage-string fragment for the shared flags.
+  static const char *usage() {
+    return "[--json[=path]] [--trace <file>] [--metrics-json <file>]";
+  }
+
+  /// Call once on the way out of main: dumps the metrics registry and
+  /// closes the trace stream. Both are no-ops when not enabled.
+  void finish() const {
+    if (!MetricsPath.empty())
+      telemetry::writeMetricsJsonFile(MetricsPath.c_str());
+    telemetry::stopTrace();
+  }
+};
+
+/// RAII report file: opens \p Path, writes the `{"benchmark": <name>`
+/// envelope, hands the bench a json::Writer for its own fields, and on
+/// destruction closes the object, the document and the file, announcing
+/// the path on stdout (the benches' historical behavior).
+class Report {
+public:
+  Report(const std::string &Path, const char *BenchName) : Path(Path) {
+    Out = std::fopen(Path.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+      return;
+    }
+    W.emplace(Out);
+    W->beginObject();
+    W->kv("benchmark", BenchName);
+  }
+  Report(const Report &) = delete;
+  Report &operator=(const Report &) = delete;
+  ~Report() {
+    if (!Out)
+      return;
+    W->endObject();
+    W->finish();
+    std::fclose(Out);
+    std::printf("wrote %s\n", Path.c_str());
+  }
+
+  /// False when the file could not be opened (already diagnosed).
+  bool ok() const { return Out != nullptr; }
+  json::Writer &writer() { return *W; }
+
+private:
+  std::string Path;
+  FILE *Out = nullptr;
+  std::optional<json::Writer> W;
+};
+
+#ifdef BENCHMARK_BENCHMARK_H_
+/// Shared custom main body for google-benchmark-based benches (include
+/// <benchmark/benchmark.h> first): defaults JSON output to \p DefaultOut
+/// so CI and EXPERIMENTS.md runs get machine-readable numbers without
+/// extra flags, while still honoring explicit --benchmark_out.
+inline int runBenchmarkMain(int Argc, char **Argv, const char *DefaultOut) {
+  std::vector<char *> Args(Argv, Argv + Argc);
+  bool HasOut = false;
+  for (int I = 1; I < Argc; ++I)
+    if (std::strncmp(Argv[I], "--benchmark_out", 15) == 0)
+      HasOut = true;
+  std::string OutFlag = std::string("--benchmark_out=") + DefaultOut;
+  std::string FmtFlag = "--benchmark_out_format=json";
+  if (!HasOut) {
+    Args.push_back(OutFlag.data());
+    Args.push_back(FmtFlag.data());
+  }
+  int N = static_cast<int>(Args.size());
+  benchmark::Initialize(&N, Args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+#endif // BENCHMARK_BENCHMARK_H_
+
+} // namespace bench
+} // namespace rfp
+
+#endif // RFP_BENCH_JSONWRITER_H

@@ -19,6 +19,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "CycleTimer.h"
+#include "JsonWriter.h"
 
 #include "libm/Batch.h"
 #include "libm/rlibm.h"
@@ -135,46 +136,42 @@ struct Row {
   double ActiveCyc = 0;   // batch, active ISA
 };
 
-void writeJson(const char *Path, double Overhead, double CyclesPerNs,
+void writeJson(const std::string &Path, double Overhead, double CyclesPerNs,
                const Row Rows[6][4]) {
-  FILE *Out = std::fopen(Path, "w");
-  if (!Out) {
-    std::fprintf(stderr, "cannot write %s\n", Path);
+  bench::Report Rep(Path, "bench_batch");
+  if (!Rep.ok())
     return;
-  }
-  std::fprintf(Out, "{\n  \"benchmark\": \"bench_batch\",\n");
-  std::fprintf(Out, "  \"active_isa\": \"%s\",\n",
-               batchISAName(activeBatchISA()));
-  std::fprintf(Out, "  \"timer_overhead_cycles\": %.2f,\n", Overhead);
-  std::fprintf(Out, "  \"cycles_per_ns\": %.4f,\n  \"functions\": [\n",
-               CyclesPerNs);
+  json::Writer &W = Rep.writer();
+  W.kv("active_isa", batchISAName(activeBatchISA()));
+  W.kvFixed("timer_overhead_cycles", Overhead, 2);
+  W.kvFixed("cycles_per_ns", CyclesPerNs, 4);
+  W.key("functions");
+  W.beginArray();
   for (int FI = 0; FI < 6; ++FI) {
-    std::fprintf(Out, "    {\"func\": \"%s\", \"schemes\": [\n",
-                 elemFuncName(AllElemFuncs[FI]));
-    bool First = true;
+    W.beginObject();
+    W.kv("func", elemFuncName(AllElemFuncs[FI]));
+    W.key("schemes");
+    W.beginArray();
     for (int SI = 0; SI < 4; ++SI) {
       const Row &R = Rows[FI][SI];
       if (!R.Available)
         continue;
-      double ElemsPerSec = CyclesPerNs * 1e9 / R.ActiveCyc;
-      std::fprintf(
-          Out,
-          "      %s{\"scheme\": \"%s\", \"percall_cycles_per_elem\": %.3f, "
-          "\"batch_scalar_cycles_per_elem\": %.3f, "
-          "\"batch_active_cycles_per_elem\": %.3f, "
-          "\"batch_active_elems_per_sec\": %.3e, "
-          "\"speedup_active_vs_percall\": %.3f, "
-          "\"scalar_batch_vs_percall\": %.3f}\n",
-          First ? "" : ",", evalSchemeName(static_cast<EvalScheme>(SI)),
-          R.PerCallCyc, R.ScalarCyc, R.ActiveCyc, ElemsPerSec,
-          R.PerCallCyc / R.ActiveCyc, R.PerCallCyc / R.ScalarCyc);
-      First = false;
+      W.inlineNext();
+      W.beginObject();
+      W.kv("scheme", evalSchemeName(static_cast<EvalScheme>(SI)));
+      W.kvFixed("percall_cycles_per_elem", R.PerCallCyc, 3);
+      W.kvFixed("batch_scalar_cycles_per_elem", R.ScalarCyc, 3);
+      W.kvFixed("batch_active_cycles_per_elem", R.ActiveCyc, 3);
+      W.kvSci("batch_active_elems_per_sec", CyclesPerNs * 1e9 / R.ActiveCyc,
+              3);
+      W.kvFixed("speedup_active_vs_percall", R.PerCallCyc / R.ActiveCyc, 3);
+      W.kvFixed("scalar_batch_vs_percall", R.PerCallCyc / R.ScalarCyc, 3);
+      W.endObject();
     }
-    std::fprintf(Out, "    ]}%s\n", FI + 1 < 6 ? "," : "");
+    W.endArray();
+    W.endObject();
   }
-  std::fprintf(Out, "  ]\n}\n");
-  std::fclose(Out);
-  std::printf("\nwrote %s\n", Path);
+  W.endArray();
 }
 
 /// Dense bitwise parity sweep: 2^bits inputs per (function, scheme),
@@ -228,14 +225,12 @@ int runVerify(int Bits) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string JsonPath;
+  bench::ReportOptions Opts;
   bool Verify = false;
   int VerifyBits = 28;
   for (int I = 1; I < Argc; ++I) {
-    if (std::strcmp(Argv[I], "--json") == 0)
-      JsonPath = "bench_batch.json";
-    else if (std::strncmp(Argv[I], "--json=", 7) == 0)
-      JsonPath = Argv[I] + 7;
+    if (Opts.parse(Argc, Argv, I, "bench_batch.json"))
+      continue;
     else if (std::strcmp(Argv[I], "--verify") == 0)
       Verify = true;
     else if (std::strncmp(Argv[I], "--verify=", 9) == 0) {
@@ -246,8 +241,8 @@ int main(int Argc, char **Argv) {
         return 2;
       }
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--json[=path]] [--verify[=bits]]\n", Argv[0]);
+      std::fprintf(stderr, "usage: %s %s [--verify[=bits]]\n", Argv[0],
+                   bench::ReportOptions::usage());
       return 2;
     }
   }
@@ -303,7 +298,8 @@ int main(int Argc, char **Argv) {
               ExpSpeed / 3, LogSpeed / 3);
   std::printf("(sink %g)\n", Sink == 12345.0 ? 1.0 : 0.0);
 
-  if (!JsonPath.empty())
-    writeJson(JsonPath.c_str(), Overhead, CyclesPerNs, Rows);
+  if (!Opts.JsonPath.empty())
+    writeJson(Opts.JsonPath, Overhead, CyclesPerNs, Rows);
+  Opts.finish();
   return 0;
 }

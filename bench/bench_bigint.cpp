@@ -27,6 +27,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "JsonWriter.h" // after benchmark.h: enables runBenchmarkMain
+
 #include <cstring>
 #include <string>
 #include <vector>
@@ -161,24 +163,10 @@ BENCHMARK(BM_RationalNormalizeFraction);
 
 } // namespace
 
-// Custom main: default to JSON output in bench_bigint.json so CI and
-// EXPERIMENTS.md runs get machine-readable numbers without extra flags,
-// while still honoring any --benchmark_* flags passed explicitly.
+// Custom main via the shared helper: default to JSON output in
+// bench_bigint.json so CI and EXPERIMENTS.md runs get machine-readable
+// numbers without extra flags, while still honoring any --benchmark_*
+// flags passed explicitly.
 int main(int Argc, char **Argv) {
-  std::vector<char *> Args(Argv, Argv + Argc);
-  bool HasOut = false;
-  for (int I = 1; I < Argc; ++I)
-    if (std::strncmp(Argv[I], "--benchmark_out", 15) == 0)
-      HasOut = true;
-  std::string OutFlag = "--benchmark_out=bench_bigint.json";
-  std::string FmtFlag = "--benchmark_out_format=json";
-  if (!HasOut) {
-    Args.push_back(OutFlag.data());
-    Args.push_back(FmtFlag.data());
-  }
-  int N = static_cast<int>(Args.size());
-  benchmark::Initialize(&N, Args.data());
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return rfp::bench::runBenchmarkMain(Argc, Argv, "bench_bigint.json");
 }

@@ -23,8 +23,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "JsonWriter.h"
+
 #include "core/PolyGen.h"
 #include "oracle/OracleCache.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
 #include <chrono>
@@ -87,7 +90,10 @@ RunResult runPipeline(ElemFunc F, GenConfig Cfg, unsigned Threads) {
   Gen.prepare();
   R.PrepareMs = msSince(T0);
 
-  OracleCacheStats Before = oracle_cache::stats();
+  // The cache counters are process-wide monotonic telemetry; deltas
+  // around the generate phase isolate this run's hit rate.
+  uint64_t HitsBefore = telemetry::counterValue("oracle.cache.hits");
+  uint64_t MissesBefore = telemetry::counterValue("oracle.cache.misses");
   T0 = std::chrono::steady_clock::now();
   for (EvalScheme S : AllEvalSchemes)
     R.Impls.push_back(Gen.generate(S));
@@ -97,11 +103,12 @@ RunResult runPipeline(ElemFunc F, GenConfig Cfg, unsigned Threads) {
     R.LPStats.LPPivots += Impl.Stats.LPPivots;
     R.LPStats.LPRowsBeforeDedup += Impl.Stats.LPRowsBeforeDedup;
     R.LPStats.LPRowsAfterDedup += Impl.Stats.LPRowsAfterDedup;
+    R.LPStats.LPExactPricings += Impl.Stats.LPExactPricings;
   }
 
-  OracleCacheStats After = oracle_cache::stats();
-  uint64_t Hits = After.Hits - Before.Hits;
-  uint64_t Misses = After.Misses - Before.Misses;
+  uint64_t Hits = telemetry::counterValue("oracle.cache.hits") - HitsBefore;
+  uint64_t Misses =
+      telemetry::counterValue("oracle.cache.misses") - MissesBefore;
   R.CheckPhaseHitRate =
       Hits + Misses == 0 ? 1.0
                          : static_cast<double>(Hits) / (Hits + Misses);
@@ -116,10 +123,13 @@ int main(int Argc, char **Argv) {
   Cfg.SampleStride = 65537; // CI-scale default; --stride 1009 = full density
   Cfg.BoundaryWindow = 256;
   std::vector<unsigned> ThreadLadder = {1, 2, 4};
-  std::string JsonPath = "bench_polygen.json";
+  bench::ReportOptions Opts;
+  Opts.JsonPath = "bench_polygen.json"; // written even without --json
 
   for (int I = 1; I < Argc; ++I) {
-    if (std::strcmp(Argv[I], "--stride") == 0 && I + 1 < Argc) {
+    if (Opts.parse(Argc, Argv, I, "bench_polygen.json")) {
+      continue;
+    } else if (std::strcmp(Argv[I], "--stride") == 0 && I + 1 < Argc) {
       Cfg.SampleStride = static_cast<uint32_t>(std::atol(Argv[++I]));
     } else if (std::strcmp(Argv[I], "--threads") == 0 && I + 1 < Argc) {
       ThreadLadder.clear();
@@ -137,10 +147,6 @@ int main(int Argc, char **Argv) {
         if (*P == ',')
           ++P;
       }
-    } else if (std::strcmp(Argv[I], "--json") == 0) {
-      JsonPath = "bench_polygen.json";
-    } else if (std::strncmp(Argv[I], "--json=", 7) == 0) {
-      JsonPath = Argv[I] + 7;
     } else {
       bool Known = false;
       for (ElemFunc F : AllElemFuncs)
@@ -151,8 +157,8 @@ int main(int Argc, char **Argv) {
       if (!Known) {
         std::fprintf(stderr,
                      "unknown argument '%s'\nusage: bench_polygen [func] "
-                     "[--stride N] [--threads a,b,c] [--json[=path]]\n",
-                     Argv[I]);
+                     "[--stride N] [--threads a,b,c] %s\n",
+                     Argv[I], bench::ReportOptions::usage());
         return 2;
       }
     }
@@ -186,42 +192,34 @@ int main(int Argc, char **Argv) {
   std::printf("output bit-identical across thread counts: %s\n",
               AllIdentical ? "yes" : "NO -- DETERMINISM VIOLATION");
 
-  if (!JsonPath.empty()) {
-    FILE *Out = std::fopen(JsonPath.c_str(), "w");
-    if (!Out) {
-      std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+  if (!Opts.JsonPath.empty()) {
+    bench::Report Rep(Opts.JsonPath, "bench_polygen");
+    if (!Rep.ok())
       return 1;
-    }
-    std::fprintf(Out,
-                 "{\n  \"benchmark\": \"bench_polygen\",\n"
-                 "  \"func\": \"%s\",\n  \"sample_stride\": %u,\n"
-                 "  \"bit_identical_across_threads\": %s,\n  \"runs\": [\n",
-                 elemFuncName(Func), Cfg.SampleStride,
-                 AllIdentical ? "true" : "false");
-    for (size_t I = 0; I < Runs.size(); ++I) {
-      const RunResult &R = Runs[I];
+    json::Writer &W = Rep.writer();
+    W.kv("func", elemFuncName(Func));
+    W.kv("sample_stride", Cfg.SampleStride);
+    W.kv("bit_identical_across_threads", AllIdentical);
+    W.key("runs");
+    W.beginArray();
+    for (const RunResult &R : Runs) {
       double Total = R.PrepareMs + R.GenerateMs;
-      std::fprintf(Out,
-                   "    {\"threads\": %u, \"prepare_ms\": %.2f, "
-                   "\"generate_ms\": %.2f, \"total_ms\": %.2f, "
-                   "\"speedup_vs_1thread\": %.3f, "
-                   "\"check_phase_cache_hit_rate\": %.4f, "
-                   "\"lp_time_ms\": %.2f, \"lp_pivots\": %llu, "
-                   "\"lp_rows_before_dedup\": %llu, "
-                   "\"lp_rows_after_dedup\": %llu}%s\n",
-                   R.Threads, R.PrepareMs, R.GenerateMs, Total,
-                   Total > 0 ? BaseTotal / Total : 0.0, R.CheckPhaseHitRate,
-                   R.LPStats.LPTimeMs,
-                   static_cast<unsigned long long>(R.LPStats.LPPivots),
-                   static_cast<unsigned long long>(
-                       R.LPStats.LPRowsBeforeDedup),
-                   static_cast<unsigned long long>(
-                       R.LPStats.LPRowsAfterDedup),
-                   I + 1 < Runs.size() ? "," : "");
+      W.inlineNext();
+      W.beginObject();
+      W.kv("threads", R.Threads);
+      W.kvFixed("prepare_ms", R.PrepareMs, 2);
+      W.kvFixed("generate_ms", R.GenerateMs, 2);
+      W.kvFixed("total_ms", Total, 2);
+      W.kvFixed("speedup_vs_1thread", Total > 0 ? BaseTotal / Total : 0.0, 3);
+      W.kvFixed("check_phase_cache_hit_rate", R.CheckPhaseHitRate, 4);
+      W.kvFixed("lp_time_ms", R.LPStats.LPTimeMs, 2);
+      W.kv("lp_pivots", R.LPStats.LPPivots);
+      W.kv("lp_rows_before_dedup", R.LPStats.LPRowsBeforeDedup);
+      W.kv("lp_rows_after_dedup", R.LPStats.LPRowsAfterDedup);
+      W.endObject();
     }
-    std::fprintf(Out, "  ]\n}\n");
-    std::fclose(Out);
-    std::printf("wrote %s\n", JsonPath.c_str());
+    W.endArray();
   }
+  Opts.finish();
   return AllIdentical ? 0 : 1;
 }

@@ -18,6 +18,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "CycleTimer.h"
+#include "JsonWriter.h"
 
 #include "poly/EvalScheme.h"
 
@@ -80,14 +81,11 @@ struct Row {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string JsonPath;
+  bench::ReportOptions Opts;
   for (int I = 1; I < Argc; ++I) {
-    if (std::strcmp(Argv[I], "--json") == 0)
-      JsonPath = "bench_schemes.json";
-    else if (std::strncmp(Argv[I], "--json=", 7) == 0)
-      JsonPath = Argv[I] + 7;
-    else {
-      std::fprintf(stderr, "usage: %s [--json[=path]]\n", Argv[0]);
+    if (!Opts.parse(Argc, Argv, I, "bench_schemes.json")) {
+      std::fprintf(stderr, "usage: %s %s\n", Argv[0],
+                   bench::ReportOptions::usage());
       return 2;
     }
   }
@@ -168,33 +166,36 @@ int main(int Argc, char **Argv) {
   }
   std::printf("(sink %g)\n", Sink == 12345.0 ? 1.0 : 0.0);
 
-  if (!JsonPath.empty()) {
-    FILE *Out = std::fopen(JsonPath.c_str(), "w");
-    if (!Out) {
-      std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+  if (!Opts.JsonPath.empty()) {
+    bench::Report Rep(Opts.JsonPath, "bench_schemes");
+    if (!Rep.ok())
       return 1;
-    }
-    std::fprintf(Out, "{\n  \"benchmark\": \"bench_schemes\",\n");
-    std::fprintf(Out, "  \"timer_overhead_cycles\": %.2f,\n", Overhead);
-    std::fprintf(Out, "  \"cycles_per_ns\": %.4f,\n  \"degrees\": [\n",
-                 CyclesPerNs);
+    json::Writer &W = Rep.writer();
+    W.kvFixed("timer_overhead_cycles", Overhead, 2);
+    W.kvFixed("cycles_per_ns", CyclesPerNs, 4);
+    W.key("degrees");
+    W.beginArray();
     for (int DI = 0; DI < 3; ++DI) {
-      std::fprintf(Out, "    {\"degree\": %d, \"schemes\": [\n", 4 + DI);
+      W.beginObject();
+      W.kv("degree", 4 + DI);
+      W.key("schemes");
+      W.beginArray();
       for (size_t RI = 0; RI < sizeof(Rows) / sizeof(Rows[0]); ++RI) {
         double Cyc = Rows[RI].Cycles[DI];
-        std::fprintf(Out,
-                     "      %s{\"scheme\": \"%s\", \"latency_cycles\": "
-                     "%.2f, \"latency_ns_per_op\": %.3f, "
-                     "\"speedup_vs_horner_pct\": %.3f}\n",
-                     RI == 0 ? "" : ",", Rows[RI].Name, Cyc,
-                     Cyc / CyclesPerNs,
-                     (Rows[0].Cycles[DI] / Cyc - 1.0) * 100.0);
+        W.inlineNext();
+        W.beginObject();
+        W.kv("scheme", Rows[RI].Name);
+        W.kvFixed("latency_cycles", Cyc, 2);
+        W.kvFixed("latency_ns_per_op", Cyc / CyclesPerNs, 3);
+        W.kvFixed("speedup_vs_horner_pct",
+                  (Rows[0].Cycles[DI] / Cyc - 1.0) * 100.0, 3);
+        W.endObject();
       }
-      std::fprintf(Out, "    ]}%s\n", DI < 2 ? "," : "");
+      W.endArray();
+      W.endObject();
     }
-    std::fprintf(Out, "  ]\n}\n");
-    std::fclose(Out);
-    std::printf("\nwrote %s\n", JsonPath.c_str());
+    W.endArray();
   }
+  Opts.finish();
   return 0;
 }

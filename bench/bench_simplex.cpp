@@ -23,6 +23,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "JsonWriter.h"
+
 #include "core/PolyGen.h"
 #include "libm/RangeReduction.h"
 
@@ -133,10 +135,13 @@ int main(int Argc, char **Argv) {
   Cfg.BoundaryWindow = 256;
   std::vector<unsigned> ThreadLadder = {1, 2, 4};
   unsigned Repeats = 3;
-  std::string JsonPath = "bench_simplex.json";
+  bench::ReportOptions Opts;
+  Opts.JsonPath = "bench_simplex.json"; // written even without --json
 
   for (int I = 1; I < Argc; ++I) {
-    if (std::strcmp(Argv[I], "--stride") == 0 && I + 1 < Argc) {
+    if (Opts.parse(Argc, Argv, I, "bench_simplex.json")) {
+      continue;
+    } else if (std::strcmp(Argv[I], "--stride") == 0 && I + 1 < Argc) {
       Cfg.SampleStride = static_cast<uint32_t>(std::atol(Argv[++I]));
     } else if (std::strcmp(Argv[I], "--repeats") == 0 && I + 1 < Argc) {
       Repeats = static_cast<unsigned>(std::atol(Argv[++I]));
@@ -156,10 +161,6 @@ int main(int Argc, char **Argv) {
         if (*P == ',')
           ++P;
       }
-    } else if (std::strcmp(Argv[I], "--json") == 0) {
-      JsonPath = "bench_simplex.json";
-    } else if (std::strncmp(Argv[I], "--json=", 7) == 0) {
-      JsonPath = Argv[I] + 7;
     } else {
       bool Known = false;
       for (ElemFunc F : AllElemFuncs)
@@ -170,9 +171,8 @@ int main(int Argc, char **Argv) {
       if (!Known) {
         std::fprintf(stderr,
                      "unknown argument '%s'\nusage: bench_simplex [func] "
-                     "[--stride N] [--threads a,b,c] [--repeats N] "
-                     "[--json[=path]]\n",
-                     Argv[I]);
+                     "[--stride N] [--threads a,b,c] [--repeats N] %s\n",
+                     Argv[I], bench::ReportOptions::usage());
         return 2;
       }
     }
@@ -209,40 +209,40 @@ int main(int Argc, char **Argv) {
   std::printf("pivot counts thread-invariant: %s\n",
               PivotsInvariant ? "yes" : "NO -- DETERMINISM VIOLATION");
 
-  if (!JsonPath.empty()) {
-    FILE *Out = std::fopen(JsonPath.c_str(), "w");
-    if (!Out) {
-      std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+  if (!Opts.JsonPath.empty()) {
+    bench::Report Rep(Opts.JsonPath, "bench_simplex");
+    if (!Rep.ok())
       return 1;
-    }
-    std::fprintf(Out,
-                 "{\n  \"benchmark\": \"bench_simplex\",\n"
-                 "  \"func\": \"%s\",\n  \"sample_stride\": %u,\n"
-                 "  \"repeats\": %u,\n"
-                 "  \"pivots_thread_invariant\": %s,\n  \"systems\": [\n",
-                 elemFuncName(Func), Cfg.SampleStride, Repeats,
-                 PivotsInvariant ? "true" : "false");
-    for (size_t I = 0; I < Rows.size(); ++I) {
-      const Row &R = Rows[I];
-      std::fprintf(Out,
-                   "    {\"name\": \"%s\", \"degree\": %u, "
-                   "\"constraints\": %zu, \"runs\": [\n",
-                   R.Sys->Name.c_str(), R.Sys->Degree, R.Sys->Cons.size());
-      for (size_t J = 0; J < R.Ms.size(); ++J) {
-        const Measurement &M = R.Ms[J];
-        std::fprintf(Out,
-                     "      {\"threads\": %u, \"best_ms\": %.3f, "
-                     "\"pivots\": %u, \"rows_before_dedup\": %u, "
-                     "\"rows_after_dedup\": %u, \"feasible\": %s}%s\n",
-                     M.Threads, M.BestMs, M.Pivots, M.RowsBefore,
-                     M.RowsAfter, M.Feasible ? "true" : "false",
-                     J + 1 < R.Ms.size() ? "," : "");
+    json::Writer &W = Rep.writer();
+    W.kv("func", elemFuncName(Func));
+    W.kv("sample_stride", Cfg.SampleStride);
+    W.kv("repeats", Repeats);
+    W.kv("pivots_thread_invariant", PivotsInvariant);
+    W.key("systems");
+    W.beginArray();
+    for (const Row &R : Rows) {
+      W.beginObject();
+      W.kv("name", R.Sys->Name);
+      W.kv("degree", R.Sys->Degree);
+      W.kv("constraints", static_cast<uint64_t>(R.Sys->Cons.size()));
+      W.key("runs");
+      W.beginArray();
+      for (const Measurement &M : R.Ms) {
+        W.inlineNext();
+        W.beginObject();
+        W.kv("threads", M.Threads);
+        W.kvFixed("best_ms", M.BestMs, 3);
+        W.kv("pivots", M.Pivots);
+        W.kv("rows_before_dedup", M.RowsBefore);
+        W.kv("rows_after_dedup", M.RowsAfter);
+        W.kv("feasible", M.Feasible);
+        W.endObject();
       }
-      std::fprintf(Out, "    ]}%s\n", I + 1 < Rows.size() ? "," : "");
+      W.endArray();
+      W.endObject();
     }
-    std::fprintf(Out, "  ]\n}\n");
-    std::fclose(Out);
-    std::printf("wrote %s\n", JsonPath.c_str());
+    W.endArray();
   }
+  Opts.finish();
   return PivotsInvariant ? 0 : 1;
 }

@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "CycleTimer.h"
+#include "JsonWriter.h"
 
 #include "libm/rlibm.h"
 
@@ -82,53 +83,46 @@ CoreFn coreFor(ElemFunc F, EvalScheme S) {
 /// DESIGN.md, "Experiment index") so perf trajectory can be tracked across
 /// PRs. Latencies are reported both in cycles and ns/op via a one-shot TSC
 /// calibration; speedups are relative to the Horner baseline.
-void writeJson(const char *Path, double Overhead, double CyclesPerNs,
+void writeJson(const std::string &Path, double Overhead, double CyclesPerNs,
                const double Cycles[6][4], const double PerCall[6][4],
                const double Speedup[6][4]) {
-  FILE *Out = std::fopen(Path, "w");
-  if (!Out) {
-    std::fprintf(stderr, "cannot write %s\n", Path);
+  bench::Report Rep(Path, "bench_speedup");
+  if (!Rep.ok())
     return;
-  }
-  std::fprintf(Out, "{\n  \"benchmark\": \"bench_speedup\",\n");
-  std::fprintf(Out, "  \"timer_overhead_cycles\": %.2f,\n", Overhead);
-  std::fprintf(Out, "  \"cycles_per_ns\": %.4f,\n  \"functions\": [\n",
-               CyclesPerNs);
+  json::Writer &W = Rep.writer();
+  W.kvFixed("timer_overhead_cycles", Overhead, 2);
+  W.kvFixed("cycles_per_ns", CyclesPerNs, 4);
+  W.key("functions");
+  W.beginArray();
   for (int FI = 0; FI < 6; ++FI) {
-    std::fprintf(Out, "    {\"func\": \"%s\", \"schemes\": [\n",
-                 elemFuncName(AllElemFuncs[FI]));
-    bool First = true;
+    W.beginObject();
+    W.kv("func", elemFuncName(AllElemFuncs[FI]));
+    W.key("schemes");
+    W.beginArray();
     for (int SI = 0; SI < 4; ++SI) {
       if (Cycles[FI][SI] < 0)
         continue;
-      std::fprintf(
-          Out,
-          "      %s{\"scheme\": \"%s\", \"latency_cycles\": %.2f, "
-          "\"latency_ns_per_op\": %.3f, \"percall_net_cycles\": %.2f, "
-          "\"speedup_vs_horner_pct\": %.3f}",
-          First ? "" : ",", evalSchemeName(static_cast<EvalScheme>(SI)),
-          Cycles[FI][SI], Cycles[FI][SI] / CyclesPerNs, PerCall[FI][SI],
-          SI == 0 ? 0.0 : Speedup[FI][SI]);
-      std::fprintf(Out, "\n");
-      First = false;
+      W.inlineNext();
+      W.beginObject();
+      W.kv("scheme", evalSchemeName(static_cast<EvalScheme>(SI)));
+      W.kvFixed("latency_cycles", Cycles[FI][SI], 2);
+      W.kvFixed("latency_ns_per_op", Cycles[FI][SI] / CyclesPerNs, 3);
+      W.kvFixed("percall_net_cycles", PerCall[FI][SI], 2);
+      W.kvFixed("speedup_vs_horner_pct", SI == 0 ? 0.0 : Speedup[FI][SI], 3);
+      W.endObject();
     }
-    std::fprintf(Out, "    ]}%s\n", FI + 1 < 6 ? "," : "");
+    W.endArray();
+    W.endObject();
   }
-  std::fprintf(Out, "  ]\n}\n");
-  std::fclose(Out);
-  std::printf("\nwrote %s\n", Path);
+  W.endArray();
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string JsonPath;
-  for (int I = 1; I < Argc; ++I) {
-    if (std::strcmp(Argv[I], "--json") == 0)
-      JsonPath = "bench_speedup.json";
-    else if (std::strncmp(Argv[I], "--json=", 7) == 0)
-      JsonPath = Argv[I] + 7;
-  }
+  bench::ReportOptions Opts;
+  for (int I = 1; I < Argc; ++I)
+    Opts.parse(Argc, Argv, I, "bench_speedup.json");
 
   double Sink = 0.0;
   double SpeedupSum[4] = {0, 0, 0, 0};
@@ -211,8 +205,9 @@ int main(int Argc, char **Argv) {
   }
   std::printf("\n(sink %g)\n", Sink == 12345.0 ? 1.0 : 0.0);
 
-  if (!JsonPath.empty())
-    writeJson(JsonPath.c_str(), Overhead, cyclesPerNanosecond(), AllCycles,
+  if (!Opts.JsonPath.empty())
+    writeJson(Opts.JsonPath, Overhead, cyclesPerNanosecond(), AllCycles,
               AllPerCall, PerFunc);
+  Opts.finish();
   return 0;
 }

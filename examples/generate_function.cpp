@@ -16,6 +16,7 @@
 #include "core/PolyGen.h"
 #include "oracle/Oracle.h"
 #include "poly/Codegen.h"
+#include "support/Telemetry.h"
 
 #include <cmath>
 #include <cstdio>
@@ -30,8 +31,16 @@ int main() {
   Cfg.SampleStride = 262147; // demo scale; tools/polygen uses 2521
   Cfg.BoundaryWindow = 256;
 
+  // Watch the generator's progress through the telemetry logger (the
+  // RFP_LOG_LEVEL=info equivalent, but with our own formatting).
+  telemetry::setLogLevel(telemetry::LogLevel::Info);
+  telemetry::ScopedLogSink Progress(
+      [](telemetry::LogLevel, const char *Component, const std::string &S) {
+        std::printf("  [%s] %s\n", Component, S.c_str());
+      });
+
   PolyGenerator Gen(ElemFunc::Exp2, Cfg);
-  Gen.prepare([](const std::string &S) { std::printf("  [prepare] %s\n", S.c_str()); });
+  Gen.prepare();
 
   for (EvalScheme S : AllEvalSchemes) {
     GeneratedImpl Impl = Gen.generate(S);

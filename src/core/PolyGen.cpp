@@ -9,6 +9,7 @@
 #include "lp/LPSolver.h"
 #include "oracle/Oracle.h"
 #include "oracle/OracleCache.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -18,10 +19,32 @@
 #include <cstdlib>
 #include <cmath>
 #include <cstring>
-#include <mutex>
 #include <unordered_map>
 
 using namespace rfp;
+using telemetry::LogLevel;
+
+namespace {
+/// Registry handles for the generator's hot counters. Registered once;
+/// updates are per-thread shard writes (see support/Telemetry.h).
+struct GenCounters {
+  telemetry::Counter Iterations = telemetry::counter("polygen.iterations");
+  telemetry::Counter LPSolves = telemetry::counter("polygen.lp.solves");
+  telemetry::Counter LPPivots = telemetry::counter("polygen.lp.pivots");
+  telemetry::Counter LPRowsBefore =
+      telemetry::counter("polygen.lp.rows_before_dedup");
+  telemetry::Counter LPRowsAfter =
+      telemetry::counter("polygen.lp.rows_after_dedup");
+  telemetry::Counter LPInfeasible =
+      telemetry::counter("polygen.lp.infeasible");
+  telemetry::Counter Retired = telemetry::counter("polygen.retired_constraints");
+  telemetry::Histogram LPSolveMs = telemetry::histogram("polygen.lp.solve_ms");
+};
+const GenCounters &genCounters() {
+  static GenCounters C;
+  return C;
+}
+} // namespace
 
 static float bitsToFloat(uint32_t Bits) {
   float F;
@@ -60,7 +83,10 @@ double GeneratedImpl::evalH(float X) const {
 }
 
 PolyGenerator::PolyGenerator(ElemFunc F, GenConfig C)
-    : Func(F), Config(std::move(C)) {}
+    : Func(F), Config(std::move(C)) {
+  if (!Config.TracePath.empty())
+    telemetry::startTrace(Config.TracePath.c_str());
+}
 
 /// Enumerates the poly-path inputs: a strided sweep over all float bit
 /// patterns plus dense windows around the interesting boundary points.
@@ -137,15 +163,15 @@ std::vector<float> PolyGenerator::buildInputSet() const {
   return Inputs;
 }
 
-void PolyGenerator::prepare(LogFn Log) {
+void PolyGenerator::prepare() {
   if (Prepared)
     return;
   Prepared = true;
+  telemetry::Span PrepareSpan("polygen.prepare");
 
   std::vector<float> Inputs = buildInputSet();
   NumInputs = Inputs.size();
-  if (Log)
-    Log("inputs: " + std::to_string(NumInputs));
+  telemetry::logf(LogLevel::Info, "polygen", "inputs: %zu", NumInputs);
 
   FPFormat F34 = FPFormat::fp34();
   std::unordered_map<uint64_t, size_t> Index;
@@ -161,35 +187,40 @@ void PolyGenerator::prepare(LogFn Log) {
   };
   std::vector<PreparedInput> Derived(Inputs.size());
   std::atomic<size_t> Done{0};
-  std::mutex LogMutex;
-  parallelFor(
-      Inputs.size(),
-      [&](size_t Begin, size_t End) {
-        for (size_t I = Begin; I < End; ++I) {
-          float X = Inputs[I];
-          uint64_t Enc = oracle_cache::evalToOdd34(Func, floatToBits(X));
-          assert(F34.isFinite(Enc) && "poly-path input with non-finite oracle");
-          double Y34 = F34.decode(Enc);
-          HInterval HI = roundingIntervalRO(Y34, F34);
-          libm::Reduction R = libm::reduceInput(Func, X);
-          HInterval PI = inferPolyInterval(Func, R, HI.Lo, HI.Hi);
-          Derived[I] = {Y34, R.T, PI.Lo, PI.Hi, PI.Valid};
-        }
-        if (Log) {
-          size_t D = Done.fetch_add(End - Begin) + (End - Begin);
-          if ((D * 8) / Inputs.size() != ((D - (End - Begin)) * 8) / Inputs.size()) {
-            std::lock_guard<std::mutex> L(LogMutex);
-            Log("oracle progress: " + std::to_string(D) + "/" +
-                std::to_string(NumInputs));
+  {
+    telemetry::Span SweepSpan("polygen.oracle_sweep");
+    parallelFor(
+        Inputs.size(),
+        [&](size_t Begin, size_t End) {
+          for (size_t I = Begin; I < End; ++I) {
+            float X = Inputs[I];
+            uint64_t Enc = oracle_cache::evalToOdd34(Func, floatToBits(X));
+            assert(F34.isFinite(Enc) &&
+                   "poly-path input with non-finite oracle");
+            double Y34 = F34.decode(Enc);
+            HInterval HI = roundingIntervalRO(Y34, F34);
+            libm::Reduction R = libm::reduceInput(Func, X);
+            HInterval PI = inferPolyInterval(Func, R, HI.Lo, HI.Hi);
+            Derived[I] = {Y34, R.T, PI.Lo, PI.Hi, PI.Valid};
           }
-        }
-      },
-      Config.NumThreads);
+          if (telemetry::logEnabled(LogLevel::Info)) {
+            // Progress ticks at each completed eighth; log() serializes
+            // the concurrent chunks.
+            size_t D = Done.fetch_add(End - Begin) + (End - Begin);
+            if ((D * 8) / Inputs.size() !=
+                ((D - (End - Begin)) * 8) / Inputs.size())
+              telemetry::logf(LogLevel::Info, "polygen",
+                              "oracle progress: %zu/%zu", D, NumInputs);
+          }
+        },
+        Config.NumThreads);
+  }
 
   // Phase 2 (serial, cheap): merge in ascending input-index order -- the
   // exact order the old serial loop used -- so the constraint set, the
   // intersection outcomes, and the forced specials are bit-identical for
   // every thread count.
+  telemetry::Span MergeSpan("polygen.merge");
   for (size_t I = 0; I < Inputs.size(); ++I) {
     const PreparedInput &D = Derived[I];
     uint32_t XBits = floatToBits(Inputs[I]);
@@ -224,9 +255,9 @@ void PolyGenerator::prepare(LogFn Log) {
             [](const MergedConstraint &A, const MergedConstraint &B) {
               return A.T < B.T;
             });
-  if (Log)
-    Log("constraints: " + std::to_string(Constraints.size()) +
-        ", forced specials: " + std::to_string(ForcedSpecials.size()));
+  telemetry::logf(LogLevel::Info, "polygen",
+                  "constraints: %zu, forced specials: %zu", Constraints.size(),
+                  ForcedSpecials.size());
 }
 
 /// Evaluates a candidate under the scheme with the shipped operation order.
@@ -239,8 +270,7 @@ static double evalCandidate(EvalScheme S, const Polynomial &P,
 bool PolyGenerator::generatePiece(EvalScheme S,
                                   std::vector<MergedConstraint *> &Piece,
                                   unsigned Degree, GeneratedImpl &Impl,
-                                  Polynomial &OutPoly, KnuthAdapted &OutKA,
-                                  LogFn Log) {
+                                  Polynomial &OutPoly, KnuthAdapted &OutKA) {
   if (Piece.empty()) {
     // No constraints in this sub-domain: any polynomial works.
     OutPoly.Coeffs.assign(Degree + 1, 0.0);
@@ -270,6 +300,7 @@ bool PolyGenerator::generatePiece(EvalScheme S,
   // re-queries (repeated on every degree/shape attempt that retires the
   // same constraint) hit the memoizing cache instead of re-running Ziv.
   FPFormat F34 = FPFormat::fp34();
+  const GenCounters &TC = genCounters();
   auto RetireConstraint = [&](MergedConstraint &M) {
     if (Impl.Specials.size() + M.Inputs.size() >
         static_cast<size_t>(Config.MaxSpecialCases))
@@ -279,36 +310,54 @@ bool PolyGenerator::generatePiece(EvalScheme S,
       Impl.Specials.push_back({XBits, Y34});
     }
     M.Dead = true;
+    TC.Retired.inc();
     return true;
   };
 
   for (unsigned Iter = 0; Iter < Config.MaxIterations; ++Iter) {
     ++Impl.LoopIterations;
+    TC.Iterations.inc();
+    telemetry::Span IterSpan("polygen.iteration");
 
     std::vector<IntervalConstraint> LPCons;
-    LPCons.reserve(LPSet.size());
-    for (size_t I : LPSet) {
-      if (Piece[I]->Dead)
-        continue;
-      LPCons.push_back({Rational::fromDouble(Piece[I]->T),
-                        Rational::fromDouble(Piece[I]->Alpha),
-                        Rational::fromDouble(Piece[I]->Beta)});
+    {
+      telemetry::Span BuildSpan("polygen.constraint_build");
+      LPCons.reserve(LPSet.size());
+      for (size_t I : LPSet) {
+        if (Piece[I]->Dead)
+          continue;
+        LPCons.push_back({Rational::fromDouble(Piece[I]->T),
+                          Rational::fromDouble(Piece[I]->Alpha),
+                          Rational::fromDouble(Piece[I]->Beta)});
+      }
     }
 
     ++Impl.LPSolves;
+    TC.LPSolves.inc();
     auto LPStart = std::chrono::steady_clock::now();
-    PolyLPResult LP = solvePolyLP(LPCons, Degree, Config.NumThreads);
-    Impl.Stats.LPTimeMs +=
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - LPStart)
-            .count();
+    PolyLPResult LP = [&] {
+      // One span per LP solve: the trace's "polygen.lp_solve" event count
+      // equals GenStats' LPSolves by construction.
+      telemetry::Span SolveSpan("polygen.lp_solve");
+      return solvePolyLP(LPCons, Degree, Config.NumThreads);
+    }();
+    double LPMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - LPStart)
+                      .count();
+    Impl.Stats.LPTimeMs += LPMs;
     Impl.Stats.LPPivots += LP.Pivots;
     Impl.Stats.LPRowsBeforeDedup += LP.RowsBeforeDedup;
     Impl.Stats.LPRowsAfterDedup += LP.RowsAfterDedup;
+    Impl.Stats.LPExactPricings += LP.ExactPricings;
+    TC.LPSolveMs.record(LPMs);
+    TC.LPPivots.add(LP.Pivots);
+    TC.LPRowsBefore.add(LP.RowsBeforeDedup);
+    TC.LPRowsAfter.add(LP.RowsAfterDedup);
     if (!LP.Feasible) {
-      if (getenv("RFP_GEN_DEBUG"))
-        fprintf(stderr, "[dbg] iter %u: LP infeasible (deg %u, %zu cons)\n",
-                Iter, Degree, LPCons.size());
+      TC.LPInfeasible.inc();
+      telemetry::logf(LogLevel::Debug, "polygen",
+                      "iter %u: LP infeasible (deg %u, %zu cons)", Iter,
+                      Degree, LPCons.size());
       return false;
     }
 
@@ -325,16 +374,16 @@ bool PolyGenerator::generatePiece(EvalScheme S,
     if (S == EvalScheme::Knuth) {
       KA = adaptCoefficients(P.Coeffs.data(), P.degree());
       if (!KA.Valid) {
-        if (getenv("RFP_GEN_DEBUG"))
-          fprintf(stderr, "[dbg] iter %u: adaptation invalid (lead %a)\n",
-                  Iter, P.Coeffs.back());
+        telemetry::logf(LogLevel::Debug, "polygen",
+                        "iter %u: adaptation invalid (lead %a)", Iter,
+                        P.Coeffs.back());
         return false; // Degree not adaptable; caller escalates.
       }
     }
-    if (getenv("RFP_GEN_DEBUG") && Iter < 6) {
-      fprintf(stderr, "[dbg] iter %u deg %u lead=%a margin=%.3g\n", Iter,
-              Degree, P.Coeffs.back(), LP.Margin.toDouble());
-    }
+    if (Iter < 6)
+      telemetry::logf(LogLevel::Debug, "polygen",
+                      "iter %u deg %u lead=%a margin=%.3g", Iter, Degree,
+                      P.Coeffs.back(), LP.Margin.toDouble());
 
     // Check step (Algorithm 2 lines 13-17): evaluate with the shipped
     // operation order on *every* constraint of the piece. The evaluations
@@ -343,15 +392,19 @@ bool PolyGenerator::generatePiece(EvalScheme S,
     // and visit ascending indices, keeping the shrink/retire sequence
     // bit-identical for every thread count.
     std::vector<double> Evals(Piece.size());
-    parallelFor(
-        Piece.size(),
-        [&](size_t Begin, size_t End) {
-          for (size_t I = Begin; I < End; ++I)
-            if (!Piece[I]->Dead)
-              Evals[I] = evalCandidate(S, P, KA, Piece[I]->T);
-        },
-        Config.NumThreads);
+    {
+      telemetry::Span CheckSpan("polygen.check");
+      parallelFor(
+          Piece.size(),
+          [&](size_t Begin, size_t End) {
+            for (size_t I = Begin; I < End; ++I)
+              if (!Piece[I]->Dead)
+                Evals[I] = evalCandidate(S, P, KA, Piece[I]->T);
+          },
+          Config.NumThreads);
+    }
 
+    telemetry::Span ShrinkSpan("polygen.interval_shrink");
     size_t Violations = 0;
     for (size_t I = 0; I < Piece.size(); ++I) {
       MergedConstraint &M = *Piece[I];
@@ -370,12 +423,13 @@ bool PolyGenerator::generatePiece(EvalScheme S,
       if (!Bad)
         continue;
       ++Violations;
-      if (getenv("RFP_GEN_DEBUG") && Violations <= 3)
-        fprintf(stderr, "[dbg]   violation t=%a v=%a bounds=[%a,%a]\n", M.T,
-                V, M.Alpha, M.Beta);
+      if (Violations <= 3)
+        telemetry::logf(LogLevel::Debug, "polygen",
+                        "  violation t=%a v=%a bounds=[%a,%a]", M.T, V,
+                        M.Alpha, M.Beta);
       if (M.Alpha > M.Beta && !RetireConstraint(M)) {
-        if (getenv("RFP_GEN_DEBUG"))
-          fprintf(stderr, "[dbg]   special budget exhausted at t=%a\n", M.T);
+        telemetry::logf(LogLevel::Debug, "polygen",
+                        "  special budget exhausted at t=%a", M.T);
         return false; // Special budget exhausted; escalate the shape.
       }
       if (!InLPSet[I]) {
@@ -388,15 +442,18 @@ bool PolyGenerator::generatePiece(EvalScheme S,
       OutKA = KA;
       return true;
     }
-    if (Log && Iter + 1 == Config.MaxIterations)
-      Log("piece failed to converge: " + std::to_string(Violations) +
-          " violations at final iteration");
+    if (Iter + 1 == Config.MaxIterations)
+      telemetry::logf(LogLevel::Info, "polygen",
+                      "piece failed to converge: %zu violations at final "
+                      "iteration",
+                      Violations);
   }
   return false;
 }
 
-GeneratedImpl PolyGenerator::generate(EvalScheme S, LogFn Log) {
+GeneratedImpl PolyGenerator::generate(EvalScheme S) {
   assert(Prepared && "call prepare() first");
+  telemetry::Span GenSpan("polygen.generate");
   GeneratedImpl Impl;
   Impl.Func = Func;
   Impl.Scheme = S;
@@ -440,7 +497,7 @@ GeneratedImpl PolyGenerator::generate(EvalScheme S, LogFn Log) {
         }
         size_t SpecialsMark = Impl.Specials.size();
         if (generatePiece(S, Pieces[PieceIdx], Degree, Impl, Polys[PieceIdx],
-                          KAs[PieceIdx], Log)) {
+                          KAs[PieceIdx])) {
           Degrees[PieceIdx] = Degree;
           PieceOk = true;
           break;
@@ -451,10 +508,9 @@ GeneratedImpl PolyGenerator::generate(EvalScheme S, LogFn Log) {
         AllOk = false;
     }
     if (!AllOk) {
-      if (Log)
-        Log(std::string(elemFuncName(Func)) + "/" + evalSchemeName(S) +
-            ": shape with " + std::to_string(NumPieces) +
-            " piece(s) failed; escalating");
+      telemetry::logf(LogLevel::Info, "polygen",
+                      "%s/%s: shape with %d piece(s) failed; escalating",
+                      elemFuncName(Func), evalSchemeName(S), NumPieces);
       continue;
     }
 
@@ -467,6 +523,48 @@ GeneratedImpl PolyGenerator::generate(EvalScheme S, LogFn Log) {
   }
   return Impl; // Success == false.
 }
+
+namespace {
+/// Compat shim for the deprecated LogFn overloads: forwards "polygen"
+/// messages to the callback for the duration of the call, and raises the
+/// threshold to Info so old callers keep seeing their progress strings
+/// without setting RFP_LOG_LEVEL.
+struct LogFnShim {
+  LogLevel Saved;
+  telemetry::ScopedLogSink Sink;
+
+  explicit LogFnShim(PolyGenerator::LogFn Log)
+      : Saved(telemetry::logLevel()),
+        Sink([Log = std::move(Log)](LogLevel, const char *Component,
+                                    const std::string &Msg) {
+          if (std::strcmp(Component, "polygen") == 0)
+            Log(Msg);
+        }) {
+    if (static_cast<int>(Saved) < static_cast<int>(LogLevel::Info))
+      telemetry::setLogLevel(LogLevel::Info);
+  }
+  ~LogFnShim() { telemetry::setLogLevel(Saved); }
+};
+} // namespace
+
+// Silence the self-referential deprecation warnings: these *are* the
+// deprecated entry points.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+void PolyGenerator::prepare(LogFn Log) {
+  if (!Log)
+    return prepare();
+  LogFnShim Shim(std::move(Log));
+  prepare();
+}
+
+GeneratedImpl PolyGenerator::generate(EvalScheme S, LogFn Log) {
+  if (!Log)
+    return generate(S);
+  LogFnShim Shim(std::move(Log));
+  return generate(S);
+}
+#pragma GCC diagnostic pop
 
 std::vector<IntervalConstraint> PolyGenerator::exportLPConstraints() const {
   assert(Prepared && "call prepare() first");

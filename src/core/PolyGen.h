@@ -68,6 +68,11 @@ struct GenConfig {
   /// is bit-identical for every thread count (see DESIGN.md, "Threading
   /// model and determinism").
   unsigned NumThreads = 0;
+  /// When non-empty, stream Chrome trace_event JSON for this generator's
+  /// spans (per-iteration, constraint-build, LP-solve, check, shrink) to
+  /// this path -- the programmatic equivalent of RFP_TRACE=<path>. The
+  /// trace stream is process-wide; the first enabled path wins.
+  std::string TracePath;
 };
 
 /// One generated implementation: everything needed to ship f(x) under one
@@ -95,12 +100,14 @@ struct GeneratedImpl {
 
   /// Per-phase generation statistics. The counters (pivots, rows) are
   /// deterministic and thread-count-invariant; only the wall-clock time
-  /// varies between runs.
+  /// varies between runs. The same counters are mirrored into the
+  /// process-wide telemetry registry (`polygen.lp.*`, `simplex.*`).
   struct GenStats {
     double LPTimeMs = 0.0;          ///< Wall clock spent inside solvePolyLP.
     uint64_t LPPivots = 0;          ///< Simplex pivots across all solves.
     uint64_t LPRowsBeforeDedup = 0; ///< LP rows built, summed over solves.
     uint64_t LPRowsAfterDedup = 0;  ///< LP rows kept after duplicate merge.
+    uint64_t LPExactPricings = 0;   ///< Exact-pricing fallbacks, all solves.
   };
   GenStats Stats;
 
@@ -121,17 +128,29 @@ struct GeneratedImpl {
 /// generation for one elementary function.
 class PolyGenerator {
 public:
-  using LogFn = std::function<void(const std::string &)>;
-
   explicit PolyGenerator(ElemFunc F, GenConfig Config = GenConfig());
 
   /// Builds the generation input set, queries the oracle, and assembles
   /// the merged reduced constraints. Expensive (oracle-bound); runs once
   /// and is shared by all schemes.
-  void prepare(LogFn Log = nullptr);
+  ///
+  /// Progress and diagnostics are reported through the telemetry logger
+  /// (component "polygen", levels info/debug) -- see support/Telemetry.h.
+  /// Observe them with RFP_LOG_LEVEL=info or telemetry::addLogSink().
+  void prepare();
 
   /// Runs the integrated generation loop for one evaluation scheme.
-  GeneratedImpl generate(EvalScheme S, LogFn Log = nullptr);
+  GeneratedImpl generate(EvalScheme S);
+
+  // --- Deprecated LogFn compat shims (one release). ---------------------
+  // The callback API predates the telemetry logger. The shims install a
+  // temporary sink forwarding "polygen" messages to the callback, so old
+  // callers keep seeing their progress strings.
+  using LogFn = std::function<void(const std::string &)>;
+  [[deprecated("use prepare() with a telemetry log sink")]] void
+  prepare(LogFn Log);
+  [[deprecated("use generate(S) with a telemetry log sink")]] GeneratedImpl
+  generate(EvalScheme S, LogFn Log);
 
   /// The Section 6.3 experiment: evaluate \p Base's polynomials under
   /// scheme \p S *without* re-running the loop (naive post-process
@@ -161,7 +180,7 @@ private:
   std::vector<float> buildInputSet() const;
   bool generatePiece(EvalScheme S, std::vector<MergedConstraint *> &Piece,
                      unsigned Degree, GeneratedImpl &Impl, Polynomial &OutPoly,
-                     KnuthAdapted &OutKA, LogFn Log);
+                     KnuthAdapted &OutKA);
 
   ElemFunc Func;
   GenConfig Config;

@@ -19,6 +19,7 @@
 
 #include "libm/BatchKernels.h"
 #include "libm/rlibm.h"
+#include "support/Telemetry.h"
 
 #include <cassert>
 #include <cstdlib>
@@ -101,6 +102,27 @@ const KernelSet &setFor(BatchISA ISA) {
   return ScalarSet;
 }
 
+/// Per-ISA batch telemetry: which kernel set served how many calls and
+/// elements. One counter update per *batch*, not per element, so the
+/// amortized cost vanishes against the kernel work.
+struct BatchCounters {
+  telemetry::Counter Calls[2] = {
+      telemetry::counter("libm.batch.calls.scalar"),
+      telemetry::counter("libm.batch.calls.avx2"),
+  };
+  telemetry::Counter Elems[2] = {
+      telemetry::counter("libm.batch.elems.scalar"),
+      telemetry::counter("libm.batch.elems.avx2"),
+  };
+};
+
+void countBatchCall(BatchISA ISA, size_t N) {
+  static const BatchCounters C;
+  int I = ISA == BatchISA::AVX2 ? 1 : 0;
+  C.Calls[I].inc();
+  C.Elems[I].add(N);
+}
+
 void evalBatchF(ElemFunc F, const float *In, float *Out, size_t N) {
   double H[256];
   while (N > 0) {
@@ -131,13 +153,17 @@ BatchISA rfp::libm::activeBatchISA() { return activeSet().ISA; }
 void rfp::libm::evalBatch(ElemFunc F, EvalScheme S, const float *In, double *H,
                           size_t N) {
   assert(variantInfo(F, S).Available && "variant not generated");
-  activeSet().Fn[static_cast<int>(F)][static_cast<int>(S)](In, H, N);
+  const KernelSet &Set = activeSet();
+  countBatchCall(Set.ISA, N);
+  Set.Fn[static_cast<int>(F)][static_cast<int>(S)](In, H, N);
 }
 
 void rfp::libm::evalBatchWithISA(BatchISA ISA, ElemFunc F, EvalScheme S,
                                  const float *In, double *H, size_t N) {
   assert(variantInfo(F, S).Available && "variant not generated");
-  setFor(ISA).Fn[static_cast<int>(F)][static_cast<int>(S)](In, H, N);
+  const KernelSet &Set = setFor(ISA);
+  countBatchCall(Set.ISA, N);
+  Set.Fn[static_cast<int>(F)][static_cast<int>(S)](In, H, N);
 }
 
 void rfp::libm::rfp_expf_batch(const float *In, float *Out, size_t N) {

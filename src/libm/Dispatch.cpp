@@ -7,6 +7,7 @@
 #include "libm/BatchKernels.h"
 #include "libm/Frame.h"
 #include "libm/rlibm.h"
+#include "support/Telemetry.h"
 
 using namespace rfp;
 using namespace rfp::libm;
@@ -63,6 +64,12 @@ double (*rfp::libm::detail::scalarCoreFor(ElemFunc F, EvalScheme S))(float) {
 
 double rfp::libm::evalCore(ElemFunc F, EvalScheme S, float X) {
   assert(variantInfo(F, S).Available && "variant not generated");
+  // The dynamic-dispatch path is the scalar counterpart of the per-ISA
+  // batch counters; direct core calls (the benchmarks' measured loops)
+  // stay uninstrumented.
+  static const telemetry::Counter Calls =
+      telemetry::counter("libm.dispatch.calls.scalar");
+  Calls.inc();
   return detail::scalarCoreFor(F, S)(X);
 }
 

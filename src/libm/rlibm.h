@@ -22,6 +22,26 @@
 /// loop could not produce it (the paper's Table 1 reports N/A for
 /// RLibm-Knuth on ln and log10); query \c variantInfo.
 ///
+/// Naming policy -- the three tiers of the public surface:
+///
+///   * `rfp::libm::<func>_<scheme>(float) -> double` -- the 24 scalar
+///     cores. Lower-case function and scheme spelled out (`exp2_estrin_fma`).
+///     These produce H and never round; they are what the paper benchmarks
+///     and what every other tier is defined in terms of.
+///   * `rfp::libm::rfp_<func>f(float) -> float` -- C-libm-shaped wrappers.
+///     The `rfp_` prefix plus the standard `<func>f` name marks the
+///     float-in/float-out, nearest-even contract (drop-in for `expf` etc.);
+///     always the Estrin+FMA core underneath.
+///   * The batch entry points (libm/Batch.h): `evalBatch`/`evalBatchWithISA`
+///     mirror `evalCore`'s enum-driven dispatch for arrays, and
+///     `rfp_<func>f_batch` mirrors the `rfp_<func>f` wrapper contract
+///     element-wise. Batch results are bit-identical to the scalar tier by
+///     construction (BatchParityTest).
+///
+/// New entry points must fit one of these tiers; do not add a fourth
+/// spelling. The wrapper/core parity is pinned by DispatchTest's
+/// WrapperParity test.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RFP_LIBM_RLIBM_H

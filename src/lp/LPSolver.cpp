@@ -115,6 +115,7 @@ rfp::solvePolyLP(const std::vector<IntervalConstraint> &Constraints,
 
   LPResult LP = maximizeLP(A, B, Objective, NumThreads);
   R.Pivots = LP.Pivots;
+  R.ExactPricings = LP.ExactPricings;
 
   if (!LP.isOptimal() || LP.Objective.isNegative())
     return R;

@@ -43,6 +43,9 @@ struct PolyLPResult {
   RationalPolynomial Poly;
   /// Simplex pivots spent on this solve (thread-count-invariant).
   unsigned Pivots = 0;
+  /// Pricing screens that fell through to the exact BigInt reduced cost
+  /// (see LPResult::ExactPricings).
+  uint64_t ExactPricings = 0;
   /// LP rows built from the constraints, before/after duplicate-row
   /// merging. Equal when every constraint row is distinct (always the
   /// case for rounding-interval constraints merged by reduced input).

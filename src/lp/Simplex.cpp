@@ -47,8 +47,10 @@
 
 #include "lp/Simplex.h"
 
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
+#include <atomic>
 #include <cassert>
 #include <cmath>
 
@@ -186,12 +188,12 @@ public:
     LPResult R;
     if (!phase1()) {
       R.StatusCode = LPResult::Status::Unbounded;
-      R.Pivots = Pivots;
+      finishStats(R);
       return R;
     }
     if (!phase2()) {
       R.StatusCode = LPResult::Status::Infeasible;
-      R.Pivots = Pivots;
+      finishStats(R);
       return R;
     }
 
@@ -199,7 +201,7 @@ public:
     // the row flips/scales).
     std::vector<BigInt> Y = priceVector(/*Phase1=*/false);
     R.StatusCode = LPResult::Status::Optimal;
-    R.Pivots = Pivots;
+    finishStats(R);
     R.Z.resize(N);
     for (size_t K = 0; K < N; ++K) {
       Rational ZK(Y[K], P);
@@ -332,6 +334,10 @@ private:
           Key = Lg - ScaleLog2[J];
         return S;
       }
+      // Screen indecisive: fall through to the exact reduced cost. Rare
+      // by construction (near-ties only), so the relaxed shared counter
+      // is uncontended next to the BigInt dot product it precedes.
+      ExactPricings.fetch_add(1, std::memory_order_relaxed);
     }
     BigInt Num = reducedCostNum(Y, J, Phase1);
     int S = trueSign(Num);
@@ -515,6 +521,22 @@ private:
     ++Pivots;
   }
 
+  /// Copies the solve-level statistics (pivots, exact-pricing fallbacks)
+  /// into the result and mirrors them into the telemetry registry.
+  void finishStats(LPResult &R) const {
+    R.Pivots = Pivots;
+    R.ExactPricings = ExactPricings.load(std::memory_order_relaxed);
+    static const telemetry::Counter SolveCtr =
+        telemetry::counter("simplex.solves");
+    static const telemetry::Counter PivotCtr =
+        telemetry::counter("simplex.pivots");
+    static const telemetry::Counter ExactCtr =
+        telemetry::counter("simplex.exact_pricings");
+    SolveCtr.inc();
+    PivotCtr.add(R.Pivots);
+    ExactCtr.add(R.ExactPricings);
+  }
+
   /// One phase of simplex iterations (greedy entering rule with Bland
   /// anti-cycling fallback). Returns false when the phase's objective is
   /// unbounded below (only possible in phase 2).
@@ -611,6 +633,9 @@ private:
   std::vector<size_t> Basis;
   std::vector<uint8_t> InBasis; ///< Membership bitmap over all M+N columns.
   unsigned Pivots = 0;
+  /// Exact-pricing fallbacks; atomic because pricedSign runs on the
+  /// parallel pricing kernels. Mutable: pricing is logically const.
+  mutable std::atomic<uint64_t> ExactPricings{0};
   bool UseBland = false;    ///< Anti-cycling fallback engaged.
   unsigned DegenStreak = 0; ///< Consecutive degenerate pivots.
 };

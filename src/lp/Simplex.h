@@ -40,6 +40,12 @@ struct LPResult {
   /// Simplex pivots performed (both phases, including artificial
   /// evictions); thread-count-invariant by the determinism contract.
   unsigned Pivots = 0;
+  /// Structural columns whose certified float pricing screen was
+  /// indecisive, forcing the exact BigInt reduced-cost fallback. Also
+  /// thread-count-invariant (the screen is a pure function of the limb
+  /// bits). Mirrored into the telemetry registry as
+  /// `simplex.exact_pricings`.
+  uint64_t ExactPricings = 0;
 
   bool isOptimal() const { return StatusCode == Status::Optimal; }
 };

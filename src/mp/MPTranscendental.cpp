@@ -6,6 +6,8 @@
 
 #include "mp/MPTranscendental.h"
 
+#include "support/Telemetry.h"
+
 #include <cmath>
 #include <map>
 #include <mutex>
@@ -100,8 +102,19 @@ MPFloat expCore(const MPFloat &X, unsigned W) {
 /// interval rounds unambiguously.
 template <typename ComputeFn>
 MPFloat zivRound(ComputeFn Compute, unsigned Prec, RoundingMode M) {
+  // Precision-escalation telemetry: every pass beyond the first is a Ziv
+  // retry (the approximation straddled a rounding boundary and had to be
+  // recomputed wider). Per pass this is one per-thread shard update,
+  // against a series evaluation costing microseconds.
+  static const telemetry::Counter ZivCalls = telemetry::counter("mp.ziv.calls");
+  static const telemetry::Counter ZivRetries =
+      telemetry::counter("mp.ziv.retries");
+  ZivCalls.inc();
+  unsigned Pass = 0;
   for (unsigned W = Prec + 2 * ApproxSlackBits + 16; W <= Prec + 512;
        W += 64) {
+    if (Pass++)
+      ZivRetries.inc();
     MPFloat Approx = Compute(W);
     if (Approx.isZero())
       return Approx;

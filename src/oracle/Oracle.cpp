@@ -7,6 +7,7 @@
 #include "oracle/Oracle.h"
 
 #include "mp/MPTranscendental.h"
+#include "support/Telemetry.h"
 
 #include <cmath>
 
@@ -76,9 +77,18 @@ uint64_t Oracle::eval(ElemFunc Fn, double X, const FPFormat &F,
 
   // Ziv's strategy at format granularity: widen the working precision
   // until the error interval rounds unambiguously (it always does for
-  // non-exact results; see mpt::exactResult).
+  // non-exact results; see mpt::exactResult). This loop is distinct from
+  // mpt's zivRound (which serves the direct MP API), so it reports its
+  // own escalation counters.
+  static const telemetry::Counter ZivCalls =
+      telemetry::counter("oracle.ziv.calls");
+  static const telemetry::Counter ZivRetries =
+      telemetry::counter("oracle.ziv.retries");
+  ZivCalls.inc();
   for (unsigned W = F.precision() + 2 * mpt::ApproxSlackBits + 24;
        W <= F.precision() + 1024; W += 64) {
+    if (W > F.precision() + 2 * mpt::ApproxSlackBits + 24)
+      ZivRetries.inc();
     MPFloat Approx = mpt::evalApprox(Fn, XM, W);
     assert(!Approx.isZero() && "approximation of a non-zero value is zero");
     uint64_t Enc;

@@ -7,8 +7,9 @@
 #include "oracle/OracleCache.h"
 
 #include "oracle/Oracle.h"
+#include "support/Telemetry.h"
 
-#include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <unordered_map>
@@ -26,13 +27,34 @@ struct Shard {
 
 struct CacheState {
   Shard Shards[NumShards];
-  std::atomic<uint64_t> Hits{0};
-  std::atomic<uint64_t> Misses{0};
+  /// Per-shard entry cap, 0 = unbounded. From RFP_ORACLE_CACHE_CAP (a
+  /// total budget, divided evenly across shards), resolved once.
+  size_t CapPerShard = 0;
+
+  CacheState() {
+    if (const char *Env = std::getenv("RFP_ORACLE_CACHE_CAP")) {
+      long long Cap = std::atoll(Env);
+      if (Cap > 0)
+        CapPerShard =
+            (static_cast<size_t>(Cap) + NumShards - 1) / NumShards;
+    }
+  }
 };
 
 CacheState &state() {
   static CacheState S;
   return S;
+}
+
+struct CacheCounters {
+  telemetry::Counter Hits = telemetry::counter("oracle.cache.hits");
+  telemetry::Counter Misses = telemetry::counter("oracle.cache.misses");
+  telemetry::Counter Evictions = telemetry::counter("oracle.cache.evictions");
+};
+
+const CacheCounters &counters() {
+  static CacheCounters C;
+  return C;
 }
 
 /// 64-bit mix (splitmix64 finalizer): the strided sweeps would otherwise
@@ -48,6 +70,7 @@ uint64_t mix(uint64_t K) {
 
 uint64_t rfp::oracle_cache::evalToOdd34(ElemFunc Fn, uint32_t XBits) {
   CacheState &S = state();
+  const CacheCounters &C = counters();
   uint64_t Key = (static_cast<uint64_t>(Fn) << 32) | XBits;
   uint64_t Hashed = mix(Key);
   Shard &Sh = S.Shards[Hashed % NumShards];
@@ -56,7 +79,7 @@ uint64_t rfp::oracle_cache::evalToOdd34(ElemFunc Fn, uint32_t XBits) {
     std::lock_guard<std::mutex> L(Sh.M);
     auto It = Sh.Map.find(Key);
     if (It != Sh.Map.end()) {
-      S.Hits.fetch_add(1, std::memory_order_relaxed);
+      C.Hits.inc();
       return It->second;
     }
   }
@@ -64,23 +87,23 @@ uint64_t rfp::oracle_cache::evalToOdd34(ElemFunc Fn, uint32_t XBits) {
   // would serialize every other query on this shard. Concurrent misses on
   // the same key both compute the (deterministic) value; the second insert
   // is a no-op.
-  S.Misses.fetch_add(1, std::memory_order_relaxed);
+  C.Misses.inc();
   float X;
   std::memcpy(&X, &XBits, sizeof(X));
   uint64_t Enc = Oracle::eval(Fn, X, FPFormat::fp34(), RoundingMode::ToOdd);
   {
     std::lock_guard<std::mutex> L(Sh.M);
+    if (S.CapPerShard && Sh.Map.size() >= S.CapPerShard &&
+        !Sh.Map.count(Key)) {
+      // Over budget: make room by dropping an arbitrary resident entry.
+      // Correctness is unaffected -- a future re-query recomputes the
+      // same deterministic value.
+      Sh.Map.erase(Sh.Map.begin());
+      C.Evictions.inc();
+    }
     Sh.Map.emplace(Key, Enc);
   }
   return Enc;
-}
-
-OracleCacheStats rfp::oracle_cache::stats() {
-  CacheState &S = state();
-  OracleCacheStats St;
-  St.Hits = S.Hits.load(std::memory_order_relaxed);
-  St.Misses = S.Misses.load(std::memory_order_relaxed);
-  return St;
 }
 
 void rfp::oracle_cache::clear() {
@@ -89,6 +112,4 @@ void rfp::oracle_cache::clear() {
     std::lock_guard<std::mutex> L(Sh.M);
     Sh.Map.clear();
   }
-  S.Hits.store(0, std::memory_order_relaxed);
-  S.Misses.store(0, std::memory_order_relaxed);
 }

@@ -20,7 +20,18 @@
 ///
 /// The cached value is computed by Oracle::eval, which is deterministic, so
 /// the cache is transparent: hit or miss, the caller sees bit-identical
-/// encodings regardless of thread count or query order.
+/// encodings regardless of thread count, query order, or evictions.
+///
+/// Observability: the cache reports through the telemetry registry
+/// (support/Telemetry.h) under `oracle.cache.hits`, `oracle.cache.misses`,
+/// and `oracle.cache.evictions` -- read them with
+/// `telemetry::counterValue()` or any metrics snapshot. (This replaced the
+/// old bespoke OracleCacheStats struct.)
+///
+/// Capacity: unbounded by default (the generator's working set is the
+/// input set, which is already memory-bounded). Set RFP_ORACLE_CACHE_CAP
+/// to a total entry budget to bound it; over-budget shards evict an
+/// arbitrary resident entry per insert and count it.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,16 +44,6 @@
 
 namespace rfp {
 
-/// Hit/miss counters for the process-wide FP34 round-to-odd cache.
-struct OracleCacheStats {
-  uint64_t Hits = 0;
-  uint64_t Misses = 0;
-  double hitRate() const {
-    uint64_t Total = Hits + Misses;
-    return Total == 0 ? 0.0 : static_cast<double>(Hits) / Total;
-  }
-};
-
 /// Process-wide sharded cache over Oracle::eval(Fn, x, fp34, ToOdd).
 namespace oracle_cache {
 
@@ -50,10 +51,8 @@ namespace oracle_cache {
 /// bit pattern \p XBits. Thread-safe; computes and inserts on miss.
 uint64_t evalToOdd34(ElemFunc Fn, uint32_t XBits);
 
-/// Snapshot of the global hit/miss counters.
-OracleCacheStats stats();
-
-/// Drops all cached entries and zeroes the counters (test isolation).
+/// Drops all cached entries (test isolation). The telemetry counters are
+/// monotonic and are NOT reset; take before/after snapshots for deltas.
 void clear();
 
 } // namespace oracle_cache

@@ -1,0 +1,212 @@
+//===- support/Json.h - Minimal streaming JSON writer ----------*- C++ -*-===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small streaming JSON writer shared by every JSON producer in the
+/// project: the telemetry metrics/trace export (support/Telemetry.cpp),
+/// the bench `--json` reports (bench/JsonWriter.h), and the tools'
+/// `--metrics-json` flags. One serializer means one escaping policy and
+/// one number-formatting policy instead of seven hand-rolled fprintf
+/// emitters.
+///
+/// The writer is a push-style state machine over a FILE*: begin/end
+/// containers, emit keys and values, and it inserts separators, newlines
+/// and two-space indentation. `inlineNext()` renders the next container on
+/// a single line (used for the row objects inside report arrays and for
+/// trace events). The writer never buffers, so it also serves the
+/// streaming Chrome-trace sink where the document stays open for the
+/// process lifetime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RFP_SUPPORT_JSON_H
+#define RFP_SUPPORT_JSON_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rfp {
+namespace json {
+
+/// Escapes and quotes \p S as a JSON string into \p Out.
+inline void writeEscaped(FILE *Out, const char *S) {
+  fputc('"', Out);
+  for (; *S; ++S) {
+    unsigned char C = static_cast<unsigned char>(*S);
+    switch (C) {
+    case '"':
+      fputs("\\\"", Out);
+      break;
+    case '\\':
+      fputs("\\\\", Out);
+      break;
+    case '\n':
+      fputs("\\n", Out);
+      break;
+    case '\t':
+      fputs("\\t", Out);
+      break;
+    case '\r':
+      fputs("\\r", Out);
+      break;
+    default:
+      if (C < 0x20)
+        fprintf(Out, "\\u%04x", C);
+      else
+        fputc(C, Out);
+    }
+  }
+  fputc('"', Out);
+}
+
+class Writer {
+public:
+  explicit Writer(FILE *Out) : Out(Out) {}
+
+  /// Renders the next begin{Object,Array} (and everything inside it) on a
+  /// single line. Containers nested inside an inline container inherit it.
+  void inlineNext() { NextInline = true; }
+
+  void beginObject() { beginContainer(/*IsObject=*/true, '{'); }
+  void endObject() { endContainer('}'); }
+  void beginArray() { beginContainer(/*IsObject=*/false, '['); }
+  void endArray() { endContainer(']'); }
+
+  void key(const char *K) {
+    assert(!Stack.empty() && Stack.back().IsObject && !PendingKey &&
+           "key() outside an object");
+    memberSeparator();
+    writeEscaped(Out, K);
+    fputs(": ", Out);
+    PendingKey = true;
+  }
+
+  void value(const char *S) {
+    valueSeparator();
+    writeEscaped(Out, S);
+  }
+  void value(const std::string &S) { value(S.c_str()); }
+  void value(bool B) {
+    valueSeparator();
+    fputs(B ? "true" : "false", Out);
+  }
+  void value(int64_t V) {
+    valueSeparator();
+    fprintf(Out, "%lld", static_cast<long long>(V));
+  }
+  void value(uint64_t V) {
+    valueSeparator();
+    fprintf(Out, "%llu", static_cast<unsigned long long>(V));
+  }
+  // int64_t/uint64_t are long/unsigned long on LP64; these cover the
+  // narrower integer types without ambiguity.
+  void value(int V) { value(static_cast<int64_t>(V)); }
+  void value(unsigned V) { value(static_cast<uint64_t>(V)); }
+
+  /// Fixed-point double: printf %.*f (the benches' historical format).
+  void valueFixed(double V, int Digits) {
+    valueSeparator();
+    fprintf(Out, "%.*f", Digits, V);
+  }
+  /// Scientific double: printf %.*e (throughput-style numbers).
+  void valueSci(double V, int Digits) {
+    valueSeparator();
+    fprintf(Out, "%.*e", Digits, V);
+  }
+  /// Shortest-roundtrip-ish double: %.17g, for values whose magnitude is
+  /// not known in advance (metrics export).
+  void valueDouble(double V) {
+    valueSeparator();
+    fprintf(Out, "%.17g", V);
+  }
+
+  // Convenience one-call members.
+  template <typename T> void kv(const char *K, T V) {
+    key(K);
+    value(V);
+  }
+  void kvFixed(const char *K, double V, int Digits) {
+    key(K);
+    valueFixed(V, Digits);
+  }
+  void kvSci(const char *K, double V, int Digits) {
+    key(K);
+    valueSci(V, Digits);
+  }
+
+  /// Terminates the document with a final newline (call once, at the end).
+  void finish() { fputc('\n', Out); }
+
+private:
+  struct Frame {
+    bool IsObject;
+    bool Inline;
+    size_t Count;
+  };
+
+  void indent() {
+    for (size_t I = 0; I < Stack.size(); ++I)
+      fputs("  ", Out);
+  }
+
+  /// Separates a new member (key or array element) from its predecessor.
+  void memberSeparator() {
+    Frame &F = Stack.back();
+    if (F.Count++)
+      fputc(',', Out);
+    if (F.Inline) {
+      if (F.Count > 1)
+        fputc(' ', Out);
+    } else {
+      fputc('\n', Out);
+      indent();
+    }
+  }
+
+  /// Called before emitting any value (scalar or container start).
+  void valueSeparator() {
+    if (Stack.empty())
+      return; // Root value.
+    if (Stack.back().IsObject) {
+      assert(PendingKey && "object value without a key");
+      PendingKey = false;
+      return; // key() already emitted the separator.
+    }
+    memberSeparator();
+  }
+
+  void beginContainer(bool IsObject, char Open) {
+    bool Inline = NextInline || (!Stack.empty() && Stack.back().Inline);
+    NextInline = false;
+    valueSeparator();
+    fputc(Open, Out);
+    Stack.push_back({IsObject, Inline, 0});
+  }
+
+  void endContainer(char Close) {
+    assert(!Stack.empty() && "unbalanced end");
+    Frame F = Stack.back();
+    Stack.pop_back();
+    if (!F.Inline && F.Count > 0) {
+      fputc('\n', Out);
+      indent();
+    }
+    fputc(Close, Out);
+  }
+
+  FILE *Out;
+  std::vector<Frame> Stack;
+  bool PendingKey = false;
+  bool NextInline = false;
+};
+
+} // namespace json
+} // namespace rfp
+
+#endif // RFP_SUPPORT_JSON_H

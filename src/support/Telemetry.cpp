@@ -1,0 +1,623 @@
+//===- support/Telemetry.cpp - Metrics, spans, structured logging ---------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include "support/Json.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <strings.h>
+
+using namespace rfp;
+using namespace rfp::telemetry;
+
+//===----------------------------------------------------------------------===//
+// Metrics registry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// Fixed per-thread shard capacity: the whole pipeline registers a few
+// dozen metrics, and a fixed layout lets a snapshot walk another thread's
+// cells without any resize coordination. Registrations past the cap get
+// inert handles (updates dropped) rather than UB.
+constexpr size_t MaxCounters = 192;
+constexpr size_t MaxHistograms = 48;
+
+// Histogram buckets by binary exponent: bucket I covers samples with
+// frexp exponent I - HistExpBias, i.e. magnitudes 2^-24 .. 2^23. Wide
+// enough for microseconds-to-seconds latencies in either ms or us units.
+constexpr int HistBuckets = 48;
+constexpr int HistExpBias = 24;
+
+struct HistCells {
+  std::atomic<uint64_t> Count{0};
+  std::atomic<double> Sum{0.0};
+  std::atomic<double> Min{0.0};
+  std::atomic<double> Max{0.0};
+  std::atomic<uint64_t> Buckets[HistBuckets]{};
+};
+
+/// One thread's shard. Only the owning thread writes (relaxed RMW-free
+/// load/store pairs); snapshots read the atomics from other threads.
+struct ThreadCells {
+  std::atomic<uint64_t> Counters[MaxCounters]{};
+  HistCells Hists[MaxHistograms]{};
+};
+
+/// Plain merged histogram accumulator (retired threads, snapshots).
+struct HistAccum {
+  uint64_t Count = 0;
+  double Sum = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+  uint64_t Buckets[HistBuckets] = {};
+
+  void mergeCells(const HistCells &C) {
+    uint64_t N = C.Count.load(std::memory_order_relaxed);
+    if (N == 0)
+      return;
+    double CMin = C.Min.load(std::memory_order_relaxed);
+    double CMax = C.Max.load(std::memory_order_relaxed);
+    if (Count == 0 || CMin < Min)
+      Min = CMin;
+    if (Count == 0 || CMax > Max)
+      Max = CMax;
+    Count += N;
+    Sum += C.Sum.load(std::memory_order_relaxed);
+    for (int I = 0; I < HistBuckets; ++I)
+      Buckets[I] += C.Buckets[I].load(std::memory_order_relaxed);
+  }
+
+  void mergeAccum(const HistAccum &A) {
+    if (A.Count == 0)
+      return;
+    if (Count == 0 || A.Min < Min)
+      Min = A.Min;
+    if (Count == 0 || A.Max > Max)
+      Max = A.Max;
+    Count += A.Count;
+    Sum += A.Sum;
+    for (int I = 0; I < HistBuckets; ++I)
+      Buckets[I] += A.Buckets[I];
+  }
+
+  /// Upper-bound quantile estimate from the power-of-two buckets.
+  double quantile(double Q) const {
+    if (Count == 0)
+      return 0.0;
+    uint64_t Target = static_cast<uint64_t>(Q * static_cast<double>(Count));
+    if (Target >= Count)
+      Target = Count - 1;
+    uint64_t Seen = 0;
+    for (int I = 0; I < HistBuckets; ++I) {
+      Seen += Buckets[I];
+      if (Seen > Target)
+        return std::ldexp(1.0, I - HistExpBias); // Bucket upper bound.
+    }
+    return Max;
+  }
+};
+
+/// The global registry. Intentionally leaked so thread_local destructors
+/// running during process teardown can still merge into it.
+struct Registry {
+  std::mutex M;
+  std::vector<std::string> CounterNames;
+  std::vector<std::string> HistNames;
+  std::vector<ThreadCells *> Live;
+  uint64_t RetiredCounters[MaxCounters] = {};
+  HistAccum RetiredHists[MaxHistograms];
+};
+
+Registry &registry() {
+  static Registry *R = new Registry;
+  return *R;
+}
+
+/// Registers this thread's shard on first metric update and merges it
+/// into the retired totals when the thread exits.
+struct ThreadCellsHolder {
+  ThreadCells *Cells;
+
+  ThreadCellsHolder() : Cells(new ThreadCells) {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> L(R.M);
+    R.Live.push_back(Cells);
+  }
+
+  ~ThreadCellsHolder() {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> L(R.M);
+    for (size_t I = 0; I < MaxCounters; ++I)
+      R.RetiredCounters[I] +=
+          Cells->Counters[I].load(std::memory_order_relaxed);
+    for (size_t I = 0; I < MaxHistograms; ++I)
+      R.RetiredHists[I].mergeCells(Cells->Hists[I]);
+    R.Live.erase(std::remove(R.Live.begin(), R.Live.end(), Cells),
+                 R.Live.end());
+    delete Cells;
+  }
+};
+
+ThreadCells &threadCells() {
+  thread_local ThreadCellsHolder Holder;
+  return *Holder.Cells;
+}
+
+uint32_t registerName(std::vector<std::string> &Names, size_t Cap,
+                      const char *Name) {
+  for (size_t I = 0; I < Names.size(); ++I)
+    if (Names[I] == Name)
+      return static_cast<uint32_t>(I);
+  if (Names.size() >= Cap)
+    return UINT32_MAX; // Registry full: hand out an inert handle.
+  Names.emplace_back(Name);
+  return static_cast<uint32_t>(Names.size() - 1);
+}
+
+} // namespace
+
+Counter telemetry::counter(const char *Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  return Counter(registerName(R.CounterNames, MaxCounters, Name));
+}
+
+void Counter::add(uint64_t N) const {
+  if (Id == UINT32_MAX)
+    return;
+  threadCells().Counters[Id].fetch_add(N, std::memory_order_relaxed);
+}
+
+Histogram telemetry::histogram(const char *Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  return Histogram(registerName(R.HistNames, MaxHistograms, Name));
+}
+
+void Histogram::record(double Value) const {
+  if (Id == UINT32_MAX)
+    return;
+  HistCells &H = threadCells().Hists[Id];
+  // Owner-only writes: load+store (not RMW) is race-free because no other
+  // thread ever writes these cells; snapshots only read.
+  uint64_t N = H.Count.load(std::memory_order_relaxed);
+  if (N == 0 || Value < H.Min.load(std::memory_order_relaxed))
+    H.Min.store(Value, std::memory_order_relaxed);
+  if (N == 0 || Value > H.Max.load(std::memory_order_relaxed))
+    H.Max.store(Value, std::memory_order_relaxed);
+  H.Sum.store(H.Sum.load(std::memory_order_relaxed) + Value,
+              std::memory_order_relaxed);
+  H.Count.store(N + 1, std::memory_order_relaxed);
+  int E = 0;
+  std::frexp(std::fabs(Value), &E);
+  int B = E + HistExpBias;
+  if (B < 0)
+    B = 0;
+  else if (B >= HistBuckets)
+    B = HistBuckets - 1;
+  H.Buckets[B].fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Merged totals for every metric; caller holds no lock.
+void mergeAll(std::vector<uint64_t> &Counters, std::vector<HistAccum> &Hists,
+              std::vector<std::string> &CounterNames,
+              std::vector<std::string> &HistNames) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  CounterNames = R.CounterNames;
+  HistNames = R.HistNames;
+  Counters.assign(MaxCounters, 0);
+  Hists.assign(MaxHistograms, HistAccum());
+  for (size_t I = 0; I < MaxCounters; ++I)
+    Counters[I] = R.RetiredCounters[I];
+  for (size_t I = 0; I < MaxHistograms; ++I)
+    Hists[I].mergeAccum(R.RetiredHists[I]);
+  for (ThreadCells *T : R.Live) {
+    for (size_t I = 0; I < MaxCounters; ++I)
+      Counters[I] += T->Counters[I].load(std::memory_order_relaxed);
+    for (size_t I = 0; I < MaxHistograms; ++I)
+      Hists[I].mergeCells(T->Hists[I]);
+  }
+}
+
+HistogramData toData(const HistAccum &A) {
+  HistogramData D;
+  D.Count = A.Count;
+  D.Sum = A.Sum;
+  D.Min = A.Min;
+  D.Max = A.Max;
+  D.P50 = A.quantile(0.50);
+  D.P90 = A.quantile(0.90);
+  D.P99 = A.quantile(0.99);
+  return D;
+}
+
+} // namespace
+
+uint64_t telemetry::counterValue(const char *Name) {
+  std::vector<uint64_t> Counters;
+  std::vector<HistAccum> Hists;
+  std::vector<std::string> CNames, HNames;
+  mergeAll(Counters, Hists, CNames, HNames);
+  for (size_t I = 0; I < CNames.size(); ++I)
+    if (CNames[I] == Name)
+      return Counters[I];
+  return 0;
+}
+
+HistogramData telemetry::histogramValue(const char *Name) {
+  std::vector<uint64_t> Counters;
+  std::vector<HistAccum> Hists;
+  std::vector<std::string> CNames, HNames;
+  mergeAll(Counters, Hists, CNames, HNames);
+  for (size_t I = 0; I < HNames.size(); ++I)
+    if (HNames[I] == Name)
+      return toData(Hists[I]);
+  return HistogramData();
+}
+
+MetricsSnapshot telemetry::snapshotMetrics() {
+  std::vector<uint64_t> Counters;
+  std::vector<HistAccum> Hists;
+  std::vector<std::string> CNames, HNames;
+  mergeAll(Counters, Hists, CNames, HNames);
+  MetricsSnapshot S;
+  for (size_t I = 0; I < CNames.size(); ++I)
+    S.Counters.emplace_back(CNames[I], Counters[I]);
+  for (size_t I = 0; I < HNames.size(); ++I)
+    S.Histograms.emplace_back(HNames[I], toData(Hists[I]));
+  std::sort(S.Counters.begin(), S.Counters.end());
+  std::sort(S.Histograms.begin(), S.Histograms.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  return S;
+}
+
+void telemetry::resetMetrics() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  std::memset(R.RetiredCounters, 0, sizeof(R.RetiredCounters));
+  for (HistAccum &A : R.RetiredHists)
+    A = HistAccum();
+  for (ThreadCells *T : R.Live) {
+    for (size_t I = 0; I < MaxCounters; ++I)
+      T->Counters[I].store(0, std::memory_order_relaxed);
+    for (size_t I = 0; I < MaxHistograms; ++I) {
+      HistCells &H = T->Hists[I];
+      H.Count.store(0, std::memory_order_relaxed);
+      H.Sum.store(0.0, std::memory_order_relaxed);
+      H.Min.store(0.0, std::memory_order_relaxed);
+      H.Max.store(0.0, std::memory_order_relaxed);
+      for (int B = 0; B < HistBuckets; ++B)
+        H.Buckets[B].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void telemetry::writeMetricsJson(FILE *Out) {
+  MetricsSnapshot S = snapshotMetrics();
+  json::Writer W(Out);
+  W.beginObject();
+  W.key("counters");
+  W.beginObject();
+  for (const auto &[Name, Value] : S.Counters)
+    W.kv(Name.c_str(), Value);
+  W.endObject();
+  W.key("histograms");
+  W.beginObject();
+  for (const auto &[Name, D] : S.Histograms) {
+    W.key(Name.c_str());
+    W.inlineNext();
+    W.beginObject();
+    W.kv("count", D.Count);
+    W.key("sum");
+    W.valueDouble(D.Sum);
+    W.key("min");
+    W.valueDouble(D.Min);
+    W.key("max");
+    W.valueDouble(D.Max);
+    W.key("avg");
+    W.valueDouble(D.avg());
+    W.key("p50");
+    W.valueDouble(D.P50);
+    W.key("p90");
+    W.valueDouble(D.P90);
+    W.key("p99");
+    W.valueDouble(D.P99);
+    W.endObject();
+  }
+  W.endObject();
+  W.endObject();
+  W.finish();
+}
+
+bool telemetry::writeMetricsJsonFile(const char *Path) {
+  if (std::strcmp(Path, "-") == 0) {
+    writeMetricsJson(stdout);
+    return true;
+  }
+  FILE *Out = std::fopen(Path, "w");
+  if (!Out)
+    return false;
+  writeMetricsJson(Out);
+  std::fclose(Out);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Leveled structured logging
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// -1 until first use, then the LogLevel as int. Benign init race: every
+/// thread computes the same env-derived value.
+std::atomic<int> CurrentLogLevel{-1};
+
+struct LogState {
+  std::mutex M;
+  std::vector<std::pair<int, LogSink>> Sinks;
+  int NextSinkId = 1;
+};
+
+LogState &logState() {
+  static LogState *S = new LogState;
+  return *S;
+}
+
+LogLevel parseLogLevel(const char *E) {
+  if (!E || !*E)
+    return LogLevel::Warn;
+  if (std::isdigit(static_cast<unsigned char>(*E)) || *E == '-') {
+    long V = std::atol(E);
+    if (V < 0)
+      V = 0;
+    if (V > static_cast<long>(LogLevel::Trace))
+      V = static_cast<long>(LogLevel::Trace);
+    return static_cast<LogLevel>(V);
+  }
+  struct {
+    const char *Name;
+    LogLevel L;
+  } const Names[] = {
+      {"off", LogLevel::Off},     {"none", LogLevel::Off},
+      {"error", LogLevel::Error}, {"warn", LogLevel::Warn},
+      {"warning", LogLevel::Warn}, {"info", LogLevel::Info},
+      {"debug", LogLevel::Debug}, {"trace", LogLevel::Trace},
+  };
+  for (const auto &N : Names)
+    if (strcasecmp(E, N.Name) == 0)
+      return N.L;
+  return LogLevel::Warn;
+}
+
+} // namespace
+
+const char *telemetry::logLevelName(LogLevel L) {
+  switch (L) {
+  case LogLevel::Off:
+    return "off";
+  case LogLevel::Error:
+    return "error";
+  case LogLevel::Warn:
+    return "warn";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Debug:
+    return "debug";
+  case LogLevel::Trace:
+    return "trace";
+  }
+  return "??";
+}
+
+LogLevel telemetry::logLevel() {
+  int L = CurrentLogLevel.load(std::memory_order_relaxed);
+  if (L >= 0)
+    return static_cast<LogLevel>(L);
+  LogLevel Init = parseLogLevel(std::getenv("RFP_LOG_LEVEL"));
+  CurrentLogLevel.store(static_cast<int>(Init), std::memory_order_relaxed);
+  return Init;
+}
+
+void telemetry::setLogLevel(LogLevel L) {
+  CurrentLogLevel.store(static_cast<int>(L), std::memory_order_relaxed);
+}
+
+bool telemetry::logEnabled(LogLevel L) {
+  return static_cast<int>(L) <= static_cast<int>(logLevel());
+}
+
+void telemetry::log(LogLevel L, const char *Component,
+                    const std::string &Msg) {
+  if (L == LogLevel::Off || !logEnabled(L))
+    return;
+  LogState &S = logState();
+  std::lock_guard<std::mutex> Lock(S.M);
+  if (S.Sinks.empty()) {
+    std::fprintf(stderr, "[rfp:%s] %s: %s\n", logLevelName(L), Component,
+                 Msg.c_str());
+    return;
+  }
+  for (const auto &[Id, Sink] : S.Sinks)
+    Sink(L, Component, Msg);
+}
+
+void telemetry::logf(LogLevel L, const char *Component, const char *Fmt,
+                     ...) {
+  if (L == LogLevel::Off || !logEnabled(L))
+    return;
+  char Buf[1024];
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  log(L, Component, std::string(Buf));
+}
+
+int telemetry::addLogSink(LogSink Sink) {
+  LogState &S = logState();
+  std::lock_guard<std::mutex> Lock(S.M);
+  int Id = S.NextSinkId++;
+  S.Sinks.emplace_back(Id, std::move(Sink));
+  return Id;
+}
+
+void telemetry::removeLogSink(int Id) {
+  LogState &S = logState();
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Sinks.erase(std::remove_if(S.Sinks.begin(), S.Sinks.end(),
+                               [&](const auto &P) { return P.first == Id; }),
+                S.Sinks.end());
+}
+
+//===----------------------------------------------------------------------===//
+// Tracing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// -1 until RFP_TRACE has been consulted, then 0 (off) / 1 (streaming).
+/// The Span fast path is a single relaxed load of this.
+std::atomic<int> TraceActive{-1};
+
+struct TraceState {
+  std::mutex M;
+  FILE *Out = nullptr;
+  json::Writer *W = nullptr;
+  std::chrono::steady_clock::time_point T0;
+};
+
+TraceState &traceState() {
+  static TraceState *S = new TraceState;
+  return *S;
+}
+
+/// Small dense thread ids for the "tid" field (thread ids from the OS are
+/// large and unstable across runs).
+int traceThreadId() {
+  static std::atomic<int> Next{1};
+  thread_local int Id = Next.fetch_add(1, std::memory_order_relaxed);
+  return Id;
+}
+
+uint64_t traceNowUs(const TraceState &S) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - S.T0)
+          .count());
+}
+
+/// Opens the stream; caller holds S.M. Returns true when streaming.
+bool openTraceLocked(TraceState &S, const char *Path) {
+  if (S.Out)
+    return true; // Already streaming: first path wins.
+  FILE *Out = std::fopen(Path, "w");
+  if (!Out) {
+    TraceActive.store(0, std::memory_order_release);
+    return false;
+  }
+  S.Out = Out;
+  S.W = new json::Writer(Out);
+  S.T0 = std::chrono::steady_clock::now();
+  S.W->beginObject();
+  S.W->kv("displayTimeUnit", "ms");
+  S.W->key("traceEvents");
+  S.W->beginArray();
+  TraceActive.store(1, std::memory_order_release);
+  // Finalize the JSON document even when the process never calls
+  // stopTrace() (tools just exit).
+  static bool AtExitRegistered = [] {
+    std::atexit([] { telemetry::stopTrace(); });
+    return true;
+  }();
+  (void)AtExitRegistered;
+  return true;
+}
+
+void emitCompleteEvent(const char *Name, uint64_t TsUs, uint64_t DurUs) {
+  TraceState &S = traceState();
+  std::lock_guard<std::mutex> L(S.M);
+  if (!S.Out)
+    return;
+  json::Writer &W = *S.W;
+  W.inlineNext();
+  W.beginObject();
+  W.kv("name", Name);
+  W.kv("cat", "rfp");
+  W.kv("ph", "X");
+  W.kv("ts", TsUs);
+  W.kv("dur", DurUs);
+  W.kv("pid", 1);
+  W.kv("tid", traceThreadId());
+  W.endObject();
+}
+
+} // namespace
+
+bool telemetry::startTrace(const char *Path) {
+  TraceState &S = traceState();
+  std::lock_guard<std::mutex> L(S.M);
+  return openTraceLocked(S, Path);
+}
+
+void telemetry::stopTrace() {
+  TraceState &S = traceState();
+  std::lock_guard<std::mutex> L(S.M);
+  if (!S.Out)
+    return;
+  TraceActive.store(0, std::memory_order_release);
+  S.W->endArray();
+  S.W->endObject();
+  S.W->finish();
+  delete S.W;
+  S.W = nullptr;
+  std::fclose(S.Out);
+  S.Out = nullptr;
+}
+
+bool telemetry::tracingEnabled() {
+  int State = TraceActive.load(std::memory_order_relaxed);
+  if (State >= 0)
+    return State == 1;
+  // First use: consult RFP_TRACE exactly once.
+  TraceState &S = traceState();
+  std::lock_guard<std::mutex> L(S.M);
+  State = TraceActive.load(std::memory_order_relaxed);
+  if (State >= 0)
+    return State == 1;
+  const char *Path = std::getenv("RFP_TRACE");
+  if (!Path || !*Path) {
+    TraceActive.store(0, std::memory_order_release);
+    return false;
+  }
+  return openTraceLocked(S, Path);
+}
+
+Span::Span(const char *SpanName) {
+  if (!tracingEnabled())
+    return;
+  Name = SpanName;
+  StartUs = traceNowUs(traceState());
+}
+
+Span::~Span() {
+  if (!Name)
+    return;
+  uint64_t End = traceNowUs(traceState());
+  emitCompleteEvent(Name, StartUs, End - StartUs);
+}

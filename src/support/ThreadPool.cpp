@@ -6,8 +6,11 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Telemetry.h"
+
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <mutex>
@@ -161,6 +164,20 @@ void ThreadPool::run(size_t NumChunks,
     return;
   }
 
+  // Pool-job telemetry: job count, the chunk fan-out (queue depth at
+  // submission), and end-to-end job latency. The handles register once;
+  // per job this is three shard updates plus two clock reads -- noise
+  // next to the cross-thread wakeup the job already pays for.
+  static const telemetry::Counter JobCtr = telemetry::counter("threadpool.jobs");
+  static const telemetry::Histogram ChunksHist =
+      telemetry::histogram("threadpool.chunks_per_job");
+  static const telemetry::Histogram LatencyHist =
+      telemetry::histogram("threadpool.job_ms");
+  JobCtr.inc();
+  ChunksHist.record(static_cast<double>(NumChunks));
+  telemetry::Span JobSpan("threadpool.job");
+  auto JobStart = std::chrono::steady_clock::now();
+
   Impl &S = *State;
   std::lock_guard<std::mutex> Job(S.JobMutex);
   {
@@ -189,6 +206,9 @@ void ThreadPool::run(size_t NumChunks,
     });
     S.ChunkFn = nullptr; // Retire the job before JobMutex is released.
   }
+  LatencyHist.record(std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - JobStart)
+                         .count());
   if (S.Err)
     std::rethrow_exception(S.Err);
 }

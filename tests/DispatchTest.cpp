@@ -67,6 +67,41 @@ TEST(DispatchTest, SchemesAgreeOnRoundedResults) {
   }
 }
 
+TEST(DispatchTest, WrapperParity) {
+  // The naming-policy contract from rlibm.h: every rfp_<func>f wrapper is
+  // exactly `(float)<func>_estrin_fma(x)` -- same core, float32
+  // nearest-even via the cast, no extra logic allowed to creep in.
+  std::mt19937_64 Rng(7);
+  for (int T = 0; T < 4000; ++T) {
+    float X;
+    uint32_t Bits = static_cast<uint32_t>(Rng());
+    std::memcpy(&X, &Bits, sizeof(X));
+    auto SameBits = [](float A, float B) {
+      uint32_t BA, BB;
+      std::memcpy(&BA, &A, sizeof(BA));
+      std::memcpy(&BB, &B, sizeof(BB));
+      // NaN payloads may legitimately differ; collapse all NaNs.
+      if (std::isnan(A) && std::isnan(B))
+        return true;
+      return BA == BB;
+    };
+    EXPECT_TRUE(SameBits(rfp_expf(X), static_cast<float>(exp_estrin_fma(X))))
+        << "x=" << X;
+    EXPECT_TRUE(SameBits(rfp_exp2f(X), static_cast<float>(exp2_estrin_fma(X))))
+        << "x=" << X;
+    EXPECT_TRUE(
+        SameBits(rfp_exp10f(X), static_cast<float>(exp10_estrin_fma(X))))
+        << "x=" << X;
+    EXPECT_TRUE(SameBits(rfp_logf(X), static_cast<float>(log_estrin_fma(X))))
+        << "x=" << X;
+    EXPECT_TRUE(SameBits(rfp_log2f(X), static_cast<float>(log2_estrin_fma(X))))
+        << "x=" << X;
+    EXPECT_TRUE(
+        SameBits(rfp_log10f(X), static_cast<float>(log10_estrin_fma(X))))
+        << "x=" << X;
+  }
+}
+
 TEST(DispatchTest, RoundResultMatchesFormatRounding) {
   FPFormat BF16 = FPFormat::bfloat16();
   double H = exp_estrin_fma(1.5f);

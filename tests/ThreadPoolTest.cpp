@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <mutex>
 #include <set>
 #include <stdexcept>
@@ -162,6 +163,74 @@ TEST(ThreadPoolTest, NestedParallelForRunsInlineAndCompletes) {
 TEST(ThreadPoolTest, ResolveThreadsPrefersExplicitRequest) {
   EXPECT_EQ(ThreadPool::resolveThreads(3), 3u);
   EXPECT_GE(ThreadPool::resolveThreads(0), 1u);
+}
+
+/// Fixture that saves and restores RFP_THREADS around each test so the
+/// env-variable cases below cannot leak into other tests (or inherit state
+/// from the invoking shell).
+class ResolveThreadsEnvTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    const char *Old = std::getenv("RFP_THREADS");
+    HadOld = Old != nullptr;
+    if (HadOld)
+      OldValue = Old;
+  }
+  void TearDown() override {
+    if (HadOld)
+      setenv("RFP_THREADS", OldValue.c_str(), 1);
+    else
+      unsetenv("RFP_THREADS");
+  }
+
+private:
+  bool HadOld = false;
+  std::string OldValue;
+};
+
+TEST_F(ResolveThreadsEnvTest, ExplicitRequestBeatsEnvironment) {
+  setenv("RFP_THREADS", "7", 1);
+  EXPECT_EQ(ThreadPool::resolveThreads(2), 2u);
+  EXPECT_EQ(ThreadPool::resolveThreads(0), 7u);
+}
+
+TEST_F(ResolveThreadsEnvTest, UnsetFallsBackToHardwareConcurrency) {
+  unsetenv("RFP_THREADS");
+  unsigned HW = std::thread::hardware_concurrency();
+  EXPECT_EQ(ThreadPool::resolveThreads(0), HW > 0 ? HW : 1u);
+}
+
+TEST_F(ResolveThreadsEnvTest, GarbageValuesFallThroughToHardware) {
+  unsigned Fallback = [] {
+    unsigned HW = std::thread::hardware_concurrency();
+    return HW > 0 ? HW : 1u;
+  }();
+  for (const char *Bad : {"abc", "0", "-3", "", "  "}) {
+    setenv("RFP_THREADS", Bad, 1);
+    EXPECT_EQ(ThreadPool::resolveThreads(0), Fallback)
+        << "RFP_THREADS='" << Bad << "'";
+  }
+}
+
+TEST_F(ResolveThreadsEnvTest, AbsurdlyLargeValueIsClamped) {
+  setenv("RFP_THREADS", "999999999", 1);
+  EXPECT_EQ(ThreadPool::resolveThreads(0), 1024u);
+  setenv("RFP_THREADS", "1024", 1);
+  EXPECT_EQ(ThreadPool::resolveThreads(0), 1024u);
+  setenv("RFP_THREADS", "1025", 1);
+  EXPECT_EQ(ThreadPool::resolveThreads(0), 1024u);
+}
+
+TEST_F(ResolveThreadsEnvTest, ParallelForStillRunsUnderGarbageEnv) {
+  // GenConfig::NumThreads = 0 reaches resolveThreads(0) through
+  // parallelFor; a garbage environment must degrade to a working default,
+  // never to zero workers or a crash.
+  setenv("RFP_THREADS", "not-a-number", 1);
+  std::atomic<size_t> Count{0};
+  parallelFor(
+      1000, [&](size_t Begin, size_t End) { Count += End - Begin; },
+      /*NumThreads=*/0);
+  EXPECT_EQ(Count.load(), 1000u);
 }
 
 TEST(ThreadPoolTest, EmptyRangeIsANoop) {

@@ -10,10 +10,14 @@
 // for one format/mode or for the full 10..32-bit x 5-mode matrix.
 //
 //   check_correctness <func> [scheme] [stride] [--all-formats]
+//                     [--trace <file>] [--metrics-json <file>]
 //
 //   func:   exp | exp2 | exp10 | log | log2 | log10
 //   scheme: horner | knuth | estrin | estrin-fma   (default: all four)
 //   stride: bit-pattern stride (default 16183; 1 = exhaustive, very slow)
+//
+// --trace streams Chrome trace_event JSON (same as RFP_TRACE=<file>);
+// --metrics-json dumps the telemetry registry on exit ("-" = stdout).
 //
 // Exit code 0 iff no wrong results were found.
 //
@@ -21,6 +25,7 @@
 
 #include "libm/rlibm.h"
 #include "oracle/Oracle.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
 #include <cmath>
@@ -149,9 +154,26 @@ int main(int Argc, char **Argv) {
   int SchemeIdx = -1;
   uint64_t Stride = 16183;
   bool AllFormats = false;
+  std::string MetricsPath;
   for (int I = 2; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--all-formats") == 0) {
       AllFormats = true;
+      continue;
+    }
+    if (std::strcmp(Argv[I], "--trace") == 0 && I + 1 < Argc) {
+      telemetry::startTrace(Argv[++I]);
+      continue;
+    }
+    if (std::strncmp(Argv[I], "--trace=", 8) == 0) {
+      telemetry::startTrace(Argv[I] + 8);
+      continue;
+    }
+    if (std::strcmp(Argv[I], "--metrics-json") == 0 && I + 1 < Argc) {
+      MetricsPath = Argv[++I];
+      continue;
+    }
+    if (std::strncmp(Argv[I], "--metrics-json=", 15) == 0) {
+      MetricsPath = Argv[I] + 15;
       continue;
     }
     bool IsScheme = false;
@@ -181,5 +203,8 @@ int main(int Argc, char **Argv) {
     Wrong += checkVariant(Func, static_cast<EvalScheme>(S), Stride,
                           AllFormats);
   }
+  if (!MetricsPath.empty())
+    telemetry::writeMetricsJsonFile(MetricsPath.c_str());
+  telemetry::stopTrace();
   return Wrong == 0 ? 0 : 1;
 }

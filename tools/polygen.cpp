@@ -21,6 +21,17 @@
 //          guaranteeing the SoA layout and the scalar tables can never
 //          drift apart.
 //
+// Observability (see DESIGN.md, "Observability"):
+//   --trace <file>         stream Chrome trace_event JSON (chrome://tracing
+//                          / Perfetto); same as RFP_TRACE=<file>
+//   --metrics-json <file>  dump the telemetry counter/histogram registry on
+//                          exit ("-" = stdout)
+//   --smoke                generation only: skip the verification sweeps
+//                          and do not write .inc files (CI smoke runs)
+//
+// Progress goes through the telemetry logger (component "polygen"); the
+// tool raises the log level to info unless RFP_LOG_LEVEL overrides it.
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/PolyGen.h"
@@ -28,9 +39,11 @@
 #include "libm/Frame.h"
 #include "oracle/Oracle.h"
 #include "poly/Codegen.h"
+#include "support/Telemetry.h"
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -371,17 +384,37 @@ int main(int Argc, char **Argv) {
   std::vector<ElemFunc> Funcs;
   int ArgIdx = 1;
   bool BatchOnly = false;
+  bool Smoke = false;
+  std::string MetricsPath;
   if (ArgIdx < Argc && std::strcmp(Argv[ArgIdx], "--batch") == 0) {
     BatchOnly = true;
     ++ArgIdx;
   }
-  if (ArgIdx < Argc && std::isdigit(Argv[ArgIdx][0]))
-    Cfg.SampleStride = static_cast<uint32_t>(std::atoi(Argv[ArgIdx++]));
-  if (ArgIdx < Argc && std::isdigit(Argv[ArgIdx][0]))
-    Cfg.BoundaryWindow = static_cast<uint32_t>(std::atoi(Argv[ArgIdx++]));
-  for (; ArgIdx < Argc; ++ArgIdx)
+  // Observability flags may appear anywhere after --batch.
+  std::vector<char *> Rest;
+  for (; ArgIdx < Argc; ++ArgIdx) {
+    if (std::strcmp(Argv[ArgIdx], "--smoke") == 0)
+      Smoke = true;
+    else if (std::strcmp(Argv[ArgIdx], "--trace") == 0 && ArgIdx + 1 < Argc)
+      telemetry::startTrace(Argv[++ArgIdx]);
+    else if (std::strncmp(Argv[ArgIdx], "--trace=", 8) == 0)
+      telemetry::startTrace(Argv[ArgIdx] + 8);
+    else if (std::strcmp(Argv[ArgIdx], "--metrics-json") == 0 &&
+             ArgIdx + 1 < Argc)
+      MetricsPath = Argv[++ArgIdx];
+    else if (std::strncmp(Argv[ArgIdx], "--metrics-json=", 15) == 0)
+      MetricsPath = Argv[ArgIdx] + 15;
+    else
+      Rest.push_back(Argv[ArgIdx]);
+  }
+  size_t RestIdx = 0;
+  if (RestIdx < Rest.size() && std::isdigit(Rest[RestIdx][0]))
+    Cfg.SampleStride = static_cast<uint32_t>(std::atoi(Rest[RestIdx++]));
+  if (RestIdx < Rest.size() && std::isdigit(Rest[RestIdx][0]))
+    Cfg.BoundaryWindow = static_cast<uint32_t>(std::atoi(Rest[RestIdx++]));
+  for (; RestIdx < Rest.size(); ++RestIdx)
     for (ElemFunc F : AllElemFuncs)
-      if (std::strcmp(Argv[ArgIdx], elemFuncName(F)) == 0)
+      if (std::strcmp(Rest[RestIdx], elemFuncName(F)) == 0)
         Funcs.push_back(F);
   if (Funcs.empty())
     Funcs.assign(AllElemFuncs, AllElemFuncs + 6);
@@ -389,20 +422,21 @@ int main(int Argc, char **Argv) {
   if (BatchOnly)
     return emitBatchFromCommitted(Funcs);
 
-  auto Log = [](const std::string &S) {
-    std::fprintf(stderr, "  %s\n", S.c_str());
-    std::fflush(stderr);
-  };
+  // Progress used to arrive through the LogFn callback; it now flows
+  // through the telemetry logger. Keep the tool chatty by default, but let
+  // an explicit RFP_LOG_LEVEL win.
+  if (!std::getenv("RFP_LOG_LEVEL"))
+    telemetry::setLogLevel(telemetry::LogLevel::Info);
 
   for (ElemFunc F : Funcs) {
     std::fprintf(stderr, "=== %s (stride %u, window %u)\n", elemFuncName(F),
                  Cfg.SampleStride, Cfg.BoundaryWindow);
     PolyGenerator Gen(F, Cfg);
-    Gen.prepare(Log);
+    Gen.prepare();
 
     GeneratedImpl Impls[4];
     for (int S = 0; S < 4; ++S) {
-      Impls[S] = Gen.generate(static_cast<EvalScheme>(S), Log);
+      Impls[S] = Gen.generate(static_cast<EvalScheme>(S));
       std::fprintf(stderr, "  %s: %s pieces=%d specials=%zu lp=%u\n",
                    evalSchemeName(static_cast<EvalScheme>(S)),
                    Impls[S].Success ? "ok" : "UNAVAILABLE", Impls[S].NumPieces,
@@ -412,6 +446,10 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "FATAL: Horner baseline failed for %s\n",
                    elemFuncName(F));
       return 1;
+    }
+    if (Smoke) {
+      std::fprintf(stderr, "  --smoke: skipping verification and output\n");
+      continue;
     }
     size_t Patched = verifyAndPatch(F, Impls);
     std::fprintf(stderr, "  verification sweeps: %zu special-case patches\n",
@@ -444,5 +482,8 @@ int main(int Argc, char **Argv) {
     if (!writeBatchInc(F, Sources, Provenance))
       return 1;
   }
+  if (!MetricsPath.empty())
+    telemetry::writeMetricsJsonFile(MetricsPath.c_str());
+  telemetry::stopTrace();
   return 0;
 }
