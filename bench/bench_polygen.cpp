@@ -15,6 +15,11 @@
 //   * whether the generated output is bit-identical across thread counts
 //     (coefficients, piece degrees, special cases) -- the determinism
 //     contract of the parallel layer
+//   * LP warm-start accounting: the thread ladder runs with incremental
+//     warm starts on, plus one cold-referee run at the base thread count;
+//     the report carries warm/cold solve and pivot counters per run and
+//     the warm-vs-cold LP wall-time speedup, and the referee's output is
+//     included in the bit-identical comparison
 //
 //   bench_polygen [func] [--stride N] [--threads a,b,c] [--json[=path]]
 //
@@ -49,6 +54,7 @@ double msSince(std::chrono::steady_clock::time_point T0) {
 
 struct RunResult {
   unsigned Threads = 0;
+  bool Warm = false; ///< LP warm starts enabled for this run.
   double PrepareMs = 0, GenerateMs = 0;
   double CheckPhaseHitRate = 0;
   /// Per-phase LP stats summed over all schemes' generate() runs. The
@@ -78,12 +84,15 @@ bool identicalOutput(const GeneratedImpl &A, const GeneratedImpl &B) {
   return true;
 }
 
-RunResult runPipeline(ElemFunc F, GenConfig Cfg, unsigned Threads) {
+RunResult runPipeline(ElemFunc F, GenConfig Cfg, unsigned Threads,
+                      bool Warm) {
   Cfg.NumThreads = Threads;
+  Cfg.WarmStart = Warm ? 1 : 0;
   oracle_cache::clear();
 
   RunResult R;
   R.Threads = Threads;
+  R.Warm = Warm;
   PolyGenerator Gen(F, Cfg);
 
   auto T0 = std::chrono::steady_clock::now();
@@ -104,6 +113,11 @@ RunResult runPipeline(ElemFunc F, GenConfig Cfg, unsigned Threads) {
     R.LPStats.LPRowsBeforeDedup += Impl.Stats.LPRowsBeforeDedup;
     R.LPStats.LPRowsAfterDedup += Impl.Stats.LPRowsAfterDedup;
     R.LPStats.LPExactPricings += Impl.Stats.LPExactPricings;
+    R.LPStats.LPWarmSolves += Impl.Stats.LPWarmSolves;
+    R.LPStats.LPColdSolves += Impl.Stats.LPColdSolves;
+    R.LPStats.LPWarmFallbacks += Impl.Stats.LPWarmFallbacks;
+    R.LPStats.LPWarmPivots += Impl.Stats.LPWarmPivots;
+    R.LPStats.LPColdPivots += Impl.Stats.LPColdPivots;
   }
 
   uint64_t Hits = telemetry::counterValue("oracle.cache.hits") - HitsBefore;
@@ -166,13 +180,19 @@ int main(int Argc, char **Argv) {
 
   std::printf("Generator pipeline wall-clock, %s, stride %u\n",
               elemFuncName(Func), Cfg.SampleStride);
-  std::printf("%8s %12s %12s %12s %10s %10s %10s %8s\n", "threads",
-              "prepare ms", "generate ms", "total ms", "speedup", "hit rate",
-              "lp ms", "pivots");
+  std::printf("%8s %5s %12s %12s %12s %10s %10s %10s %8s %10s\n", "threads",
+              "warm", "prepare ms", "generate ms", "total ms", "speedup",
+              "hit rate", "lp ms", "pivots", "warm/cold");
 
+  // The thread ladder runs with LP warm starts on; one extra cold-referee
+  // run at the base thread count isolates the warm-start LP speedup and
+  // checks the two paths ship bit-identical implementations.
   std::vector<RunResult> Runs;
   for (unsigned T : ThreadLadder)
-    Runs.push_back(runPipeline(Func, Cfg, T));
+    Runs.push_back(runPipeline(Func, Cfg, T, /*Warm=*/true));
+  if (!ThreadLadder.empty())
+    Runs.push_back(
+        runPipeline(Func, Cfg, ThreadLadder.front(), /*Warm=*/false));
 
   double BaseTotal = Runs.empty()
                          ? 0
@@ -180,17 +200,30 @@ int main(int Argc, char **Argv) {
   bool AllIdentical = true;
   for (const RunResult &R : Runs) {
     double Total = R.PrepareMs + R.GenerateMs;
-    std::printf("%8u %12.1f %12.1f %12.1f %9.2fx %9.1f%% %10.1f %8llu\n",
-                R.Threads, R.PrepareMs, R.GenerateMs, Total,
-                Total > 0 ? BaseTotal / Total : 0.0,
-                100.0 * R.CheckPhaseHitRate, R.LPStats.LPTimeMs,
-                static_cast<unsigned long long>(R.LPStats.LPPivots));
+    std::printf(
+        "%8u %5s %12.1f %12.1f %12.1f %9.2fx %9.1f%% %10.1f %8llu %4llu/%-4llu\n",
+        R.Threads, R.Warm ? "on" : "off", R.PrepareMs, R.GenerateMs, Total,
+        Total > 0 ? BaseTotal / Total : 0.0, 100.0 * R.CheckPhaseHitRate,
+        R.LPStats.LPTimeMs,
+        static_cast<unsigned long long>(R.LPStats.LPPivots),
+        static_cast<unsigned long long>(R.LPStats.LPWarmSolves),
+        static_cast<unsigned long long>(R.LPStats.LPColdSolves));
     for (size_t S = 0; S < R.Impls.size(); ++S)
       if (!identicalOutput(Runs.front().Impls[S], R.Impls[S]))
         AllIdentical = false;
   }
-  std::printf("output bit-identical across thread counts: %s\n",
+  std::printf("output bit-identical across thread counts and warm modes: %s\n",
               AllIdentical ? "yes" : "NO -- DETERMINISM VIOLATION");
+
+  // Warm-start LP speedup: warm ladder base run vs the cold referee at the
+  // same thread count (last entry).
+  double LPWarmSpeedup = 0;
+  if (Runs.size() >= 2 && !Runs.back().Warm &&
+      Runs.front().LPStats.LPTimeMs > 0)
+    LPWarmSpeedup = Runs.back().LPStats.LPTimeMs / Runs.front().LPStats.LPTimeMs;
+  if (LPWarmSpeedup > 0)
+    std::printf("LP wall-time speedup, warm vs cold (%u threads): %.2fx\n",
+                Runs.front().Threads, LPWarmSpeedup);
 
   if (!Opts.JsonPath.empty()) {
     bench::Report Rep(Opts.JsonPath, "bench_polygen");
@@ -200,6 +233,8 @@ int main(int Argc, char **Argv) {
     W.kv("func", elemFuncName(Func));
     W.kv("sample_stride", Cfg.SampleStride);
     W.kv("bit_identical_across_threads", AllIdentical);
+    if (LPWarmSpeedup > 0)
+      W.kvFixed("lp_warm_speedup", LPWarmSpeedup, 3);
     W.key("runs");
     W.beginArray();
     for (const RunResult &R : Runs) {
@@ -207,6 +242,7 @@ int main(int Argc, char **Argv) {
       W.inlineNext();
       W.beginObject();
       W.kv("threads", R.Threads);
+      W.kv("warm", R.Warm);
       W.kvFixed("prepare_ms", R.PrepareMs, 2);
       W.kvFixed("generate_ms", R.GenerateMs, 2);
       W.kvFixed("total_ms", Total, 2);
@@ -216,6 +252,11 @@ int main(int Argc, char **Argv) {
       W.kv("lp_pivots", R.LPStats.LPPivots);
       W.kv("lp_rows_before_dedup", R.LPStats.LPRowsBeforeDedup);
       W.kv("lp_rows_after_dedup", R.LPStats.LPRowsAfterDedup);
+      W.kv("lp_warm_solves", R.LPStats.LPWarmSolves);
+      W.kv("lp_cold_solves", R.LPStats.LPColdSolves);
+      W.kv("lp_warm_fallbacks", R.LPStats.LPWarmFallbacks);
+      W.kv("lp_warm_pivots", R.LPStats.LPWarmPivots);
+      W.kv("lp_cold_pivots", R.LPStats.LPColdPivots);
       W.endObject();
     }
     W.endArray();

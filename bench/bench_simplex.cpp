@@ -18,8 +18,14 @@
 // counts must be identical across the thread ladder (the determinism
 // contract); a mismatch makes the run exit 1.
 //
+// --warm additionally replays every captured system through the
+// incremental PolyLPSession under a bound-shrink schedule (the
+// generate-check-constrain access pattern) against per-round cold
+// rebuilds: warm-vs-cold wall time, pivots, and a per-round differential
+// check that the exact optima agree. A mismatch exits 1.
+//
 //   bench_simplex [func] [--stride N] [--threads a,b,c] [--repeats N]
-//                 [--json[=path]]
+//                 [--warm] [--warm-rounds N] [--json[=path]]
 //
 //===----------------------------------------------------------------------===//
 
@@ -126,6 +132,82 @@ Measurement measure(const LPSystem &Sys, unsigned Threads, unsigned Repeats) {
   return M;
 }
 
+/// --warm: replays one captured system through the generate-check-constrain
+/// access pattern -- an initial solve followed by rounds of one-quantum
+/// bound shrinks on a rotating third of the constraints -- once through a
+/// persistent PolyLPSession (warm) and once through per-round solvePolyLP
+/// rebuilds (cold). Both passes run the identical schedule; the replay is
+/// also a differential test (margin + coefficients compared every round).
+struct WarmReplay {
+  unsigned Rounds = 0;       ///< Re-solve rounds actually executed.
+  double WarmMs = 0, ColdMs = 0;
+  uint64_t WarmPivots = 0, ColdPivots = 0; ///< Summed over all solves.
+  uint64_t WarmSolves = 0;   ///< Session solves served from a warm basis.
+  uint64_t Fallbacks = 0;    ///< Warm attempts that re-ran cold.
+  bool Identical = true;     ///< Warm == cold results in every round.
+};
+
+WarmReplay replayWarm(const LPSystem &Sys, unsigned Threads, unsigned Rounds) {
+  WarmReplay R;
+  std::vector<unsigned> Terms(Sys.Degree + 1);
+  for (unsigned E = 0; E <= Sys.Degree; ++E)
+    Terms[E] = E;
+
+  std::vector<IntervalConstraint> Cons = Sys.Cons;
+  PolyLPSession Sess(Terms, Threads);
+  std::vector<PolyLPSession::ConstraintId> Ids;
+  for (const IntervalConstraint &C : Cons)
+    Ids.push_back(Sess.addConstraint(C.X, C.Lo, C.Hi));
+
+  auto SolveWarm = [&] {
+    auto T0 = std::chrono::steady_clock::now();
+    PolyLPResult LP = Sess.solve();
+    R.WarmMs += msSince(T0);
+    R.WarmPivots += LP.Pivots;
+    return LP;
+  };
+  auto SolveCold = [&] {
+    auto T0 = std::chrono::steady_clock::now();
+    PolyLPResult LP = solvePolyLP(Cons, Terms, Threads);
+    R.ColdMs += msSince(T0);
+    R.ColdPivots += LP.Pivots;
+    return LP;
+  };
+  auto Compare = [&](const PolyLPResult &W, const PolyLPResult &C) {
+    if (W.Feasible != C.Feasible)
+      return false;
+    if (!W.Feasible)
+      return true;
+    if (!(W.Margin == C.Margin))
+      return false;
+    if (W.Poly.Coeffs.size() != C.Poly.Coeffs.size())
+      return false;
+    for (size_t K = 0; K < W.Poly.Coeffs.size(); ++K)
+      if (!(W.Poly.Coeffs[K] == C.Poly.Coeffs[K]))
+        return false;
+    return true;
+  };
+
+  R.Identical = Compare(SolveWarm(), SolveCold());
+  Rational Quantum(BigInt(1), BigInt(64));
+  for (unsigned Round = 0; Round < Rounds && R.Identical; ++Round) {
+    for (size_t I = Round % 3; I < Cons.size(); I += 3) {
+      Rational Shrink = (Cons[I].Hi - Cons[I].Lo) * Quantum;
+      Cons[I].Lo = Cons[I].Lo + Shrink;
+      Cons[I].Hi = Cons[I].Hi - Shrink;
+      Sess.updateBound(Ids[I], Cons[I].Lo, Cons[I].Hi);
+    }
+    PolyLPResult W = SolveWarm();
+    R.Identical = Compare(W, SolveCold());
+    ++R.Rounds;
+    if (!W.Feasible)
+      break; // Shrunk into infeasibility: schedule exhausted.
+  }
+  R.WarmSolves = Sess.lpStats().WarmSolves;
+  R.Fallbacks = Sess.lpStats().WarmAttempts - Sess.lpStats().WarmSolves;
+  return R;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -135,12 +217,19 @@ int main(int Argc, char **Argv) {
   Cfg.BoundaryWindow = 256;
   std::vector<unsigned> ThreadLadder = {1, 2, 4};
   unsigned Repeats = 3;
+  bool Warm = false;
+  unsigned WarmRounds = 12;
   bench::ReportOptions Opts;
   Opts.JsonPath = "bench_simplex.json"; // written even without --json
 
   for (int I = 1; I < Argc; ++I) {
     if (Opts.parse(Argc, Argv, I, "bench_simplex.json")) {
       continue;
+    } else if (std::strcmp(Argv[I], "--warm") == 0) {
+      Warm = true;
+    } else if (std::strcmp(Argv[I], "--warm-rounds") == 0 && I + 1 < Argc) {
+      Warm = true;
+      WarmRounds = static_cast<unsigned>(std::atol(Argv[++I]));
     } else if (std::strcmp(Argv[I], "--stride") == 0 && I + 1 < Argc) {
       Cfg.SampleStride = static_cast<uint32_t>(std::atol(Argv[++I]));
     } else if (std::strcmp(Argv[I], "--repeats") == 0 && I + 1 < Argc) {
@@ -171,7 +260,8 @@ int main(int Argc, char **Argv) {
       if (!Known) {
         std::fprintf(stderr,
                      "unknown argument '%s'\nusage: bench_simplex [func] "
-                     "[--stride N] [--threads a,b,c] [--repeats N] %s\n",
+                     "[--stride N] [--threads a,b,c] [--repeats N] "
+                     "[--warm] [--warm-rounds N] %s\n",
                      Argv[I], bench::ReportOptions::usage());
         return 2;
       }
@@ -209,6 +299,31 @@ int main(int Argc, char **Argv) {
   std::printf("pivot counts thread-invariant: %s\n",
               PivotsInvariant ? "yes" : "NO -- DETERMINISM VIOLATION");
 
+  std::vector<WarmReplay> Replays;
+  bool WarmIdentical = true;
+  if (Warm) {
+    std::printf("\nWarm-start replay (%u shrink rounds per system):\n",
+                WarmRounds);
+    std::printf("%-24s %9s %9s %8s %8s %6s %5s %8s %10s\n", "system",
+                "warm ms", "cold ms", "w.piv", "c.piv", "warm", "fall",
+                "speedup", "identical");
+    for (const LPSystem &Sys : Systems) {
+      WarmReplay R = replayWarm(Sys, ThreadLadder.front(), WarmRounds);
+      std::printf("%-24s %9.2f %9.2f %8llu %8llu %6llu %5llu %7.2fx %10s\n",
+                  Sys.Name.c_str(), R.WarmMs, R.ColdMs,
+                  static_cast<unsigned long long>(R.WarmPivots),
+                  static_cast<unsigned long long>(R.ColdPivots),
+                  static_cast<unsigned long long>(R.WarmSolves),
+                  static_cast<unsigned long long>(R.Fallbacks),
+                  R.WarmMs > 0 ? R.ColdMs / R.WarmMs : 0.0,
+                  R.Identical ? "yes" : "NO -- MISMATCH");
+      WarmIdentical = WarmIdentical && R.Identical;
+      Replays.push_back(R);
+    }
+    std::printf("warm results identical to cold: %s\n",
+                WarmIdentical ? "yes" : "NO -- CORRECTNESS VIOLATION");
+  }
+
   if (!Opts.JsonPath.empty()) {
     bench::Report Rep(Opts.JsonPath, "bench_simplex");
     if (!Rep.ok())
@@ -242,7 +357,30 @@ int main(int Argc, char **Argv) {
       W.endObject();
     }
     W.endArray();
+    if (Warm) {
+      W.kv("warm_rounds", WarmRounds);
+      W.kv("warm_identical_to_cold", WarmIdentical);
+      W.key("warm_replay");
+      W.beginArray();
+      for (size_t I = 0; I < Replays.size(); ++I) {
+        const WarmReplay &R = Replays[I];
+        W.inlineNext();
+        W.beginObject();
+        W.kv("name", Rows[I].Sys->Name);
+        W.kv("rounds", R.Rounds);
+        W.kvFixed("warm_ms", R.WarmMs, 3);
+        W.kvFixed("cold_ms", R.ColdMs, 3);
+        W.kv("warm_pivots", R.WarmPivots);
+        W.kv("cold_pivots", R.ColdPivots);
+        W.kv("warm_solves", R.WarmSolves);
+        W.kv("warm_fallbacks", R.Fallbacks);
+        W.kvFixed("speedup", R.WarmMs > 0 ? R.ColdMs / R.WarmMs : 0.0, 3);
+        W.kv("identical", R.Identical);
+        W.endObject();
+      }
+      W.endArray();
+    }
   }
   Opts.finish();
-  return PivotsInvariant ? 0 : 1;
+  return (PivotsInvariant && WarmIdentical) ? 0 : 1;
 }

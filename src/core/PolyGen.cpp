@@ -19,6 +19,7 @@
 #include <cstdlib>
 #include <cmath>
 #include <cstring>
+#include <optional>
 #include <unordered_map>
 
 using namespace rfp;
@@ -38,11 +39,34 @@ struct GenCounters {
   telemetry::Counter LPInfeasible =
       telemetry::counter("polygen.lp.infeasible");
   telemetry::Counter Retired = telemetry::counter("polygen.retired_constraints");
+  telemetry::Counter LPWarm = telemetry::counter("polygen.lp.warm_solves");
+  telemetry::Counter LPCold = telemetry::counter("polygen.lp.cold_solves");
+  telemetry::Counter LPWarmFallbacks =
+      telemetry::counter("polygen.lp.warm_fallbacks");
+  telemetry::Counter LPPivotsWarm =
+      telemetry::counter("polygen.lp.pivots_warm");
+  telemetry::Counter LPPivotsCold =
+      telemetry::counter("polygen.lp.pivots_cold");
   telemetry::Histogram LPSolveMs = telemetry::histogram("polygen.lp.solve_ms");
+  /// Pivots per *re-solve* (iteration > 0 of a piece/degree attempt) --
+  /// the population warm starts exist to shrink. First solves are
+  /// excluded so warm and cold runs histogram the same events.
+  telemetry::Histogram LPResolvePivots =
+      telemetry::histogram("polygen.lp.resolve_pivots");
 };
 const GenCounters &genCounters() {
   static GenCounters C;
   return C;
+}
+
+/// Resolves GenConfig::WarmStart: an explicit 0/1 wins; -1 defers to the
+/// RFP_LP_WARMSTART environment variable, where only "0" disables (warm
+/// starts are the default -- the cold path is the referee, not the norm).
+bool warmStartEnabled(int Setting) {
+  if (Setting >= 0)
+    return Setting != 0;
+  const char *Env = std::getenv("RFP_LP_WARMSTART");
+  return !Env || std::strcmp(Env, "0") != 0;
 }
 } // namespace
 
@@ -255,6 +279,11 @@ void PolyGenerator::prepare() {
             [](const MergedConstraint &A, const MergedConstraint &B) {
               return A.T < B.T;
             });
+  // Convert each reduced input to its exact form once: T is immutable for
+  // the constraint's lifetime, so every LP build below reuses this value
+  // instead of re-running Rational::fromDouble per iteration.
+  for (MergedConstraint &M : Constraints)
+    M.TX = Rational::fromDouble(M.T);
   telemetry::logf(LogLevel::Info, "polygen",
                   "constraints: %zu, forced specials: %zu", Constraints.size(),
                   ForcedSpecials.size());
@@ -314,6 +343,20 @@ bool PolyGenerator::generatePiece(EvalScheme S,
     return true;
   };
 
+  // Incremental LP (the default): one PolyLPSession per piece/degree
+  // attempt holds the live constraint system across iterations. Bound
+  // shrinks are applied in place by the shrink loop below, so after the
+  // first iteration constraint_build converts only the changed bounds,
+  // and each re-solve warm-starts from the previous optimal basis. The
+  // cold path (WarmStart off) rebuilds and solves from scratch every
+  // iteration and serves as the correctness referee: both paths produce
+  // bit-identical results.
+  const bool UseWarm = warmStartEnabled(Config.WarmStart);
+  std::optional<PolyLPSession> Session;
+  std::vector<size_t> Handle; // Piece index -> session constraint id.
+  if (UseWarm)
+    Handle.assign(Piece.size(), SIZE_MAX);
+
   for (unsigned Iter = 0; Iter < Config.MaxIterations; ++Iter) {
     ++Impl.LoopIterations;
     TC.Iterations.inc();
@@ -322,13 +365,29 @@ bool PolyGenerator::generatePiece(EvalScheme S,
     std::vector<IntervalConstraint> LPCons;
     {
       telemetry::Span BuildSpan("polygen.constraint_build");
-      LPCons.reserve(LPSet.size());
-      for (size_t I : LPSet) {
-        if (Piece[I]->Dead)
-          continue;
-        LPCons.push_back({Rational::fromDouble(Piece[I]->T),
-                          Rational::fromDouble(Piece[I]->Alpha),
-                          Rational::fromDouble(Piece[I]->Beta)});
+      if (UseWarm) {
+        if (!Session) {
+          std::vector<unsigned> Terms(Degree + 1);
+          for (unsigned E = 0; E <= Degree; ++E)
+            Terms[E] = E;
+          Session.emplace(std::move(Terms), Config.NumThreads);
+          for (size_t I : LPSet)
+            if (!Piece[I]->Dead)
+              Handle[I] = Session->addConstraint(
+                  Piece[I]->TX, Rational::fromDouble(Piece[I]->Alpha),
+                  Rational::fromDouble(Piece[I]->Beta));
+        }
+        // Later iterations: the shrink loop already mirrored its edits
+        // into the session, so there is nothing left to convert here.
+      } else {
+        LPCons.reserve(LPSet.size());
+        for (size_t I : LPSet) {
+          if (Piece[I]->Dead)
+            continue;
+          LPCons.push_back({Piece[I]->TX,
+                            Rational::fromDouble(Piece[I]->Alpha),
+                            Rational::fromDouble(Piece[I]->Beta)});
+        }
       }
     }
 
@@ -339,7 +398,8 @@ bool PolyGenerator::generatePiece(EvalScheme S,
       // One span per LP solve: the trace's "polygen.lp_solve" event count
       // equals GenStats' LPSolves by construction.
       telemetry::Span SolveSpan("polygen.lp_solve");
-      return solvePolyLP(LPCons, Degree, Config.NumThreads);
+      return UseWarm ? Session->solve()
+                     : solvePolyLP(LPCons, Degree, Config.NumThreads);
     }();
     double LPMs = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - LPStart)
@@ -353,22 +413,45 @@ bool PolyGenerator::generatePiece(EvalScheme S,
     TC.LPPivots.add(LP.Pivots);
     TC.LPRowsBefore.add(LP.RowsBeforeDedup);
     TC.LPRowsAfter.add(LP.RowsAfterDedup);
+    if (LP.Warm) {
+      ++Impl.Stats.LPWarmSolves;
+      Impl.Stats.LPWarmPivots += LP.Pivots;
+      TC.LPWarm.inc();
+      TC.LPPivotsWarm.add(LP.Pivots);
+    } else {
+      ++Impl.Stats.LPColdSolves;
+      Impl.Stats.LPColdPivots += LP.Pivots;
+      TC.LPCold.inc();
+      TC.LPPivotsCold.add(LP.Pivots);
+    }
+    if (LP.WarmFallback) {
+      ++Impl.Stats.LPWarmFallbacks;
+      TC.LPWarmFallbacks.inc();
+    }
+    if (Iter > 0)
+      TC.LPResolvePivots.record(static_cast<double>(LP.Pivots));
     if (!LP.Feasible) {
       TC.LPInfeasible.inc();
       telemetry::logf(LogLevel::Debug, "polygen",
                       "iter %u: LP infeasible (deg %u, %zu cons)", Iter,
-                      Degree, LPCons.size());
+                      Degree,
+                      UseWarm ? Session->numLiveConstraints()
+                              : LPCons.size());
       return false;
     }
 
     Polynomial P = LP.Poly.toDouble();
-    // Flush effectively-zero coefficients: the margin-maximizing LP can
-    // place a coefficient in the subnormal range (~1e-320), which costs
-    // two orders of magnitude in evaluation latency through denormal
-    // assists while contributing nothing within any rounding interval.
-    // The check step below re-validates the flushed polynomial.
+    // Flush effectively-zero coefficients: the margin-maximizing LP is
+    // free to place a meaningless coefficient anywhere inside the margin
+    // slack, including deep below the scale where the term could affect
+    // any rounding interval; tiny coefficients also breed subnormal
+    // intermediates whose denormal assists cost two orders of magnitude
+    // in evaluation latency. Everything below CoeffFlushThreshold
+    // (2^-512 -- far above the subnormal range; see PolyGen.h for the
+    // policy) is snapped to exact zero, and the check step below
+    // re-validates the flushed polynomial against every constraint.
     for (double &Coef : P.Coeffs)
-      if (std::fabs(Coef) < 0x1p-512)
+      if (std::fabs(Coef) < CoeffFlushThreshold)
         Coef = 0.0;
     KnuthAdapted KA;
     if (S == EvalScheme::Knuth) {
@@ -431,6 +514,27 @@ bool PolyGenerator::generatePiece(EvalScheme S,
         telemetry::logf(LogLevel::Debug, "polygen",
                         "  special budget exhausted at t=%a", M.T);
         return false; // Special budget exhausted; escalate the shape.
+      }
+      if (Session) {
+        // Mirror the edit into the LP session as it happens: retired
+        // constraints leave, shrunk bounds are converted (these are the
+        // only Rational conversions after iteration 0), and newly
+        // violated constraints append -- in the same ascending-index
+        // order the cold rebuild appends them to LPSet, so both paths
+        // present identical systems to the solver.
+        if (M.Dead) {
+          if (Handle[I] != SIZE_MAX) {
+            Session->retire(Handle[I]);
+            Handle[I] = SIZE_MAX;
+          }
+        } else if (Handle[I] != SIZE_MAX) {
+          Session->updateBound(Handle[I], Rational::fromDouble(M.Alpha),
+                               Rational::fromDouble(M.Beta));
+        } else {
+          Handle[I] = Session->addConstraint(
+              M.TX, Rational::fromDouble(M.Alpha),
+              Rational::fromDouble(M.Beta));
+        }
       }
       if (!InLPSet[I]) {
         InLPSet[I] = true;
@@ -571,7 +675,7 @@ std::vector<IntervalConstraint> PolyGenerator::exportLPConstraints() const {
   std::vector<IntervalConstraint> Out;
   Out.reserve(Constraints.size());
   for (const MergedConstraint &M : Constraints)
-    Out.push_back({Rational::fromDouble(M.T), Rational::fromDouble(M.Alpha),
+    Out.push_back({M.TX, Rational::fromDouble(M.Alpha),
                    Rational::fromDouble(M.Beta)});
   return Out;
 }

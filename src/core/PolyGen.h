@@ -45,6 +45,17 @@
 
 namespace rfp {
 
+/// Coefficients whose magnitude falls below this threshold are flushed to
+/// exact zero after rounding the LP solution to double (see
+/// PolyGen.cpp's flush step and the FlushedCoefficient tests). 2^-512 is
+/// deliberately far above the subnormal range (~1e-308): it is roughly
+/// the square root of the smallest normal, so a flushed term could
+/// contribute at most ~2^-512 * |t|^e over any reduced domain -- hundreds
+/// of orders of magnitude below every rounding-interval width -- while a
+/// term that small still drags denormal-assist latency into the shipped
+/// evaluation once it mixes with other tiny intermediates.
+constexpr double CoeffFlushThreshold = 0x1p-512;
+
 /// Tuning knobs for the generator.
 struct GenConfig {
   /// Stride over float bit patterns when sampling generation inputs.
@@ -68,6 +79,15 @@ struct GenConfig {
   /// is bit-identical for every thread count (see DESIGN.md, "Threading
   /// model and determinism").
   unsigned NumThreads = 0;
+  /// Incremental LP warm starts across the generate-check-constrain loop:
+  /// 1 keeps one PolyLPSession per piece/degree attempt and re-solves it
+  /// in place after bound shrinks; 0 rebuilds the system and solves cold
+  /// every iteration (the referee path). -1 defers to the
+  /// RFP_LP_WARMSTART environment variable, defaulting to on. Both paths
+  /// produce bit-identical polynomials, specials, and LP optima (see
+  /// DESIGN.md, "Incremental LP re-solving"); only the solve time and the
+  /// pivot counts differ.
+  int WarmStart = -1;
   /// When non-empty, stream Chrome trace_event JSON for this generator's
   /// spans (per-iteration, constraint-build, LP-solve, check, shrink) to
   /// this path -- the programmatic equivalent of RFP_TRACE=<path>. The
@@ -103,11 +123,17 @@ struct GeneratedImpl {
   /// varies between runs. The same counters are mirrored into the
   /// process-wide telemetry registry (`polygen.lp.*`, `simplex.*`).
   struct GenStats {
-    double LPTimeMs = 0.0;          ///< Wall clock spent inside solvePolyLP.
+    double LPTimeMs = 0.0;          ///< Wall clock spent inside LP solves.
     uint64_t LPPivots = 0;          ///< Simplex pivots across all solves.
     uint64_t LPRowsBeforeDedup = 0; ///< LP rows built, summed over solves.
     uint64_t LPRowsAfterDedup = 0;  ///< LP rows kept after duplicate merge.
     uint64_t LPExactPricings = 0;   ///< Exact-pricing fallbacks, all solves.
+    uint64_t LPWarmSolves = 0;      ///< Solves served from a warm basis.
+    uint64_t LPColdSolves = 0;      ///< Cold solves (first solves, warm
+                                    ///< off, and warm fallbacks).
+    uint64_t LPWarmFallbacks = 0;   ///< Warm attempts that re-ran cold.
+    uint64_t LPWarmPivots = 0;      ///< Pivots across warm solves.
+    uint64_t LPColdPivots = 0;      ///< Pivots across cold solves.
   };
   GenStats Stats;
 
@@ -175,6 +201,10 @@ private:
     double Alpha0, Beta0;         ///< Pristine bounds (for experiments).
     std::vector<uint32_t> Inputs; ///< Contributing input bit patterns.
     bool Dead = false;            ///< Retired into special cases.
+    /// Exact form of T, converted once after the merge: T never changes
+    /// across iterations (only Alpha/Beta shrink), so neither path
+    /// re-runs Rational::fromDouble on it per solve.
+    Rational TX;
   };
 
   std::vector<float> buildInputSet() const;

@@ -7,6 +7,7 @@
 #include "lp/LPSolver.h"
 
 #include <algorithm>
+#include <cassert>
 #include <unordered_map>
 #include <vector>
 
@@ -58,6 +59,23 @@ void dedupRows(std::vector<std::vector<Rational>> &A,
   }
   A = std::move(OutA);
   B = std::move(OutB);
+}
+
+/// Maps an LPResult onto the PolyLPResult coefficient layout: shared by
+/// the one-shot path and both session paths so the mapping cannot drift.
+void fillFromLP(PolyLPResult &R, const LPResult &LP,
+                const std::vector<unsigned> &TermExponents) {
+  R.Pivots = LP.Pivots;
+  R.ExactPricings = LP.ExactPricings;
+  if (!LP.isOptimal() || LP.Objective.isNegative())
+    return;
+  R.Feasible = true;
+  R.Margin = LP.Objective;
+  unsigned MaxExp =
+      *std::max_element(TermExponents.begin(), TermExponents.end());
+  R.Poly.Coeffs.assign(MaxExp + 1, Rational());
+  for (size_t T = 0; T < TermExponents.size(); ++T)
+    R.Poly.Coeffs[TermExponents[T]] = LP.Z[T];
 }
 
 } // namespace
@@ -114,18 +132,7 @@ rfp::solvePolyLP(const std::vector<IntervalConstraint> &Constraints,
   R.RowsAfterDedup = static_cast<unsigned>(A.size());
 
   LPResult LP = maximizeLP(A, B, Objective, NumThreads);
-  R.Pivots = LP.Pivots;
-  R.ExactPricings = LP.ExactPricings;
-
-  if (!LP.isOptimal() || LP.Objective.isNegative())
-    return R;
-  R.Feasible = true;
-  R.Margin = LP.Objective;
-  unsigned MaxExp = *std::max_element(TermExponents.begin(),
-                                      TermExponents.end());
-  R.Poly.Coeffs.assign(MaxExp + 1, Rational());
-  for (size_t T = 0; T < NumTerms; ++T)
-    R.Poly.Coeffs[TermExponents[T]] = LP.Z[T];
+  fillFromLP(R, LP, TermExponents);
   return R;
 }
 
@@ -137,3 +144,212 @@ rfp::solvePolyLP(const std::vector<IntervalConstraint> &Constraints,
     Terms[E] = E;
   return solvePolyLP(Constraints, Terms, NumThreads);
 }
+
+//===----------------------------------------------------------------------===//
+// PolyLPSession
+//===----------------------------------------------------------------------===//
+
+struct rfp::PolyLPSession::State {
+  struct ConRec {
+    std::vector<Rational> Powers; ///< X^e per term, computed once.
+    Rational W;                   ///< Half-width (Hi - Lo) / 2.
+    Rational Lo, Hi;
+    SimplexSession::RowId LoRow = 0, HiRow = 0;
+    uint64_t LoKey = 0, HiKey = 0; ///< Dedup keys of the two rows.
+    bool Retired = false;
+  };
+
+  std::vector<unsigned> Exps;
+  size_t NumTerms;
+  size_t NumVars;
+  unsigned NumThreads;
+  SimplexSession Sess;
+  std::vector<ConRec> Cons;
+  size_t LiveCount = 0;
+
+  /// The persistent dedup hash-set: row-key multiplicities over the live
+  /// rows (both constraint rows and the delta cap), maintained
+  /// incrementally across add/update/retire instead of being rebuilt per
+  /// solve. While no key repeats, every coefficient vector is provably
+  /// distinct and solvePolyLP's duplicate merge is the identity, so the
+  /// session may solve its rows directly; a repeat (a genuine duplicate,
+  /// or a hash collision) routes solve() through the literal cold
+  /// rebuild-dedup-solve path instead.
+  std::unordered_map<uint64_t, unsigned> KeyCount;
+  size_t RepeatedKeys = 0;
+
+  State(std::vector<unsigned> TermExponents, unsigned Threads)
+      : Exps(std::move(TermExponents)), NumTerms(Exps.size()),
+        NumVars(NumTerms + 1), NumThreads(Threads),
+        Sess(
+            [&] {
+              std::vector<Rational> Obj(NumTerms + 1);
+              Obj[NumTerms] = Rational(1); // maximize the relative margin
+              return Obj;
+            }(),
+            Threads) {
+    // The delta-cap row exists for the session's lifetime and is pinned
+    // last so the column order always matches solvePolyLP's construction
+    // (constraint rows in insertion order, cap at the end).
+    std::vector<Rational> DeltaCap(NumVars);
+    DeltaCap[NumTerms] = Rational(1);
+    addKey(rowKey(DeltaCap));
+    Sess.addRow(std::move(DeltaCap), Rational(1), /*PinLast=*/true);
+  }
+
+  void addKey(uint64_t K) {
+    if (++KeyCount[K] == 2)
+      ++RepeatedKeys;
+  }
+  void removeKey(uint64_t K) {
+    auto It = KeyCount.find(K);
+    assert(It != KeyCount.end() && It->second > 0 && "untracked row key");
+    if (It->second-- == 2)
+      --RepeatedKeys;
+    if (It->second == 0)
+      KeyCount.erase(It);
+  }
+
+  /// Materializes the constraint's two LP rows from the cached powers:
+  ///   -P(x) + w*delta <= -Lo   and   P(x) + w*delta <= Hi.
+  void buildRows(const ConRec &C, std::vector<Rational> &RowLo,
+                 std::vector<Rational> &RowHi) const {
+    RowLo.assign(NumVars, Rational());
+    RowHi.assign(NumVars, Rational());
+    for (size_t T = 0; T < NumTerms; ++T) {
+      RowLo[T] = -C.Powers[T];
+      RowHi[T] = C.Powers[T];
+    }
+    RowLo[NumTerms] = C.W;
+    RowHi[NumTerms] = C.W;
+  }
+};
+
+PolyLPSession::PolyLPSession(std::vector<unsigned> TermExponents,
+                             unsigned NumThreads)
+    : S(std::make_unique<State>(std::move(TermExponents), NumThreads)) {
+  assert(!S->Exps.empty() && "need at least one term");
+}
+
+PolyLPSession::~PolyLPSession() = default;
+PolyLPSession::PolyLPSession(PolyLPSession &&) noexcept = default;
+PolyLPSession &PolyLPSession::operator=(PolyLPSession &&) noexcept = default;
+
+PolyLPSession::ConstraintId PolyLPSession::addConstraint(const Rational &X,
+                                                         Rational Lo,
+                                                         Rational Hi) {
+  assert(Lo <= Hi && "inverted interval constraint");
+  State::ConRec C;
+  C.Powers.resize(S->NumTerms);
+  for (size_t T = 0; T < S->NumTerms; ++T)
+    C.Powers[T] = X.pow(S->Exps[T]);
+  C.W = (Hi - Lo) * Rational(BigInt(1), BigInt(2));
+
+  std::vector<Rational> RowLo, RowHi;
+  S->buildRows(C, RowLo, RowHi);
+  C.LoKey = rowKey(RowLo);
+  C.HiKey = rowKey(RowHi);
+  S->addKey(C.LoKey);
+  S->addKey(C.HiKey);
+  C.LoRow = S->Sess.addRow(std::move(RowLo), -Lo);
+  C.HiRow = S->Sess.addRow(std::move(RowHi), Hi);
+  C.Lo = std::move(Lo);
+  C.Hi = std::move(Hi);
+
+  ConstraintId Id = S->Cons.size();
+  S->Cons.push_back(std::move(C));
+  ++S->LiveCount;
+  return Id;
+}
+
+void PolyLPSession::updateBound(ConstraintId Id, Rational Lo, Rational Hi) {
+  assert(Id < S->Cons.size() && !S->Cons[Id].Retired &&
+         "updating a retired or unknown constraint");
+  assert(Lo <= Hi && "inverted interval constraint");
+  State::ConRec &C = S->Cons[Id];
+  C.W = (Hi - Lo) * Rational(BigInt(1), BigInt(2));
+
+  std::vector<Rational> RowLo, RowHi;
+  S->buildRows(C, RowLo, RowHi);
+  S->removeKey(C.LoKey);
+  S->removeKey(C.HiKey);
+  C.LoKey = rowKey(RowLo);
+  C.HiKey = rowKey(RowHi);
+  S->addKey(C.LoKey);
+  S->addKey(C.HiKey);
+  S->Sess.updateRow(C.LoRow, std::move(RowLo), -Lo);
+  S->Sess.updateRow(C.HiRow, std::move(RowHi), Hi);
+  C.Lo = std::move(Lo);
+  C.Hi = std::move(Hi);
+}
+
+void PolyLPSession::retire(ConstraintId Id) {
+  assert(Id < S->Cons.size() && !S->Cons[Id].Retired &&
+         "retiring a retired or unknown constraint");
+  State::ConRec &C = S->Cons[Id];
+  S->removeKey(C.LoKey);
+  S->removeKey(C.HiKey);
+  S->Sess.retireRow(C.LoRow);
+  S->Sess.retireRow(C.HiRow);
+  C.Retired = true;
+  C.Powers.clear();
+  C.Powers.shrink_to_fit();
+  --S->LiveCount;
+}
+
+PolyLPResult PolyLPSession::solve() {
+  PolyLPResult R;
+  R.RowsBeforeDedup = static_cast<unsigned>(2 * S->LiveCount + 1);
+
+  if (S->RepeatedKeys == 0) {
+    // Every live row is provably distinct: the duplicate merge would be
+    // the identity, so solve the session's cached rows directly (warm
+    // when the banked basis certifies it).
+    R.RowsAfterDedup = R.RowsBeforeDedup;
+    uint64_t AttemptsBefore = S->Sess.stats().WarmAttempts;
+    LPResult LP = S->Sess.solve();
+    R.Warm = LP.Warm;
+    R.WarmFallback =
+        !LP.Warm && S->Sess.stats().WarmAttempts > AttemptsBefore;
+    fillFromLP(R, LP, S->Exps);
+    return R;
+  }
+
+  // A row key repeats: a duplicate row (or a hash collision) may exist,
+  // and duplicate merging can change the column order. Replay the exact
+  // one-shot path -- rebuild, dedup, cold solve -- so the result stays
+  // bit-identical to solvePolyLP. Rare by construction: the generator's
+  // constraints have distinct reduced inputs.
+  std::vector<std::vector<Rational>> A;
+  std::vector<Rational> B;
+  A.reserve(2 * S->LiveCount + 1);
+  B.reserve(2 * S->LiveCount + 1);
+  for (const State::ConRec &C : S->Cons) {
+    if (C.Retired)
+      continue;
+    std::vector<Rational> RowLo, RowHi;
+    S->buildRows(C, RowLo, RowHi);
+    A.push_back(std::move(RowLo));
+    B.push_back(-C.Lo);
+    A.push_back(std::move(RowHi));
+    B.push_back(C.Hi);
+  }
+  std::vector<Rational> DeltaCap(S->NumVars);
+  DeltaCap[S->NumTerms] = Rational(1);
+  A.push_back(std::move(DeltaCap));
+  B.push_back(Rational(1));
+  std::vector<Rational> Objective(S->NumVars);
+  Objective[S->NumTerms] = Rational(1);
+
+  dedupRows(A, B);
+  R.RowsAfterDedup = static_cast<unsigned>(A.size());
+  LPResult LP = maximizeLP(A, B, Objective, S->NumThreads);
+  fillFromLP(R, LP, S->Exps);
+  return R;
+}
+
+const SimplexSession::Stats &PolyLPSession::lpStats() const {
+  return S->Sess.stats();
+}
+
+size_t PolyLPSession::numLiveConstraints() const { return S->LiveCount; }

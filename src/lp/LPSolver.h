@@ -51,6 +51,13 @@ struct PolyLPResult {
   /// case for rounding-interval constraints merged by reduced input).
   unsigned RowsBeforeDedup = 0;
   unsigned RowsAfterDedup = 0;
+  /// True when this solve was warm-started from a previous optimal basis
+  /// (PolyLPSession only; one-shot solvePolyLP solves are always cold).
+  bool Warm = false;
+  /// True when a warm start was attempted but had to fall back to a cold
+  /// solve (retired basis row, singular refactorization, infeasible or
+  /// degenerate warm basis -- see SimplexSession::Stats).
+  bool WarmFallback = false;
 };
 
 /// Solves the RLibm LP for a polynomial with terms x^e for each e in
@@ -68,6 +75,63 @@ PolyLPResult solvePolyLP(const std::vector<IntervalConstraint> &Constraints,
 /// Dense-degree convenience overload: terms 0..Degree.
 PolyLPResult solvePolyLP(const std::vector<IntervalConstraint> &Constraints,
                          unsigned Degree, unsigned NumThreads = 0);
+
+/// The incremental counterpart of solvePolyLP, built on SimplexSession:
+/// holds the margin-maximizing LP of one generate-check-constrain loop and
+/// re-solves it after bound shrinks without rebuilding the system.
+///
+/// Per constraint the session caches the term powers X^e (computed once --
+/// X never changes across iterations) and the two integerized LP rows; a
+/// one-ulp bound shrink re-derives just that constraint's pair of rows,
+/// and the solve re-enters the dual simplex from the previous optimal
+/// basis when the result is provably identical to a cold solve (see
+/// SimplexSession). solve() is bit-identical -- feasibility verdict,
+/// margin, and coefficients -- to calling solvePolyLP on the live
+/// constraint set in insertion order, which the differential tests
+/// enforce.
+class PolyLPSession {
+public:
+  /// Stable constraint handle, valid until retire().
+  using ConstraintId = size_t;
+
+  /// Creates a session for polynomials with terms x^e, e in
+  /// \p TermExponents (as in solvePolyLP). \p NumThreads is forwarded to
+  /// the simplex engine for every solve.
+  explicit PolyLPSession(std::vector<unsigned> TermExponents,
+                         unsigned NumThreads = 0);
+  ~PolyLPSession();
+  PolyLPSession(PolyLPSession &&) noexcept;
+  PolyLPSession &operator=(PolyLPSession &&) noexcept;
+
+  /// Adds the constraint Lo <= P(X) <= Hi and returns its handle.
+  /// Constraint order is solve order: match the order a cold rebuild
+  /// would pass to solvePolyLP to keep the two paths bit-identical.
+  ConstraintId addConstraint(const Rational &X, Rational Lo, Rational Hi);
+
+  /// Shrinks (or otherwise replaces) the bounds of constraint \p Id. Only
+  /// this constraint's two rows are rebuilt and re-integerized; the
+  /// cached powers of X are reused.
+  void updateBound(ConstraintId Id, Rational Lo, Rational Hi);
+
+  /// Removes constraint \p Id from all subsequent solves (the generator
+  /// retires exhausted constraints into special cases).
+  void retire(ConstraintId Id);
+
+  /// Solves the current system. Result fields mirror solvePolyLP;
+  /// PolyLPResult::Warm reports whether the previous optimal basis was
+  /// reused.
+  PolyLPResult solve();
+
+  /// Warm/cold accounting of the underlying simplex session.
+  const SimplexSession::Stats &lpStats() const;
+
+  /// Constraints currently participating in solves.
+  size_t numLiveConstraints() const;
+
+private:
+  struct State;
+  std::unique_ptr<State> S;
+};
 
 } // namespace rfp
 

@@ -43,6 +43,13 @@
 // Status mapping: dual infeasible => primal unbounded; dual unbounded =>
 // primal infeasible. Bland's rule guarantees termination.
 //
+// The integerization (ColData) and the fixed dual row frame (DualFrame)
+// are split out of the engine so SimplexSession can cache them across
+// solves: a one-ulp bound shrink re-integerizes one row instead of all M,
+// and a warm re-solve re-enters phase 2 from the previous optimal basis
+// (primed by at most N fraction-free pivots) instead of replaying the
+// whole cold pivot sequence.
+//
 //===----------------------------------------------------------------------===//
 
 #include "lp/Simplex.h"
@@ -50,6 +57,7 @@
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cmath>
@@ -93,6 +101,17 @@ BigInt exactDiv(const BigInt &N, const BigInt &D) {
   return Q;
 }
 
+BigInt lcm(const BigInt &A, const BigInt &B) {
+  BigInt G = BigInt::gcd(A, B);
+  return (A / G) * B;
+}
+
+BigInt scaleToInt(const Rational &V, const BigInt &Scale) {
+  // V * Scale is an integer because Scale is a multiple of V's
+  // denominator.
+  return V.numerator() * (Scale / V.denominator());
+}
+
 /// Columns per pricing block: the Bland fallback sweep runs
 /// block-sequentially so the scan can stop at the first block containing a
 /// negative reduced cost instead of pricing all M columns, while each
@@ -111,65 +130,100 @@ constexpr unsigned DegenerateLimit = 16;
 /// index-addressed and arithmetic is exact).
 constexpr size_t ParallelRowThreshold = 16;
 
+/// Consecutive warm attempts ending in a degenerate optimum a session
+/// tolerates before it stops attempting warm starts altogether. A
+/// persistently degenerate optimum makes every warm attempt run phase 2 to
+/// completion only to be discarded by the uniqueness check, doubling the
+/// work of each solve; after this many in a row the session pays the cold
+/// price only.
+constexpr unsigned SessionDegenerateLimit = 3;
+
+/// The fixed part of the dual system, derived from the primal objective C
+/// alone: the dual equality RHS with its per-row flips and scales. Every
+/// solve of a session shares one frame; row edits never touch it.
+struct DualFrame {
+  /// RHS of the dual equalities: |C[K]| numerators, flipped non-negative
+  /// so the artificial basis is feasible.
+  std::vector<BigInt> Rhs;
+  /// Per-row scale (C[K]'s denominator) applied to every column entry of
+  /// row K; legal because it rescales one equality uniformly.
+  std::vector<BigInt> RowScale;
+  /// -1 where C[K] was negative and the row was flipped.
+  std::vector<int> RowSign;
+
+  size_t size() const { return Rhs.size(); }
+};
+
+DualFrame frameFromObjective(const std::vector<Rational> &C) {
+  DualFrame F;
+  size_t N = C.size();
+  F.Rhs.resize(N);
+  F.RowSign.assign(N, 1);
+  F.RowScale.resize(N);
+  for (size_t K = 0; K < N; ++K) {
+    F.RowScale[K] = C[K].denominator();
+    BigInt V = C[K].numerator();
+    if (V.isNegative()) {
+      F.RowSign[K] = -1;
+      V = -V;
+    }
+    F.Rhs[K] = V;
+  }
+  return F;
+}
+
+/// One primal constraint (dual column), integerized against a frame: the
+/// column scaled by the lcm of its denominators with the frame's row
+/// scales/signs applied, its phase-2 cost, and the float images the
+/// certified pricing screen reads. This is exactly the per-column work a
+/// cold solve used to redo for all M columns every call; a session caches
+/// one ColData per row and re-integerizes only rows whose bounds changed.
+struct ColData {
+  std::vector<BigInt> Col; ///< Integerized dual column, row-scaled.
+  BigInt Cost;             ///< Phase-2 cost (scaled primal RHS).
+  double ScaleLog2 = 0.0;  ///< log2 of the column's integerization scale.
+  std::vector<Apx> ApxCol; ///< Screen images of Col.
+  Apx ApxCost;             ///< Screen image of Cost.
+};
+
+ColData integerizeRow(const std::vector<Rational> &A, const Rational &B,
+                      const DualFrame &F) {
+  size_t N = F.size();
+  assert(A.size() == N && "constraint width mismatch");
+  ColData D;
+  BigInt Scale = BigInt(1);
+  for (size_t K = 0; K < N; ++K)
+    Scale = lcm(Scale, A[K].denominator());
+  Scale = lcm(Scale, B.denominator());
+  D.ScaleLog2 = approxLog2(Scale);
+  D.Col.resize(N);
+  for (size_t K = 0; K < N; ++K)
+    D.Col[K] = scaleToInt(A[K], Scale);
+  D.Cost = scaleToInt(B, Scale);
+  // Row scaling/sign applies to every column entry of that row.
+  for (size_t K = 0; K < N; ++K) {
+    if (!F.RowScale[K].isOne())
+      D.Col[K] = D.Col[K] * F.RowScale[K];
+    if (F.RowSign[K] < 0)
+      D.Col[K] = -D.Col[K];
+  }
+  // Per-entry approximations for the pricing screen, taken after the
+  // row scaling so they mirror the integers actually priced.
+  D.ApxCol.resize(N);
+  for (size_t K = 0; K < N; ++K)
+    D.ApxCol[K] = approxOf(D.Col[K]);
+  D.ApxCost = approxOf(D.Cost);
+  return D;
+}
+
 class RevisedDualSimplex {
 public:
-  RevisedDualSimplex(const std::vector<std::vector<Rational>> &A,
-                     const std::vector<Rational> &B,
-                     const std::vector<Rational> &C, unsigned NumThreads)
-      : N(C.size()), M(B.size()),
-        Threads(ThreadPool::resolveThreads(NumThreads)) {
-    // Integerize each dual column (primal row) with its own scale; the
-    // RHS of the dual equalities is the primal objective C.
-    Cols.resize(M);
-    Cost2.resize(M);
-    ScaleLog2.resize(M);
-    for (size_t J = 0; J < M; ++J) {
-      BigInt Scale = BigInt(1);
-      for (size_t K = 0; K < N; ++K)
-        Scale = lcm(Scale, A[J][K].denominator());
-      Scale = lcm(Scale, B[J].denominator());
-      ScaleLog2[J] = approxLog2(Scale);
-      Cols[J].resize(N);
-      for (size_t K = 0; K < N; ++K)
-        Cols[J][K] = scaleToInt(A[J][K], Scale);
-      Cost2[J] = scaleToInt(B[J], Scale);
-    }
-    // RHS: flip rows so it is non-negative (the artificial basis must be
-    // feasible). C entries are rationals; scale them all by a common
-    // denominator (legal: scales the whole equality system uniformly...
-    // per-row scaling is also legal and keeps numbers small).
-    Rhs.resize(N);
-    RowSign.assign(N, 1);
-    RowScale.resize(N);
-    for (size_t K = 0; K < N; ++K) {
-      RowScale[K] = C[K].denominator();
-      BigInt V = C[K].numerator();
-      if (V.isNegative()) {
-        RowSign[K] = -1;
-        V = -V;
-      }
-      Rhs[K] = V;
-    }
-    // Row scaling/sign applies to every column entry of that row.
-    for (size_t J = 0; J < M; ++J)
-      for (size_t K = 0; K < N; ++K) {
-        if (!RowScale[K].isOne())
-          Cols[J][K] = Cols[J][K] * RowScale[K];
-        if (RowSign[K] < 0)
-          Cols[J][K] = -Cols[J][K];
-      }
-
-    // Per-entry approximations for the pricing screen, taken after the
-    // row scaling so they mirror the integers actually priced.
-    ApproxCols.resize(M);
-    ApproxCost.resize(M);
-    for (size_t J = 0; J < M; ++J) {
-      ApproxCols[J].resize(N);
-      for (size_t K = 0; K < N; ++K)
-        ApproxCols[J][K] = approxOf(Cols[J][K]);
-      ApproxCost[J] = approxOf(Cost2[J]);
-    }
-
+  RevisedDualSimplex(const DualFrame &F,
+                     std::vector<const ColData *> Columns,
+                     unsigned NumThreads)
+      : N(F.size()), M(Columns.size()),
+        Threads(ThreadPool::resolveThreads(NumThreads)), Frame(F),
+        CD(std::move(Columns)) {
     // Artificial basis: Minv = I, P = 1, x_B = rhs.
     Minv.assign(N, std::vector<BigInt>(N));
     for (size_t K = 0; K < N; ++K)
@@ -181,7 +235,7 @@ public:
       Basis[K] = M + K; // artificial k
       InBasis[M + K] = 1;
     }
-    XB = Rhs;
+    XB = Frame.Rhs;
   }
 
   LPResult solve() {
@@ -196,43 +250,88 @@ public:
       finishStats(R);
       return R;
     }
-
-    // Dual prices y/P at optimum give the primal solution (after undoing
-    // the row flips/scales).
-    std::vector<BigInt> Y = priceVector(/*Phase1=*/false);
-    R.StatusCode = LPResult::Status::Optimal;
-    finishStats(R);
-    R.Z.resize(N);
-    for (size_t K = 0; K < N; ++K) {
-      Rational ZK(Y[K], P);
-      if (RowSign[K] < 0)
-        ZK = -ZK;
-      R.Z[K] = ZK * Rational(RowScale[K]);
-    }
-    // Objective: sum over basic dual variables of cost * value.
-    for (size_t K = 0; K < N; ++K)
-      if (Basis[K] < M)
-        R.Objective += Rational(Cost2[Basis[K]]) * Rational(XB[K], P);
+    extractOptimal(R);
     return R;
   }
 
+  /// Re-creates the basis {column c : c in BasisCols} by fraction-free
+  /// pivoting from the artificial identity: each column is transformed and
+  /// pivoted into the first artificial row where its entry is nonzero.
+  /// Greedy selection is complete -- if every artificial-row entry of a
+  /// transformed column is zero, the column lies in the span of the
+  /// columns already primed, so the requested set was dependent and no
+  /// refactorization exists; returns false in that case. At most N pivots,
+  /// counted into SetupPivots.
+  bool primeBasis(const std::vector<size_t> &BasisCols) {
+    assert(BasisCols.size() <= N && "more basis columns than dual rows");
+    for (size_t C : BasisCols) {
+      assert(C < M && "priming an artificial column");
+      std::vector<BigInt> U = transformedColumn(C);
+      size_t Row = SIZE_MAX;
+      for (size_t K = 0; K < N; ++K)
+        if (Basis[K] >= M && !U[K].isZero()) {
+          Row = K;
+          break;
+        }
+      if (Row == SIZE_MAX)
+        return false;
+      pivot(Row, U, C);
+    }
+    SetupPivots = Pivots;
+    return true;
+  }
+
+  /// True when the current basic solution is feasible for the dual
+  /// (every basic value non-negative) -- the warm-start precondition for
+  /// skipping phase 1.
+  bool basisFeasible() const {
+    for (size_t K = 0; K < N; ++K)
+      if (trueSign(XB[K]) < 0)
+        return false;
+    return true;
+  }
+
+  /// Phase 2 only, from a primed feasible basis (primeBasis +
+  /// basisFeasible must have succeeded). Statuses as in solve() except
+  /// Unbounded, which cannot occur: the primed basis is itself a feasible
+  /// dual point, and dual feasibility is what phase 1 establishes.
+  LPResult solveWarm() {
+    LPResult R;
+    R.Warm = true;
+    R.SetupPivots = SetupPivots;
+    if (!phase2()) {
+      R.StatusCode = LPResult::Status::Infeasible;
+      finishStats(R);
+      return R;
+    }
+    extractOptimal(R);
+    return R;
+  }
+
+  /// True when the optimal basis certifies a *unique* primal optimum:
+  /// every basic column is structural and every basic value is strictly
+  /// positive. Nondegeneracy of the optimal dual BFS implies the dual of
+  /// the dual -- our primal -- has exactly one optimal solution, so any
+  /// path (warm or cold) must extract the identical Z. This is the
+  /// acceptance test that makes warm results provably canonical.
+  bool optimumStrict() const {
+    for (size_t K = 0; K < N; ++K)
+      if (Basis[K] >= M || trueSign(XB[K]) <= 0)
+        return false;
+    return true;
+  }
+
+  /// Basic column indices (positions into the column array; >= M means an
+  /// artificial survived). Valid after solve()/solveWarm() returned
+  /// Optimal.
+  const std::vector<size_t> &basis() const { return Basis; }
+
 private:
-  static BigInt lcm(const BigInt &A, const BigInt &B) {
-    BigInt G = BigInt::gcd(A, B);
-    return (A / G) * B;
-  }
-
-  static BigInt scaleToInt(const Rational &V, const BigInt &Scale) {
-    // V * Scale is an integer because Scale is a multiple of V's
-    // denominator.
-    return V.numerator() * (Scale / V.denominator());
-  }
-
   /// Cost of column J in the given phase (integer in scaled space).
   BigInt cost(size_t J, bool Phase1) const {
     if (J >= M) // artificial
       return Phase1 ? BigInt(1) : BigInt(0);
-    return Phase1 ? BigInt(0) : Cost2[J];
+    return Phase1 ? BigInt(0) : CD[J]->Cost;
   }
 
   /// y = c_B^T * Minv (true prices are y / P). O(N^2): cheap next to the
@@ -260,7 +359,7 @@ private:
     BigInt Num;
     if (J < M) {
       Num = cost(J, Phase1) * P;
-      const std::vector<BigInt> &D = Cols[J];
+      const std::vector<BigInt> &D = CD[J]->Col;
       for (size_t K = 0; K < N; ++K)
         if (!Y[K].isZero() && !D[K].isZero())
           Num = Num - Y[K] * D[K];
@@ -283,12 +382,12 @@ private:
   /// answers are therefore exact truths; only near-ties fall through.
   int approxRcSign(const std::vector<Apx> &YA, const Apx &PA, size_t J,
                    bool Phase1, double &Log2Mag) const {
-    const std::vector<Apx> &D = ApproxCols[J];
-    bool HasCost =
-        !Phase1 && ApproxCost[J].Mant != 0.0 && PA.Mant != 0.0;
+    const std::vector<Apx> &D = CD[J]->ApxCol;
+    const Apx &DC = CD[J]->ApxCost;
+    bool HasCost = !Phase1 && DC.Mant != 0.0 && PA.Mant != 0.0;
     int64_t EMax = INT64_MIN;
     if (HasCost)
-      EMax = ApproxCost[J].Exp + PA.Exp;
+      EMax = DC.Exp + PA.Exp;
     for (size_t K = 0; K < N; ++K)
       if (YA[K].Mant != 0.0 && D[K].Mant != 0.0) {
         int64_t E = YA[K].Exp + D[K].Exp;
@@ -307,7 +406,7 @@ private:
     };
     double S = 0.0;
     if (HasCost)
-      S += Term(ApproxCost[J].Mant, PA.Mant, ApproxCost[J].Exp + PA.Exp);
+      S += Term(DC.Mant, PA.Mant, DC.Exp + PA.Exp);
     for (size_t K = 0; K < N; ++K)
       if (YA[K].Mant != 0.0 && D[K].Mant != 0.0)
         S -= Term(YA[K].Mant, D[K].Mant, YA[K].Exp + D[K].Exp);
@@ -331,7 +430,7 @@ private:
       int S = approxRcSign(YA, PA, J, Phase1, Lg);
       if (S != 0) {
         if (S < 0)
-          Key = Lg - ScaleLog2[J];
+          Key = Lg - CD[J]->ScaleLog2;
         return S;
       }
       // Screen indecisive: fall through to the exact reduced cost. Rare
@@ -355,7 +454,7 @@ private:
   /// them, and it is a pure function of the limb bits, so every thread
   /// count ranks identically.
   double enteringKey(const BigInt &Num, size_t J) const {
-    return approxLog2(Num) - (J < M ? ScaleLog2[J] : 0.0);
+    return approxLog2(Num) - (J < M ? CD[J]->ScaleLog2 : 0.0);
   }
 
   /// Entering column, or SIZE_MAX at optimality. Greedy mode (default)
@@ -440,7 +539,7 @@ private:
         U[I] = Minv[I][K];
       return U;
     }
-    const std::vector<BigInt> &D = Cols[J];
+    const std::vector<BigInt> &D = CD[J]->Col;
     auto Rows = [&](size_t Begin, size_t End) {
       for (size_t I = Begin; I < End; ++I) {
         BigInt Acc;
@@ -464,7 +563,7 @@ private:
   /// this entry to decide whether a column can pivot an artificial out.
   BigInt transformedEntry(size_t K, size_t J) const {
     assert(J < M);
-    const std::vector<BigInt> &D = Cols[J];
+    const std::vector<BigInt> &D = CD[J]->Col;
     BigInt Acc;
     for (size_t T = 0; T < N; ++T) {
       if (Minv[K][T].isZero() || D[T].isZero())
@@ -535,6 +634,25 @@ private:
     SolveCtr.inc();
     PivotCtr.add(R.Pivots);
     ExactCtr.add(R.ExactPricings);
+  }
+
+  /// Shared optimal-result extraction: dual prices y/P at optimum give
+  /// the primal solution (after undoing the row flips/scales).
+  void extractOptimal(LPResult &R) const {
+    std::vector<BigInt> Y = priceVector(/*Phase1=*/false);
+    R.StatusCode = LPResult::Status::Optimal;
+    finishStats(R);
+    R.Z.resize(N);
+    for (size_t K = 0; K < N; ++K) {
+      Rational ZK(Y[K], P);
+      if (Frame.RowSign[K] < 0)
+        ZK = -ZK;
+      R.Z[K] = ZK * Rational(Frame.RowScale[K]);
+    }
+    // Objective: sum over basic dual variables of cost * value.
+    for (size_t K = 0; K < N; ++K)
+      if (Basis[K] < M)
+        R.Objective += Rational(CD[Basis[K]]->Cost) * Rational(XB[K], P);
   }
 
   /// One phase of simplex iterations (greedy entering rule with Bland
@@ -619,20 +737,15 @@ private:
   size_t N; ///< Dual equality rows (primal unknowns).
   size_t M; ///< Dual variables (primal constraints).
   unsigned Threads; ///< Resolved worker budget for the parallel kernels.
-  std::vector<std::vector<BigInt>> Cols; ///< Integerized dual columns.
-  std::vector<BigInt> Cost2;             ///< Phase-2 costs (scaled b).
-  std::vector<double> ScaleLog2; ///< log2 of each column's integerization.
-  std::vector<std::vector<Apx>> ApproxCols; ///< Screen images of Cols.
-  std::vector<Apx> ApproxCost;              ///< Screen images of Cost2.
-  std::vector<BigInt> Rhs;               ///< Flipped/scaled C.
-  std::vector<BigInt> RowScale;
-  std::vector<int> RowSign;
+  const DualFrame &Frame;           ///< Fixed dual RHS / row scaling.
+  std::vector<const ColData *> CD;  ///< Integerized columns, borrowed.
   std::vector<std::vector<BigInt>> Minv; ///< Basis inverse numerators.
   BigInt P;                              ///< Common denominator of Minv.
   std::vector<BigInt> XB;  ///< Incremental basic solution (x_B * P).
   std::vector<size_t> Basis;
   std::vector<uint8_t> InBasis; ///< Membership bitmap over all M+N columns.
   unsigned Pivots = 0;
+  unsigned SetupPivots = 0; ///< Pivots spent in primeBasis.
   /// Exact-pricing fallbacks; atomic because pricedSign runs on the
   /// parallel pricing kernels. Mutable: pricing is logically const.
   mutable std::atomic<uint64_t> ExactPricings{0};
@@ -649,6 +762,189 @@ LPResult rfp::maximizeLP(const std::vector<std::vector<Rational>> &A,
   assert(A.size() == B.size() && "constraint row/rhs mismatch");
   for ([[maybe_unused]] const auto &Row : A)
     assert(Row.size() == C.size() && "constraint width mismatch");
-  RevisedDualSimplex S(A, B, C, NumThreads);
+  DualFrame Frame = frameFromObjective(C);
+  std::vector<ColData> Data(A.size());
+  for (size_t J = 0; J < A.size(); ++J)
+    Data[J] = integerizeRow(A[J], B[J], Frame);
+  std::vector<const ColData *> Cols(Data.size());
+  for (size_t J = 0; J < Data.size(); ++J)
+    Cols[J] = &Data[J];
+  RevisedDualSimplex S(Frame, std::move(Cols), NumThreads);
   return S.solve();
 }
+
+//===----------------------------------------------------------------------===//
+// SimplexSession
+//===----------------------------------------------------------------------===//
+
+struct rfp::SimplexSession::State {
+  struct RowRec {
+    ColData D;             ///< Cached integerization; rebuilt on update.
+    bool Retired = false;  ///< Removed from all subsequent solves.
+    bool PinLast = false;  ///< Sorts after every unpinned row.
+  };
+
+  DualFrame Frame;       ///< Fixed dual frame from the session objective.
+  unsigned NumThreads;   ///< Forwarded to each engine, unresolved.
+  std::vector<RowRec> Rows;
+  size_t LiveCount = 0;
+
+  /// Row ids of the last optimal basis, in ascending column-position
+  /// order at bank time. Valid iff HasBasis; any member being retired
+  /// since forces a cold fallback.
+  std::vector<RowId> Banked;
+  bool HasBasis = false;
+
+  /// Consecutive warm attempts discarded by the uniqueness check; at
+  /// SessionDegenerateLimit the session goes cold-only.
+  unsigned DegenFallbacks = 0;
+  bool ColdOnly = false;
+
+  Stats St;
+};
+
+SimplexSession::SimplexSession(std::vector<Rational> Objective,
+                               unsigned NumThreads)
+    : S(std::make_unique<State>()) {
+  S->Frame = frameFromObjective(Objective);
+  S->NumThreads = NumThreads;
+}
+
+SimplexSession::~SimplexSession() = default;
+SimplexSession::SimplexSession(SimplexSession &&) noexcept = default;
+SimplexSession &SimplexSession::operator=(SimplexSession &&) noexcept =
+    default;
+
+SimplexSession::RowId SimplexSession::addRow(std::vector<Rational> Coeffs,
+                                             Rational Rhs, bool PinLast) {
+  assert(Coeffs.size() == S->Frame.size() && "constraint width mismatch");
+  RowId Id = S->Rows.size();
+  State::RowRec R;
+  R.D = integerizeRow(Coeffs, Rhs, S->Frame);
+  R.PinLast = PinLast;
+  S->Rows.push_back(std::move(R));
+  ++S->LiveCount;
+  return Id;
+}
+
+void SimplexSession::updateRow(RowId Id, std::vector<Rational> Coeffs,
+                               Rational Rhs) {
+  assert(Id < S->Rows.size() && !S->Rows[Id].Retired &&
+         "updating a retired or unknown row");
+  assert(Coeffs.size() == S->Frame.size() && "constraint width mismatch");
+  S->Rows[Id].D = integerizeRow(Coeffs, Rhs, S->Frame);
+}
+
+void SimplexSession::retireRow(RowId Id) {
+  assert(Id < S->Rows.size() && !S->Rows[Id].Retired &&
+         "retiring a retired or unknown row");
+  S->Rows[Id].Retired = true;
+  --S->LiveCount;
+}
+
+LPResult SimplexSession::solve() {
+  static const telemetry::Counter WarmCtr =
+      telemetry::counter("simplex.session.warm_solves");
+  static const telemetry::Counter ColdCtr =
+      telemetry::counter("simplex.session.cold_solves");
+  static const telemetry::Counter FallbackCtr =
+      telemetry::counter("simplex.session.warm_fallbacks");
+
+  // Canonical column order: live rows in insertion order, pinned-last
+  // rows after. This is exactly the order a caller assembling the system
+  // from scratch would pass to maximizeLP, so cold fallbacks -- and the
+  // differential tests comparing against fresh solves -- see an
+  // identical tableau and replay an identical pivot sequence.
+  std::vector<size_t> Order;
+  Order.reserve(S->LiveCount);
+  for (int Pinned = 0; Pinned < 2; ++Pinned)
+    for (size_t I = 0; I < S->Rows.size(); ++I)
+      if (!S->Rows[I].Retired && S->Rows[I].PinLast == (Pinned == 1))
+        Order.push_back(I);
+  std::vector<const ColData *> Cols(Order.size());
+  for (size_t Pos = 0; Pos < Order.size(); ++Pos)
+    Cols[Pos] = &S->Rows[Order[Pos]].D;
+
+  // Banks the optimal basis for the next warm attempt; a basis holding a
+  // surviving artificial is not bankable (it has no row id).
+  auto Bank = [&](const std::vector<size_t> &Basis) {
+    S->Banked.clear();
+    for (size_t Pos : Basis) {
+      if (Pos >= Order.size()) {
+        S->HasBasis = false;
+        return;
+      }
+      S->Banked.push_back(Order[Pos]);
+    }
+    S->HasBasis = true;
+  };
+
+  if (S->HasBasis && !S->ColdOnly) {
+    ++S->St.WarmAttempts;
+    bool Viable = true;
+    std::vector<size_t> PosOf(S->Rows.size(), SIZE_MAX);
+    for (size_t Pos = 0; Pos < Order.size(); ++Pos)
+      PosOf[Order[Pos]] = Pos;
+    std::vector<size_t> BasisCols;
+    BasisCols.reserve(S->Banked.size());
+    for (RowId Id : S->Banked) {
+      if (S->Rows[Id].Retired) {
+        ++S->St.FallbackRetiredBasis;
+        Viable = false;
+        break;
+      }
+      BasisCols.push_back(PosOf[Id]);
+    }
+    if (Viable) {
+      // Prime in ascending column order: the basis *set* determines the
+      // factorization and x_B, the order only routes which artificial
+      // rows host which column, so any deterministic order is canonical.
+      std::sort(BasisCols.begin(), BasisCols.end());
+      RevisedDualSimplex E(S->Frame, Cols, S->NumThreads);
+      if (!E.primeBasis(BasisCols)) {
+        ++S->St.FallbackSingularBasis;
+      } else if (!E.basisFeasible()) {
+        ++S->St.FallbackInfeasibleBasis;
+      } else {
+        LPResult R = E.solveWarm();
+        if (R.isOptimal() && !E.optimumStrict()) {
+          // The warm optimum exists but is degenerate: uniqueness of the
+          // primal solution is not certified, so the result cannot be
+          // proven equal to the cold path's. Discard and re-solve cold.
+          ++S->St.FallbackDegenerate;
+          if (++S->DegenFallbacks >= SessionDegenerateLimit)
+            S->ColdOnly = true;
+        } else {
+          // Optimal-and-strict (unique primal optimum => identical to
+          // cold by uniqueness) or infeasible (a path-independent
+          // property of the row set): both are canonical results.
+          S->DegenFallbacks = 0;
+          ++S->St.WarmSolves;
+          S->St.WarmPivots += R.Pivots;
+          if (R.isOptimal())
+            Bank(E.basis());
+          WarmCtr.inc();
+          return R;
+        }
+      }
+    }
+    FallbackCtr.inc();
+  }
+
+  RevisedDualSimplex E(S->Frame, std::move(Cols), S->NumThreads);
+  LPResult R = E.solve();
+  ++S->St.ColdSolves;
+  S->St.ColdPivots += R.Pivots;
+  if (R.isOptimal())
+    Bank(E.basis());
+  else
+    S->HasBasis = false;
+  ColdCtr.inc();
+  return R;
+}
+
+const SimplexSession::Stats &SimplexSession::stats() const { return S->St; }
+
+size_t SimplexSession::numLiveRows() const { return S->LiveCount; }
+
+bool SimplexSession::hasBankedBasis() const { return S->HasBasis; }

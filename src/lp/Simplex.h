@@ -20,6 +20,7 @@
 
 #include "support/Rational.h"
 
+#include <memory>
 #include <vector>
 
 namespace rfp {
@@ -46,6 +47,14 @@ struct LPResult {
   /// bits). Mirrored into the telemetry registry as
   /// `simplex.exact_pricings`.
   uint64_t ExactPricings = 0;
+  /// True when this result came from a warm-started re-solve that re-entered
+  /// phase 2 from a previous optimal basis (see SimplexSession). Cold solves
+  /// -- including warm attempts that fell back -- report false.
+  bool Warm = false;
+  /// Pivots spent re-priming the persisted basis (at most one fraction-free
+  /// pivot per dual row, refactorizing the basis inverse from scratch).
+  /// Included in Pivots; zero for cold solves.
+  unsigned SetupPivots = 0;
 
   bool isOptimal() const { return StatusCode == Status::Optimal; }
 };
@@ -63,6 +72,88 @@ LPResult maximizeLP(const std::vector<std::vector<Rational>> &A,
                     const std::vector<Rational> &B,
                     const std::vector<Rational> &C,
                     unsigned NumThreads = 0);
+
+/// An incremental LP session over the same primal shape as maximizeLP:
+/// maximize C . z subject to a mutable set of rows A[i] . z <= B[i]. The
+/// session persists everything a one-shot solve throws away -- the
+/// integerized dual columns with their scales and pricing-screen images,
+/// and the optimal basis of the previous solve -- so the re-solves of a
+/// generate-check-constrain loop (a few one-ulp bound shrinks plus a
+/// handful of new rows per iteration) re-enter the dual simplex from the
+/// previous optimum instead of replaying hundreds of cold pivots.
+///
+/// Warm-start contract (see DESIGN.md, "Incremental LP re-solving"): a
+/// warm result is returned ONLY when it is provably identical to what a
+/// cold solve of the current row set would produce. The session re-prices
+/// from the banked basis and accepts the warm optimum only if the final
+/// basis is nondegenerate and artificial-free -- which certifies that the
+/// primal optimum is *unique*, hence path-independent. Any other outcome
+/// (refactorization singular, basic solution infeasible after row edits,
+/// degenerate optimum, banked row retired) falls back to a cold solve on
+/// the identical column order a fresh maximizeLP would see. Either way the
+/// exact rational optimum is bit-identical to the cold path, and --
+/// because every decision is exact arithmetic -- thread-count-invariant.
+class SimplexSession {
+public:
+  /// Stable row handle: rows keep their id across updates and the
+  /// retirement of other rows.
+  using RowId = size_t;
+
+  /// Creates a session maximizing \p Objective. The objective (and with it
+  /// the dual row frame) is fixed for the session's lifetime.
+  /// \p NumThreads follows ThreadPool::resolveThreads, as in maximizeLP.
+  explicit SimplexSession(std::vector<Rational> Objective,
+                          unsigned NumThreads = 0);
+  ~SimplexSession();
+  SimplexSession(SimplexSession &&) noexcept;
+  SimplexSession &operator=(SimplexSession &&) noexcept;
+
+  /// Appends the row Coeffs . z <= Rhs and returns its handle. Rows marked
+  /// \p PinLast sort after every unpinned row in the solve's column order
+  /// (the poly LP keeps its delta-cap row last, matching solvePolyLP's
+  /// construction order so cold fallbacks replay the exact same tableau).
+  RowId addRow(std::vector<Rational> Coeffs, Rational Rhs,
+               bool PinLast = false);
+
+  /// Replaces row \p Id's coefficients and right-hand side. Only this
+  /// row is re-integerized; every other cached column is untouched.
+  void updateRow(RowId Id, std::vector<Rational> Coeffs, Rational Rhs);
+
+  /// Removes row \p Id from all subsequent solves. The handle becomes
+  /// invalid; relative order of the surviving rows is preserved.
+  void retireRow(RowId Id);
+
+  /// Solves the current system: warm-started from the previous optimal
+  /// basis when one is banked and the warm optimum is provably canonical
+  /// (LPResult::Warm == true), from scratch otherwise.
+  LPResult solve();
+
+  /// Session-lifetime solve accounting. WarmSolves + ColdSolves equals the
+  /// number of solve() calls; fallback counters attribute each warm
+  /// attempt that had to re-run cold.
+  struct Stats {
+    uint64_t WarmSolves = 0;   ///< Warm results returned.
+    uint64_t ColdSolves = 0;   ///< Cold solves (first solve + fallbacks).
+    uint64_t WarmAttempts = 0; ///< Solves that tried the banked basis.
+    uint64_t FallbackRetiredBasis = 0;    ///< A banked row was retired.
+    uint64_t FallbackSingularBasis = 0;   ///< Refactorization singular.
+    uint64_t FallbackInfeasibleBasis = 0; ///< Banked basis no longer feasible.
+    uint64_t FallbackDegenerate = 0;      ///< Warm optimum not provably unique.
+    uint64_t WarmPivots = 0; ///< Pivots across warm solves (incl. setup).
+    uint64_t ColdPivots = 0; ///< Pivots across cold solves.
+  };
+  const Stats &stats() const;
+
+  /// Rows currently participating in solves (added minus retired).
+  size_t numLiveRows() const;
+
+  /// True when a previous solve banked a basis for warm re-entry.
+  bool hasBankedBasis() const;
+
+private:
+  struct State;
+  std::unique_ptr<State> S;
+};
 
 } // namespace rfp
 

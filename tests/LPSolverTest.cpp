@@ -10,6 +10,7 @@
 
 #include <cmath>
 #include <random>
+#include <string>
 
 using namespace rfp;
 
@@ -124,6 +125,148 @@ TEST(LPSolverTest, ManyConstraintsStaysExact) {
     EXPECT_LE(Cons[I].Lo.compare(V), 0);
     EXPECT_LE(V.compare(Cons[I].Hi), 0);
   }
+}
+
+//===--------------------------------------------------------------------===//
+// PolyLPSession: the incremental path must be bit-identical to one-shot
+// solvePolyLP over the live constraints across shrink/retire schedules.
+//===--------------------------------------------------------------------===//
+
+std::vector<IntervalConstraint> bandAroundLog1p(int Count, double Width) {
+  std::vector<IntervalConstraint> Cons;
+  for (int I = 0; I <= Count; ++I) {
+    double X = I * (0.05 / Count);
+    double Y = std::log1p(X);
+    Cons.push_back({Rational::fromDouble(X), Rational::fromDouble(Y - Width),
+                    Rational::fromDouble(Y + Width)});
+  }
+  return Cons;
+}
+
+void expectSamePolyResult(const PolyLPResult &Want, const PolyLPResult &Got,
+                          const char *Ctx) {
+  ASSERT_EQ(Want.Feasible, Got.Feasible) << Ctx;
+  if (!Want.Feasible)
+    return;
+  EXPECT_EQ(Want.Margin, Got.Margin) << Ctx;
+  ASSERT_EQ(Want.Poly.Coeffs.size(), Got.Poly.Coeffs.size()) << Ctx;
+  for (size_t K = 0; K < Want.Poly.Coeffs.size(); ++K)
+    EXPECT_EQ(Want.Poly.Coeffs[K], Got.Poly.Coeffs[K]) << Ctx << " c" << K;
+}
+
+/// Drives a session and a fresh-solve referee through the generator's
+/// access pattern over \p Cons: initial solve, then \p Rounds rounds of
+/// shrinking every third live constraint by one interval-width quantum and
+/// retiring one constraint every other round. Returns warm-solve count.
+uint64_t runShrinkSchedule(std::vector<IntervalConstraint> Cons,
+                           const std::vector<unsigned> &Terms, int Rounds,
+                           unsigned Threads) {
+  PolyLPSession Sess(Terms, Threads);
+  std::vector<PolyLPSession::ConstraintId> Ids;
+  std::vector<bool> Live(Cons.size(), true);
+  for (const IntervalConstraint &C : Cons)
+    Ids.push_back(Sess.addConstraint(C.X, C.Lo, C.Hi));
+
+  auto Referee = [&] {
+    std::vector<IntervalConstraint> LiveCons;
+    for (size_t I = 0; I < Cons.size(); ++I)
+      if (Live[I])
+        LiveCons.push_back(Cons[I]);
+    return solvePolyLP(LiveCons, Terms, Threads);
+  };
+
+  expectSamePolyResult(Referee(), Sess.solve(), "initial");
+  for (int Round = 0; Round < Rounds; ++Round) {
+    Rational Shrink =
+        (Cons[0].Hi - Cons[0].Lo) * Rational(BigInt(1), BigInt(64));
+    for (size_t I = Round % 3; I < Cons.size(); I += 3) {
+      if (!Live[I])
+        continue;
+      Cons[I].Lo = Cons[I].Lo + Shrink;
+      Cons[I].Hi = Cons[I].Hi - Shrink;
+      Sess.updateBound(Ids[I], Cons[I].Lo, Cons[I].Hi);
+    }
+    if (Round % 2 == 1) {
+      size_t Victim = (Round * 7 + 3) % Cons.size();
+      if (Live[Victim]) {
+        Live[Victim] = false;
+        Sess.retire(Ids[Victim]);
+      }
+    }
+    PolyLPResult Got = Sess.solve();
+    expectSamePolyResult(Referee(), Got,
+                         ("round " + std::to_string(Round)).c_str());
+    if (!Got.Feasible)
+      break;
+  }
+  return Sess.lpStats().WarmSolves;
+}
+
+TEST(PolyLPSessionTest, MatchesFreshSolvesOnExpBand) {
+  uint64_t Warm =
+      runShrinkSchedule(bandAroundExp(40, 5e-7), {0u, 1u, 2u, 3u}, 8, 1);
+  // The schedule must actually exercise warm re-entry, not just fall back.
+  EXPECT_GT(Warm, 0u);
+}
+
+TEST(PolyLPSessionTest, MatchesFreshSolvesOnLogBand) {
+  uint64_t Warm =
+      runShrinkSchedule(bandAroundLog1p(48, 2e-7), {0u, 1u, 2u, 3u}, 8, 1);
+  EXPECT_GT(Warm, 0u);
+}
+
+TEST(PolyLPSessionTest, ThreadCountDoesNotChangeResults) {
+  // The schedule asserts session == referee internally at every round;
+  // running it per thread count pins warm behavior across pools too.
+  for (unsigned Threads : {1u, 4u, 0u})
+    runShrinkSchedule(bandAroundExp(32, 5e-7), {0u, 1u, 2u, 3u}, 6, Threads);
+}
+
+TEST(PolyLPSessionTest, DuplicateRowsTakeTheDedupSlowPath) {
+  // Even-exponent terms make X and -X produce byte-identical LP rows; the
+  // session must detect the repeat and reproduce solvePolyLP's dedup
+  // behavior (merge to the tightest rhs) instead of solving the raw rows.
+  std::vector<unsigned> Terms = {0u, 2u};
+  std::vector<IntervalConstraint> Cons;
+  for (int I = 1; I <= 6; ++I) {
+    double X = I * 0.1;
+    double Y = X * X;
+    Cons.push_back({Rational::fromDouble(X), Rational::fromDouble(Y - 1e-9),
+                    Rational::fromDouble(Y + 1e-9)});
+    Cons.push_back({Rational::fromDouble(-X), Rational::fromDouble(Y - 1e-9),
+                    Rational::fromDouble(Y + 1e-9)});
+  }
+  PolyLPSession Sess(Terms, 1);
+  std::vector<PolyLPSession::ConstraintId> Ids;
+  for (const IntervalConstraint &C : Cons)
+    Ids.push_back(Sess.addConstraint(C.X, C.Lo, C.Hi));
+  expectSamePolyResult(solvePolyLP(Cons, Terms, 1), Sess.solve(),
+                       "duplicates");
+  // Shrink one half of a mirrored pair: rows stay duplicates in shape but
+  // now differ in rhs; the dedup referee keeps the tighter side.
+  Cons[0].Lo = Cons[0].Lo + Rational::fromDouble(2e-10);
+  Cons[0].Hi = Cons[0].Hi - Rational::fromDouble(2e-10);
+  Sess.updateBound(Ids[0], Cons[0].Lo, Cons[0].Hi);
+  expectSamePolyResult(solvePolyLP(Cons, Terms, 1), Sess.solve(),
+                       "duplicates after shrink");
+  // All solves must have taken the cold dedup path: warm starts are only
+  // sound when the dedup is the identity.
+  EXPECT_EQ(Sess.lpStats().WarmSolves, 0u);
+}
+
+TEST(PolyLPSessionTest, RetireAllButOneStillMatches) {
+  auto Cons = bandAroundExp(12, 1e-6);
+  PolyLPSession Sess({0u, 1u, 2u, 3u}, 1);
+  std::vector<PolyLPSession::ConstraintId> Ids;
+  for (const IntervalConstraint &C : Cons)
+    Ids.push_back(Sess.addConstraint(C.X, C.Lo, C.Hi));
+  Sess.solve();
+  for (size_t I = 1; I < Ids.size(); ++I)
+    Sess.retire(Ids[I]);
+  EXPECT_EQ(Sess.numLiveConstraints(), 1u);
+  std::vector<IntervalConstraint> One = {Cons[0]};
+  expectSamePolyResult(solvePolyLP(One, {0u, 1u, 2u, 3u}, 1), Sess.solve(),
+                       "single survivor");
 }
 
 } // namespace

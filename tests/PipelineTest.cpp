@@ -162,6 +162,94 @@ TEST(PipelineMiscTest, GenerationIsBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(PipelineMiscTest, WarmStartOnAndOffAreBitIdentical) {
+  // The incremental-LP contract end to end: a generator running one
+  // PolyLPSession per shape attempt (WarmStart = 1) must ship the exact
+  // implementation of a generator that rebuilds and cold-solves every
+  // iteration (WarmStart = 0) -- same coefficients, specials, degrees, and
+  // iteration counts. Only the pivot totals and warm/cold accounting may
+  // differ.
+  GenConfig Cfg = smallConfig();
+  Cfg.WarmStart = 1;
+  PolyGenerator WarmGen(ElemFunc::Exp2, Cfg);
+  Cfg.WarmStart = 0;
+  PolyGenerator ColdGen(ElemFunc::Exp2, Cfg);
+  WarmGen.prepare();
+  ColdGen.prepare();
+  ASSERT_EQ(WarmGen.numConstraints(), ColdGen.numConstraints());
+
+  uint64_t WarmSolvesTotal = 0;
+  for (EvalScheme S : {EvalScheme::Horner, EvalScheme::EstrinFMA}) {
+    GeneratedImpl A = WarmGen.generate(S);
+    GeneratedImpl B = ColdGen.generate(S);
+    ASSERT_EQ(A.Success, B.Success) << evalSchemeName(S);
+    if (!A.Success)
+      continue;
+    EXPECT_EQ(A.LPSolves, B.LPSolves);
+    EXPECT_EQ(A.LoopIterations, B.LoopIterations);
+    // Pivot totals are the one statistic that legitimately differs: warm
+    // re-solves spend fewer pivots than cold rebuilds. Row accounting and
+    // everything downstream of the optima must still agree.
+    EXPECT_EQ(A.Stats.LPRowsBeforeDedup, B.Stats.LPRowsBeforeDedup);
+    EXPECT_EQ(A.Stats.LPRowsAfterDedup, B.Stats.LPRowsAfterDedup);
+    // The referee path never warm-starts.
+    EXPECT_EQ(B.Stats.LPWarmSolves, 0u);
+    EXPECT_EQ(B.Stats.LPColdSolves, static_cast<uint64_t>(B.LPSolves));
+    EXPECT_EQ(A.Stats.LPWarmSolves + A.Stats.LPColdSolves,
+              static_cast<uint64_t>(A.LPSolves));
+    WarmSolvesTotal += A.Stats.LPWarmSolves;
+    ASSERT_EQ(A.NumPieces, B.NumPieces);
+    EXPECT_EQ(A.PieceDegrees, B.PieceDegrees);
+    for (int P = 0; P < A.NumPieces; ++P) {
+      ASSERT_EQ(A.Pieces[P].Coeffs.size(), B.Pieces[P].Coeffs.size());
+      for (size_t C = 0; C < A.Pieces[P].Coeffs.size(); ++C) {
+        uint64_t BitsA, BitsB;
+        std::memcpy(&BitsA, &A.Pieces[P].Coeffs[C], sizeof(BitsA));
+        std::memcpy(&BitsB, &B.Pieces[P].Coeffs[C], sizeof(BitsB));
+        EXPECT_EQ(BitsA, BitsB)
+            << evalSchemeName(S) << " piece " << P << " coeff " << C;
+      }
+    }
+    ASSERT_EQ(A.Specials.size(), B.Specials.size());
+    for (size_t I = 0; I < A.Specials.size(); ++I) {
+      EXPECT_EQ(A.Specials[I].Bits, B.Specials[I].Bits);
+      uint64_t HA, HB;
+      std::memcpy(&HA, &A.Specials[I].H, sizeof(HA));
+      std::memcpy(&HB, &B.Specials[I].H, sizeof(HB));
+      EXPECT_EQ(HA, HB);
+    }
+  }
+  // The warm generator must actually warm-start somewhere, or the test
+  // degenerates into comparing the cold path with itself.
+  EXPECT_GT(WarmSolvesTotal, 0u);
+}
+
+TEST(PipelineMiscTest, FlushedCoefficientStillPassesTheCheckStep) {
+  // The coefficient-flush policy (see CoeffFlushThreshold): terms below
+  // 2^-512 are zeroed after rounding the LP solution. The threshold is
+  // way above the subnormal range by design, and flushing must be
+  // invisible to the check step -- the shipped evaluation of the flushed
+  // polynomial is bit-identical, because a sub-threshold term cannot move
+  // any intermediate by even one ulp at the magnitudes the pipeline
+  // evaluates (results near 1, reduced inputs in [-1, 1]).
+  ASSERT_EQ(CoeffFlushThreshold, 0x1p-512);
+  double WithTiny[5] = {1.0, 0.5, 0.25, 0x1.fp-520, 0.125};
+  double Flushed[5] = {1.0, 0.5, 0.25, 0.0, 0.125};
+  ASSERT_LT(std::fabs(WithTiny[3]), CoeffFlushThreshold);
+  for (int I = -64; I <= 64; ++I) {
+    double X = I / 64.0;
+    for (EvalScheme S :
+         {EvalScheme::Horner, EvalScheme::Estrin, EvalScheme::EstrinFMA}) {
+      double A = evalScheme(S, WithTiny, 4, X);
+      double B = evalScheme(S, Flushed, 4, X);
+      uint64_t BitsA, BitsB;
+      std::memcpy(&BitsA, &A, sizeof(BitsA));
+      std::memcpy(&BitsB, &B, sizeof(BitsB));
+      EXPECT_EQ(BitsA, BitsB) << evalSchemeName(S) << " x=" << X;
+    }
+  }
+}
+
 TEST(PipelineMiscTest, OracleCacheHitsDuringCheckPhase) {
   // Every oracle value the check phase needs (constraint retirement) was
   // already computed during prepare(), so the memoizing cache should serve

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <string>
 
 using namespace rfp;
 
@@ -235,5 +236,212 @@ TEST_P(SimplexDimensionSweep, ChebyshevLikeCentersAreValid) {
 
 INSTANTIATE_TEST_SUITE_P(Dims, SimplexDimensionSweep,
                          ::testing::Values(1, 2, 4, 7, 9));
+
+//===--------------------------------------------------------------------===//
+// SimplexSession: incremental re-solving must be indistinguishable (status,
+// solution, objective -- exact Rationals) from one-shot cold solves.
+//===--------------------------------------------------------------------===//
+
+/// Margin-maximizing band system in the poly-LP shape: pairs of rows
+/// (-a.x + d <= -lo, a.x + d <= hi) plus a cap d <= 5; maximize d.
+/// Returns rows/rhs; Bands receives the row index of each band's hi row.
+void buildBandSystem(std::mt19937_64 &Rng, size_t N, size_t M, Matrix &A,
+                     Vector &B, Vector &C) {
+  std::uniform_int_distribution<int> D(-4, 4);
+  A.clear();
+  B.clear();
+  for (size_t I = 0; I < M; ++I) {
+    Vector RowHi(N + 1), RowLo(N + 1);
+    int64_t Center = D(Rng);
+    for (size_t K = 0; K < N; ++K) {
+      int64_t V = D(Rng);
+      RowHi[K] = Rational(V);
+      RowLo[K] = Rational(-V);
+    }
+    RowHi[N] = RowLo[N] = Rational(1);
+    A.push_back(RowLo);
+    B.push_back(Rational(-(Center - 5)));
+    A.push_back(RowHi);
+    B.push_back(Rational(Center + 5));
+  }
+  Vector Cap(N + 1);
+  Cap[N] = Rational(1);
+  A.push_back(Cap);
+  B.push_back(Rational(5));
+  C.assign(N + 1, Rational());
+  C[N] = Rational(1);
+}
+
+void expectSameResult(const LPResult &Want, const LPResult &Got,
+                      const char *Ctx) {
+  ASSERT_EQ(Want.StatusCode, Got.StatusCode) << Ctx;
+  if (!Want.isOptimal())
+    return;
+  EXPECT_EQ(Want.Objective, Got.Objective) << Ctx;
+  ASSERT_EQ(Want.Z.size(), Got.Z.size()) << Ctx;
+  for (size_t K = 0; K < Want.Z.size(); ++K)
+    EXPECT_EQ(Want.Z[K], Got.Z[K]) << Ctx << " z" << K;
+}
+
+TEST(SimplexSessionTest, FirstSolveMatchesOneShotExactly) {
+  // The session's cold path must be the one-shot solver under another
+  // name: same status, solution, objective, and pivot sequence.
+  std::mt19937_64 Rng(42);
+  std::uniform_int_distribution<int> D(-5, 5);
+  for (int Trial = 0; Trial < 120; ++Trial) {
+    size_t N = 2 + Trial % 4, M = 3 + Trial % 9;
+    Matrix A(M, Vector(N));
+    Vector B(M), C(N);
+    for (auto &Row : A)
+      for (auto &V : Row)
+        V = Rational(D(Rng));
+    for (auto &V : B)
+      V = Rational(D(Rng) + 6);
+    for (auto &V : C)
+      V = Rational(D(Rng));
+    LPResult Want = maximizeLP(A, B, C);
+
+    SimplexSession Sess(C);
+    for (size_t I = 0; I < M; ++I)
+      Sess.addRow(A[I], B[I]);
+    LPResult Got = Sess.solve();
+    EXPECT_FALSE(Got.Warm);
+    EXPECT_EQ(Want.Pivots, Got.Pivots) << "trial " << Trial;
+    expectSameResult(Want, Got, "first solve");
+  }
+}
+
+TEST(SimplexSessionTest, WarmResolvesMatchColdAcrossBoundShrinks) {
+  // The generate-check-constrain access pattern: repeated small RHS
+  // shrinks followed by re-solves. Every session answer must equal a
+  // fresh cold solve of the current system, and warm starts must
+  // actually engage (otherwise this test exercises nothing).
+  std::mt19937_64 Rng(77);
+  uint64_t WarmTotal = 0;
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    size_t N = 2 + Trial % 4, M = 6 + Trial % 7;
+    Matrix A;
+    Vector B, C;
+    buildBandSystem(Rng, N, M, A, B, C);
+
+    SimplexSession Sess(C);
+    std::vector<SimplexSession::RowId> Ids;
+    for (size_t I = 0; I < A.size() - 1; ++I)
+      Ids.push_back(Sess.addRow(A[I], B[I]));
+    Ids.push_back(Sess.addRow(A.back(), B.back(), /*PinLast=*/true));
+    expectSameResult(maximizeLP(A, B, C), Sess.solve(), "initial");
+
+    // Shrink a rotating subset of bounds by 1/64 each round.
+    Rational Step(BigInt(1), BigInt(64));
+    for (int Round = 0; Round < 8; ++Round) {
+      for (size_t I = Round % 3; I + 1 < A.size(); I += 3) {
+        B[I] = B[I] - Step;
+        Sess.updateRow(Ids[I], A[I], B[I]);
+      }
+      LPResult Got = Sess.solve();
+      expectSameResult(maximizeLP(A, B, C), Got,
+                       ("round " + std::to_string(Round)).c_str());
+      if (!Got.isOptimal())
+        break; // Over-shrunk into infeasibility: nothing left to test.
+    }
+    WarmTotal += Sess.stats().WarmSolves;
+  }
+  EXPECT_GT(WarmTotal, 50u);
+}
+
+TEST(SimplexSessionTest, RetireAndAddRowsMatchOneShotOnLiveSet) {
+  std::mt19937_64 Rng(99);
+  std::uniform_int_distribution<int> D(-4, 4);
+  for (int Trial = 0; Trial < 30; ++Trial) {
+    size_t N = 2 + Trial % 3, M = 8 + Trial % 5;
+    Matrix A;
+    Vector B, C;
+    buildBandSystem(Rng, N, M, A, B, C);
+
+    SimplexSession Sess(C);
+    std::vector<SimplexSession::RowId> Ids;
+    for (size_t I = 0; I + 1 < A.size(); ++I)
+      Ids.push_back(Sess.addRow(A[I], B[I]));
+    SimplexSession::RowId CapId =
+        Sess.addRow(A.back(), B.back(), /*PinLast=*/true);
+    (void)CapId;
+    Sess.solve();
+
+    // Retire every 4th band pair, append two fresh rows, re-solve, and
+    // compare with a one-shot solve over the surviving rows in the same
+    // order (retired rows removed, new rows appended before the pinned
+    // cap -- exactly the session's canonical column order).
+    Matrix LiveA;
+    Vector LiveB;
+    for (size_t I = 0; I + 1 < A.size(); ++I) {
+      if (I % 8 < 2) { // retire the pair (lo+hi rows of every 4th band)
+        Sess.retireRow(Ids[I]);
+        continue;
+      }
+      LiveA.push_back(A[I]);
+      LiveB.push_back(B[I]);
+    }
+    for (int Extra = 0; Extra < 2; ++Extra) {
+      Vector Row(N + 1);
+      for (size_t K = 0; K < N; ++K)
+        Row[K] = Rational(D(Rng));
+      Row[N] = Rational(1);
+      Rational Rhs(D(Rng) + 7);
+      Sess.addRow(Row, Rhs);
+      LiveA.push_back(Row);
+      LiveB.push_back(Rhs);
+    }
+    LiveA.push_back(A.back());
+    LiveB.push_back(B.back());
+    EXPECT_EQ(Sess.numLiveRows(), LiveA.size());
+    expectSameResult(maximizeLP(LiveA, LiveB, C), Sess.solve(),
+                     "after retire+add");
+  }
+}
+
+TEST(SimplexSessionTest, WarmResultsAreThreadCountInvariant) {
+  // The determinism contract extends to warm re-solves: identical exact
+  // results and identical pivot counts for 1, 4, and hardware threads.
+  std::mt19937_64 Rng(7);
+  for (int Trial = 0; Trial < 12; ++Trial) {
+    size_t N = 3 + Trial % 3, M = 10;
+    Matrix A;
+    Vector B, C;
+    buildBandSystem(Rng, N, M, A, B, C);
+
+    auto Run = [&](unsigned Threads) {
+      Matrix LA = A;
+      Vector LB = B;
+      SimplexSession Sess(C, Threads);
+      std::vector<SimplexSession::RowId> Ids;
+      for (size_t I = 0; I + 1 < LA.size(); ++I)
+        Ids.push_back(Sess.addRow(LA[I], LB[I]));
+      Sess.addRow(LA.back(), LB.back(), /*PinLast=*/true);
+      std::vector<LPResult> Results;
+      Results.push_back(Sess.solve());
+      Rational Step(BigInt(1), BigInt(32));
+      for (int Round = 0; Round < 5; ++Round) {
+        for (size_t I = Round % 2; I + 1 < LA.size(); I += 2) {
+          LB[I] = LB[I] - Step;
+          Sess.updateRow(Ids[I], LA[I], LB[I]);
+        }
+        Results.push_back(Sess.solve());
+      }
+      return Results;
+    };
+
+    std::vector<LPResult> T1 = Run(1), T4 = Run(4), THw = Run(0);
+    ASSERT_EQ(T1.size(), T4.size());
+    ASSERT_EQ(T1.size(), THw.size());
+    for (size_t R = 0; R < T1.size(); ++R) {
+      expectSameResult(T1[R], T4[R], "threads 1 vs 4");
+      expectSameResult(T1[R], THw[R], "threads 1 vs hw");
+      EXPECT_EQ(T1[R].Pivots, T4[R].Pivots) << "round " << R;
+      EXPECT_EQ(T1[R].Pivots, THw[R].Pivots) << "round " << R;
+      EXPECT_EQ(T1[R].Warm, T4[R].Warm) << "round " << R;
+      EXPECT_EQ(T1[R].Warm, THw[R].Warm) << "round " << R;
+    }
+  }
+}
 
 } // namespace
