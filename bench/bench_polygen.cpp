@@ -20,6 +20,12 @@
 //     the report carries warm/cold solve and pivot counters per run and
 //     the warm-vs-cold LP wall-time speedup, and the referee's output is
 //     included in the bit-identical comparison
+//   * certified fast-oracle accounting: the ladder runs with the fast
+//     path on; one fast-off referee at the base thread count isolates the
+//     prepare speedup (oracle_fast_prepare_speedup) and joins the
+//     bit-identical comparison. Per run, the prepare phase is broken down
+//     into oracle_ms / interval_ms / merge_ms with fast_accept /
+//     fast_fallback / ziv_retries tallies.
 //
 //   bench_polygen [func] [--stride N] [--threads a,b,c] [--json[=path]]
 //
@@ -32,6 +38,7 @@
 
 #include "core/PolyGen.h"
 #include "oracle/OracleCache.h"
+#include "oracle/OracleFast.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
@@ -55,8 +62,12 @@ double msSince(std::chrono::steady_clock::time_point T0) {
 struct RunResult {
   unsigned Threads = 0;
   bool Warm = false; ///< LP warm starts enabled for this run.
+  bool Fast = true;  ///< Certified fast oracle enabled for this run.
   double PrepareMs = 0, GenerateMs = 0;
   double CheckPhaseHitRate = 0;
+  /// Per-phase prepare breakdown plus the run's oracle telemetry deltas.
+  PolyGenerator::PrepareBreakdown Prep;
+  uint64_t ZivRetries = 0; ///< Exact-oracle Ziv retries during prepare.
   /// Per-phase LP stats summed over all schemes' generate() runs. The
   /// pivot/row counters are thread-count-invariant; only LPTimeMs moves.
   GeneratedImpl::GenStats LPStats;
@@ -84,20 +95,26 @@ bool identicalOutput(const GeneratedImpl &A, const GeneratedImpl &B) {
   return true;
 }
 
-RunResult runPipeline(ElemFunc F, GenConfig Cfg, unsigned Threads,
-                      bool Warm) {
+RunResult runPipeline(ElemFunc F, GenConfig Cfg, unsigned Threads, bool Warm,
+                      bool Fast) {
   Cfg.NumThreads = Threads;
   Cfg.WarmStart = Warm ? 1 : 0;
   oracle_cache::clear();
+  oracle_fast::setEnabled(Fast);
 
   RunResult R;
   R.Threads = Threads;
   R.Warm = Warm;
+  R.Fast = Fast;
   PolyGenerator Gen(F, Cfg);
 
+  uint64_t RetriesBefore = telemetry::counterValue("oracle.ziv.retries");
   auto T0 = std::chrono::steady_clock::now();
   Gen.prepare();
   R.PrepareMs = msSince(T0);
+  R.Prep = Gen.prepareBreakdown();
+  R.ZivRetries =
+      telemetry::counterValue("oracle.ziv.retries") - RetriesBefore;
 
   // The cache counters are process-wide monotonic telemetry; deltas
   // around the generate phase isolate this run's hit rate.
@@ -126,6 +143,7 @@ RunResult runPipeline(ElemFunc F, GenConfig Cfg, unsigned Threads,
   R.CheckPhaseHitRate =
       Hits + Misses == 0 ? 1.0
                          : static_cast<double>(Hits) / (Hits + Misses);
+  oracle_fast::setEnabled(true);
   return R;
 }
 
@@ -180,19 +198,24 @@ int main(int Argc, char **Argv) {
 
   std::printf("Generator pipeline wall-clock, %s, stride %u\n",
               elemFuncName(Func), Cfg.SampleStride);
-  std::printf("%8s %5s %12s %12s %12s %10s %10s %10s %8s %10s\n", "threads",
-              "warm", "prepare ms", "generate ms", "total ms", "speedup",
-              "hit rate", "lp ms", "pivots", "warm/cold");
+  std::printf("%8s %5s %5s %12s %12s %12s %10s %10s %10s %8s %10s\n",
+              "threads", "warm", "fast", "prepare ms", "generate ms",
+              "total ms", "speedup", "hit rate", "lp ms", "pivots",
+              "warm/cold");
 
-  // The thread ladder runs with LP warm starts on; one extra cold-referee
-  // run at the base thread count isolates the warm-start LP speedup and
-  // checks the two paths ship bit-identical implementations.
+  // The thread ladder runs with LP warm starts and the certified fast
+  // oracle on; a cold-LP referee and a fast-oracle-off referee at the base
+  // thread count isolate the two speedups, and all referees join the
+  // bit-identical output comparison.
   std::vector<RunResult> Runs;
   for (unsigned T : ThreadLadder)
-    Runs.push_back(runPipeline(Func, Cfg, T, /*Warm=*/true));
-  if (!ThreadLadder.empty())
-    Runs.push_back(
-        runPipeline(Func, Cfg, ThreadLadder.front(), /*Warm=*/false));
+    Runs.push_back(runPipeline(Func, Cfg, T, /*Warm=*/true, /*Fast=*/true));
+  if (!ThreadLadder.empty()) {
+    Runs.push_back(runPipeline(Func, Cfg, ThreadLadder.front(),
+                               /*Warm=*/false, /*Fast=*/true));
+    Runs.push_back(runPipeline(Func, Cfg, ThreadLadder.front(),
+                               /*Warm=*/true, /*Fast=*/false));
+  }
 
   double BaseTotal = Runs.empty()
                          ? 0
@@ -201,26 +224,43 @@ int main(int Argc, char **Argv) {
   for (const RunResult &R : Runs) {
     double Total = R.PrepareMs + R.GenerateMs;
     std::printf(
-        "%8u %5s %12.1f %12.1f %12.1f %9.2fx %9.1f%% %10.1f %8llu %4llu/%-4llu\n",
-        R.Threads, R.Warm ? "on" : "off", R.PrepareMs, R.GenerateMs, Total,
-        Total > 0 ? BaseTotal / Total : 0.0, 100.0 * R.CheckPhaseHitRate,
-        R.LPStats.LPTimeMs,
+        "%8u %5s %5s %12.1f %12.1f %12.1f %9.2fx %9.1f%% %10.1f %8llu "
+        "%4llu/%-4llu\n",
+        R.Threads, R.Warm ? "on" : "off", R.Fast ? "on" : "off", R.PrepareMs,
+        R.GenerateMs, Total, Total > 0 ? BaseTotal / Total : 0.0,
+        100.0 * R.CheckPhaseHitRate, R.LPStats.LPTimeMs,
         static_cast<unsigned long long>(R.LPStats.LPPivots),
         static_cast<unsigned long long>(R.LPStats.LPWarmSolves),
         static_cast<unsigned long long>(R.LPStats.LPColdSolves));
+    std::printf("         prepare: oracle %.1f + interval %.1f + merge %.1f "
+                "ms, fast accept/fallback %llu/%llu, ziv retries %llu\n",
+                R.Prep.OracleMs, R.Prep.IntervalMs, R.Prep.MergeMs,
+                static_cast<unsigned long long>(R.Prep.FastAccepts),
+                static_cast<unsigned long long>(R.Prep.FastFallbacks),
+                static_cast<unsigned long long>(R.ZivRetries));
     for (size_t S = 0; S < R.Impls.size(); ++S)
       if (!identicalOutput(Runs.front().Impls[S], R.Impls[S]))
         AllIdentical = false;
   }
-  std::printf("output bit-identical across thread counts and warm modes: %s\n",
+  std::printf("output bit-identical across thread counts, warm modes, and "
+              "fast-oracle modes: %s\n",
               AllIdentical ? "yes" : "NO -- DETERMINISM VIOLATION");
 
+  // Fast-oracle prepare speedup: ladder base run vs the fast-off referee
+  // at the same thread count (last entry).
+  double FastPrepareSpeedup = 0;
+  if (!Runs.empty() && !Runs.back().Fast && Runs.front().PrepareMs > 0)
+    FastPrepareSpeedup = Runs.back().PrepareMs / Runs.front().PrepareMs;
+  if (FastPrepareSpeedup > 0)
+    std::printf("prepare speedup, fast oracle vs exact (%u threads): %.2fx\n",
+                Runs.front().Threads, FastPrepareSpeedup);
+
   // Warm-start LP speedup: warm ladder base run vs the cold referee at the
-  // same thread count (last entry).
+  // same thread count.
   double LPWarmSpeedup = 0;
-  if (Runs.size() >= 2 && !Runs.back().Warm &&
-      Runs.front().LPStats.LPTimeMs > 0)
-    LPWarmSpeedup = Runs.back().LPStats.LPTimeMs / Runs.front().LPStats.LPTimeMs;
+  for (const RunResult &R : Runs)
+    if (!R.Warm && Runs.front().LPStats.LPTimeMs > 0)
+      LPWarmSpeedup = R.LPStats.LPTimeMs / Runs.front().LPStats.LPTimeMs;
   if (LPWarmSpeedup > 0)
     std::printf("LP wall-time speedup, warm vs cold (%u threads): %.2fx\n",
                 Runs.front().Threads, LPWarmSpeedup);
@@ -235,6 +275,8 @@ int main(int Argc, char **Argv) {
     W.kv("bit_identical_across_threads", AllIdentical);
     if (LPWarmSpeedup > 0)
       W.kvFixed("lp_warm_speedup", LPWarmSpeedup, 3);
+    if (FastPrepareSpeedup > 0)
+      W.kvFixed("oracle_fast_prepare_speedup", FastPrepareSpeedup, 3);
     W.key("runs");
     W.beginArray();
     for (const RunResult &R : Runs) {
@@ -243,7 +285,14 @@ int main(int Argc, char **Argv) {
       W.beginObject();
       W.kv("threads", R.Threads);
       W.kv("warm", R.Warm);
+      W.kv("fast_oracle", R.Fast);
       W.kvFixed("prepare_ms", R.PrepareMs, 2);
+      W.kvFixed("oracle_ms", R.Prep.OracleMs, 2);
+      W.kvFixed("interval_ms", R.Prep.IntervalMs, 2);
+      W.kvFixed("merge_ms", R.Prep.MergeMs, 2);
+      W.kv("fast_accept", R.Prep.FastAccepts);
+      W.kv("fast_fallback", R.Prep.FastFallbacks);
+      W.kv("ziv_retries", R.ZivRetries);
       W.kvFixed("generate_ms", R.GenerateMs, 2);
       W.kvFixed("total_ms", Total, 2);
       W.kvFixed("speedup_vs_1thread", Total > 0 ? BaseTotal / Total : 0.0, 3);

@@ -9,11 +9,11 @@
 #include "lp/LPSolver.h"
 #include "oracle/Oracle.h"
 #include "oracle/OracleCache.h"
+#include "oracle/OracleFast.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -112,15 +112,22 @@ PolyGenerator::PolyGenerator(ElemFunc F, GenConfig C)
     telemetry::startTrace(Config.TracePath.c_str());
 }
 
-/// Enumerates the poly-path inputs: a strided sweep over all float bit
-/// patterns plus dense windows around the interesting boundary points.
-std::vector<float> PolyGenerator::buildInputSet() const {
-  std::vector<uint32_t> Bits;
+/// Candidates per streamed prepare block when GenConfig leaves it 0.
+static constexpr uint64_t DefaultPrepareBlock = 1ull << 18;
 
-  // Strided sweep over the entire 2^32 pattern space; reduceInput filters
-  // out the non-polynomial paths.
-  for (uint64_t B = 0; B < (1ull << 32); B += Config.SampleStride)
-    Bits.push_back(static_cast<uint32_t>(B));
+static bool setErr(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg;
+  return false;
+}
+
+/// The window patterns around the boundary anchors, sorted and deduped.
+/// The candidate domain is the union of these with the implicit strided
+/// sweep over all 2^32 bit patterns (reduceInput later filters out the
+/// non-polynomial paths).
+static std::vector<uint32_t> buildWindowBits(ElemFunc Func,
+                                             const GenConfig &Config) {
+  std::vector<uint32_t> Bits;
 
   // Dense windows around boundary values where special-path handoffs and
   // exactly representable results live.
@@ -174,89 +181,192 @@ std::vector<float> PolyGenerator::buildInputSet() const {
 
   std::sort(Bits.begin(), Bits.end());
   Bits.erase(std::unique(Bits.begin(), Bits.end()), Bits.end());
-
-  std::vector<float> Inputs;
-  Inputs.reserve(Bits.size());
-  for (uint32_t B : Bits) {
-    float X = bitsToFloat(B);
-    if (std::isnan(X))
-      continue;
-    if (libm::reduceInput(Func, X).PolyPath)
-      Inputs.push_back(X);
-  }
-  return Inputs;
+  // Patterns on the stride already live in the implicit strided set; what
+  // remains is exactly the "window only" complement, keeping the union
+  // free of duplicates without materializing the strided side.
+  Bits.erase(std::remove_if(Bits.begin(), Bits.end(),
+                            [&](uint32_t B) {
+                              return B % Config.SampleStride == 0;
+                            }),
+             Bits.end());
+  return Bits;
 }
 
-void PolyGenerator::prepare() {
-  if (Prepared)
+void PolyGenerator::CandidateSet::emit(uint64_t Begin, uint64_t End,
+                                       std::vector<uint32_t> &Out) const {
+  assert(Begin <= End && End <= size());
+  Out.clear();
+  Out.reserve(End - Begin);
+
+  // Split position Begin into (SI strided + WI window) consumed elements:
+  // binary search for the window cursor such that everything consumed
+  // precedes everything not yet consumed (k-th element of two sorted
+  // disjoint arrays; the strided array is implicit, value SI * Stride).
+  uint64_t WLo = Begin > NumStrided ? Begin - NumStrided : 0;
+  uint64_t WHi = std::min<uint64_t>(Begin, WinOnly.size());
+  uint64_t WI = (WLo + WHi) / 2;
+  while (true) {
+    uint64_t SI = Begin - WI;
+    bool WindowOk =
+        WI == 0 || SI == NumStrided || WinOnly[WI - 1] < SI * Stride;
+    bool StridedOk =
+        SI == 0 || WI == WinOnly.size() || (SI - 1) * Stride < WinOnly[WI];
+    if (WindowOk && StridedOk)
+      break;
+    if (!WindowOk)
+      WHi = WI - 1;
+    else
+      WLo = WI + 1;
+    WI = (WLo + WHi) / 2;
+  }
+
+  // Merge walk from the cursor. The sets are disjoint, so strict
+  // comparison settles every step.
+  uint64_t SI = Begin - WI;
+  for (uint64_t I = Begin; I < End; ++I) {
+    uint64_t SV = SI < NumStrided ? SI * Stride : ~0ull;
+    uint64_t WV = WI < WinOnly.size() ? WinOnly[WI] : ~0ull;
+    if (SV < WV) {
+      Out.push_back(static_cast<uint32_t>(SV));
+      ++SI;
+    } else {
+      Out.push_back(WinOnly[WI]);
+      ++WI;
+    }
+  }
+}
+
+void PolyGenerator::initCandidates() {
+  if (CandsBuilt)
     return;
-  Prepared = true;
-  telemetry::Span PrepareSpan("polygen.prepare");
+  CandsBuilt = true;
+  Cands.Stride = Config.SampleStride;
+  Cands.NumStrided = 0xFFFFFFFFull / Config.SampleStride + 1;
+  Cands.WinOnly = buildWindowBits(Func, Config);
+}
 
-  std::vector<float> Inputs = buildInputSet();
-  NumInputs = Inputs.size();
-  telemetry::logf(LogLevel::Info, "polygen", "inputs: %zu", NumInputs);
+uint64_t PolyGenerator::candidateCount() {
+  initCandidates();
+  return Cands.size();
+}
 
+void PolyGenerator::oracleRecords(uint64_t Begin, uint64_t End,
+                                  std::vector<shard::Record> &Out) {
+  telemetry::Span SweepSpan("polygen.oracle_sweep");
+  auto T0 = std::chrono::steady_clock::now();
+
+  std::vector<uint32_t> Bits;
+  Cands.emit(Begin, End, Bits);
+  const size_t N = Bits.size();
+  std::vector<uint64_t> Enc(N);
+  std::vector<uint8_t> Keep(N, 0);
+  const bool Fast = oracle_fast::enabled();
+
+  parallelFor(
+      N,
+      [&](size_t CB, size_t CE) {
+        // Gather the chunk's poly-path inputs, certify them as one batch,
+        // and send the stragglers (boundary straddles, domain rejects) to
+        // the exact oracle. AllowFast = false on the fallback: these
+        // already failed certification, so a cache miss must not re-try
+        // it (wasted work, double-counted fast-path telemetry).
+        std::vector<size_t> Idx;
+        std::vector<uint32_t> XB;
+        Idx.reserve(CE - CB);
+        XB.reserve(CE - CB);
+        for (size_t I = CB; I < CE; ++I) {
+          float X = bitsToFloat(Bits[I]);
+          if (std::isnan(X) || !libm::reduceInput(Func, X).PolyPath)
+            continue;
+          Keep[I] = 1;
+          Idx.push_back(I);
+          XB.push_back(Bits[I]);
+        }
+        if (Fast && !XB.empty()) {
+          std::vector<uint64_t> BatchEnc(XB.size());
+          std::vector<uint8_t> Certified(XB.size());
+          oracle_fast::evalToOdd34Batch(Func, XB.data(), XB.size(),
+                                        BatchEnc.data(), Certified.data());
+          for (size_t J = 0; J < XB.size(); ++J)
+            Enc[Idx[J]] = Certified[J]
+                              ? BatchEnc[J]
+                              : oracle_cache::evalToOdd34(Func, XB[J],
+                                                          /*AllowFast=*/false);
+        } else {
+          for (size_t J = 0; J < XB.size(); ++J)
+            Enc[Idx[J]] = oracle_cache::evalToOdd34(Func, XB[J]);
+        }
+      },
+      Config.NumThreads);
+
+  // Serial compaction in candidate order: the record stream is what every
+  // downstream consumer (merge, shard files) sees, so its order is the
+  // determinism contract.
+  Out.clear();
+  Out.reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    if (Keep[I])
+      Out.push_back({Bits[I], Enc[I]});
+
+  Breakdown.OracleMs += std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - T0)
+                            .count();
+}
+
+void PolyGenerator::consumeRecords(const shard::Record *Recs, size_t N) {
   FPFormat F34 = FPFormat::fp34();
-  std::unordered_map<uint64_t, size_t> Index;
-  Index.reserve(Inputs.size());
 
-  // Phase 1 (parallel, oracle-bound): one independent oracle query + interval
-  // inference per input. Results land in a vector slot per input index.
-  struct PreparedInput {
+  // Pass B (parallel, independent per record): rounding interval from the
+  // stored encoding, range reduction, inverse output compensation.
+  struct DerivedInput {
     double Y34;
     double T;
     double Lo, Hi;
     bool PIValid;
   };
-  std::vector<PreparedInput> Derived(Inputs.size());
-  std::atomic<size_t> Done{0};
+  std::vector<DerivedInput> Derived(N);
   {
-    telemetry::Span SweepSpan("polygen.oracle_sweep");
+    telemetry::Span IntervalSpan("polygen.interval_infer");
+    auto T0 = std::chrono::steady_clock::now();
     parallelFor(
-        Inputs.size(),
+        N,
         [&](size_t Begin, size_t End) {
           for (size_t I = Begin; I < End; ++I) {
-            float X = Inputs[I];
-            uint64_t Enc = oracle_cache::evalToOdd34(Func, floatToBits(X));
-            assert(F34.isFinite(Enc) &&
+            assert(F34.isFinite(Recs[I].Enc) &&
                    "poly-path input with non-finite oracle");
-            double Y34 = F34.decode(Enc);
-            HInterval HI = roundingIntervalRO(Y34, F34);
-            libm::Reduction R = libm::reduceInput(Func, X);
+            double Y34 = F34.decode(Recs[I].Enc);
+            HInterval HI = roundingIntervalROEnc(Recs[I].Enc, F34);
+            libm::Reduction R =
+                libm::reduceInput(Func, bitsToFloat(Recs[I].Bits));
             HInterval PI = inferPolyInterval(Func, R, HI.Lo, HI.Hi);
             Derived[I] = {Y34, R.T, PI.Lo, PI.Hi, PI.Valid};
           }
-          if (telemetry::logEnabled(LogLevel::Info)) {
-            // Progress ticks at each completed eighth; log() serializes
-            // the concurrent chunks.
-            size_t D = Done.fetch_add(End - Begin) + (End - Begin);
-            if ((D * 8) / Inputs.size() !=
-                ((D - (End - Begin)) * 8) / Inputs.size())
-              telemetry::logf(LogLevel::Info, "polygen",
-                              "oracle progress: %zu/%zu", D, NumInputs);
-          }
         },
         Config.NumThreads);
+    Breakdown.IntervalMs += std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - T0)
+                                .count();
   }
 
-  // Phase 2 (serial, cheap): merge in ascending input-index order -- the
-  // exact order the old serial loop used -- so the constraint set, the
-  // intersection outcomes, and the forced specials are bit-identical for
-  // every thread count.
+  // Serial merge in record (= candidate) order -- the exact order the
+  // original serial loop used -- so the constraint set, the intersection
+  // outcomes, and the forced specials are bit-identical for every thread
+  // count, block size, and sharding.
   telemetry::Span MergeSpan("polygen.merge");
-  for (size_t I = 0; I < Inputs.size(); ++I) {
-    const PreparedInput &D = Derived[I];
-    uint32_t XBits = floatToBits(Inputs[I]);
+  auto T1 = std::chrono::steady_clock::now();
+  for (size_t I = 0; I < N; ++I) {
+    const DerivedInput &D = Derived[I];
+    uint32_t XBits = Recs[I].Bits;
     if (!D.PIValid) {
       ForcedSpecials.push_back({XBits, D.Y34});
       continue;
     }
 
-    auto [It, Fresh] = Index.try_emplace(doubleKey(D.T), Constraints.size());
+    auto [It, Fresh] =
+        MergeIndex.try_emplace(doubleKey(D.T), Constraints.size());
     if (Fresh) {
       Constraints.push_back(
-          {D.T, D.Lo, D.Hi, D.Lo, D.Hi, {XBits}});
+          {D.T, D.Lo, D.Hi, D.Lo, D.Hi, {XBits}, false, {}});
       continue;
     }
     MergedConstraint &M = Constraints[It->second];
@@ -274,7 +384,14 @@ void PolyGenerator::prepare() {
     M.Beta0 = std::min(M.Beta0, D.Hi);
     M.Inputs.push_back(XBits);
   }
+  NumInputs += N;
+  Breakdown.MergeMs += std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - T1)
+                           .count();
+}
 
+void PolyGenerator::finalizePrepare() {
+  MergeIndex = {};
   std::sort(Constraints.begin(), Constraints.end(),
             [](const MergedConstraint &A, const MergedConstraint &B) {
               return A.T < B.T;
@@ -285,8 +402,129 @@ void PolyGenerator::prepare() {
   for (MergedConstraint &M : Constraints)
     M.TX = Rational::fromDouble(M.T);
   telemetry::logf(LogLevel::Info, "polygen",
-                  "constraints: %zu, forced specials: %zu", Constraints.size(),
-                  ForcedSpecials.size());
+                  "inputs: %zu, constraints: %zu, forced specials: %zu",
+                  NumInputs, Constraints.size(), ForcedSpecials.size());
+}
+
+void PolyGenerator::prepare() {
+  if (Prepared)
+    return;
+  Prepared = true;
+  telemetry::Span PrepareSpan("polygen.prepare");
+  initCandidates();
+  Breakdown = PrepareBreakdown();
+  uint64_t Accepts0 = telemetry::counterValue("oracle.fast.accepts");
+  uint64_t Fallbacks0 = telemetry::counterValue("oracle.fast.fallbacks") +
+                        telemetry::counterValue("oracle.fast.rejects");
+
+  const uint64_t Total = Cands.size();
+  const uint64_t Block = Config.PrepareBlockCandidates
+                             ? Config.PrepareBlockCandidates
+                             : DefaultPrepareBlock;
+  telemetry::logf(LogLevel::Info, "polygen",
+                  "candidates: %llu (block %llu)",
+                  static_cast<unsigned long long>(Total),
+                  static_cast<unsigned long long>(Block));
+
+  std::vector<shard::Record> Records;
+  for (uint64_t B = 0; B < Total; B += Block) {
+    uint64_t E = std::min<uint64_t>(Total, B + Block);
+    oracleRecords(B, E, Records);
+    consumeRecords(Records.data(), Records.size());
+    // One progress line per completed block, from the driver thread: the
+    // workers carry no progress bookkeeping at all.
+    if (E < Total && telemetry::logEnabled(LogLevel::Info))
+      telemetry::logf(LogLevel::Info, "polygen",
+                      "oracle progress: %llu/%llu candidates",
+                      static_cast<unsigned long long>(E),
+                      static_cast<unsigned long long>(Total));
+  }
+
+  Breakdown.FastAccepts =
+      telemetry::counterValue("oracle.fast.accepts") - Accepts0;
+  Breakdown.FastFallbacks = telemetry::counterValue("oracle.fast.fallbacks") +
+                            telemetry::counterValue("oracle.fast.rejects") -
+                            Fallbacks0;
+  finalizePrepare();
+}
+
+bool PolyGenerator::prepareShard(unsigned K, unsigned M,
+                                 const std::string &Dir, std::string *Err) {
+  if (M == 0 || K >= M)
+    return setErr(Err, "shard index out of range");
+  initCandidates();
+
+  shard::ShardSetConfig C;
+  C.Func = Func;
+  C.Stride = Config.SampleStride;
+  C.Window = Config.BoundaryWindow;
+  C.NumShards = M;
+  C.NumCandidates = Cands.size();
+  if (!shard::writeOrCheckManifest(Dir, C, Err))
+    return false;
+
+  uint64_t Begin, End;
+  shard::shardRange(C, K, Begin, End);
+  shard::ShardWriter W;
+  if (!W.open(Dir, C, K, Begin, End, Err))
+    return false;
+
+  const uint64_t Block = Config.PrepareBlockCandidates
+                             ? Config.PrepareBlockCandidates
+                             : DefaultPrepareBlock;
+  std::vector<shard::Record> Records;
+  for (uint64_t B = Begin; B < End; B += Block) {
+    uint64_t E = std::min<uint64_t>(End, B + Block);
+    oracleRecords(B, E, Records);
+    if (!W.append(Records.data(), Records.size(), Err))
+      return false;
+    if (E < End && telemetry::logEnabled(LogLevel::Info))
+      telemetry::logf(LogLevel::Info, "polygen",
+                      "shard %u/%u progress: %llu/%llu candidates", K, M,
+                      static_cast<unsigned long long>(E - Begin),
+                      static_cast<unsigned long long>(End - Begin));
+  }
+  return W.finalize(Err);
+}
+
+bool PolyGenerator::prepareFromShards(const std::string &Dir, unsigned M,
+                                      std::string *Err) {
+  if (Prepared)
+    return setErr(Err, "generator already prepared");
+  initCandidates();
+
+  shard::ShardSetConfig C;
+  if (!shard::readManifest(Dir, Func, C, Err))
+    return false;
+  if (C.Stride != Config.SampleStride || C.Window != Config.BoundaryWindow ||
+      C.NumCandidates != Cands.size())
+    return setErr(Err,
+                  "shard set was built with a different sampling "
+                  "configuration (stride/window mismatch)");
+  if (M != 0 && C.NumShards != M)
+    return setErr(Err, "shard count does not match the manifest");
+
+  telemetry::Span PrepareSpan("polygen.prepare");
+  Breakdown = PrepareBreakdown();
+  const uint64_t Block = Config.PrepareBlockCandidates
+                             ? Config.PrepareBlockCandidates
+                             : DefaultPrepareBlock;
+  std::vector<shard::Record> Buf(
+      static_cast<size_t>(std::min<uint64_t>(Block, 1ull << 20)));
+  for (unsigned K = 0; K < C.NumShards; ++K) {
+    shard::ShardReader R;
+    if (!R.open(Dir, C, K, Err))
+      return false;
+    size_t Got;
+    std::string ReadErr;
+    while ((Got = R.read(Buf.data(), Buf.size(), &ReadErr)) > 0)
+      consumeRecords(Buf.data(), Got);
+    if (!R.finish(Err))
+      return false;
+  }
+  Prepared = true;
+  finalizePrepare();
+  return true;
 }
 
 /// Evaluates a candidate under the scheme with the shipped operation order.

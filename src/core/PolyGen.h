@@ -34,6 +34,7 @@
 #define RFP_CORE_POLYGEN_H
 
 #include "core/RoundingInterval.h"
+#include "core/ShardStore.h"
 #include "lp/LPSolver.h"
 #include "poly/EvalScheme.h"
 #include "support/ElemFunc.h"
@@ -41,6 +42,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace rfp {
@@ -93,6 +95,12 @@ struct GenConfig {
   /// this path -- the programmatic equivalent of RFP_TRACE=<path>. The
   /// trace stream is process-wide; the first enabled path wins.
   std::string TracePath;
+  /// Candidates per streamed prepare block (oracle sweep -> interval
+  /// inference -> in-order merge, block by block). 0 defers to the default
+  /// (2^18). Any value produces bit-identical prepare() results -- blocks
+  /// only bound peak memory and progress granularity -- so tests exercise
+  /// multi-block merges by shrinking it.
+  uint64_t PrepareBlockCandidates = 0;
 };
 
 /// One generated implementation: everything needed to ship f(x) under one
@@ -168,6 +176,40 @@ public:
   /// Runs the integrated generation loop for one evaluation scheme.
   GeneratedImpl generate(EvalScheme S);
 
+  /// Per-phase accounting of the last prepare()/prepareFromShards() run.
+  /// Times are wall clock; the fast-path tallies are deltas of the
+  /// process-wide `oracle.fast.*` counters over the run (FastFallbacks
+  /// counts every input the certified path handed to the exact oracle:
+  /// boundary straddles plus domain rejects).
+  struct PrepareBreakdown {
+    double OracleMs = 0.0;   ///< Oracle sweep (fast path + exact fallback).
+    double IntervalMs = 0.0; ///< Rounding-interval + inverse compensation.
+    double MergeMs = 0.0;    ///< Serial in-order constraint merge.
+    uint64_t FastAccepts = 0;
+    uint64_t FastFallbacks = 0;
+  };
+  const PrepareBreakdown &prepareBreakdown() const { return Breakdown; }
+
+  /// Number of candidate bit patterns (strided sweep plus boundary
+  /// windows) this configuration enumerates. The sharding unit: shard K of
+  /// M covers the K-th contiguous range of candidate indices.
+  uint64_t candidateCount();
+
+  /// Computes shard \p K of \p M -- the oracle records for that candidate
+  /// range -- and persists it under \p Dir (manifest written or validated
+  /// first). Does not alter this generator's prepared state; any number of
+  /// shards may be computed by any process in any order.
+  bool prepareShard(unsigned K, unsigned M, const std::string &Dir,
+                    std::string *Err = nullptr);
+
+  /// prepare() from a complete shard set under \p Dir: streams the shards
+  /// in index order through the same interval/merge pipeline, yielding
+  /// constraints and forced specials bit-identical to an in-process
+  /// prepare(). \p M (when non-zero) asserts the expected shard count.
+  /// On failure the generator may be half-prepared; use a fresh instance.
+  bool prepareFromShards(const std::string &Dir, unsigned M = 0,
+                         std::string *Err = nullptr);
+
   // --- Deprecated LogFn compat shims (one release). ---------------------
   // The callback API predates the telemetry logger. The shims install a
   // temporary sink forwarding "polygen" messages to the callback, so old
@@ -207,7 +249,31 @@ private:
     Rational TX;
   };
 
-  std::vector<float> buildInputSet() const;
+  /// The candidate domain, stored as (implicit strided set) union (window
+  /// patterns not on the stride), both sorted -- lazy enumeration instead
+  /// of a materialized 2^32-scale vector. emit() hands out any contiguous
+  /// index range in ascending bit-pattern order via k-th-of-two-sorted-
+  /// arrays selection plus a merge walk, which is what makes block
+  /// streaming and sharding random-access.
+  struct CandidateSet {
+    uint64_t Stride = 0;
+    uint64_t NumStrided = 0;       ///< Patterns 0, S, 2S, ... below 2^32.
+    std::vector<uint32_t> WinOnly; ///< Window patterns off the stride.
+    uint64_t size() const { return NumStrided + WinOnly.size(); }
+    void emit(uint64_t Begin, uint64_t End, std::vector<uint32_t> &Out) const;
+  };
+
+  void initCandidates();
+  /// Pass A over candidates [Begin, End): filter to poly-path inputs and
+  /// resolve each one's RO_34 encoding (certified fast path in batches,
+  /// exact oracle for the remainder), emitting records in candidate order.
+  void oracleRecords(uint64_t Begin, uint64_t End,
+                     std::vector<shard::Record> &Out);
+  /// Pass B: derive rounding + reduced intervals (parallel) and fold the
+  /// records into the constraint map (serial, record order).
+  void consumeRecords(const shard::Record *Recs, size_t N);
+  /// Sorts constraints by reduced input and converts exact forms.
+  void finalizePrepare();
   bool generatePiece(EvalScheme S, std::vector<MergedConstraint *> &Piece,
                      unsigned Degree, GeneratedImpl &Impl, Polynomial &OutPoly,
                      KnuthAdapted &OutKA);
@@ -218,6 +284,12 @@ private:
   size_t NumInputs = 0;
   std::vector<MergedConstraint> Constraints; ///< Sorted by T.
   std::vector<GeneratedImpl::Special> ForcedSpecials;
+  CandidateSet Cands;
+  bool CandsBuilt = false;
+  PrepareBreakdown Breakdown;
+  /// doubleKey(T) -> Constraints index; live only across consumeRecords
+  /// calls of one prepare, released by finalizePrepare().
+  std::unordered_map<uint64_t, size_t> MergeIndex;
 };
 
 } // namespace rfp

@@ -16,6 +16,12 @@ HInterval rfp::roundingIntervalRO(double Y, const FPFormat &F) {
          "rounding interval requires a finite representable value");
   uint64_t Enc = F.roundDouble(Y, RoundingMode::TowardZero);
   assert(F.decode(Enc) == Y);
+  return roundingIntervalROEnc(Enc, F);
+}
+
+HInterval rfp::roundingIntervalROEnc(uint64_t Enc, const FPFormat &F) {
+  assert(F.isFinite(Enc) && "rounding interval requires a finite encoding");
+  double Y = F.decode(Enc);
 
   HInterval R;
   R.Valid = true;

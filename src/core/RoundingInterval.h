@@ -45,6 +45,12 @@ struct HInterval {
 /// to the double range.
 HInterval roundingIntervalRO(double Y, const FPFormat &F);
 
+/// Same interval, but keyed by Y's finite \p F encoding directly. The
+/// oracle hands encodings over, so the prepare sweep calls this form and
+/// skips re-rounding the decoded value (roundingIntervalRO delegates
+/// here after one roundDouble).
+HInterval roundingIntervalROEnc(uint64_t Enc, const FPFormat &F);
+
 /// Infers [Alpha, Beta] such that outputCompensate(F, v, R) lands in
 /// [Lo, Hi] for every double v in [Alpha, Beta]. The interval is maximal
 /// up to the verification granularity. Returns an invalid interval when no

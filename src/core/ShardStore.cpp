@@ -1,0 +1,348 @@
+//===- core/ShardStore.cpp - Resumable on-disk oracle shards --------------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ShardStore.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <vector>
+
+using namespace rfp;
+using namespace rfp::shard;
+
+namespace {
+
+constexpr char Magic[8] = {'R', 'F', 'P', 'S', 'H', 'R', 'D', '1'};
+constexpr uint32_t FormatVersion = 1;
+constexpr size_t RecordBytes = 12;
+
+constexpr uint64_t FnvOffset = 14695981039346656037ull;
+constexpr uint64_t FnvPrime = 1099511628211ull;
+
+uint64_t fnv1a(const unsigned char *Data, size_t Len, uint64_t H) {
+  for (size_t I = 0; I < Len; ++I) {
+    H ^= Data[I];
+    H *= FnvPrime;
+  }
+  return H;
+}
+
+/// Fixed 72-byte file header. NumRecords and Checksum are zero until
+/// finalize() stamps them, so validation rejects an unfinished file even
+/// if it somehow landed under the final name.
+struct Header {
+  char Mag[8];
+  uint32_t Version;
+  uint32_t FuncId;
+  uint32_t Stride;
+  uint32_t Window;
+  uint32_t ShardIdx;
+  uint32_t NumShards;
+  uint64_t NumCandidates;
+  uint64_t CandBegin;
+  uint64_t CandEnd;
+  uint64_t NumRecords;
+  uint64_t Checksum;
+};
+static_assert(sizeof(Header) == 72, "packed header layout");
+
+bool fail(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg;
+  return false;
+}
+
+void serializeRecords(const Record *Recs, size_t N,
+                      std::vector<unsigned char> &Out) {
+  Out.resize(N * RecordBytes);
+  unsigned char *P = Out.data();
+  for (size_t I = 0; I < N; ++I, P += RecordBytes) {
+    std::memcpy(P, &Recs[I].Bits, 4);
+    std::memcpy(P + 4, &Recs[I].Enc, 8);
+  }
+}
+
+ElemFunc funcFromName(const std::string &Name, bool &Ok) {
+  for (ElemFunc F : AllElemFuncs)
+    if (Name == elemFuncName(F)) {
+      Ok = true;
+      return F;
+    }
+  Ok = false;
+  return ElemFunc::Exp;
+}
+
+} // namespace
+
+std::string shard::manifestPath(const std::string &Dir, ElemFunc F) {
+  return Dir + "/" + elemFuncName(F) + ".manifest";
+}
+
+std::string shard::shardPath(const std::string &Dir, ElemFunc F, unsigned K,
+                             unsigned M) {
+  return Dir + "/" + elemFuncName(F) + ".shard" + std::to_string(K) + "of" +
+         std::to_string(M) + ".bin";
+}
+
+bool shard::writeOrCheckManifest(const std::string &Dir,
+                                 const ShardSetConfig &C, std::string *Err) {
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC)
+    return fail(Err, "cannot create shard directory " + Dir + ": " +
+                         EC.message());
+
+  std::string Path = manifestPath(Dir, C.Func);
+  if (std::filesystem::exists(Path)) {
+    ShardSetConfig Existing;
+    if (!readManifest(Dir, C.Func, Existing, Err))
+      return false;
+    if (!(Existing == C))
+      return fail(Err, "shard directory " + Dir +
+                           " was built with a different configuration "
+                           "(stride/window/shards/candidates mismatch)");
+    return true;
+  }
+
+  std::string Tmp = Path + ".tmp";
+  std::FILE *F = std::fopen(Tmp.c_str(), "w");
+  if (!F)
+    return fail(Err, "cannot write " + Tmp);
+  std::fprintf(F,
+               "rfp-shard-manifest v1\n"
+               "func %s\n"
+               "stride %u\n"
+               "window %u\n"
+               "shards %u\n"
+               "candidates %llu\n",
+               elemFuncName(C.Func), C.Stride, C.Window, C.NumShards,
+               static_cast<unsigned long long>(C.NumCandidates));
+  bool Ok = std::fflush(F) == 0;
+  Ok = (std::fclose(F) == 0) && Ok;
+  if (!Ok)
+    return fail(Err, "short write to " + Tmp);
+  std::filesystem::rename(Tmp, Path, EC);
+  if (EC)
+    return fail(Err, "cannot rename " + Tmp + ": " + EC.message());
+  return true;
+}
+
+bool shard::readManifest(const std::string &Dir, ElemFunc F,
+                         ShardSetConfig &C, std::string *Err) {
+  std::string Path = manifestPath(Dir, F);
+  std::FILE *In = std::fopen(Path.c_str(), "r");
+  if (!In)
+    return fail(Err, "cannot open manifest " + Path);
+  char FuncName[32] = {0};
+  unsigned long long Cands = 0;
+  int N = std::fscanf(In,
+                      "rfp-shard-manifest v1\n"
+                      "func %31s\n"
+                      "stride %u\n"
+                      "window %u\n"
+                      "shards %u\n"
+                      "candidates %llu\n",
+                      FuncName, &C.Stride, &C.Window, &C.NumShards, &Cands);
+  std::fclose(In);
+  if (N != 5)
+    return fail(Err, "malformed manifest " + Path);
+  bool Ok = false;
+  C.Func = funcFromName(FuncName, Ok);
+  C.NumCandidates = Cands;
+  if (!Ok)
+    return fail(Err, "manifest " + Path + " has unknown function '" +
+                         FuncName + "'");
+  if (C.Func != F)
+    return fail(Err, "manifest " + Path + " is for a different function");
+  return true;
+}
+
+void shard::shardRange(const ShardSetConfig &C, unsigned K, uint64_t &Begin,
+                       uint64_t &End) {
+  uint64_t Per = C.NumShards ? (C.NumCandidates + C.NumShards - 1) / C.NumShards
+                             : C.NumCandidates;
+  Begin = std::min<uint64_t>(C.NumCandidates, static_cast<uint64_t>(K) * Per);
+  End = std::min<uint64_t>(C.NumCandidates, Begin + Per);
+}
+
+//===----------------------------------------------------------------------===//
+// ShardWriter
+//===----------------------------------------------------------------------===//
+
+ShardWriter::~ShardWriter() {
+  if (F) {
+    std::fclose(F);
+    std::error_code EC;
+    std::filesystem::remove(TmpPath, EC); // Abandoned: drop the temporary.
+  }
+}
+
+bool ShardWriter::open(const std::string &Dir, const ShardSetConfig &C,
+                       unsigned K, uint64_t Begin, uint64_t End,
+                       std::string *Err) {
+  if (F)
+    return fail(Err, "shard writer already open");
+  Config = C;
+  ShardIdx = K;
+  CandBegin = Begin;
+  CandEnd = End;
+  NumRecords = 0;
+  Checksum = FnvOffset;
+  FinalPath = shardPath(Dir, C.Func, K, C.NumShards);
+  TmpPath = FinalPath + ".tmp";
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  F = std::fopen(TmpPath.c_str(), "wb");
+  if (!F)
+    return fail(Err, "cannot create " + TmpPath);
+  // Placeholder header; finalize() rewrites it with count + checksum.
+  Header H = {};
+  if (std::fwrite(&H, sizeof(H), 1, F) != 1)
+    return fail(Err, "short write to " + TmpPath);
+  return true;
+}
+
+bool ShardWriter::append(const Record *Recs, size_t N, std::string *Err) {
+  if (!F)
+    return fail(Err, "shard writer not open");
+  if (N == 0)
+    return true;
+  std::vector<unsigned char> Buf;
+  serializeRecords(Recs, N, Buf);
+  Checksum = fnv1a(Buf.data(), Buf.size(), Checksum);
+  if (std::fwrite(Buf.data(), 1, Buf.size(), F) != Buf.size())
+    return fail(Err, "short write to " + TmpPath);
+  NumRecords += N;
+  return true;
+}
+
+bool ShardWriter::finalize(std::string *Err) {
+  if (!F)
+    return fail(Err, "shard writer not open");
+  Header H = {};
+  std::memcpy(H.Mag, Magic, sizeof(Magic));
+  H.Version = FormatVersion;
+  H.FuncId = static_cast<uint32_t>(Config.Func);
+  H.Stride = Config.Stride;
+  H.Window = Config.Window;
+  H.ShardIdx = ShardIdx;
+  H.NumShards = Config.NumShards;
+  H.NumCandidates = Config.NumCandidates;
+  H.CandBegin = CandBegin;
+  H.CandEnd = CandEnd;
+  H.NumRecords = NumRecords;
+  H.Checksum = Checksum;
+  bool Ok = std::fseek(F, 0, SEEK_SET) == 0 &&
+            std::fwrite(&H, sizeof(H), 1, F) == 1 && std::fflush(F) == 0;
+  Ok = (std::fclose(F) == 0) && Ok;
+  F = nullptr;
+  if (!Ok) {
+    std::error_code EC;
+    std::filesystem::remove(TmpPath, EC);
+    return fail(Err, "short write finalizing " + TmpPath);
+  }
+  std::error_code EC;
+  std::filesystem::rename(TmpPath, FinalPath, EC);
+  if (EC)
+    return fail(Err, "cannot rename " + TmpPath + ": " + EC.message());
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// ShardReader
+//===----------------------------------------------------------------------===//
+
+ShardReader::~ShardReader() { close(); }
+
+void ShardReader::close() {
+  if (F) {
+    std::fclose(F);
+    F = nullptr;
+  }
+}
+
+bool ShardReader::open(const std::string &Dir, const ShardSetConfig &C,
+                       unsigned K, std::string *Err) {
+  if (F)
+    return fail(Err, "shard reader already open");
+  std::string Path = shardPath(Dir, C.Func, K, C.NumShards);
+  F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return fail(Err, "cannot open shard " + Path);
+  Header H = {};
+  if (std::fread(&H, sizeof(H), 1, F) != 1) {
+    close();
+    return fail(Err, "truncated shard header in " + Path);
+  }
+  uint64_t WantBegin, WantEnd;
+  shardRange(C, K, WantBegin, WantEnd);
+  if (std::memcmp(H.Mag, Magic, sizeof(Magic)) != 0 ||
+      H.Version != FormatVersion ||
+      H.FuncId != static_cast<uint32_t>(C.Func) || H.Stride != C.Stride ||
+      H.Window != C.Window || H.ShardIdx != K ||
+      H.NumShards != C.NumShards || H.NumCandidates != C.NumCandidates ||
+      H.CandBegin != WantBegin || H.CandEnd != WantEnd) {
+    close();
+    return fail(Err, "shard " + Path +
+                         " does not match the expected configuration");
+  }
+  NumRecords = H.NumRecords;
+  RecordsRead = 0;
+  CandBegin = H.CandBegin;
+  CandEnd = H.CandEnd;
+  ExpectedChecksum = H.Checksum;
+  RunningChecksum = FnvOffset;
+  return true;
+}
+
+size_t ShardReader::read(Record *Out, size_t Max, std::string *Err) {
+  if (!F) {
+    fail(Err, "shard reader not open");
+    return 0;
+  }
+  size_t N = static_cast<size_t>(
+      std::min<uint64_t>(Max, NumRecords - RecordsRead));
+  if (N == 0)
+    return 0;
+  std::vector<unsigned char> Buf(N * RecordBytes);
+  if (std::fread(Buf.data(), 1, Buf.size(), F) != Buf.size()) {
+    fail(Err, "truncated shard data");
+    return 0;
+  }
+  RunningChecksum = fnv1a(Buf.data(), Buf.size(), RunningChecksum);
+  const unsigned char *P = Buf.data();
+  for (size_t I = 0; I < N; ++I, P += RecordBytes) {
+    std::memcpy(&Out[I].Bits, P, 4);
+    std::memcpy(&Out[I].Enc, P + 4, 8);
+  }
+  RecordsRead += N;
+  return N;
+}
+
+bool ShardReader::finish(std::string *Err) {
+  if (!F)
+    return fail(Err, "shard reader not open");
+  if (RecordsRead != NumRecords)
+    return fail(Err, "shard not fully read");
+  if (std::fgetc(F) != EOF)
+    return fail(Err, "trailing bytes after shard records");
+  if (RunningChecksum != ExpectedChecksum)
+    return fail(Err, "shard checksum mismatch (corrupt or interrupted file)");
+  return true;
+}
+
+bool shard::shardValid(const std::string &Dir, const ShardSetConfig &C,
+                       unsigned K) {
+  ShardReader R;
+  if (!R.open(Dir, C, K))
+    return false;
+  std::vector<Record> Buf(4096);
+  while (R.read(Buf.data(), Buf.size()) > 0) {
+  }
+  return R.finish();
+}

@@ -1,0 +1,160 @@
+//===- core/ShardStore.h - Resumable on-disk oracle shards -----*- C++ -*-===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// On-disk storage for sharded prepare runs: the candidate domain of one
+/// (function, stride, window) configuration is split into NumShards
+/// contiguous index ranges, and each shard persists its oracle verdicts so
+/// a full-range float32 generation becomes an interruptible job -- shards
+/// can be computed across interruptions (or machines sharing a directory)
+/// and assembled later into a prepare() state that is bit-identical to an
+/// uninterrupted run.
+///
+/// What a shard stores is deliberately the *oracle records* ({input bits,
+/// RO_34 encoding} for every poly-path input of the range, in candidate
+/// order) and not per-shard constraints or specials: the merge's
+/// forced-special decisions depend on the global input order (an empty
+/// intersection special-cases the *later* input), so independently folded
+/// per-shard constraint maps could not be recombined bit-identically.
+/// Re-deriving intervals and re-running the in-order merge from the
+/// records is cheap next to the oracle work the records capture.
+///
+/// Layout under a shard directory (one set per function):
+///   <func>.manifest            -- text: config + candidate-domain size
+///   <func>.shard<K>of<M>.bin   -- binary: header, packed records, and an
+///                                 FNV-1a checksum over the record bytes
+///
+/// Files are written to a temporary name and renamed into place, so a
+/// killed run leaves either a complete, checksummed shard or junk that
+/// validation rejects -- never a truncated file under the final name.
+/// Multi-byte fields are native-endian: shard sets are machine-local
+/// working state, not interchange files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RFP_CORE_SHARDSTORE_H
+#define RFP_CORE_SHARDSTORE_H
+
+#include "support/ElemFunc.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace rfp {
+namespace shard {
+
+/// One oracle verdict: a poly-path input and its round-to-odd FP34
+/// encoding. Serialized as 12 packed bytes (Bits, then Enc).
+struct Record {
+  uint32_t Bits;
+  uint64_t Enc;
+
+  bool operator==(const Record &RHS) const {
+    return Bits == RHS.Bits && Enc == RHS.Enc;
+  }
+};
+
+/// Identity of a shard set: everything that determines the candidate
+/// domain and its partition. Every shard file and the manifest carry it;
+/// readers reject mismatches rather than silently mixing configurations.
+struct ShardSetConfig {
+  ElemFunc Func = ElemFunc::Exp;
+  uint32_t Stride = 0;
+  uint32_t Window = 0;
+  uint32_t NumShards = 0;
+  uint64_t NumCandidates = 0;
+
+  bool operator==(const ShardSetConfig &RHS) const {
+    return Func == RHS.Func && Stride == RHS.Stride && Window == RHS.Window &&
+           NumShards == RHS.NumShards && NumCandidates == RHS.NumCandidates;
+  }
+};
+
+std::string manifestPath(const std::string &Dir, ElemFunc F);
+std::string shardPath(const std::string &Dir, ElemFunc F, unsigned K,
+                      unsigned M);
+
+/// Creates \p Dir if needed and writes the manifest atomically. When a
+/// manifest already exists it is validated instead: a config mismatch is
+/// an error (the directory belongs to a different run).
+bool writeOrCheckManifest(const std::string &Dir, const ShardSetConfig &C,
+                          std::string *Err = nullptr);
+
+/// Reads the manifest for \p F from \p Dir.
+bool readManifest(const std::string &Dir, ElemFunc F, ShardSetConfig &C,
+                  std::string *Err = nullptr);
+
+/// Candidate-index range [Begin, End) covered by shard \p K: the domain
+/// splits into NumShards near-equal contiguous ranges (ceil division, so
+/// trailing shards of a ragged split may be empty but never overlap).
+void shardRange(const ShardSetConfig &C, unsigned K, uint64_t &Begin,
+                uint64_t &End);
+
+/// True when shard \p K exists under \p Dir, its header matches \p C, and
+/// its checksum verifies over a full streaming read. This is the resume
+/// predicate: invalid or missing shards are recomputed.
+bool shardValid(const std::string &Dir, const ShardSetConfig &C, unsigned K);
+
+/// Streaming shard writer. Records append in candidate order; finalize()
+/// stamps the header (count + checksum) and renames the temporary file
+/// into place. Destroying an unfinalized writer removes the temporary.
+class ShardWriter {
+public:
+  ShardWriter() = default;
+  ~ShardWriter();
+  ShardWriter(const ShardWriter &) = delete;
+  ShardWriter &operator=(const ShardWriter &) = delete;
+
+  bool open(const std::string &Dir, const ShardSetConfig &C, unsigned K,
+            uint64_t CandBegin, uint64_t CandEnd, std::string *Err = nullptr);
+  bool append(const Record *Recs, size_t N, std::string *Err = nullptr);
+  bool finalize(std::string *Err = nullptr);
+
+private:
+  std::FILE *F = nullptr;
+  std::string TmpPath, FinalPath;
+  uint64_t NumRecords = 0;
+  uint64_t Checksum = 0;
+  ShardSetConfig Config;
+  unsigned ShardIdx = 0;
+  uint64_t CandBegin = 0, CandEnd = 0;
+};
+
+/// Streaming shard reader. open() validates the header against the
+/// expected config and range; read() hands back records in file order;
+/// finish() (after reading to the end) verifies the checksum.
+class ShardReader {
+public:
+  ShardReader() = default;
+  ~ShardReader();
+  ShardReader(const ShardReader &) = delete;
+  ShardReader &operator=(const ShardReader &) = delete;
+
+  bool open(const std::string &Dir, const ShardSetConfig &C, unsigned K,
+            std::string *Err = nullptr);
+  uint64_t numRecords() const { return NumRecords; }
+  uint64_t candBegin() const { return CandBegin; }
+  uint64_t candEnd() const { return CandEnd; }
+  /// Reads up to \p Max records; returns the count (0 at end of data).
+  size_t read(Record *Out, size_t Max, std::string *Err = nullptr);
+  /// After the last read(): recomputed checksum must match the header's.
+  bool finish(std::string *Err = nullptr);
+  void close();
+
+private:
+  std::FILE *F = nullptr;
+  uint64_t NumRecords = 0;
+  uint64_t RecordsRead = 0;
+  uint64_t CandBegin = 0, CandEnd = 0;
+  uint64_t ExpectedChecksum = 0;
+  uint64_t RunningChecksum = 0;
+};
+
+} // namespace shard
+} // namespace rfp
+
+#endif // RFP_CORE_SHARDSTORE_H

@@ -135,33 +135,44 @@ MPFloat zivRound(ComputeFn Compute, unsigned Prec, RoundingMode M) {
 
 // The constant caches are shared across the oracle's worker threads (the
 // generator sweeps run under rfp::parallelFor), so lookups take a mutex.
-// The compute under the lock is rare (one entry per precision bucket) and
-// deterministic, so holding the lock across it is fine.
+// The lock covers only the map access plus (rarely, one entry per
+// precision bucket) the constant's first computation; the per-call
+// round() to the requested precision -- a mantissa copy and shift that
+// every Ziv evaluation pays at least twice -- runs on a private copy
+// outside the lock, so concurrent sweeps do not serialize on it.
 
 MPFloat mpt::ln2(unsigned Prec) {
   static std::map<unsigned, MPFloat> Cache;
   static std::mutex CacheMutex;
   unsigned B = bucket(Prec + GuardBits + 16);
-  std::lock_guard<std::mutex> L(CacheMutex);
-  auto It = Cache.find(B);
-  if (It == Cache.end()) {
-    // ln2 = 2*atanh(1/3).
-    MPFloat Third =
-        MPFloat::div(MPFloat::fromInt(1), MPFloat::fromInt(3), B + 32, RN);
-    It = Cache.emplace(B, atanhSmall(Third, B + 32).scalb(1)).first;
+  MPFloat Cached;
+  {
+    std::lock_guard<std::mutex> L(CacheMutex);
+    auto It = Cache.find(B);
+    if (It == Cache.end()) {
+      // ln2 = 2*atanh(1/3).
+      MPFloat Third =
+          MPFloat::div(MPFloat::fromInt(1), MPFloat::fromInt(3), B + 32, RN);
+      It = Cache.emplace(B, atanhSmall(Third, B + 32).scalb(1)).first;
+    }
+    Cached = It->second;
   }
-  return It->second.round(Prec, RN);
+  return Cached.round(Prec, RN);
 }
 
 MPFloat mpt::ln10(unsigned Prec) {
   static std::map<unsigned, MPFloat> Cache;
   static std::mutex CacheMutex;
   unsigned B = bucket(Prec + GuardBits + 16);
-  std::lock_guard<std::mutex> L(CacheMutex);
-  auto It = Cache.find(B);
-  if (It == Cache.end())
-    It = Cache.emplace(B, lnCore(MPFloat::fromInt(10), B + 32)).first;
-  return It->second.round(Prec, RN);
+  MPFloat Cached;
+  {
+    std::lock_guard<std::mutex> L(CacheMutex);
+    auto It = Cache.find(B);
+    if (It == Cache.end())
+      It = Cache.emplace(B, lnCore(MPFloat::fromInt(10), B + 32)).first;
+    Cached = It->second;
+  }
+  return Cached.round(Prec, RN);
 }
 
 MPFloat mpt::expApprox(const MPFloat &X, unsigned W) { return expCore(X, W); }

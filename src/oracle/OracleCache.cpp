@@ -7,6 +7,7 @@
 #include "oracle/OracleCache.h"
 
 #include "oracle/Oracle.h"
+#include "oracle/OracleFast.h"
 #include "support/Telemetry.h"
 
 #include <cstdlib>
@@ -50,6 +51,9 @@ struct CacheCounters {
   telemetry::Counter Hits = telemetry::counter("oracle.cache.hits");
   telemetry::Counter Misses = telemetry::counter("oracle.cache.misses");
   telemetry::Counter Evictions = telemetry::counter("oracle.cache.evictions");
+  /// Misses answered by the certified fast path (no Ziv run, no insert).
+  telemetry::Counter FastServed =
+      telemetry::counter("oracle.cache.fast_served");
 };
 
 const CacheCounters &counters() {
@@ -68,7 +72,8 @@ uint64_t mix(uint64_t K) {
 
 } // namespace
 
-uint64_t rfp::oracle_cache::evalToOdd34(ElemFunc Fn, uint32_t XBits) {
+uint64_t rfp::oracle_cache::evalToOdd34(ElemFunc Fn, uint32_t XBits,
+                                        bool AllowFast) {
   CacheState &S = state();
   const CacheCounters &C = counters();
   uint64_t Key = (static_cast<uint64_t>(Fn) << 32) | XBits;
@@ -88,6 +93,18 @@ uint64_t rfp::oracle_cache::evalToOdd34(ElemFunc Fn, uint32_t XBits) {
   // the same key both compute the (deterministic) value; the second insert
   // is a no-op.
   C.Misses.inc();
+  // Certified fast path first: when the double-double enclosure rounds
+  // cleanly the encoding is proved equal to Oracle::eval's, so serving it
+  // keeps the cache transparent. Fast verdicts are not inserted -- they
+  // re-certify in ~100ns, and skipping the insert keeps a full-range
+  // sweep's cache footprint bounded by the genuinely hard inputs.
+  if (AllowFast && oracle_fast::enabled()) {
+    uint64_t FastEnc;
+    if (oracle_fast::tryEvalToOdd34(Fn, XBits, FastEnc)) {
+      C.FastServed.inc();
+      return FastEnc;
+    }
+  }
   float X;
   std::memcpy(&X, &XBits, sizeof(X));
   uint64_t Enc = Oracle::eval(Fn, X, FPFormat::fp34(), RoundingMode::ToOdd);

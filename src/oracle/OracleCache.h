@@ -48,8 +48,13 @@ namespace rfp {
 namespace oracle_cache {
 
 /// Cached FP(34, 8) round-to-odd encoding of f(x) where x is the float with
-/// bit pattern \p XBits. Thread-safe; computes and inserts on miss.
-uint64_t evalToOdd34(ElemFunc Fn, uint32_t XBits);
+/// bit pattern \p XBits. Thread-safe; computes and inserts on miss. A miss
+/// first consults the certified fast path (oracle/OracleFast.h) when it is
+/// enabled and \p AllowFast is true -- fast verdicts are proved equal to
+/// Oracle::eval's, so the cache stays transparent either way. Callers that
+/// already ran (and failed) the fast path pass AllowFast = false to skip
+/// the re-try and keep the fast-path telemetry counters honest.
+uint64_t evalToOdd34(ElemFunc Fn, uint32_t XBits, bool AllowFast = true);
 
 /// Drops all cached entries (test isolation). The telemetry counters are
 /// monotonic and are NOT reset; take before/after snapshots for deltas.

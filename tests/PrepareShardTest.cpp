@@ -1,0 +1,257 @@
+//===- tests/PrepareShardTest.cpp - Streaming + sharded prepare tests -----===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The streaming prepare's determinism contract: constraints, forced
+// specials, and generated polynomials are bit-identical for every thread
+// count, block size, and sharding -- including a sharded run that was
+// killed half-way and resumed. Shard files themselves are byte-identical
+// however they are produced, and corruption is detected.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PolyGen.h"
+#include "core/ShardStore.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace rfp;
+
+namespace {
+
+/// Small but multi-block configuration: enough candidates to cross block
+/// and shard boundaries, small enough to keep the oracle work in the
+/// certified fast path's millisecond range.
+GenConfig testConfig(uint64_t BlockCandidates = 0) {
+  GenConfig C;
+  C.SampleStride = 1048573;
+  C.BoundaryWindow = 96;
+  C.PrepareBlockCandidates = BlockCandidates;
+  C.NumThreads = 1;
+  return C;
+}
+
+uint64_t bitsOf(double D) {
+  uint64_t K;
+  std::memcpy(&K, &D, sizeof(K));
+  return K;
+}
+
+void expectSameConstraints(PolyGenerator &A, PolyGenerator &B) {
+  EXPECT_EQ(A.numInputs(), B.numInputs());
+  ASSERT_EQ(A.numConstraints(), B.numConstraints());
+  std::vector<IntervalConstraint> CA = A.exportLPConstraints();
+  std::vector<IntervalConstraint> CB = B.exportLPConstraints();
+  ASSERT_EQ(CA.size(), CB.size());
+  for (size_t I = 0; I < CA.size(); ++I) {
+    ASSERT_TRUE(CA[I].X == CB[I].X) << "constraint " << I;
+    ASSERT_TRUE(CA[I].Lo == CB[I].Lo) << "constraint " << I;
+    ASSERT_TRUE(CA[I].Hi == CB[I].Hi) << "constraint " << I;
+  }
+}
+
+void expectSameImpl(const GeneratedImpl &A, const GeneratedImpl &B) {
+  ASSERT_EQ(A.Success, B.Success);
+  ASSERT_EQ(A.NumPieces, B.NumPieces);
+  ASSERT_EQ(A.PieceDegrees, B.PieceDegrees);
+  ASSERT_EQ(A.Pieces.size(), B.Pieces.size());
+  for (size_t P = 0; P < A.Pieces.size(); ++P) {
+    ASSERT_EQ(A.Pieces[P].Coeffs.size(), B.Pieces[P].Coeffs.size());
+    for (size_t D = 0; D < A.Pieces[P].Coeffs.size(); ++D)
+      ASSERT_EQ(bitsOf(A.Pieces[P].Coeffs[D]), bitsOf(B.Pieces[P].Coeffs[D]))
+          << "piece " << P << " coeff " << D;
+  }
+  ASSERT_EQ(A.Specials.size(), B.Specials.size());
+  for (size_t S = 0; S < A.Specials.size(); ++S) {
+    ASSERT_EQ(A.Specials[S].Bits, B.Specials[S].Bits);
+    ASSERT_EQ(bitsOf(A.Specials[S].H), bitsOf(B.Specials[S].H));
+  }
+  EXPECT_EQ(A.LPSolves, B.LPSolves);
+  EXPECT_EQ(A.LoopIterations, B.LoopIterations);
+}
+
+/// Per-test scratch directory, wiped on entry: TempDir() contents survive
+/// across runs, and a stale shard set would defeat the resume assertions.
+std::string tempDir(const char *Name) {
+  std::string Dir = ::testing::TempDir() + "rfp_shard_" + Name;
+  std::filesystem::remove_all(Dir);
+  return Dir;
+}
+
+std::vector<char> fileBytes(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << Path;
+  return std::vector<char>(std::istreambuf_iterator<char>(In),
+                           std::istreambuf_iterator<char>());
+}
+
+shard::ShardSetConfig shardConfigFor(PolyGenerator &Gen, const GenConfig &C,
+                                     ElemFunc F, unsigned M) {
+  shard::ShardSetConfig SC;
+  SC.Func = F;
+  SC.Stride = C.SampleStride;
+  SC.Window = C.BoundaryWindow;
+  SC.NumShards = M;
+  SC.NumCandidates = Gen.candidateCount();
+  return SC;
+}
+
+TEST(PrepareStreamTest, BlockSizeAndThreadsInvariant) {
+  const ElemFunc F = ElemFunc::Exp2;
+  PolyGenerator Ref(F, testConfig());
+  Ref.prepare();
+
+  // A block size that forces many partial blocks, and a threaded run.
+  GenConfig Small = testConfig(/*BlockCandidates=*/777);
+  PolyGenerator GSmall(F, Small);
+  GSmall.prepare();
+  expectSameConstraints(Ref, GSmall);
+
+  GenConfig Threads = testConfig(/*BlockCandidates=*/4096);
+  Threads.NumThreads = 4;
+  PolyGenerator GThreads(F, Threads);
+  GThreads.prepare();
+  expectSameConstraints(Ref, GThreads);
+
+  expectSameImpl(Ref.generate(EvalScheme::Horner),
+                 GSmall.generate(EvalScheme::Horner));
+}
+
+TEST(PrepareShardTest, ShardedEqualsPlain) {
+  const ElemFunc F = ElemFunc::Log;
+  const unsigned M = 4;
+  std::string Dir = tempDir("equals_plain");
+
+  GenConfig Cfg = testConfig(/*BlockCandidates=*/5000);
+  PolyGenerator Worker(F, Cfg);
+  std::string Err;
+  for (unsigned K = 0; K < M; ++K)
+    ASSERT_TRUE(Worker.prepareShard(K, M, Dir, &Err)) << Err;
+
+  PolyGenerator FromShards(F, Cfg);
+  ASSERT_TRUE(FromShards.prepareFromShards(Dir, M, &Err)) << Err;
+
+  PolyGenerator Plain(F, testConfig());
+  Plain.prepare();
+
+  expectSameConstraints(Plain, FromShards);
+  expectSameImpl(Plain.generate(EvalScheme::Horner),
+                 FromShards.generate(EvalScheme::Horner));
+}
+
+TEST(PrepareShardTest, KillAndResumeByteIdentical) {
+  const ElemFunc F = ElemFunc::Exp2;
+  const unsigned M = 4;
+  GenConfig Cfg = testConfig(/*BlockCandidates=*/3000);
+  std::string Err;
+
+  // An uninterrupted reference shard set.
+  std::string FullDir = tempDir("resume_full");
+  {
+    PolyGenerator G(F, Cfg);
+    for (unsigned K = 0; K < M; ++K)
+      ASSERT_TRUE(G.prepareShard(K, M, FullDir, &Err)) << Err;
+  }
+
+  // The "killed" run: only shards 0 and 1 were completed.
+  std::string Dir = tempDir("resume_partial");
+  {
+    PolyGenerator G(F, Cfg);
+    ASSERT_TRUE(G.prepareShard(0, M, Dir, &Err)) << Err;
+    ASSERT_TRUE(G.prepareShard(1, M, Dir, &Err)) << Err;
+  }
+  std::vector<char> Shard0 = fileBytes(shard::shardPath(Dir, F, 0, M));
+  std::vector<char> Shard1 = fileBytes(shard::shardPath(Dir, F, 1, M));
+
+  // Resume in a fresh process (generator): valid shards are skipped, the
+  // missing ones computed.
+  PolyGenerator Resumed(F, Cfg);
+  shard::ShardSetConfig SC = shardConfigFor(Resumed, Cfg, F, M);
+  EXPECT_TRUE(shard::shardValid(Dir, SC, 0));
+  EXPECT_TRUE(shard::shardValid(Dir, SC, 1));
+  EXPECT_FALSE(shard::shardValid(Dir, SC, 2));
+  EXPECT_FALSE(shard::shardValid(Dir, SC, 3));
+  for (unsigned K = 0; K < M; ++K)
+    if (!shard::shardValid(Dir, SC, K)) {
+      ASSERT_TRUE(Resumed.prepareShard(K, M, Dir, &Err)) << Err;
+    }
+
+  // The pre-kill shards were not touched, and every shard is byte-equal
+  // to the uninterrupted set's.
+  EXPECT_EQ(Shard0, fileBytes(shard::shardPath(Dir, F, 0, M)));
+  EXPECT_EQ(Shard1, fileBytes(shard::shardPath(Dir, F, 1, M)));
+  for (unsigned K = 0; K < M; ++K)
+    EXPECT_EQ(fileBytes(shard::shardPath(FullDir, F, K, M)),
+              fileBytes(shard::shardPath(Dir, F, K, M)))
+        << "shard " << K;
+
+  // And the resumed set assembles into the same tables as a plain run.
+  ASSERT_TRUE(Resumed.prepareFromShards(Dir, M, &Err)) << Err;
+  PolyGenerator Plain(F, testConfig());
+  Plain.prepare();
+  expectSameConstraints(Plain, Resumed);
+  expectSameImpl(Plain.generate(EvalScheme::Horner),
+                 Resumed.generate(EvalScheme::Horner));
+}
+
+TEST(PrepareShardTest, CorruptionDetected) {
+  const ElemFunc F = ElemFunc::Exp10;
+  const unsigned M = 2;
+  GenConfig Cfg = testConfig();
+  std::string Dir = tempDir("corrupt");
+  std::string Err;
+
+  PolyGenerator G(F, Cfg);
+  ASSERT_TRUE(G.prepareShard(0, M, Dir, &Err)) << Err;
+  shard::ShardSetConfig SC = shardConfigFor(G, Cfg, F, M);
+  ASSERT_TRUE(shard::shardValid(Dir, SC, 0));
+
+  std::string Path = shard::shardPath(Dir, F, 0, M);
+  std::vector<char> Good = fileBytes(Path);
+  ASSERT_GT(Good.size(), 100u);
+
+  auto Rewrite = [&](const std::vector<char> &Bytes) {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  };
+
+  // Flipped record byte: header parses, checksum must catch it.
+  std::vector<char> Flipped = Good;
+  Flipped[Good.size() / 2] ^= 0x20;
+  Rewrite(Flipped);
+  EXPECT_FALSE(shard::shardValid(Dir, SC, 0));
+
+  // Truncation: record stream ends early.
+  std::vector<char> Truncated(Good.begin(),
+                              Good.end() - static_cast<long>(24));
+  Rewrite(Truncated);
+  EXPECT_FALSE(shard::shardValid(Dir, SC, 0));
+
+  // Header from a different configuration (shard index corrupted).
+  std::vector<char> BadHeader = Good;
+  BadHeader[24] ^= 0x01; // ShardIdx field (offset 8 magic + 4x4 fields).
+  Rewrite(BadHeader);
+  EXPECT_FALSE(shard::shardValid(Dir, SC, 0));
+
+  // Restoring the original bytes restores validity.
+  Rewrite(Good);
+  EXPECT_TRUE(shard::shardValid(Dir, SC, 0));
+
+  // A manifest for a different configuration is rejected.
+  GenConfig Other = testConfig();
+  Other.SampleStride = 999983;
+  PolyGenerator GOther(F, Other);
+  EXPECT_FALSE(GOther.prepareShard(0, M, Dir, &Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+} // namespace

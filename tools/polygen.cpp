@@ -29,6 +29,20 @@
 //   --smoke                generation only: skip the verification sweeps
 //                          and do not write .inc files (CI smoke runs)
 //
+// Resumable sharded runs (see DESIGN.md, "Sharded and resumable prepare"):
+//   --shard-dir <dir>      directory holding the shard set (manifest +
+//                          per-shard oracle records)
+//   --shard K/M            worker mode: compute only shard K of M (0-based)
+//                          into --shard-dir and exit; no generation. Any
+//                          number of workers may run concurrently or across
+//                          interruptions, sharing the directory.
+//   --shards M             full run through the shard store: compute every
+//                          missing shard, then assemble prepare() from the
+//                          set and continue with normal generation. Output
+//                          is bit-identical to an unsharded run.
+//   --resume               with --shard/--shards: skip shards that already
+//                          validate (header + checksum); recompute the rest
+//
 // Progress goes through the telemetry logger (component "polygen"); the
 // tool raises the log level to info unless RFP_LOG_LEVEL overrides it.
 //
@@ -385,6 +399,10 @@ int main(int Argc, char **Argv) {
   int ArgIdx = 1;
   bool BatchOnly = false;
   bool Smoke = false;
+  bool Resume = false;
+  int ShardK = -1;       // --shard K/M worker mode.
+  unsigned NumShards = 0; // Shard count from --shard K/M or --shards M.
+  std::string ShardDir;
   std::string MetricsPath;
   if (ArgIdx < Argc && std::strcmp(Argv[ArgIdx], "--batch") == 0) {
     BatchOnly = true;
@@ -404,8 +422,35 @@ int main(int Argc, char **Argv) {
       MetricsPath = Argv[++ArgIdx];
     else if (std::strncmp(Argv[ArgIdx], "--metrics-json=", 15) == 0)
       MetricsPath = Argv[ArgIdx] + 15;
+    else if (std::strcmp(Argv[ArgIdx], "--shard-dir") == 0 &&
+             ArgIdx + 1 < Argc)
+      ShardDir = Argv[++ArgIdx];
+    else if (std::strncmp(Argv[ArgIdx], "--shard-dir=", 12) == 0)
+      ShardDir = Argv[ArgIdx] + 12;
+    else if (std::strcmp(Argv[ArgIdx], "--shard") == 0 && ArgIdx + 1 < Argc) {
+      unsigned K, M;
+      if (std::sscanf(Argv[++ArgIdx], "%u/%u", &K, &M) != 2 || M == 0 ||
+          K >= M) {
+        std::fprintf(stderr, "--shard expects K/M with 0 <= K < M\n");
+        return 1;
+      }
+      ShardK = static_cast<int>(K);
+      NumShards = M;
+    } else if (std::strcmp(Argv[ArgIdx], "--shards") == 0 &&
+               ArgIdx + 1 < Argc) {
+      NumShards = static_cast<unsigned>(std::atoi(Argv[++ArgIdx]));
+      if (NumShards == 0) {
+        std::fprintf(stderr, "--shards expects a positive count\n");
+        return 1;
+      }
+    } else if (std::strcmp(Argv[ArgIdx], "--resume") == 0)
+      Resume = true;
     else
       Rest.push_back(Argv[ArgIdx]);
+  }
+  if (NumShards != 0 && ShardDir.empty()) {
+    std::fprintf(stderr, "--shard/--shards require --shard-dir <dir>\n");
+    return 1;
   }
   size_t RestIdx = 0;
   if (RestIdx < Rest.size() && std::isdigit(Rest[RestIdx][0]))
@@ -432,7 +477,39 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "=== %s (stride %u, window %u)\n", elemFuncName(F),
                  Cfg.SampleStride, Cfg.BoundaryWindow);
     PolyGenerator Gen(F, Cfg);
-    Gen.prepare();
+    if (NumShards != 0) {
+      shard::ShardSetConfig SC;
+      SC.Func = F;
+      SC.Stride = Cfg.SampleStride;
+      SC.Window = Cfg.BoundaryWindow;
+      SC.NumShards = NumShards;
+      SC.NumCandidates = Gen.candidateCount();
+      std::string Err;
+      // Compute the requested shard (worker mode) or every missing one.
+      unsigned KBegin = ShardK >= 0 ? static_cast<unsigned>(ShardK) : 0;
+      unsigned KEnd = ShardK >= 0 ? KBegin + 1 : NumShards;
+      for (unsigned K = KBegin; K < KEnd; ++K) {
+        if (Resume && shard::shardValid(ShardDir, SC, K)) {
+          std::fprintf(stderr, "  shard %u/%u already valid, skipping\n", K,
+                       NumShards);
+          continue;
+        }
+        std::fprintf(stderr, "  computing shard %u/%u\n", K, NumShards);
+        if (!Gen.prepareShard(K, NumShards, ShardDir, &Err)) {
+          std::fprintf(stderr, "FATAL: shard %u/%u: %s\n", K, NumShards,
+                       Err.c_str());
+          return 1;
+        }
+      }
+      if (ShardK >= 0)
+        continue; // Worker mode stops after its shard.
+      if (!Gen.prepareFromShards(ShardDir, NumShards, &Err)) {
+        std::fprintf(stderr, "FATAL: assembling shards: %s\n", Err.c_str());
+        return 1;
+      }
+    } else {
+      Gen.prepare();
+    }
 
     GeneratedImpl Impls[4];
     for (int S = 0; S < 4; ++S) {
