@@ -15,11 +15,15 @@
 //   * whether the generated output is bit-identical across thread counts
 //     (coefficients, piece degrees, special cases) -- the determinism
 //     contract of the parallel layer
-//   * LP warm-start accounting: the thread ladder runs with incremental
-//     warm starts on, plus one cold-referee run at the base thread count;
-//     the report carries warm/cold solve and pivot counters per run and
-//     the warm-vs-cold LP wall-time speedup, and the referee's output is
-//     included in the bit-identical comparison
+//   * LP warm-start and presolve accounting: the thread ladder runs with
+//     incremental warm starts and the float presolve on, plus two
+//     referees at the base thread count -- warm+presolve both off (the
+//     pure cold-LP baseline for the wall-time speedup) and presolve off
+//     with warm on (isolating the presolve's contribution). The report
+//     carries warm/cold/presolve solve and pivot counters per run, the
+//     LP wall-time speedup, the presolve engagement rate (presolved
+//     solves over presolved + pure cold), and every referee's output
+//     joins the bit-identical comparison
 //   * certified fast-oracle accounting: the ladder runs with the fast
 //     path on; one fast-off referee at the base thread count isolates the
 //     prepare speedup (oracle_fast_prepare_speedup) and joins the
@@ -62,6 +66,7 @@ double msSince(std::chrono::steady_clock::time_point T0) {
 struct RunResult {
   unsigned Threads = 0;
   bool Warm = false; ///< LP warm starts enabled for this run.
+  bool Pre = false;  ///< LP float presolve enabled for this run.
   bool Fast = true;  ///< Certified fast oracle enabled for this run.
   double PrepareMs = 0, GenerateMs = 0;
   double CheckPhaseHitRate = 0;
@@ -96,15 +101,17 @@ bool identicalOutput(const GeneratedImpl &A, const GeneratedImpl &B) {
 }
 
 RunResult runPipeline(ElemFunc F, GenConfig Cfg, unsigned Threads, bool Warm,
-                      bool Fast) {
+                      bool Pre, bool Fast) {
   Cfg.NumThreads = Threads;
   Cfg.WarmStart = Warm ? 1 : 0;
+  Cfg.LPPresolve = Pre ? 1 : 0;
   oracle_cache::clear();
   oracle_fast::setEnabled(Fast);
 
   RunResult R;
   R.Threads = Threads;
   R.Warm = Warm;
+  R.Pre = Pre;
   R.Fast = Fast;
   PolyGenerator Gen(F, Cfg);
 
@@ -135,6 +142,13 @@ RunResult runPipeline(ElemFunc F, GenConfig Cfg, unsigned Threads, bool Warm,
     R.LPStats.LPWarmFallbacks += Impl.Stats.LPWarmFallbacks;
     R.LPStats.LPWarmPivots += Impl.Stats.LPWarmPivots;
     R.LPStats.LPColdPivots += Impl.Stats.LPColdPivots;
+    R.LPStats.LPPresolveAttempts += Impl.Stats.LPPresolveAttempts;
+    R.LPStats.LPPresolveSolves += Impl.Stats.LPPresolveSolves;
+    R.LPStats.LPPresolveCertified += Impl.Stats.LPPresolveCertified;
+    R.LPStats.LPPresolveRepaired += Impl.Stats.LPPresolveRepaired;
+    R.LPStats.LPPresolveFallbacks += Impl.Stats.LPPresolveFallbacks;
+    R.LPStats.LPPresolvePivots += Impl.Stats.LPPresolvePivots;
+    R.LPStats.LPPresolveFloatIters += Impl.Stats.LPPresolveFloatIters;
   }
 
   uint64_t Hits = telemetry::counterValue("oracle.cache.hits") - HitsBefore;
@@ -198,23 +212,27 @@ int main(int Argc, char **Argv) {
 
   std::printf("Generator pipeline wall-clock, %s, stride %u\n",
               elemFuncName(Func), Cfg.SampleStride);
-  std::printf("%8s %5s %5s %12s %12s %12s %10s %10s %10s %8s %10s\n",
-              "threads", "warm", "fast", "prepare ms", "generate ms",
+  std::printf("%8s %5s %4s %5s %12s %12s %12s %10s %10s %10s %8s %14s\n",
+              "threads", "warm", "pre", "fast", "prepare ms", "generate ms",
               "total ms", "speedup", "hit rate", "lp ms", "pivots",
-              "warm/cold");
+              "warm/pre/cold");
 
-  // The thread ladder runs with LP warm starts and the certified fast
-  // oracle on; a cold-LP referee and a fast-oracle-off referee at the base
-  // thread count isolate the two speedups, and all referees join the
-  // bit-identical output comparison.
+  // The thread ladder runs with LP warm starts, the float presolve, and
+  // the certified fast oracle on; referees at the base thread count
+  // isolate each speedup -- warm+presolve off (pure cold LP), presolve
+  // off (warm contribution alone), fast oracle off -- and all referees
+  // join the bit-identical output comparison.
   std::vector<RunResult> Runs;
   for (unsigned T : ThreadLadder)
-    Runs.push_back(runPipeline(Func, Cfg, T, /*Warm=*/true, /*Fast=*/true));
+    Runs.push_back(runPipeline(Func, Cfg, T, /*Warm=*/true, /*Pre=*/true,
+                               /*Fast=*/true));
   if (!ThreadLadder.empty()) {
     Runs.push_back(runPipeline(Func, Cfg, ThreadLadder.front(),
-                               /*Warm=*/false, /*Fast=*/true));
+                               /*Warm=*/false, /*Pre=*/false, /*Fast=*/true));
     Runs.push_back(runPipeline(Func, Cfg, ThreadLadder.front(),
-                               /*Warm=*/true, /*Fast=*/false));
+                               /*Warm=*/true, /*Pre=*/false, /*Fast=*/true));
+    Runs.push_back(runPipeline(Func, Cfg, ThreadLadder.front(),
+                               /*Warm=*/true, /*Pre=*/true, /*Fast=*/false));
   }
 
   double BaseTotal = Runs.empty()
@@ -224,13 +242,15 @@ int main(int Argc, char **Argv) {
   for (const RunResult &R : Runs) {
     double Total = R.PrepareMs + R.GenerateMs;
     std::printf(
-        "%8u %5s %5s %12.1f %12.1f %12.1f %9.2fx %9.1f%% %10.1f %8llu "
-        "%4llu/%-4llu\n",
-        R.Threads, R.Warm ? "on" : "off", R.Fast ? "on" : "off", R.PrepareMs,
-        R.GenerateMs, Total, Total > 0 ? BaseTotal / Total : 0.0,
-        100.0 * R.CheckPhaseHitRate, R.LPStats.LPTimeMs,
+        "%8u %5s %4s %5s %12.1f %12.1f %12.1f %9.2fx %9.1f%% %10.1f %8llu "
+        "%4llu/%llu/%-4llu\n",
+        R.Threads, R.Warm ? "on" : "off", R.Pre ? "on" : "off",
+        R.Fast ? "on" : "off", R.PrepareMs, R.GenerateMs, Total,
+        Total > 0 ? BaseTotal / Total : 0.0, 100.0 * R.CheckPhaseHitRate,
+        R.LPStats.LPTimeMs,
         static_cast<unsigned long long>(R.LPStats.LPPivots),
         static_cast<unsigned long long>(R.LPStats.LPWarmSolves),
+        static_cast<unsigned long long>(R.LPStats.LPPresolveSolves),
         static_cast<unsigned long long>(R.LPStats.LPColdSolves));
     std::printf("         prepare: oracle %.1f + interval %.1f + merge %.1f "
                 "ms, fast accept/fallback %llu/%llu, ziv retries %llu\n",
@@ -242,8 +262,8 @@ int main(int Argc, char **Argv) {
       if (!identicalOutput(Runs.front().Impls[S], R.Impls[S]))
         AllIdentical = false;
   }
-  std::printf("output bit-identical across thread counts, warm modes, and "
-              "fast-oracle modes: %s\n",
+  std::printf("output bit-identical across thread counts, warm modes, "
+              "presolve modes, and fast-oracle modes: %s\n",
               AllIdentical ? "yes" : "NO -- DETERMINISM VIOLATION");
 
   // Fast-oracle prepare speedup: ladder base run vs the fast-off referee
@@ -255,15 +275,36 @@ int main(int Argc, char **Argv) {
     std::printf("prepare speedup, fast oracle vs exact (%u threads): %.2fx\n",
                 Runs.front().Threads, FastPrepareSpeedup);
 
-  // Warm-start LP speedup: warm ladder base run vs the cold referee at the
-  // same thread count.
+  // LP wall-time speedup: warm+presolve ladder base run vs the pure-cold
+  // referee at the same thread count.
   double LPWarmSpeedup = 0;
   for (const RunResult &R : Runs)
-    if (!R.Warm && Runs.front().LPStats.LPTimeMs > 0)
+    if (!R.Warm && !R.Pre && Runs.front().LPStats.LPTimeMs > 0)
       LPWarmSpeedup = R.LPStats.LPTimeMs / Runs.front().LPStats.LPTimeMs;
   if (LPWarmSpeedup > 0)
-    std::printf("LP wall-time speedup, warm vs cold (%u threads): %.2fx\n",
-                Runs.front().Threads, LPWarmSpeedup);
+    std::printf(
+        "LP wall-time speedup, warm+presolve vs cold (%u threads): %.2fx\n",
+        Runs.front().Threads, LPWarmSpeedup);
+
+  // Presolve engagement on the ladder base run: of the solves the warm
+  // path could not serve, the fraction the presolver did.
+  double PreEngagement = 0;
+  if (!Runs.empty()) {
+    const GeneratedImpl::GenStats &St = Runs.front().LPStats;
+    uint64_t NonWarm = St.LPPresolveSolves + St.LPColdSolves;
+    PreEngagement = NonWarm == 0 ? 1.0
+                                 : static_cast<double>(St.LPPresolveSolves) /
+                                       static_cast<double>(NonWarm);
+    std::printf("presolve engagement (%u threads): %.0f%% (%llu presolved, "
+                "%llu certified / %llu repaired / %llu fallbacks, %llu pure "
+                "cold)\n",
+                Runs.front().Threads, 100.0 * PreEngagement,
+                static_cast<unsigned long long>(St.LPPresolveSolves),
+                static_cast<unsigned long long>(St.LPPresolveCertified),
+                static_cast<unsigned long long>(St.LPPresolveRepaired),
+                static_cast<unsigned long long>(St.LPPresolveFallbacks),
+                static_cast<unsigned long long>(St.LPColdSolves));
+  }
 
   if (!Opts.JsonPath.empty()) {
     bench::Report Rep(Opts.JsonPath, "bench_polygen");
@@ -275,6 +316,8 @@ int main(int Argc, char **Argv) {
     W.kv("bit_identical_across_threads", AllIdentical);
     if (LPWarmSpeedup > 0)
       W.kvFixed("lp_warm_speedup", LPWarmSpeedup, 3);
+    if (!Runs.empty())
+      W.kvFixed("lp_presolve_engagement", PreEngagement, 4);
     if (FastPrepareSpeedup > 0)
       W.kvFixed("oracle_fast_prepare_speedup", FastPrepareSpeedup, 3);
     W.key("runs");
@@ -285,6 +328,7 @@ int main(int Argc, char **Argv) {
       W.beginObject();
       W.kv("threads", R.Threads);
       W.kv("warm", R.Warm);
+      W.kv("presolve", R.Pre);
       W.kv("fast_oracle", R.Fast);
       W.kvFixed("prepare_ms", R.PrepareMs, 2);
       W.kvFixed("oracle_ms", R.Prep.OracleMs, 2);
@@ -306,6 +350,13 @@ int main(int Argc, char **Argv) {
       W.kv("lp_warm_fallbacks", R.LPStats.LPWarmFallbacks);
       W.kv("lp_warm_pivots", R.LPStats.LPWarmPivots);
       W.kv("lp_cold_pivots", R.LPStats.LPColdPivots);
+      W.kv("lp_presolve_attempts", R.LPStats.LPPresolveAttempts);
+      W.kv("lp_presolve_solves", R.LPStats.LPPresolveSolves);
+      W.kv("lp_presolve_certified", R.LPStats.LPPresolveCertified);
+      W.kv("lp_presolve_repaired", R.LPStats.LPPresolveRepaired);
+      W.kv("lp_presolve_fallbacks", R.LPStats.LPPresolveFallbacks);
+      W.kv("lp_presolve_pivots", R.LPStats.LPPresolvePivots);
+      W.kv("lp_presolve_float_iters", R.LPStats.LPPresolveFloatIters);
       W.endObject();
     }
     W.endArray();

@@ -47,6 +47,20 @@ struct GenCounters {
       telemetry::counter("polygen.lp.pivots_warm");
   telemetry::Counter LPPivotsCold =
       telemetry::counter("polygen.lp.pivots_cold");
+  telemetry::Counter LPPresolveAttempts =
+      telemetry::counter("polygen.lp.presolve.attempts");
+  telemetry::Counter LPPresolveSolves =
+      telemetry::counter("polygen.lp.presolve.solves");
+  telemetry::Counter LPPresolveCertified =
+      telemetry::counter("polygen.lp.presolve.certified");
+  telemetry::Counter LPPresolveRepaired =
+      telemetry::counter("polygen.lp.presolve.repaired");
+  telemetry::Counter LPPresolveFallbacks =
+      telemetry::counter("polygen.lp.presolve.fallbacks");
+  telemetry::Counter LPPresolvePivots =
+      telemetry::counter("polygen.lp.presolve.pivots");
+  telemetry::Counter LPPresolveFloatIters =
+      telemetry::counter("polygen.lp.presolve.float_iters");
   telemetry::Histogram LPSolveMs = telemetry::histogram("polygen.lp.solve_ms");
   /// Pivots per *re-solve* (iteration > 0 of a piece/degree attempt) --
   /// the population warm starts exist to shrink. First solves are
@@ -66,6 +80,15 @@ bool warmStartEnabled(int Setting) {
   if (Setting >= 0)
     return Setting != 0;
   const char *Env = std::getenv("RFP_LP_WARMSTART");
+  return !Env || std::strcmp(Env, "0") != 0;
+}
+
+/// Resolves GenConfig::LPPresolve identically: explicit 0/1 wins, -1
+/// defers to RFP_LP_PRESOLVE, default on.
+bool presolveEnabled(int Setting) {
+  if (Setting >= 0)
+    return Setting != 0;
+  const char *Env = std::getenv("RFP_LP_PRESOLVE");
   return !Env || std::strcmp(Env, "0") != 0;
 }
 } // namespace
@@ -534,10 +557,10 @@ static double evalCandidate(EvalScheme S, const Polynomial &P,
                     S == EvalScheme::Knuth ? &KA : nullptr);
 }
 
-bool PolyGenerator::generatePiece(EvalScheme S,
-                                  std::vector<MergedConstraint *> &Piece,
-                                  unsigned Degree, GeneratedImpl &Impl,
-                                  Polynomial &OutPoly, KnuthAdapted &OutKA) {
+bool PolyGenerator::generatePiece(
+    EvalScheme S, std::vector<MergedConstraint *> &Piece, unsigned Degree,
+    GeneratedImpl &Impl, Polynomial &OutPoly, KnuthAdapted &OutKA,
+    std::vector<std::pair<size_t, int>> &DegreeHint) {
   if (Piece.empty()) {
     // No constraints in this sub-domain: any polynomial works.
     OutPoly.Coeffs.assign(Degree + 1, 0.0);
@@ -590,10 +613,30 @@ bool PolyGenerator::generatePiece(EvalScheme S,
   // iteration and serves as the correctness referee: both paths produce
   // bit-identical results.
   const bool UseWarm = warmStartEnabled(Config.WarmStart);
+  const bool UsePresolve = presolveEnabled(Config.LPPresolve);
   std::optional<PolyLPSession> Session;
   std::vector<size_t> Handle; // Piece index -> session constraint id.
   if (UseWarm)
     Handle.assign(Piece.size(), SIZE_MAX);
+
+  // Progressive-degree plumbing: ConToPiece inverts Handle (session
+  // constraint ids are assigned sequentially, and retirement never reuses
+  // one, so the inverse survives retires); LastGoodBasis tracks the basis
+  // of the most recent feasible solve. ExportHint runs on the failure
+  // exits and rewrites that basis in piece-local terms for the next
+  // (higher-degree) attempt to seed its presolver with.
+  std::vector<size_t> ConToPiece;
+  std::vector<PolyLPSession::PolyBasisRow> LastGoodBasis;
+  auto ExportHint = [&] {
+    std::vector<std::pair<size_t, int>> Out;
+    for (const PolyLPSession::PolyBasisRow &R : LastGoodBasis) {
+      if (R.Side == 2)
+        Out.emplace_back(size_t(0), 2);
+      else if (R.Con < ConToPiece.size())
+        Out.emplace_back(ConToPiece[R.Con], R.Side);
+    }
+    DegreeHint = std::move(Out);
+  };
 
   for (unsigned Iter = 0; Iter < Config.MaxIterations; ++Iter) {
     ++Impl.LoopIterations;
@@ -609,11 +652,31 @@ bool PolyGenerator::generatePiece(EvalScheme S,
           for (unsigned E = 0; E <= Degree; ++E)
             Terms[E] = E;
           Session.emplace(std::move(Terms), Config.NumThreads);
+          Session->setPresolve(UsePresolve);
           for (size_t I : LPSet)
-            if (!Piece[I]->Dead)
+            if (!Piece[I]->Dead) {
               Handle[I] = Session->addConstraint(
                   Piece[I]->TX, Rational::fromDouble(Piece[I]->Alpha),
                   Rational::fromDouble(Piece[I]->Beta));
+              if (Handle[I] >= ConToPiece.size())
+                ConToPiece.resize(Handle[I] + 1, SIZE_MAX);
+              ConToPiece[Handle[I]] = I;
+            }
+          if (UsePresolve && !DegreeHint.empty()) {
+            // Seed the presolver with the lower-degree optimum's basis
+            // rows, re-keyed to this session's constraint handles.
+            // Entries whose constraint did not make this session's
+            // initial sample are dropped; the float solver fills the
+            // remaining basis slots itself.
+            std::vector<PolyLPSession::PolyBasisRow> Hint;
+            for (const auto &[I, Side] : DegreeHint) {
+              if (Side == 2)
+                Hint.push_back({0, 2});
+              else if (I < Handle.size() && Handle[I] != SIZE_MAX)
+                Hint.push_back({Handle[I], Side});
+            }
+            Session->hintBasis(Hint);
+          }
         }
         // Later iterations: the shrink loop already mirrored its edits
         // into the session, so there is nothing left to convert here.
@@ -631,6 +694,9 @@ bool PolyGenerator::generatePiece(EvalScheme S,
 
     ++Impl.LPSolves;
     TC.LPSolves.inc();
+    SimplexSession::Stats StatsBefore;
+    if (Session)
+      StatsBefore = Session->lpStats();
     auto LPStart = std::chrono::steady_clock::now();
     PolyLPResult LP = [&] {
       // One span per LP solve: the trace's "polygen.lp_solve" event count
@@ -651,12 +717,16 @@ bool PolyGenerator::generatePiece(EvalScheme S,
     TC.LPPivots.add(LP.Pivots);
     TC.LPRowsBefore.add(LP.RowsBeforeDedup);
     TC.LPRowsAfter.add(LP.RowsAfterDedup);
+    // Three-way attribution: every solve is warm, presolved, or pure
+    // cold. The presolve detail counters (certified/repaired/float
+    // iterations) live in the session's stats; diffing around the solve
+    // attributes them to this piece/degree attempt.
     if (LP.Warm) {
       ++Impl.Stats.LPWarmSolves;
       Impl.Stats.LPWarmPivots += LP.Pivots;
       TC.LPWarm.inc();
       TC.LPPivotsWarm.add(LP.Pivots);
-    } else {
+    } else if (!LP.Presolved) {
       ++Impl.Stats.LPColdSolves;
       Impl.Stats.LPColdPivots += LP.Pivots;
       TC.LPCold.inc();
@@ -665,6 +735,26 @@ bool PolyGenerator::generatePiece(EvalScheme S,
     if (LP.WarmFallback) {
       ++Impl.Stats.LPWarmFallbacks;
       TC.LPWarmFallbacks.inc();
+    }
+    if (Session) {
+      const SimplexSession::Stats &Now = Session->lpStats();
+      auto Delta = [&](uint64_t SimplexSession::Stats::*F) {
+        return Now.*F - StatsBefore.*F;
+      };
+      Impl.Stats.LPPresolveAttempts += Delta(&SimplexSession::Stats::PresolveAttempts);
+      Impl.Stats.LPPresolveSolves += Delta(&SimplexSession::Stats::PresolveSolves);
+      Impl.Stats.LPPresolveCertified += Delta(&SimplexSession::Stats::PresolveCertified);
+      Impl.Stats.LPPresolveRepaired += Delta(&SimplexSession::Stats::PresolveRepaired);
+      Impl.Stats.LPPresolveFallbacks += Delta(&SimplexSession::Stats::PresolveFallbacks);
+      Impl.Stats.LPPresolvePivots += Delta(&SimplexSession::Stats::PresolvePivots);
+      Impl.Stats.LPPresolveFloatIters += Delta(&SimplexSession::Stats::PresolveFloatIters);
+      TC.LPPresolveAttempts.add(Delta(&SimplexSession::Stats::PresolveAttempts));
+      TC.LPPresolveSolves.add(Delta(&SimplexSession::Stats::PresolveSolves));
+      TC.LPPresolveCertified.add(Delta(&SimplexSession::Stats::PresolveCertified));
+      TC.LPPresolveRepaired.add(Delta(&SimplexSession::Stats::PresolveRepaired));
+      TC.LPPresolveFallbacks.add(Delta(&SimplexSession::Stats::PresolveFallbacks));
+      TC.LPPresolvePivots.add(Delta(&SimplexSession::Stats::PresolvePivots));
+      TC.LPPresolveFloatIters.add(Delta(&SimplexSession::Stats::PresolveFloatIters));
     }
     if (Iter > 0)
       TC.LPResolvePivots.record(static_cast<double>(LP.Pivots));
@@ -675,8 +765,11 @@ bool PolyGenerator::generatePiece(EvalScheme S,
                       Degree,
                       UseWarm ? Session->numLiveConstraints()
                               : LPCons.size());
+      ExportHint();
       return false;
     }
+    if (Session)
+      LastGoodBasis = Session->lastBasisRows();
 
     Polynomial P = LP.Poly.toDouble();
     // Flush effectively-zero coefficients: the margin-maximizing LP is
@@ -698,6 +791,7 @@ bool PolyGenerator::generatePiece(EvalScheme S,
         telemetry::logf(LogLevel::Debug, "polygen",
                         "iter %u: adaptation invalid (lead %a)", Iter,
                         P.Coeffs.back());
+        ExportHint();
         return false; // Degree not adaptable; caller escalates.
       }
     }
@@ -751,6 +845,7 @@ bool PolyGenerator::generatePiece(EvalScheme S,
       if (M.Alpha > M.Beta && !RetireConstraint(M)) {
         telemetry::logf(LogLevel::Debug, "polygen",
                         "  special budget exhausted at t=%a", M.T);
+        ExportHint();
         return false; // Special budget exhausted; escalate the shape.
       }
       if (Session) {
@@ -772,6 +867,9 @@ bool PolyGenerator::generatePiece(EvalScheme S,
           Handle[I] = Session->addConstraint(
               M.TX, Rational::fromDouble(M.Alpha),
               Rational::fromDouble(M.Beta));
+          if (Handle[I] >= ConToPiece.size())
+            ConToPiece.resize(Handle[I] + 1, SIZE_MAX);
+          ConToPiece[Handle[I]] = I;
         }
       }
       if (!InLPSet[I]) {
@@ -790,6 +888,7 @@ bool PolyGenerator::generatePiece(EvalScheme S,
                       "iteration",
                       Violations);
   }
+  ExportHint();
   return false;
 }
 
@@ -827,6 +926,10 @@ GeneratedImpl PolyGenerator::generate(EvalScheme S) {
 
     for (int PieceIdx = 0; PieceIdx < NumPieces && AllOk; ++PieceIdx) {
       bool PieceOk = false;
+      // The progressive-degree hint: a failed attempt leaves its last
+      // feasible basis here (piece-local constraint indices), and the
+      // next degree up seeds its LP presolver with it.
+      std::vector<std::pair<size_t, int>> DegreeHint;
       for (unsigned Degree : Config.DegreeLadder) {
         if (S == EvalScheme::Knuth && (Degree < 4 || Degree > 6))
           continue; // Adaptation exists only for degrees 4..6.
@@ -839,7 +942,7 @@ GeneratedImpl PolyGenerator::generate(EvalScheme S) {
         }
         size_t SpecialsMark = Impl.Specials.size();
         if (generatePiece(S, Pieces[PieceIdx], Degree, Impl, Polys[PieceIdx],
-                          KAs[PieceIdx])) {
+                          KAs[PieceIdx], DegreeHint)) {
           Degrees[PieceIdx] = Degree;
           PieceOk = true;
           break;

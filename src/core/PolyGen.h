@@ -90,6 +90,18 @@ struct GenConfig {
   /// DESIGN.md, "Incremental LP re-solving"); only the solve time and the
   /// pivot counts differ.
   int WarmStart = -1;
+  /// Float-first LP presolve for solves the warm path cannot serve (first
+  /// solve of each session, and warm fallbacks): 1 runs a long-double
+  /// simplex to near-optimality and lets the exact engine certify or
+  /// repair its basis; 0 disables it (every non-warm solve runs fully
+  /// cold). -1 defers to the RFP_LP_PRESOLVE environment variable,
+  /// defaulting to on. Accepted presolved results are provably
+  /// bit-identical to cold solves (see DESIGN.md, "Float-first LP
+  /// presolve"), so this knob -- like WarmStart -- changes pivot counts
+  /// and solve time only. Presolve also carries the progressive-degree
+  /// warm start: the optimal basis of the degree-(d-1) attempt seeds the
+  /// float solve at degree d.
+  int LPPresolve = -1;
   /// When non-empty, stream Chrome trace_event JSON for this generator's
   /// spans (per-iteration, constraint-build, LP-solve, check, shrink) to
   /// this path -- the programmatic equivalent of RFP_TRACE=<path>. The
@@ -137,11 +149,22 @@ struct GeneratedImpl {
     uint64_t LPRowsAfterDedup = 0;  ///< LP rows kept after duplicate merge.
     uint64_t LPExactPricings = 0;   ///< Exact-pricing fallbacks, all solves.
     uint64_t LPWarmSolves = 0;      ///< Solves served from a warm basis.
-    uint64_t LPColdSolves = 0;      ///< Cold solves (first solves, warm
-                                    ///< off, and warm fallbacks).
-    uint64_t LPWarmFallbacks = 0;   ///< Warm attempts that re-ran cold.
+    uint64_t LPColdSolves = 0;      ///< Pure cold solves (neither warm nor
+                                    ///< presolved).
+    uint64_t LPWarmFallbacks = 0;   ///< Warm attempts that re-ran cold or
+                                    ///< presolved.
     uint64_t LPWarmPivots = 0;      ///< Pivots across warm solves.
-    uint64_t LPColdPivots = 0;      ///< Pivots across cold solves.
+    uint64_t LPColdPivots = 0;      ///< Pivots across pure cold solves.
+    /// Float-presolve accounting (see SimplexSession::Stats): every
+    /// attempt is certified, repaired, or a fallback; solves served
+    /// through the presolve path = certified + repaired.
+    uint64_t LPPresolveAttempts = 0;
+    uint64_t LPPresolveSolves = 0;
+    uint64_t LPPresolveCertified = 0;
+    uint64_t LPPresolveRepaired = 0;
+    uint64_t LPPresolveFallbacks = 0;
+    uint64_t LPPresolvePivots = 0;     ///< Exact pivots, presolved solves.
+    uint64_t LPPresolveFloatIters = 0; ///< Float pivots, all attempts.
   };
   GenStats Stats;
 
@@ -274,9 +297,15 @@ private:
   void consumeRecords(const shard::Record *Recs, size_t N);
   /// Sorts constraints by reduced input and converts exact forms.
   void finalizePrepare();
+  /// \p DegreeHint is the progressive-degree channel (RLIBM-PROG): on
+  /// entry, the optimal basis of this piece's previous (lower-degree)
+  /// attempt as (piece-local constraint index, row side) pairs, seeded
+  /// into the LP presolver; on a failed return, the last feasible basis
+  /// of this attempt, for the next degree to consume. Performance-only.
   bool generatePiece(EvalScheme S, std::vector<MergedConstraint *> &Piece,
                      unsigned Degree, GeneratedImpl &Impl, Polynomial &OutPoly,
-                     KnuthAdapted &OutKA);
+                     KnuthAdapted &OutKA,
+                     std::vector<std::pair<size_t, int>> &DegreeHint);
 
   ElemFunc Func;
   GenConfig Config;

@@ -1,0 +1,412 @@
+//===- lp/FloatSimplex.cpp - Long-double presolve simplex -----------------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Two-phase primal simplex on the equality-form dual, in long double:
+//
+//  * The N x N basis is held as a dense LU factorization with partial
+//    pivoting, rebuilt from scratch every RefactorEvery pivots.
+//
+//  * Between refactorizations the basis inverse is maintained in product
+//    form: each pivot appends one eta vector (the transformed entering
+//    column and its pivot row), applied during FTRAN/BTRAN -- the
+//    Forrest-Tomlin idea specialized to the dense tiny-N case, where
+//    storing the whole transformed column costs no more than the sparse
+//    spike bookkeeping would.
+//
+//  * Pricing is steepest-edge over a candidate list: one BTRAN prices all
+//    columns by reduced cost, the CandWidth most negative are FTRANed,
+//    and the winner maximizes rc^2 / ||B^-1 a_j||^2. The winning FTRAN is
+//    reused as the pivot column.
+//
+// Tolerances are absolute: the caller equilibrates the problem so every
+// matrix entry, cost, and RHS lands in [-1, 1], which makes fixed
+// thresholds meaningful. Nothing here is load-bearing for correctness --
+// the exact engine re-derives everything from the returned basis -- so
+// the failure mode for a bad tolerance is wasted exact repair pivots, not
+// a wrong result.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lp/FloatSimplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace rfp;
+using namespace rfp::floatlp;
+
+namespace {
+
+/// Reduced costs this far below zero qualify a column to enter. Entries
+/// are equilibrated to [-1, 1]; long double carries 64 mantissa bits, so
+/// 1e-10 sits comfortably between noise and real negativity.
+constexpr long double DualTol = 1e-10L;
+
+/// Entering threshold once a hint basis primed successfully. The hint is
+/// the caller's exact-arithmetic knowledge (a neighboring optimum); the
+/// thin-margin LPs this presolver serves settle their last pivots over
+/// cost differences below any float resolution, so a "negative" reduced
+/// cost near the noise floor is as likely to walk *away* from the exact
+/// optimum as toward it. From a hinted start, only decisively negative
+/// reduced costs justify leaving the vertex; everything subtler is left
+/// to the exact repair pass, which starts cheapest from the hint itself.
+constexpr long double HintDualTol = 1e-7L;
+
+/// Minimum magnitude of a usable pivot element.
+constexpr long double PivTol = 1e-9L;
+
+/// Basic values this far below zero count as infeasible.
+constexpr long double FeasTol = 1e-9L;
+
+/// Pivots between LU rebuilds. Dense refactorization is O(N^3) with
+/// N <= ~10; applying E etas costs O(E * N) per FTRAN/BTRAN, so rebuilds
+/// are cheap enough to keep the eta file short and the error growth flat.
+constexpr unsigned RefactorEvery = 40;
+
+/// Steepest-edge candidate-list width: columns FTRANed per iteration.
+constexpr size_t CandWidth = 8;
+
+/// One product-form eta: after a pivot on row Row with transformed column
+/// U, the new basis inverse is E^-1 times the old one, where E is the
+/// identity with column Row replaced by U.
+struct Eta {
+  size_t Row;
+  std::vector<long double> U;
+};
+
+class Solver {
+public:
+  Solver(const Problem &P, unsigned MaxIter)
+      : P(P), N(P.NumRows), M(P.NumCols),
+        Cap(MaxIter ? MaxIter
+                    : static_cast<unsigned>(400 + M / 8 + 4 * N)) {
+    Basis.resize(N);
+    X.resize(N);
+    LU.assign(N * N, 0.0L);
+    Perm.resize(N);
+    setArtificialBasis();
+  }
+
+  Result run(const std::vector<size_t> *HintBasis) {
+    Result R;
+    if (HintBasis)
+      primeHint(*HintBasis);
+
+    // Phase 1: minimize the sum of basic artificial values.
+    if (!iterate(/*Phase1=*/true, R))
+      return finish(R, Status::Stalled);
+    long double ArtSum = 0.0L;
+    for (size_t K = 0; K < N; ++K)
+      if (Basis[K] >= M)
+        ArtSum += std::max(X[K], 0.0L);
+    if (ArtSum > FeasTol * static_cast<long double>(N))
+      return finish(R, Status::Infeasible);
+
+    // Phase 2: minimize the real cost from the feasible basis (artificials
+    // parked at zero may remain basic; they can leave but never re-enter).
+    if (!iterate(/*Phase1=*/false, R))
+      return finish(R, Status::Stalled);
+    return finish(R, Status::Optimal);
+  }
+
+private:
+  void setArtificialBasis() {
+    for (size_t K = 0; K < N; ++K) {
+      Basis[K] = M + K;
+      X[K] = P.Rhs[K];
+    }
+    InBasis.assign(M, 0);
+    Etas.clear();
+    [[maybe_unused]] bool Ok = refactor();
+    assert(Ok && "identity basis cannot be singular");
+  }
+
+  const long double *column(size_t J) const {
+    return P.Cols.data() + J * N;
+  }
+
+  /// Rebuilds the LU factorization of the current basis (artificial
+  /// columns are identity columns) and recomputes x_B from scratch.
+  /// Returns false when a pivot falls below PivTol (numerically singular
+  /// basis -- the caller gives up and lets the exact engine take over).
+  bool refactor() {
+    ++Refactorizations;
+    for (size_t K = 0; K < N; ++K) {
+      long double *Col = LU.data() + K * N;
+      if (Basis[K] >= M) {
+        std::fill(Col, Col + N, 0.0L);
+        Col[Basis[K] - M] = 1.0L;
+      } else {
+        const long double *A = column(Basis[K]);
+        std::copy(A, A + N, Col);
+      }
+    }
+    // In-place right-looking LU with partial pivoting on the column-major
+    // buffer: LU[j*N + i] holds entry (i, j) of the permuted basis.
+    for (size_t K = 0; K < N; ++K)
+      Perm[K] = K;
+    for (size_t K = 0; K < N; ++K) {
+      size_t Best = K;
+      for (size_t I = K + 1; I < N; ++I)
+        if (std::fabs(LU[K * N + I]) > std::fabs(LU[K * N + Best]))
+          Best = I;
+      if (std::fabs(LU[K * N + Best]) < PivTol)
+        return false;
+      if (Best != K) {
+        std::swap(Perm[K], Perm[Best]);
+        for (size_t J = 0; J < N; ++J)
+          std::swap(LU[J * N + K], LU[J * N + Best]);
+      }
+      long double Piv = LU[K * N + K];
+      for (size_t I = K + 1; I < N; ++I) {
+        long double L = LU[K * N + I] / Piv;
+        LU[K * N + I] = L;
+        if (L != 0.0L)
+          for (size_t J = K + 1; J < N; ++J)
+            LU[J * N + I] -= L * LU[J * N + K];
+      }
+    }
+    Etas.clear();
+    return true;
+  }
+
+  /// x = B^-1 a: permuted L/U solves on the base factorization, then the
+  /// eta file in pivot order.
+  void ftran(const long double *A, std::vector<long double> &Out) const {
+    Out.resize(N);
+    for (size_t K = 0; K < N; ++K)
+      Out[K] = A[Perm[K]];
+    for (size_t K = 0; K < N; ++K) {
+      long double V = Out[K];
+      if (V != 0.0L)
+        for (size_t I = K + 1; I < N; ++I)
+          Out[I] -= LU[K * N + I] * V;
+    }
+    for (size_t K = N; K-- > 0;) {
+      long double V = Out[K] / LU[K * N + K];
+      Out[K] = V;
+      if (V != 0.0L)
+        for (size_t I = 0; I < K; ++I)
+          Out[I] -= LU[K * N + I] * V;
+    }
+    for (const Eta &E : Etas) {
+      long double T = Out[E.Row] / E.U[E.Row];
+      if (T != 0.0L)
+        for (size_t I = 0; I < N; ++I)
+          Out[I] -= E.U[I] * T;
+      Out[E.Row] = T;
+    }
+  }
+
+  /// pi = B^-T c: the eta file transposed in reverse order, then the
+  /// transposed base solves.
+  void btran(std::vector<long double> C, std::vector<long double> &Pi) const {
+    for (size_t E = Etas.size(); E-- > 0;) {
+      const Eta &Et = Etas[E];
+      long double Dot = 0.0L;
+      for (size_t I = 0; I < N; ++I)
+        if (I != Et.Row)
+          Dot += Et.U[I] * C[I];
+      C[Et.Row] = (C[Et.Row] - Dot) / Et.U[Et.Row];
+    }
+    // U^T z = c (forward), L^T t = z (backward), pi = P^T t.
+    for (size_t K = 0; K < N; ++K) {
+      long double V = C[K];
+      for (size_t J = 0; J < K; ++J)
+        V -= LU[K * N + J] * C[J];
+      C[K] = V / LU[K * N + K];
+    }
+    for (size_t K = N; K-- > 0;) {
+      long double V = C[K];
+      for (size_t J = K + 1; J < N; ++J)
+        V -= LU[K * N + J] * C[J];
+      C[K] = V;
+    }
+    Pi.resize(N);
+    for (size_t K = 0; K < N; ++K)
+      Pi[Perm[K]] = C[K];
+  }
+
+  /// Pivots the hint columns into the artificial identity, greedily and
+  /// best-effort: dependent or numerically tiny columns are skipped, and
+  /// when the primed basis comes out primal infeasible only the column
+  /// basic at the offending row is evicted from the hint before re-priming
+  /// (a bound shrink typically pushes exactly one old basic value
+  /// negative; discarding the whole hint would throw away the rest of the
+  /// near-optimal basis and let phase 1 wander to a different vertex).
+  /// Mirrors the exact engine's primeBasisPartial + feasibility-eviction
+  /// loop, with max-|pivot| row choice for stability.
+  void primeHint(std::vector<size_t> Hint) {
+    std::vector<long double> U;
+    for (;;) {
+      setArtificialBasis();
+      for (size_t J : Hint) {
+        if (J >= M || InBasis[J])
+          continue;
+        ftran(column(J), U);
+        size_t Row = SIZE_MAX;
+        for (size_t K = 0; K < N; ++K)
+          if (Basis[K] >= M && std::fabs(U[K]) >= PivTol &&
+              (Row == SIZE_MAX || std::fabs(U[K]) > std::fabs(U[Row])))
+            Row = K;
+        if (Row == SIZE_MAX)
+          continue;
+        applyPivot(Row, U, J);
+        if (Etas.size() >= RefactorEvery && !refactor()) {
+          setArtificialBasis();
+          return;
+        }
+      }
+      ftran(P.Rhs.data(), U);
+      size_t BadRow = SIZE_MAX;
+      for (size_t K = 0; K < N && BadRow == SIZE_MAX; ++K)
+        if (U[K] < -FeasTol)
+          BadRow = K;
+      if (BadRow == SIZE_MAX) {
+        X = U;
+        for (size_t K = 0; K < N; ++K)
+          HintPrimed |= Basis[K] < M;
+        return;
+      }
+      if (Hint.empty())
+        return; // Unreachable: the artificial basis is feasible.
+      size_t Evict = Basis[BadRow] < M ? Basis[BadRow] : Hint.back();
+      Hint.erase(std::remove(Hint.begin(), Hint.end(), Evict), Hint.end());
+    }
+  }
+
+  void applyPivot(size_t Row, const std::vector<long double> &U,
+                  size_t Enter) {
+    if (Basis[Row] < M)
+      InBasis[Basis[Row]] = 0;
+    InBasis[Enter] = 1;
+    Basis[Row] = Enter;
+    Etas.push_back({Row, U});
+  }
+
+  /// One simplex phase. Returns false on iteration-cap exhaustion or an
+  /// unrecoverable factorization (the caller reports Stalled); phase-level
+  /// optimality and unboundedness both return true -- phase 1 cannot be
+  /// unbounded, and a phase-2 dual ray means the primal is infeasible,
+  /// which the artificial residue / exact referee reports.
+  bool iterate(bool Phase1, Result &R) {
+    std::vector<long double> CB(N), Pi, U, BestU;
+    for (;;) {
+      if (Etas.size() >= RefactorEvery && !refactor())
+        return false;
+      for (size_t K = 0; K < N; ++K)
+        CB[K] = Basis[K] >= M ? (Phase1 ? 1.0L : 0.0L)
+                              : (Phase1 ? 0.0L : P.Cost[Basis[K]]);
+      btran(CB, Pi);
+
+      // Price every nonbasic structural column; keep the CandWidth most
+      // negative reduced costs. Artificials never re-enter.
+      struct Cand {
+        size_t J;
+        long double Rc;
+      };
+      Cand Cands[CandWidth];
+      size_t NumCands = 0;
+      for (size_t J = 0; J < M; ++J) {
+        if (InBasis[J])
+          continue;
+        const long double *A = column(J);
+        long double Rc = Phase1 ? 0.0L : P.Cost[J];
+        for (size_t K = 0; K < N; ++K)
+          Rc -= Pi[K] * A[K];
+        if (Rc >= -(HintPrimed && !Phase1 ? HintDualTol : DualTol))
+          continue;
+        size_t Pos = NumCands < CandWidth ? NumCands : CandWidth - 1;
+        if (NumCands == CandWidth && Rc >= Cands[Pos].Rc)
+          continue;
+        while (Pos > 0 && Cands[Pos - 1].Rc > Rc) {
+          Cands[Pos] = Cands[Pos - 1];
+          --Pos;
+        }
+        Cands[Pos] = {J, Rc};
+        if (NumCands < CandWidth)
+          ++NumCands;
+      }
+      if (NumCands == 0)
+        return true; // Phase optimal.
+
+      // Steepest edge over the candidates: maximize rc^2 / ||B^-1 a||^2.
+      size_t Enter = SIZE_MAX;
+      long double BestScore = -1.0L;
+      for (size_t C = 0; C < NumCands; ++C) {
+        ftran(column(Cands[C].J), U);
+        long double Gamma = 1.0L;
+        for (size_t K = 0; K < N; ++K)
+          Gamma += U[K] * U[K];
+        long double Score = Cands[C].Rc * Cands[C].Rc / Gamma;
+        if (Score > BestScore ||
+            (Score == BestScore && Cands[C].J < Enter)) {
+          BestScore = Score;
+          Enter = Cands[C].J;
+          BestU.swap(U);
+        }
+      }
+
+      // Ratio test: tightest row among usable pivots; prefer evicting
+      // artificials on ties so phase 1 converges, then lowest row index.
+      size_t Leave = SIZE_MAX;
+      long double Theta = 0.0L;
+      for (size_t K = 0; K < N; ++K) {
+        if (BestU[K] < PivTol)
+          continue;
+        long double Ratio = std::max(X[K], 0.0L) / BestU[K];
+        if (Leave == SIZE_MAX || Ratio < Theta ||
+            (Ratio == Theta && Basis[K] >= M && Basis[Leave] < M)) {
+          Leave = K;
+          Theta = Ratio;
+        }
+      }
+      if (Leave == SIZE_MAX)
+        return true; // Dual ray: primal infeasible; let the referee rule.
+
+      for (size_t K = 0; K < N; ++K)
+        X[K] -= Theta * BestU[K];
+      X[Leave] = Theta;
+      applyPivot(Leave, BestU, Enter);
+      if (++R.Iterations >= Cap)
+        return false;
+    }
+  }
+
+  Result finish(Result &R, Status St) {
+    R.St = St;
+    R.Refactorizations = Refactorizations;
+    R.Basis.clear();
+    for (size_t K = 0; K < N; ++K)
+      if (Basis[K] < M)
+        R.Basis.push_back(Basis[K]);
+    std::sort(R.Basis.begin(), R.Basis.end());
+    return R;
+  }
+
+  const Problem &P;
+  size_t N, M;
+  unsigned Cap;
+  std::vector<size_t> Basis;       ///< Column per row; >= M is artificial.
+  std::vector<uint8_t> InBasis;    ///< Structural membership bitmap.
+  std::vector<long double> X;      ///< Basic solution values.
+  std::vector<long double> LU;     ///< Column-major base factorization.
+  std::vector<size_t> Perm;        ///< Row permutation of the base LU.
+  std::vector<Eta> Etas;           ///< Product-form updates since refactor.
+  unsigned Refactorizations = 0;
+  bool HintPrimed = false;         ///< Hint columns survived priming.
+};
+
+} // namespace
+
+Result floatlp::solve(const Problem &P, const std::vector<size_t> *HintBasis,
+                      unsigned MaxIter) {
+  assert(P.Cols.size() == P.NumCols * P.NumRows && "column buffer mismatch");
+  assert(P.Cost.size() == P.NumCols && P.Rhs.size() == P.NumRows);
+  Solver S(P, MaxIter);
+  return S.run(HintBasis);
+}

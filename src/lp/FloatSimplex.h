@@ -1,0 +1,89 @@
+//===- lp/FloatSimplex.h - Long-double presolve simplex --------*- C++ -*-===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A floating-point revised simplex used as a *presolver* for the exact
+/// fraction-free engine in Simplex.cpp. It solves the same dual shape --
+///
+///     min  Cost . y   s.t.  Cols^T y = Rhs,  y >= 0
+///
+/// (N tiny equality rows, M large columns) -- entirely in long double,
+/// with an LU factorization of the basis, Forrest-Tomlin-style
+/// product-form eta updates between refactorizations, and steepest-edge
+/// candidate pricing (the classical fast architecture; cf. the chuffed
+/// MIP simplex). Nothing it produces is trusted: the only output consumed
+/// downstream is the *final basis*, which the exact engine refactorizes
+/// in exact arithmetic, certifies, and repairs or discards (see
+/// DESIGN.md, "Float-first LP presolve"). The float solve therefore needs
+/// to be fast and usually-right, never provably right.
+///
+/// The solver is strictly serial: at N <= ~10 rows the whole solve is a
+/// few hundred microseconds of dense float arithmetic, far below any
+/// fan-out threshold, and serial execution keeps the produced basis a
+/// pure function of the inputs (the exact engine's determinism contract
+/// then extends through the presolve path unchanged).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RFP_LP_FLOATSIMPLEX_H
+#define RFP_LP_FLOATSIMPLEX_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rfp {
+namespace floatlp {
+
+/// The equality-form dual LP handed to the presolver, already equilibrated
+/// by the caller (entries scaled into long double range by powers of two;
+/// per-row and per-column scaling changes neither the feasible-basis sets
+/// nor the optimal basis, which is all the presolver reports back).
+struct Problem {
+  size_t NumRows = 0; ///< N: equality rows (primal unknowns).
+  size_t NumCols = 0; ///< M: structural columns (primal constraints).
+  /// Column-major structural matrix: entry (row K, column J) at
+  /// Cols[J * NumRows + K].
+  std::vector<long double> Cols;
+  /// Per-column phase-2 cost (scaled primal RHS).
+  std::vector<long double> Cost;
+  /// Equality right-hand side, flipped non-negative by the caller (the
+  /// artificial identity basis is then primal feasible).
+  std::vector<long double> Rhs;
+};
+
+enum class Status : uint8_t {
+  Optimal,    ///< Phases 1+2 terminated; Basis is the float-optimal basis.
+  Infeasible, ///< Phase 1 left an artificial at a nonzero value.
+  Stalled,    ///< Iteration cap or numerical trouble; Basis is best-effort.
+};
+
+/// What the presolver hands to the exact engine: a basis *guess* plus
+/// solve accounting. Basis lists the structural columns basic at
+/// termination (fewer than NumRows entries when artificials survived);
+/// even Infeasible/Stalled bases are worth priming -- the exact engine
+/// repairs from wherever the guess lands.
+struct Result {
+  Status St = Status::Stalled;
+  std::vector<size_t> Basis;
+  unsigned Iterations = 0;       ///< Float pivots, both phases.
+  unsigned Refactorizations = 0; ///< LU rebuilds (initial one included).
+};
+
+/// Runs the two-phase float simplex. \p HintBasis, when non-null, is a
+/// set of structural columns to prime as the starting basis (the
+/// progressive-degree warm start): columns are pivoted in greedily,
+/// dependent or numerically unusable ones are skipped, and a hint that
+/// lands primal-infeasible falls back to the artificial start. \p MaxIter
+/// caps float pivots (0 picks a default scaled to the problem size);
+/// exceeding it returns Stalled with the current basis.
+Result solve(const Problem &P, const std::vector<size_t> *HintBasis = nullptr,
+             unsigned MaxIter = 0);
+
+} // namespace floatlp
+} // namespace rfp
+
+#endif // RFP_LP_FLOATSIMPLEX_H

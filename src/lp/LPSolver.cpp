@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cassert>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 using namespace rfp;
@@ -28,6 +29,34 @@ uint64_t rowKey(const std::vector<Rational> &Row) {
   return H;
 }
 
+/// Early-out screen for dedupRows: proves all rows pairwise distinct from
+/// a cheap per-row key over the *second* coefficient only. For the poly
+/// LP's rows that entry is -X (lo row) or +X (hi row), and BigInt::hash
+/// folds in the sign, so distinct constraints -- and the two rows of one
+/// constraint -- almost always get distinct keys from this single
+/// rational. Equal rows imply equal keys, so all-keys-distinct implies
+/// all-rows-distinct and the full merge below would be the identity;
+/// any key repeat (a real duplicate, an X == 0 row pair meeting the
+/// all-zero delta cap, or a hash collision) just falls through to the
+/// full exact path. In the common duplicate-free case this replaces M
+/// full-width row hashes plus the rebuild of both vectors with one
+/// rational hash per row.
+bool allRowsDistinct(const std::vector<std::vector<Rational>> &A) {
+  std::unordered_set<uint64_t> Keys;
+  Keys.reserve(2 * A.size());
+  for (const std::vector<Rational> &Row : A) {
+    if (Row.size() < 2)
+      return false;
+    uint64_t H = 0xcbf29ce484222325ull;
+    constexpr uint64_t Prime = 0x100000001b3ull;
+    H = (H ^ Row[1].numerator().hash()) * Prime;
+    H = (H ^ Row[1].denominator().hash()) * Prime;
+    if (!Keys.insert(H).second)
+      return false;
+  }
+  return true;
+}
+
 /// Merges rows with identical coefficient vectors, keeping the minimum
 /// RHS (the others are dominated: any point satisfying the tightest copy
 /// satisfies them all). First-occurrence order is preserved so the column
@@ -35,6 +64,8 @@ uint64_t rowKey(const std::vector<Rational> &Row) {
 /// duplicates actually exist.
 void dedupRows(std::vector<std::vector<Rational>> &A,
                std::vector<Rational> &B) {
+  if (allRowsDistinct(A))
+    return;
   std::unordered_map<uint64_t, std::vector<size_t>> Seen;
   Seen.reserve(A.size());
   std::vector<std::vector<Rational>> OutA;
@@ -307,10 +338,15 @@ PolyLPResult PolyLPSession::solve() {
     // when the banked basis certifies it).
     R.RowsAfterDedup = R.RowsBeforeDedup;
     uint64_t AttemptsBefore = S->Sess.stats().WarmAttempts;
+    uint64_t PreAttemptsBefore = S->Sess.stats().PresolveAttempts;
     LPResult LP = S->Sess.solve();
     R.Warm = LP.Warm;
     R.WarmFallback =
         !LP.Warm && S->Sess.stats().WarmAttempts > AttemptsBefore;
+    R.Presolved = LP.Presolved;
+    R.PresolveFallback = !LP.Presolved &&
+                         S->Sess.stats().PresolveAttempts > PreAttemptsBefore;
+    R.FloatIterations = LP.FloatIterations;
     fillFromLP(R, LP, S->Exps);
     return R;
   }
@@ -346,6 +382,50 @@ PolyLPResult PolyLPSession::solve() {
   LPResult LP = maximizeLP(A, B, Objective, S->NumThreads);
   fillFromLP(R, LP, S->Exps);
   return R;
+}
+
+void PolyLPSession::setPresolve(bool Enabled) { S->Sess.setPresolve(Enabled); }
+
+std::vector<PolyLPSession::PolyBasisRow>
+PolyLPSession::lastBasisRows() const {
+  // Invert the RowId -> (constraint, side) mapping. The delta cap is the
+  // session's first row (id 0, added in the State constructor); every
+  // other row belongs to exactly one constraint as its lo or hi row.
+  std::vector<PolyBasisRow> Out;
+  std::unordered_map<SimplexSession::RowId, PolyBasisRow> Owner;
+  Owner.reserve(2 * S->Cons.size());
+  for (ConstraintId Id = 0; Id < S->Cons.size(); ++Id) {
+    if (S->Cons[Id].Retired)
+      continue;
+    Owner[S->Cons[Id].LoRow] = PolyBasisRow{Id, 0};
+    Owner[S->Cons[Id].HiRow] = PolyBasisRow{Id, 1};
+  }
+  for (SimplexSession::RowId Row : S->Sess.lastBasisRows()) {
+    if (Row == 0) {
+      Out.push_back(PolyBasisRow{0, 2});
+      continue;
+    }
+    auto It = Owner.find(Row);
+    if (It != Owner.end())
+      Out.push_back(It->second);
+  }
+  return Out;
+}
+
+void PolyLPSession::hintBasis(const std::vector<PolyBasisRow> &Rows) {
+  std::vector<SimplexSession::RowId> Hint;
+  Hint.reserve(Rows.size());
+  for (const PolyBasisRow &R : Rows) {
+    if (R.Side == 2) {
+      Hint.push_back(0); // The delta cap is always session row 0.
+      continue;
+    }
+    if (R.Con >= S->Cons.size() || S->Cons[R.Con].Retired)
+      continue;
+    Hint.push_back(R.Side == 0 ? S->Cons[R.Con].LoRow
+                               : S->Cons[R.Con].HiRow);
+  }
+  S->Sess.hintBasis(std::move(Hint));
 }
 
 const SimplexSession::Stats &PolyLPSession::lpStats() const {

@@ -58,6 +58,16 @@ struct PolyLPResult {
   /// solve (retired basis row, singular refactorization, infeasible or
   /// degenerate warm basis -- see SimplexSession::Stats).
   bool WarmFallback = false;
+  /// True when this solve went through the float presolve path (the
+  /// long-double simplex basis was exactly certified or repaired; see
+  /// SimplexSession::setPresolve). Mutually exclusive with Warm.
+  bool Presolved = false;
+  /// True when a presolve was attempted but its basis was discarded and
+  /// the solve ran cold.
+  bool PresolveFallback = false;
+  /// Float simplex pivots spent presolving this solve (zero when no
+  /// presolve engaged).
+  unsigned FloatIterations = 0;
 };
 
 /// Solves the RLibm LP for a polynomial with terms x^e for each e in
@@ -121,6 +131,31 @@ public:
   /// PolyLPResult::Warm reports whether the previous optimal basis was
   /// reused.
   PolyLPResult solve();
+
+  /// Enables the float presolve on the underlying simplex session for
+  /// solves that would otherwise run cold (see SimplexSession::setPresolve;
+  /// results stay bit-identical to solvePolyLP either way).
+  void setPresolve(bool Enabled);
+
+  /// One basic row of a poly-LP optimum, in session-independent terms: a
+  /// constraint handle plus which of its rows is basic. This is the
+  /// currency of the progressive-degree warm start -- the caller maps
+  /// handles between the degree-(d-1) and degree-d sessions.
+  struct PolyBasisRow {
+    ConstraintId Con = 0; ///< Ignored when Side == 2.
+    int Side = 0;         ///< 0 = lower row, 1 = upper row, 2 = delta cap.
+  };
+
+  /// The basic rows of the most recent optimal solve (the banked warm
+  /// basis); empty when none is banked or the last solve took the literal
+  /// rebuild path.
+  std::vector<PolyBasisRow> lastBasisRows() const;
+
+  /// Suggests a starting basis for the next presolve attempt, typically
+  /// lastBasisRows() of a lower-degree session with the constraint
+  /// handles translated to this session. Unknown or retired handles are
+  /// ignored; the hint affects performance only, never results.
+  void hintBasis(const std::vector<PolyBasisRow> &Rows);
 
   /// Warm/cold accounting of the underlying simplex session.
   const SimplexSession::Stats &lpStats() const;

@@ -51,10 +51,20 @@ struct LPResult {
   /// phase 2 from a previous optimal basis (see SimplexSession). Cold solves
   /// -- including warm attempts that fell back -- report false.
   bool Warm = false;
-  /// Pivots spent re-priming the persisted basis (at most one fraction-free
-  /// pivot per dual row, refactorizing the basis inverse from scratch).
-  /// Included in Pivots; zero for cold solves.
+  /// True when this result was produced through the float presolve path:
+  /// the final basis of a long-double simplex was primed into the exact
+  /// engine, repaired with exact pivots where needed, and the outcome
+  /// passed the same canonicality gate as warm results (so it is provably
+  /// bit-identical to a cold solve). Mutually exclusive with Warm.
+  bool Presolved = false;
+  /// Pivots spent re-priming the persisted (warm) or float (presolve)
+  /// basis, refactorizing the basis inverse from scratch -- at most one
+  /// fraction-free pivot per dual row. Included in Pivots; zero for cold
+  /// solves.
   unsigned SetupPivots = 0;
+  /// Float simplex pivots spent by the presolver (zero unless Presolved or
+  /// a presolve attempt fell back on this solve).
+  unsigned FloatIterations = 0;
 
   bool isOptimal() const { return StatusCode == Status::Optimal; }
 };
@@ -125,8 +135,33 @@ public:
 
   /// Solves the current system: warm-started from the previous optimal
   /// basis when one is banked and the warm optimum is provably canonical
-  /// (LPResult::Warm == true), from scratch otherwise.
+  /// (LPResult::Warm == true); otherwise through the float presolve when
+  /// enabled (LPResult::Presolved == true, same canonicality gate); from
+  /// scratch as the last resort.
   LPResult solve();
+
+  /// Enables or disables the float presolve for solves that would
+  /// otherwise run cold (no banked basis, or the warm attempt fell back).
+  /// The presolver runs a long-double LU/steepest-edge simplex to
+  /// near-optimality, primes its final basis into the exact engine, and
+  /// the exact engine repairs and certifies -- accepted results are
+  /// provably bit-identical to a cold solve, and any other outcome falls
+  /// back cold. Default off; PolyLPSession turns it on per GenConfig.
+  void setPresolve(bool Enabled);
+
+  /// Suggests a starting basis for the *next* presolve attempt, as row
+  /// ids of this session (the RLIBM-PROG progressive-degree hook: the
+  /// optimal basis rows of the degree-(d-1) system seed the float solve
+  /// of the degree-d system). Invalid or retired ids are ignored; the
+  /// hint is consumed by the next presolve engagement and affects
+  /// performance only, never results.
+  void hintBasis(std::vector<RowId> Rows);
+
+  /// Row ids of the most recent *optimal* solve's basis (the banked warm
+  /// basis), in ascending priming order; empty when no basis is banked.
+  /// The progressive-degree driver feeds these into the next session's
+  /// hintBasis.
+  std::vector<RowId> lastBasisRows() const;
 
   /// Session-lifetime solve accounting. WarmSolves + ColdSolves equals the
   /// number of solve() calls; fallback counters attribute each warm
@@ -141,6 +176,18 @@ public:
     uint64_t FallbackDegenerate = 0;      ///< Warm optimum not provably unique.
     uint64_t WarmPivots = 0; ///< Pivots across warm solves (incl. setup).
     uint64_t ColdPivots = 0; ///< Pivots across cold solves.
+    /// Float-presolve accounting. Every attempt ends as exactly one of
+    /// certified (accepted, no exact pivots beyond priming), repaired
+    /// (accepted after >= 1 exact repair pivot), or fallback (discarded:
+    /// the primed basis was infeasible or the exact optimum it reached
+    /// was not provably unique); PresolveSolves = certified + repaired.
+    uint64_t PresolveAttempts = 0;
+    uint64_t PresolveSolves = 0;
+    uint64_t PresolveCertified = 0;
+    uint64_t PresolveRepaired = 0;
+    uint64_t PresolveFallbacks = 0;
+    uint64_t PresolvePivots = 0;     ///< Exact pivots across presolved solves.
+    uint64_t PresolveFloatIters = 0; ///< Float pivots across all attempts.
   };
   const Stats &stats() const;
 

@@ -246,6 +246,14 @@ public:
   /// limbs only -- unlike toDouble(), never overflows for huge values.
   double frexpApprox(int64_t &Exp) const;
 
+  /// Long-double variant of frexpApprox: same contract, but the mantissa
+  /// keeps the full 64 bits an x87 long double carries (relative error
+  /// < 3 * 2^-63 from truncating to the top ~96 bits). The float LP
+  /// presolver uses this -- the final simplex pivots contend over cost
+  /// differences below double resolution, and the extra 11 bits decide
+  /// them the way the exact arithmetic does.
+  long double frexpApproxL(int64_t &Exp) const;
+
   /// 64-bit FNV-1a hash of the sign and canonical limb representation.
   /// Equal values hash equally; intended for hash-map keys with an exact
   /// equality check on collision.

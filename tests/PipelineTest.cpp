@@ -192,10 +192,14 @@ TEST(PipelineMiscTest, WarmStartOnAndOffAreBitIdentical) {
     // everything downstream of the optima must still agree.
     EXPECT_EQ(A.Stats.LPRowsBeforeDedup, B.Stats.LPRowsBeforeDedup);
     EXPECT_EQ(A.Stats.LPRowsAfterDedup, B.Stats.LPRowsAfterDedup);
-    // The referee path never warm-starts.
+    // The referee path never warm-starts or presolves (both require a
+    // session). Every session solve is exactly one of warm / presolved /
+    // pure cold.
     EXPECT_EQ(B.Stats.LPWarmSolves, 0u);
+    EXPECT_EQ(B.Stats.LPPresolveSolves, 0u);
     EXPECT_EQ(B.Stats.LPColdSolves, static_cast<uint64_t>(B.LPSolves));
-    EXPECT_EQ(A.Stats.LPWarmSolves + A.Stats.LPColdSolves,
+    EXPECT_EQ(A.Stats.LPWarmSolves + A.Stats.LPPresolveSolves +
+                  A.Stats.LPColdSolves,
               static_cast<uint64_t>(A.LPSolves));
     WarmSolvesTotal += A.Stats.LPWarmSolves;
     ASSERT_EQ(A.NumPieces, B.NumPieces);

@@ -399,6 +399,187 @@ TEST(SimplexSessionTest, RetireAndAddRowsMatchOneShotOnLiveSet) {
   }
 }
 
+//===--------------------------------------------------------------------===//
+// Float presolve: accepted presolved results must be bit-identical to cold
+// solves (the certify-or-repair contract), in every scenario the session
+// can encounter -- shrink schedules, infeasible systems, degenerate
+// optima, and corrupted float hints.
+//===--------------------------------------------------------------------===//
+
+TEST(SimplexSessionTest, PresolveMatchesColdAcrossBoundShrinks) {
+  // The same access pattern as the warm differential, but with the
+  // presolver enabled and the warm path exercised alongside it: every
+  // answer -- first solves served by the presolver, re-solves served
+  // warm -- must equal a fresh cold solve of the current system.
+  std::mt19937_64 Rng(1234);
+  uint64_t PresolveTotal = 0, AttemptTotal = 0;
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    size_t N = 2 + Trial % 4, M = 6 + Trial % 7;
+    Matrix A;
+    Vector B, C;
+    buildBandSystem(Rng, N, M, A, B, C);
+
+    SimplexSession Sess(C);
+    Sess.setPresolve(true);
+    std::vector<SimplexSession::RowId> Ids;
+    for (size_t I = 0; I + 1 < A.size(); ++I)
+      Ids.push_back(Sess.addRow(A[I], B[I]));
+    Ids.push_back(Sess.addRow(A.back(), B.back(), /*PinLast=*/true));
+    LPResult First = Sess.solve();
+    EXPECT_FALSE(First.Warm);
+    expectSameResult(maximizeLP(A, B, C), First, "initial");
+
+    Rational Step(BigInt(1), BigInt(64));
+    for (int Round = 0; Round < 8; ++Round) {
+      for (size_t I = Round % 3; I + 1 < A.size(); I += 3) {
+        B[I] = B[I] - Step;
+        Sess.updateRow(Ids[I], A[I], B[I]);
+      }
+      LPResult Got = Sess.solve();
+      expectSameResult(maximizeLP(A, B, C), Got,
+                       ("round " + std::to_string(Round)).c_str());
+      if (!Got.isOptimal())
+        break;
+    }
+    PresolveTotal += Sess.stats().PresolveSolves;
+    AttemptTotal += Sess.stats().PresolveAttempts;
+    // Bookkeeping invariants: every attempt resolves one way, and every
+    // solve is attributed exactly once.
+    const SimplexSession::Stats &St = Sess.stats();
+    EXPECT_EQ(St.PresolveAttempts,
+              St.PresolveSolves + St.PresolveFallbacks);
+    EXPECT_EQ(St.PresolveSolves,
+              St.PresolveCertified + St.PresolveRepaired);
+  }
+  // The presolver must actually serve solves, or this differential
+  // compares the cold path with itself.
+  EXPECT_GT(AttemptTotal, 0u);
+  EXPECT_GT(PresolveTotal, 0u);
+}
+
+TEST(SimplexSessionTest, PresolveOnInfeasibleSystemsMatchesCold) {
+  // Infeasibility is a path-independent property of the row set, so a
+  // presolved attempt must report it identically to a cold solve -- the
+  // float basis it primes from is irrelevant to the verdict.
+  std::mt19937_64 Rng(555);
+  for (int Trial = 0; Trial < 30; ++Trial) {
+    size_t N = 2 + Trial % 3;
+    Matrix A;
+    Vector B, C;
+    buildBandSystem(Rng, N, 5 + Trial % 4, A, B, C);
+    // Contradiction: z0 + d <= -1 and -z0 + d <= -1 sum to d <= -1,
+    // while -d <= -2 demands d >= 2.
+    Vector Pin(N + 1), Neg(N + 1), Pos(N + 1);
+    Pos[0] = Rational(1);
+    Neg[0] = Rational(-1);
+    Pin[N] = Rational(-1);
+    Pos[N] = Neg[N] = Rational(1);
+    A.push_back(Pos);
+    B.push_back(Rational(-1));
+    A.push_back(Neg);
+    B.push_back(Rational(-1));
+    A.push_back(Pin);
+    B.push_back(Rational(-2));
+
+    LPResult Cold = maximizeLP(A, B, C);
+
+    SimplexSession Sess(C);
+    Sess.setPresolve(true);
+    for (size_t I = 0; I < A.size(); ++I)
+      Sess.addRow(A[I], B[I]);
+    LPResult Got = Sess.solve();
+    expectSameResult(Cold, Got, "infeasible system");
+    EXPECT_EQ(Got.StatusCode, LPResult::Status::Infeasible);
+  }
+}
+
+TEST(SimplexSessionTest, PresolveOnDegenerateOptimaFallsBackIdentically) {
+  // Degenerate systems (duplicate tight rows through one vertex) defeat
+  // the uniqueness certificate, so the presolve path must either accept a
+  // provably unique optimum or fall back cold -- and in both cases return
+  // the cold answer.
+  for (int Shift = 0; Shift < 6; ++Shift) {
+    Matrix A = {vec({1, 0}), vec({1, 0}), vec({0, 1}),
+                vec({1, 1}), vec({1, 1})};
+    Vector B = {Rational(3), Rational(3), Rational(Shift),
+                Rational(3 + Shift), Rational(3 + Shift)};
+    Vector C = vec({1, 1});
+    LPResult Cold = maximizeLP(A, B, C);
+
+    SimplexSession Sess(C);
+    Sess.setPresolve(true);
+    for (size_t I = 0; I < A.size(); ++I)
+      Sess.addRow(A[I], B[I]);
+    LPResult Got = Sess.solve();
+    expectSameResult(Cold, Got, "degenerate vertex");
+    const SimplexSession::Stats &St = Sess.stats();
+    EXPECT_EQ(St.PresolveAttempts,
+              St.PresolveSolves + St.PresolveFallbacks);
+  }
+}
+
+TEST(SimplexSessionTest, CorruptedFloatHintsAreRepairedExactly) {
+  // hintBasis feeds arbitrary row sets into the float solve's starting
+  // basis. Adversarial hints -- wrong rows, retired rows, the whole basis
+  // reversed, duplicates -- may cost float pivots but can never change
+  // the exact result: the engine repairs whatever basis comes back.
+  std::mt19937_64 Rng(31337);
+  for (int Trial = 0; Trial < 25; ++Trial) {
+    size_t N = 2 + Trial % 4, M = 6 + Trial % 5;
+    Matrix A;
+    Vector B, C;
+    buildBandSystem(Rng, N, M, A, B, C);
+
+    LPResult Cold = maximizeLP(A, B, C);
+
+    SimplexSession Sess(C);
+    Sess.setPresolve(true);
+    std::vector<SimplexSession::RowId> Ids;
+    for (size_t I = 0; I + 1 < A.size(); ++I)
+      Ids.push_back(Sess.addRow(A[I], B[I]));
+    Ids.push_back(Sess.addRow(A.back(), B.back(), /*PinLast=*/true));
+
+    // Corrupt hint: every third row, plus duplicates, plus out-of-range
+    // ids -- a basis no optimal solve would produce.
+    std::vector<SimplexSession::RowId> Hint;
+    for (size_t I = 0; I < Ids.size(); I += 3) {
+      Hint.push_back(Ids[I]);
+      Hint.push_back(Ids[I]);
+    }
+    Hint.push_back(Ids.size() + 1000);
+    Sess.hintBasis(Hint);
+    expectSameResult(Cold, Sess.solve(), "corrupted hint");
+  }
+}
+
+TEST(SimplexSessionTest, PresolveResultsAreThreadCountInvariant) {
+  // The determinism contract extends through the presolve path: the float
+  // solver is strictly serial and the exact repair is exact, so results
+  // and pivot counts must not depend on the thread count.
+  std::mt19937_64 Rng(911);
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    size_t N = 3 + Trial % 3, M = 10;
+    Matrix A;
+    Vector B, C;
+    buildBandSystem(Rng, N, M, A, B, C);
+
+    auto Run = [&](unsigned Threads) {
+      SimplexSession Sess(C, Threads);
+      Sess.setPresolve(true);
+      for (size_t I = 0; I + 1 < A.size(); ++I)
+        Sess.addRow(A[I], B[I]);
+      Sess.addRow(A.back(), B.back(), /*PinLast=*/true);
+      return Sess.solve();
+    };
+
+    LPResult T1 = Run(1), T4 = Run(4);
+    expectSameResult(T1, T4, "threads 1 vs 4");
+    EXPECT_EQ(T1.Pivots, T4.Pivots) << "trial " << Trial;
+    EXPECT_EQ(T1.Presolved, T4.Presolved) << "trial " << Trial;
+    EXPECT_EQ(T1.FloatIterations, T4.FloatIterations) << "trial " << Trial;
+  }
+}
+
 TEST(SimplexSessionTest, WarmResultsAreThreadCountInvariant) {
   // The determinism contract extends to warm re-solves: identical exact
   // results and identical pivot counts for 1, 4, and hardware threads.
