@@ -8,10 +8,20 @@
 // once per process (CPUID + the RFP_BATCH_ISA override) and cached; each
 // evalBatch call is one table load and one indirect call. The scalar
 // kernels below are plain loops over the per-call cores, so they are
-// bit-identical to the per-call API by construction; the AVX2 kernels
-// (BatchKernelsAVX2.cpp, present when RFP_HAVE_AVX2_KERNELS) earn the same
-// property instruction by instruction. Where the AVX2 table has no kernel
-// (Knuth -- see DESIGN.md), the scalar loop fills the slot.
+// bit-identical to the per-call API by construction; the vector kernels
+// (BatchKernelsAVX2.cpp / BatchKernelsAVX512.cpp / BatchKernelsNEON.cpp,
+// present when the matching RFP_HAVE_*_KERNELS macro is defined) earn the
+// same property instruction by instruction.
+//
+// The Knuth kernels mirror FMA-contraction choices the host compiler made
+// for the scalar adapted forms, so they are additionally guarded by a
+// one-time parity probe at set resolution: each Knuth kernel is swept over
+// a deterministic input set against the scalar core, and any mismatch
+// demotes that slot back to the scalar loop with a logged warning (see
+// DESIGN.md, "Batch evaluation layer"). RFP_BATCH_PARITY_PROBE=off skips
+// the probe, =full extends it to every vector kernel; on NEON the full
+// probe is always applied (the backend cannot be exercised by this
+// project's x86 CI).
 //
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +34,7 @@
 #include <cassert>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 using namespace rfp;
 using namespace rfp::libm;
@@ -57,6 +68,107 @@ constexpr KernelSet ScalarSet = {
 
 #undef RFP_SCALAR_ROW
 
+#if defined(RFP_HAVE_AVX2_KERNELS) || defined(RFP_HAVE_AVX512_KERNELS) ||      \
+    defined(RFP_HAVE_NEON_KERNELS)
+
+/// What the one-time parity probe covers when a vector set is resolved.
+enum class ProbePolicy { Off, Knuth, Full };
+
+ProbePolicy probePolicy() {
+  const char *Env = std::getenv("RFP_BATCH_PARITY_PROBE");
+  if (!Env || std::strcmp(Env, "knuth") == 0)
+    return ProbePolicy::Knuth;
+  if (std::strcmp(Env, "off") == 0)
+    return ProbePolicy::Off;
+  if (std::strcmp(Env, "full") == 0)
+    return ProbePolicy::Full;
+  telemetry::logf(telemetry::LogLevel::Warn, "libm.batch",
+                  "unknown RFP_BATCH_PARITY_PROBE value \"%s\" "
+                  "(expected off|knuth|full); probing knuth kernels", Env);
+  return ProbePolicy::Knuth;
+}
+
+/// Deterministic probe inputs: a strided sweep of the float bit space plus
+/// dense windows around the classification boundaries (the same centers
+/// BatchParityTest uses). ~6k inputs; the probe runs once per process.
+const std::vector<float> &probeInputs() {
+  static const std::vector<float> Inputs = [] {
+    std::vector<float> V;
+    V.reserve(7000);
+    for (uint64_t B = 0; B < (1ull << 32); B += (1ull << 20))
+      V.push_back([](uint32_t Bits) {
+        float X;
+        std::memcpy(&X, &Bits, sizeof(X));
+        return X;
+      }(static_cast<uint32_t>(B)));
+    const float Centers[] = {0x1.62e42ep+6f, -104.7f, 0x1p-27f,  -0x1p-27f,
+                             128.0f,         -151.0f, 0x1p-26f,  3.0f,
+                             0x1.344135p+5f, -45.46f, 0x1p-28f,  1.0f,
+                             2.0f,           0.25f,   0x1p-126f, 0.0f};
+    for (float C : Centers) {
+      uint32_t Bits;
+      std::memcpy(&Bits, &C, sizeof(Bits));
+      for (int D = -32; D <= 32; ++D) {
+        float X;
+        uint32_t B = Bits + static_cast<uint32_t>(D);
+        std::memcpy(&X, &B, sizeof(X));
+        V.push_back(X);
+      }
+    }
+    return V;
+  }();
+  return Inputs;
+}
+
+/// Bit-compares \p Fn against the scalar core over the probe set.
+bool kernelMatchesScalar(BatchKernelFn Fn, ElemFunc F, EvalScheme S) {
+  if (!variantInfo(F, S).Available)
+    return true; // never dispatched; nothing to prove
+  const std::vector<float> &In = probeInputs();
+  std::vector<double> H(In.size());
+  Fn(In.data(), H.data(), In.size());
+  for (size_t I = 0; I < In.size(); ++I) {
+    double Want = evalCore(F, S, In[I]);
+    if (std::memcmp(&Want, &H[I], sizeof(double)) != 0)
+      return false;
+  }
+  return true;
+}
+
+/// Builds a vector kernel set: overlay \p Kernels onto the scalar loops,
+/// demoting any probed kernel that fails bit-parity with the scalar core.
+/// \p ProbeAll forces the full probe regardless of policy (NEON).
+KernelSet overlaySet(const BatchKernelFn (&Kernels)[6][4], BatchISA ISA,
+                     bool ProbeAll) {
+  ProbePolicy Policy = probePolicy();
+  KernelSet S = ScalarSet;
+  S.ISA = ISA;
+  for (int FI = 0; FI < 6; ++FI)
+    for (int SI = 0; SI < 4; ++SI) {
+      BatchKernelFn K = Kernels[FI][SI];
+      if (!K)
+        continue;
+      bool Probe =
+          Policy != ProbePolicy::Off &&
+          (ProbeAll || Policy == ProbePolicy::Full ||
+           static_cast<EvalScheme>(SI) == EvalScheme::Knuth);
+      if (Probe && !kernelMatchesScalar(K, static_cast<ElemFunc>(FI),
+                                        static_cast<EvalScheme>(SI))) {
+        telemetry::logf(telemetry::LogLevel::Warn, "libm.batch",
+                        "%s %s/%s kernel failed the scalar parity probe; "
+                        "using the scalar loop for this variant",
+                        batchISAName(ISA),
+                        elemFuncName(static_cast<ElemFunc>(FI)),
+                        evalSchemeName(static_cast<EvalScheme>(SI)));
+        telemetry::counter("libm.batch.probe.demoted").inc();
+        continue;
+      }
+      S.Fn[FI][SI] = K;
+    }
+  return S;
+}
+#endif
+
 #ifdef RFP_HAVE_AVX2_KERNELS
 bool cpuHasAVX2() {
   return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
@@ -64,33 +176,51 @@ bool cpuHasAVX2() {
 
 /// The AVX2 set: vector kernels where they exist, scalar loops elsewhere.
 const KernelSet &avx2Set() {
-  static const KernelSet Set = [] {
-    KernelSet S = ScalarSet;
-    S.ISA = BatchISA::AVX2;
-    for (int FI = 0; FI < 6; ++FI)
-      for (int SI = 0; SI < 4; ++SI)
-        if (detail::AVX2BatchKernels[FI][SI])
-          S.Fn[FI][SI] = detail::AVX2BatchKernels[FI][SI];
-    return S;
-  }();
+  static const KernelSet Set =
+      overlaySet(detail::AVX2BatchKernels, BatchISA::AVX2, /*ProbeAll=*/false);
   return Set;
 }
 #endif
 
-/// One-time resolution: best compiled-in set the CPU supports, overridable
-/// with RFP_BATCH_ISA=scalar|avx2|auto.
-const KernelSet &activeSet() {
-  static const KernelSet &Set = []() -> const KernelSet & {
-    const char *Env = std::getenv("RFP_BATCH_ISA");
-    bool ForceScalar = Env && std::strcmp(Env, "scalar") == 0;
-#ifdef RFP_HAVE_AVX2_KERNELS
-    if (!ForceScalar && cpuHasAVX2())
-      return avx2Set();
-#endif
-    (void)ForceScalar;
-    return ScalarSet;
-  }();
+#ifdef RFP_HAVE_AVX512_KERNELS
+bool cpuHasAVX512() {
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512dq") &&
+         __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512vl");
+}
+
+const KernelSet &avx512Set() {
+  static const KernelSet Set = overlaySet(detail::AVX512BatchKernels,
+                                          BatchISA::AVX512, /*ProbeAll=*/false);
   return Set;
+}
+#endif
+
+#ifdef RFP_HAVE_NEON_KERNELS
+/// NEON is baseline on aarch64 (no CPUID gate), but the backend cannot run
+/// on this project's x86 CI, so the full parity probe always applies.
+const KernelSet &neonSet() {
+  static const KernelSet Set =
+      overlaySet(detail::NEONBatchKernels, BatchISA::NEON, /*ProbeAll=*/true);
+  return Set;
+}
+#endif
+
+/// Best compiled-in set the CPU supports.
+const KernelSet &bestSet() {
+#ifdef RFP_HAVE_AVX512_KERNELS
+  if (cpuHasAVX512())
+    return avx512Set();
+#endif
+#ifdef RFP_HAVE_AVX2_KERNELS
+  if (cpuHasAVX2())
+    return avx2Set();
+#endif
+#ifdef RFP_HAVE_NEON_KERNELS
+  return neonSet();
+#endif
+  return ScalarSet;
 }
 
 const KernelSet &setFor(BatchISA ISA) {
@@ -98,27 +228,69 @@ const KernelSet &setFor(BatchISA ISA) {
   if (ISA == BatchISA::AVX2 && cpuHasAVX2())
     return avx2Set();
 #endif
+#ifdef RFP_HAVE_AVX512_KERNELS
+  if (ISA == BatchISA::AVX512 && cpuHasAVX512())
+    return avx512Set();
+#endif
+#ifdef RFP_HAVE_NEON_KERNELS
+  if (ISA == BatchISA::NEON)
+    return neonSet();
+#endif
   (void)ISA;
   return ScalarSet;
+}
+
+/// One-time resolution: best compiled-in set the CPU supports, overridable
+/// with RFP_BATCH_ISA=scalar|avx2|avx512|neon|auto. A recognized ISA the
+/// CPU or build cannot provide falls back to scalar (the documented
+/// pin-an-ISA contract); an unrecognized value warns once and resolves as
+/// auto, so a typo degrades to the best detected ISA instead of silently
+/// losing the vector kernels.
+const KernelSet &activeSet() {
+  static const KernelSet &Set = []() -> const KernelSet & {
+    const char *Env = std::getenv("RFP_BATCH_ISA");
+    if (!Env || std::strcmp(Env, "auto") == 0)
+      return bestSet();
+    if (std::strcmp(Env, "scalar") == 0)
+      return ScalarSet;
+    if (std::strcmp(Env, "avx2") == 0)
+      return setFor(BatchISA::AVX2);
+    if (std::strcmp(Env, "avx512") == 0)
+      return setFor(BatchISA::AVX512);
+    if (std::strcmp(Env, "neon") == 0)
+      return setFor(BatchISA::NEON);
+    const KernelSet &Best = bestSet();
+    telemetry::logf(telemetry::LogLevel::Warn, "libm.batch",
+                    "unknown RFP_BATCH_ISA value \"%s\" (expected "
+                    "scalar|avx2|avx512|neon|auto); using best detected "
+                    "ISA (%s)",
+                    Env, batchISAName(Best.ISA));
+    return Best;
+  }();
+  return Set;
 }
 
 /// Per-ISA batch telemetry: which kernel set served how many calls and
 /// elements. One counter update per *batch*, not per element, so the
 /// amortized cost vanishes against the kernel work.
 struct BatchCounters {
-  telemetry::Counter Calls[2] = {
+  telemetry::Counter Calls[4] = {
       telemetry::counter("libm.batch.calls.scalar"),
       telemetry::counter("libm.batch.calls.avx2"),
+      telemetry::counter("libm.batch.calls.avx512"),
+      telemetry::counter("libm.batch.calls.neon"),
   };
-  telemetry::Counter Elems[2] = {
+  telemetry::Counter Elems[4] = {
       telemetry::counter("libm.batch.elems.scalar"),
       telemetry::counter("libm.batch.elems.avx2"),
+      telemetry::counter("libm.batch.elems.avx512"),
+      telemetry::counter("libm.batch.elems.neon"),
   };
 };
 
 void countBatchCall(BatchISA ISA, size_t N) {
   static const BatchCounters C;
-  int I = ISA == BatchISA::AVX2 ? 1 : 0;
+  int I = static_cast<int>(ISA);
   C.Calls[I].inc();
   C.Elems[I].add(N);
 }
@@ -144,6 +316,10 @@ const char *rfp::libm::batchISAName(BatchISA ISA) {
     return "scalar";
   case BatchISA::AVX2:
     return "avx2";
+  case BatchISA::AVX512:
+    return "avx512";
+  case BatchISA::NEON:
+    return "neon";
   }
   return "??";
 }

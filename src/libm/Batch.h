@@ -6,10 +6,10 @@
 ///
 /// \file
 /// Array entry points for the shipped functions: evaluate N inputs in one
-/// call, backed by hand-written AVX2+FMA kernels with a portable
-/// scalar-loop fallback, selected once per process by runtime CPUID
-/// dispatch (the resolved kernel table is cached; there is no per-call
-/// feature test).
+/// call, backed by hand-written SIMD kernels (AVX2+FMA, AVX-512, NEON on
+/// aarch64) with a portable scalar-loop fallback, selected once per
+/// process by runtime CPUID dispatch (the resolved kernel table is cached;
+/// there is no per-call feature test).
 ///
 /// The contract that makes the batch layer safe to use anywhere the
 /// per-call API is: for every element, the H (double) result is
@@ -35,15 +35,20 @@ namespace rfp {
 namespace libm {
 
 /// Instruction sets the batch dispatcher can resolve to.
-enum class BatchISA { Scalar, AVX2 };
+enum class BatchISA { Scalar, AVX2, AVX512, NEON };
 
-/// Display name ("scalar", "avx2").
+inline constexpr BatchISA AllBatchISAs[4] = {BatchISA::Scalar, BatchISA::AVX2,
+                                             BatchISA::AVX512, BatchISA::NEON};
+
+/// Display name ("scalar", "avx2", "avx512", "neon").
 const char *batchISAName(BatchISA ISA);
 
 /// The ISA resolved for this process: the best compiled-in kernel set the
-/// CPU supports. The environment variable RFP_BATCH_ISA=scalar|avx2|auto
-/// overrides the choice (consulted once, at first use; forcing an ISA the
-/// CPU or build cannot provide falls back to scalar).
+/// CPU supports. The environment variable
+/// RFP_BATCH_ISA=scalar|avx2|avx512|neon|auto overrides the choice
+/// (consulted once, at first use). Forcing an ISA the CPU or build cannot
+/// provide falls back to scalar; an unrecognized value warns once through
+/// the leveled logger and resolves as auto (the best detected ISA).
 BatchISA activeBatchISA();
 
 /// Evaluates f over In[0..N) under scheme S, writing the H (double)

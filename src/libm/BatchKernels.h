@@ -6,8 +6,9 @@
 ///
 /// \file
 /// Internal interface between the batch dispatcher (Batch.cpp), the
-/// ISA-specific kernel translation units (BatchKernelsAVX2.cpp), and the
-/// SIMD-friendly coefficient layout emitted by tools/polygen into
+/// ISA-specific kernel translation units (BatchKernelsAVX2.cpp,
+/// BatchKernelsAVX512.cpp, BatchKernelsNEON.cpp), and the SIMD-friendly
+/// coefficient layout emitted by tools/polygen into
 /// src/libm/generated/<Func>Batch.inc. Nothing here is public API; consumers
 /// use libm/Batch.h.
 ///
@@ -61,13 +62,19 @@ const BatchSchemeTable *batchTablesFor(ElemFunc F);
 /// dispatches to. The kernels use it for lane fallback and loop tails.
 double (*scalarCoreFor(ElemFunc F, EvalScheme S))(float);
 
-/// AVX2+FMA kernel table, defined only in BatchKernelsAVX2.cpp (the one TU
-/// built with -mavx2; see src/CMakeLists.txt). Entries are null where no
-/// vector kernel exists (Knuth: its compiled scalar form is FMA-contraction
-/// ambiguous, see DESIGN.md "Batch evaluation layer") and the dispatcher
-/// substitutes the scalar loop. Referenced only when RFP_HAVE_AVX2_KERNELS
-/// is defined.
+/// Per-ISA kernel tables, each defined only in its own TU (the only
+/// objects built with that ISA's flags; see src/CMakeLists.txt). Entries
+/// are null where no vector kernel exists (log10/Knuth: the variant is not
+/// generated) and the dispatcher substitutes the scalar loop. The Knuth
+/// entries mirror the host compiler's FMA-contraction choices for the
+/// scalar adapted forms and are additionally verified by a one-time parity
+/// probe at dispatch resolution, which demotes a mismatching kernel back
+/// to the scalar loop (see DESIGN.md "Batch evaluation layer"). Each table
+/// is referenced only when the matching RFP_HAVE_*_KERNELS macro is
+/// defined.
 extern const BatchKernelFn AVX2BatchKernels[6][4];
+extern const BatchKernelFn AVX512BatchKernels[6][4];
+extern const BatchKernelFn NEONBatchKernels[6][4];
 
 } // namespace detail
 } // namespace libm

@@ -26,9 +26,12 @@
 //    encoding gives the same bits; where it is not (K*CWLo, the
 //    polynomial steps) this file uses the fused intrinsic explicitly.
 //  * Knuth's adapted forms compile with *mixed* contraction that GCC
-//    chooses per call site; no portable vector mirror exists, so there is
-//    no Knuth kernel here (null table entries; the dispatcher runs the
-//    scalar loop). See DESIGN.md, "Batch evaluation layer".
+//    chooses per call site; the Knuth kernels below mirror the compiled
+//    sequences read off the shipped cores' disassembly (the contraction
+//    map is documented at knuthEvalV), and because that mirror is
+//    compiler-specific the dispatcher re-proves it at set resolution with
+//    a one-time parity probe, demoting a mismatching Knuth kernel back to
+//    the scalar loop. See DESIGN.md, "Batch evaluation layer".
 //
 // BatchParityTest pins the invariant over strided full-bit-space sweeps
 // and dense boundary windows; `bench_batch --verify` sweeps 2^28+ points
@@ -481,6 +484,104 @@ inline __m256d compensateV(__m256d PolyVal, const VecRed &R) {
 }
 
 //===----------------------------------------------------------------------===//
+// Knuth adapted forms
+//===----------------------------------------------------------------------===//
+
+/// Adapted coefficient I for each lane's piece: a broadcast for the
+/// single-piece tables, a two-broadcast blend keyed on the piece mask for
+/// exp (the only multi-piece Knuth form; both adapted rows are constant
+/// expressions, so each blend is two folded constants and one vblendvpd).
+template <const SchemeTable &T>
+inline __m256d kcoeff(int I, __m256d PieceOneM) {
+  if constexpr (T.NumPieces == 1) {
+    (void)PieceOneM;
+    return broadcast(T.Adapted[0][I]);
+  } else {
+    static_assert(T.NumPieces == 2, "vector Knuth handles <= 2 pieces");
+    return _mm256_blendv_pd(broadcast(T.Adapted[0][I]),
+                            broadcast(T.Adapted[1][I]), PieceOneM);
+  }
+}
+
+/// The adapted degree, uniform across pieces (0 would mean mixed degrees,
+/// which no generated Knuth table has; static_asserted at the use site).
+template <const SchemeTable &T> constexpr unsigned knuthDegree() {
+  for (int P = 1; P < T.NumPieces; ++P)
+    if (T.Degrees[P] != T.Degrees[0])
+      return 0;
+  return T.Degrees[0];
+}
+
+/// evalKnuthOps *as compiled* into the scalar cores, including the output
+/// compensation it feeds. GCC's contraction map, read off the shipped
+/// objects' disassembly:
+///
+///   deg 4 (exp):    Y = fma(x+a0, x, a1)
+///                   u = fma((x+Y)+a2, Y, a3) * a4        (final mul plain)
+///   deg 5 (exp2/10): t = x+a0; Y = t*t
+///                   u = fma(fma(Y+a1, Y, a2), x+a3, a4) * a5   (mul plain)
+///   deg 6 (log/log2): Z = fma(x+a0, x, a1); W = fma(x+a2, Z, a3)
+///                   u = fma((Z+W)+a4, W, a5)
+///                   result = fma(u, a6, comp)       <-- final *a6 is FUSED
+///
+/// Every multiply feeding an add is fused; standalone adds stay plain. The
+/// one asymmetry: in the exp family the adapted value feeds a chain of
+/// multiplies (table * u * 2^n), so the final *a_d stays a plain vmulsd
+/// and the generic compensateV applies -- but in log/log2 it feeds the
+/// compensation *add*, and GCC fuses the scale across the inline boundary
+/// (result = fma(u, a6, n + Log2FTable[j]), resp. the ln variant), so the
+/// degree-6 path computes its own fused compensation here. Operand swaps
+/// on commutative adds/muls against the disassembly are bit-neutral. This
+/// map is what the dispatcher's parity probe re-proves at resolution time
+/// on every host (Batch.cpp).
+template <ElemFunc F, const SchemeTable &T>
+inline __m256d knuthEvalV(__m128i Piece, const VecRed &R) {
+  constexpr unsigned D = knuthDegree<T>();
+  static_assert(D == 4 || D == 5 || D == 6, "unsupported adapted degree");
+  __m256d PM = _mm256_setzero_pd();
+  if constexpr (T.NumPieces > 1)
+    PM = widenMask(_mm_cmpgt_epi32(Piece, _mm_setzero_si128()));
+  (void)Piece;
+  __m256d X = R.T;
+  if constexpr (D == 4) {
+    static_assert(isExpFamily(F), "degree-4 adapted form is exp only");
+    __m256d Y = _mm256_fmadd_pd(_mm256_add_pd(X, kcoeff<T>(0, PM)), X,
+                                kcoeff<T>(1, PM));
+    __m256d U = _mm256_fmadd_pd(
+        _mm256_add_pd(_mm256_add_pd(X, Y), kcoeff<T>(2, PM)), Y,
+        kcoeff<T>(3, PM));
+    return compensateV<F>(_mm256_mul_pd(U, kcoeff<T>(4, PM)), R);
+  } else if constexpr (D == 5) {
+    static_assert(isExpFamily(F), "degree-5 adapted form is exp2/exp10 only");
+    __m256d T0 = _mm256_add_pd(X, kcoeff<T>(0, PM));
+    __m256d Y = _mm256_mul_pd(T0, T0);
+    __m256d P = _mm256_fmadd_pd(_mm256_add_pd(Y, kcoeff<T>(1, PM)), Y,
+                                kcoeff<T>(2, PM));
+    __m256d U = _mm256_fmadd_pd(P, _mm256_add_pd(X, kcoeff<T>(3, PM)),
+                                kcoeff<T>(4, PM));
+    return compensateV<F>(_mm256_mul_pd(U, kcoeff<T>(5, PM)), R);
+  } else {
+    static_assert(F == ElemFunc::Log || F == ElemFunc::Log2,
+                  "degree-6 adapted form is log/log2 only");
+    __m256d Z = _mm256_fmadd_pd(_mm256_add_pd(X, kcoeff<T>(0, PM)), X,
+                                kcoeff<T>(1, PM));
+    __m256d W = _mm256_fmadd_pd(_mm256_add_pd(X, kcoeff<T>(2, PM)), Z,
+                                kcoeff<T>(3, PM));
+    __m256d U = _mm256_fmadd_pd(
+        _mm256_add_pd(_mm256_add_pd(Z, W), kcoeff<T>(4, PM)), W,
+        kcoeff<T>(5, PM));
+    __m256d Nd = _mm256_cvtepi32_pd(R.N);
+    __m256d Comp;
+    if constexpr (F == ElemFunc::Log2)
+      Comp = _mm256_add_pd(Nd, _mm256_i32gather_pd(tables::Log2FTable, R.J, 8));
+    else
+      Comp = _mm256_fmadd_pd(Nd, broadcast(tables::Ln2),
+                             _mm256_i32gather_pd(tables::LnFTable, R.J, 8));
+    return _mm256_fmadd_pd(U, kcoeff<T>(6, PM), Comp);
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // The kernel frame
 //===----------------------------------------------------------------------===//
 
@@ -512,8 +613,12 @@ inline void block4(double (*Core)(float), const float *In, double *H) {
       static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(Spec))) & 0xf;
 
   __m128i Piece = pieceIndexV<F>(R.T, B.NumPieces);
-  __m256d P = evalPolyV<S, B>(Piece, R.T);
-  _mm256_storeu_pd(H, compensateV<F>(P, R));
+  __m256d Res;
+  if constexpr (S == EvalScheme::Knuth)
+    Res = knuthEvalV<F, T>(Piece, R);
+  else
+    Res = compensateV<F>(evalPolyV<S, B>(Piece, R.T), R);
+  _mm256_storeu_pd(H, Res);
 
   while (Fallback) {
     unsigned L = static_cast<unsigned>(__builtin_ctz(Fallback));
@@ -534,10 +639,20 @@ void kernel(const float *In, double *H, size_t N) {
     H[I] = Core(In[I]);
 }
 
+/// The Knuth slot: a vector kernel where the variant is generated (log10's
+/// Knuth adaptation does not exist; its slot stays null and the dispatcher
+/// keeps the scalar loop, which asserts unreachable).
+template <ElemFunc F> constexpr BatchKernelFn knuthKernelFor() {
+  if constexpr (Gen<F>::Scheme[static_cast<int>(EvalScheme::Knuth)]->Available)
+    return kernel<F, EvalScheme::Knuth>;
+  else
+    return nullptr;
+}
+
 } // namespace
 
 #define RFP_AVX2_ROW(F)                                                        \
-  {kernel<F, EvalScheme::Horner>, /*Knuth: scalar loop*/ nullptr,              \
+  {kernel<F, EvalScheme::Horner>, knuthKernelFor<F>(),                         \
    kernel<F, EvalScheme::Estrin>, kernel<F, EvalScheme::EstrinFMA>}
 
 const BatchKernelFn rfp::libm::detail::AVX2BatchKernels[6][4] = {

@@ -4,18 +4,28 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "libm/Batch.h"
 #include "libm/rlibm.h"
+#include "support/Telemetry.h"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <random>
+#include <string>
 
 using namespace rfp;
 using namespace rfp::libm;
 
 namespace {
+
+uint64_t bitsOfDouble(double V) {
+  uint64_t B;
+  std::memcpy(&B, &V, sizeof(B));
+  return B;
+}
 
 TEST(DispatchTest, EvalCoreMatchesNamedEntryPoints) {
   std::mt19937_64 Rng(1);
@@ -139,6 +149,50 @@ TEST(DispatchTest, MonotonicityAcrossTheFullDomain) {
       }
     }
   }
+}
+
+TEST(DispatchTest, GarbageBatchISAEnvWarnsAndResolvesAsAuto) {
+  // This binary's only use of the batch API, so the one-time ISA
+  // resolution happens here, under the garbage override. The contract: an
+  // unrecognized RFP_BATCH_ISA value warns once through the leveled
+  // logger and degrades to the best detected ISA (never to a silent
+  // scalar downgrade, never a crash).
+  setenv("RFP_BATCH_ISA", "avx9000", /*overwrite=*/1);
+  int Warnings = 0;
+  std::string LastMsg;
+  telemetry::setLogLevel(telemetry::LogLevel::Warn);
+  {
+    telemetry::ScopedLogSink Sink(
+        [&](telemetry::LogLevel L, const char *Component,
+            const std::string &Msg) {
+          if (L == telemetry::LogLevel::Warn &&
+              std::strcmp(Component, "libm.batch") == 0 &&
+              Msg.find("RFP_BATCH_ISA") != std::string::npos) {
+            ++Warnings;
+            LastMsg = Msg;
+          }
+        });
+    BatchISA Resolved = activeBatchISA();
+    // Resolved as auto: a real ISA with a real name, stable across calls.
+    EXPECT_EQ(Resolved, activeBatchISA());
+    bool Named = false;
+    for (BatchISA ISA : AllBatchISAs)
+      Named |= Resolved == ISA && std::strcmp(batchISAName(ISA), "??") != 0;
+    EXPECT_TRUE(Named);
+    // Warned exactly once (resolution is cached); repeat calls are silent.
+    activeBatchISA();
+    activeBatchISA();
+  }
+  EXPECT_EQ(Warnings, 1) << LastMsg;
+  EXPECT_NE(LastMsg.find("avx9000"), std::string::npos) << LastMsg;
+
+  // And the resolved set actually evaluates correctly.
+  const float In[5] = {0.5f, 1.0f, -2.25f, 3.75f, 100.0f};
+  double H[5];
+  evalBatch(ElemFunc::Exp, EvalScheme::EstrinFMA, In, H, 5);
+  for (int I = 0; I < 5; ++I)
+    EXPECT_EQ(bitsOfDouble(exp_estrin_fma(In[I])), bitsOfDouble(H[I]));
+  unsetenv("RFP_BATCH_ISA");
 }
 
 TEST(DispatchTest, InverseFunctionPairsRoundTrip) {

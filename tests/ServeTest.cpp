@@ -1,0 +1,268 @@
+//===- tests/ServeTest.cpp - Serving-layer correctness --------------------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The serving layer's contract on top of the batch layer's: coalescing
+// requests into shared kernel invocations must never change a single
+// output bit. The differential suite pins H against the scalar per-call
+// core and Enc against roundResult for every (function, scheme) variant,
+// across output formats and all five standard rounding modes, for
+// requests small enough to be coalesced and large enough to be split.
+// Concurrency is pinned by a multi-submitter stress test (run under TSan
+// in CI) plus backpressure, flush, and shutdown-ordering cases.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Serve.h"
+
+#include "libm/rlibm.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+using namespace rfp;
+using namespace rfp::serve;
+
+namespace {
+
+uint64_t bitsOf(double V) {
+  uint64_t B;
+  std::memcpy(&B, &V, sizeof(B));
+  return B;
+}
+
+float floatFromBits(uint32_t Bits) {
+  float X;
+  std::memcpy(&X, &Bits, sizeof(X));
+  return X;
+}
+
+std::vector<float> stridedInputs(uint64_t Stride) {
+  std::vector<float> Inputs;
+  for (uint64_t B = 0; B < (1ull << 32); B += Stride)
+    Inputs.push_back(floatFromBits(static_cast<uint32_t>(B)));
+  return Inputs;
+}
+
+/// Checks one fulfilled result against the scalar core + roundResult.
+void expectExact(const Result &Res, const Request &R) {
+  ASSERT_EQ(Res.H.size(), R.N);
+  ASSERT_EQ(Res.Enc.size(), R.N);
+  for (size_t I = 0; I < R.N; ++I) {
+    double Want = libm::evalCore(R.Func, R.Scheme, R.In[I]);
+    ASSERT_EQ(bitsOf(Want), bitsOf(Res.H[I]))
+        << elemFuncName(R.Func) << "/" << evalSchemeName(R.Scheme)
+        << " x=" << R.In[I] << " I=" << I;
+    ASSERT_EQ(libm::roundResult(Want, R.Format, R.Mode), Res.Enc[I])
+        << elemFuncName(R.Func) << "/" << evalSchemeName(R.Scheme) << " "
+        << roundingModeName(R.Mode) << " x=" << R.In[I];
+  }
+}
+
+TEST(ServeTest, DifferentialParityAllVariantsFormatsModes) {
+  // Small per-variant spans with a long flush deadline, so requests for
+  // the same variant coalesce; exactness must survive that.
+  std::vector<float> Pool = stridedInputs(50000017); // ~86 inputs, specials too
+  Server S({.Threads = 2, .TargetBatchElems = 512, .FlushDeadlineUs = 2000});
+  const FPFormat Formats[] = {FPFormat::float32(), FPFormat::bfloat16(),
+                              FPFormat::tensorfloat32(), FPFormat::withBits(27)};
+  std::vector<std::pair<Request, std::future<Result>>> Outstanding;
+  int FormatIdx = 0, ModeIdx = 0;
+  for (ElemFunc F : AllElemFuncs)
+    for (EvalScheme Sch : AllEvalSchemes) {
+      if (!libm::variantInfo(F, Sch).Available)
+        continue;
+      // Rotate formats and modes across variants; every mode and format
+      // is exercised several times.
+      Request R;
+      R.Func = F;
+      R.Scheme = Sch;
+      R.Format = Formats[FormatIdx++ % 4];
+      R.Mode = StandardRoundingModes[ModeIdx++ % 5];
+      R.In = Pool.data();
+      R.N = Pool.size();
+      std::future<Result> Fut = S.submit(R);
+      Outstanding.emplace_back(std::move(R), std::move(Fut));
+    }
+  for (auto &[R, Fut] : Outstanding)
+    expectExact(Fut.get(), R);
+}
+
+TEST(ServeTest, AllFiveModesOnOneVariant) {
+  std::vector<float> Pool = stridedInputs(20000003);
+  Server S;
+  for (RoundingMode M : StandardRoundingModes)
+    for (const FPFormat &Fmt :
+         {FPFormat::float32(), FPFormat::bfloat16(), FPFormat::withBits(10)}) {
+      Request R;
+      R.Func = ElemFunc::Log;
+      R.Scheme = EvalScheme::Knuth;
+      R.Format = Fmt;
+      R.Mode = M;
+      R.In = Pool.data();
+      R.N = Pool.size();
+      expectExact(S.submit(R).get(), R);
+    }
+}
+
+TEST(ServeTest, CoalescesSmallRequestsIntoWideBatches) {
+  // Many tiny single-function requests with a generous deadline: the mean
+  // batch width must comfortably exceed the per-request size (this is the
+  // same property the CI smoke guard checks end to end via bench_serve).
+  std::vector<float> Pool = stridedInputs(9000011);
+  Server S({.Threads = 1, .TargetBatchElems = 64, .FlushDeadlineUs = 5000});
+  std::vector<std::future<Result>> Futs;
+  const size_t ReqSize = 4;
+  for (size_t At = 0; At + ReqSize <= Pool.size(); At += ReqSize) {
+    Request R;
+    R.Func = ElemFunc::Exp;
+    R.In = Pool.data() + At;
+    R.N = ReqSize;
+    Futs.push_back(S.submit(R));
+  }
+  for (auto &F : Futs)
+    F.get();
+  ServerStats St = S.stats();
+  EXPECT_GT(St.Requests, 50u);
+  EXPECT_GT(St.meanBatchWidth(), static_cast<double>(ReqSize));
+  EXPECT_GT(St.CoalescedBatches, 0u);
+}
+
+TEST(ServeTest, ConcurrentSubmittersBitExact) {
+  // Several threads hammer overlapping variants; every future must still
+  // deliver scalar-core-exact results. This is the test CI runs under
+  // TSan for the synchronization story.
+  std::vector<float> Pool = stridedInputs(30000001);
+  Server S({.Threads = 2, .TargetBatchElems = 128, .FlushDeadlineUs = 100});
+  constexpr int NumThreads = 4, ReqsPerThread = 40;
+  std::vector<std::thread> Threads;
+  std::vector<int> Failures(NumThreads, 0);
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      const ElemFunc Funcs[] = {ElemFunc::Exp, ElemFunc::Log, ElemFunc::Exp2,
+                                ElemFunc::Log2};
+      for (int I = 0; I < ReqsPerThread; ++I) {
+        Request R;
+        R.Func = Funcs[(T + I) % 4];
+        R.Scheme = I % 2 ? EvalScheme::EstrinFMA : EvalScheme::Knuth;
+        R.Mode = StandardRoundingModes[I % 5];
+        R.Tenant = T % 2 ? "alpha" : "beta";
+        size_t Off = static_cast<size_t>((T * 37 + I * 11) % 64);
+        R.In = Pool.data() + Off;
+        R.N = Pool.size() - Off;
+        Result Res = S.submit(R).get();
+        for (size_t J = 0; J < R.N; ++J) {
+          double Want = libm::evalCore(R.Func, R.Scheme, R.In[J]);
+          if (bitsOf(Want) != bitsOf(Res.H[J]) ||
+              libm::roundResult(Want, R.Format, R.Mode) != Res.Enc[J]) {
+            ++Failures[T];
+            break;
+          }
+        }
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (int T = 0; T < NumThreads; ++T)
+    EXPECT_EQ(Failures[T], 0) << "thread " << T;
+}
+
+TEST(ServeTest, OversizedRequestSplitsAcrossBatches) {
+  // A request bigger than MaxBatchElems is served by several kernel
+  // invocations scattering into one result; still exact, still one future.
+  std::vector<float> Pool = stridedInputs(2000003);
+  Server S({.Threads = 2, .MaxBatchElems = 256, .TargetBatchElems = 128});
+  Request R;
+  R.Func = ElemFunc::Exp10;
+  R.Scheme = EvalScheme::Estrin;
+  R.In = Pool.data();
+  R.N = Pool.size(); // ~2148 elements >> MaxBatchElems
+  expectExact(S.submit(R).get(), R);
+  EXPECT_GE(S.stats().Batches, Pool.size() / 256);
+}
+
+TEST(ServeTest, BackpressureBoundsTheQueue) {
+  // A capacity smaller than the offered load: submits block instead of
+  // growing the queue without bound, and everything still completes.
+  std::vector<float> Pool = stridedInputs(9000011);
+  Server S({.Threads = 1,
+            .QueueCapacityElems = 64,
+            .MaxBatchElems = 32,
+            .TargetBatchElems = 32,
+            .FlushDeadlineUs = 50});
+  std::vector<std::future<Result>> Futs;
+  for (int I = 0; I < 100; ++I) {
+    Request R;
+    R.Func = ElemFunc::Log10;
+    R.Scheme = EvalScheme::Horner;
+    R.In = Pool.data();
+    R.N = 48;
+    Futs.push_back(S.submit(R)); // blocks when 64-element queue is full
+  }
+  for (auto &F : Futs) {
+    Result Res = F.get();
+    ASSERT_EQ(Res.H.size(), 48u);
+    ASSERT_EQ(bitsOf(libm::evalCore(ElemFunc::Log10, EvalScheme::Horner,
+                                    Pool[0])),
+              bitsOf(Res.H[0]));
+  }
+}
+
+TEST(ServeTest, FlushDrainsEverythingQueued) {
+  std::vector<float> Pool = stridedInputs(40000007);
+  // Deadline and target both far away: only flush() can drain these.
+  Server S({.Threads = 1,
+            .TargetBatchElems = size_t(1) << 20,
+            .FlushDeadlineUs = 60u * 1000u * 1000u});
+  Request R;
+  R.Func = ElemFunc::Log2;
+  R.Scheme = EvalScheme::EstrinFMA;
+  R.In = Pool.data();
+  R.N = Pool.size();
+  std::future<Result> Fut = S.submit(R);
+  EXPECT_NE(Fut.wait_for(std::chrono::milliseconds(30)),
+            std::future_status::ready);
+  S.flush();
+  ASSERT_EQ(Fut.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  expectExact(Fut.get(), R);
+}
+
+TEST(ServeTest, ShutdownFulfillsQueuedRequests) {
+  std::vector<float> Pool = stridedInputs(40000007);
+  std::future<Result> Fut;
+  Request R;
+  R.Func = ElemFunc::Exp2;
+  R.Scheme = EvalScheme::Horner;
+  R.In = Pool.data();
+  R.N = Pool.size();
+  {
+    Server S({.Threads = 1,
+              .TargetBatchElems = size_t(1) << 20,
+              .FlushDeadlineUs = 60u * 1000u * 1000u});
+    Fut = S.submit(R);
+  } // destructor must drain, not drop
+  expectExact(Fut.get(), R);
+}
+
+TEST(ServeTest, UnavailableVariantAndEmptyRequest) {
+  Server S;
+  Request Bad;
+  Bad.Func = ElemFunc::Log10;
+  Bad.Scheme = EvalScheme::Knuth; // not generated (paper Table 1: N/A)
+  EXPECT_THROW(S.submit(Bad).get(), std::invalid_argument);
+
+  Request Empty;
+  Empty.Func = ElemFunc::Exp;
+  Empty.N = 0;
+  Result Res = S.submit(Empty).get();
+  EXPECT_TRUE(Res.H.empty());
+  EXPECT_TRUE(Res.Enc.empty());
+}
+
+} // namespace
