@@ -128,10 +128,10 @@ ScenarioResult runScenario(const Scenario &Sc, const std::vector<float> &Pool,
   for (size_t I = 0; I < Requests; ++I) {
     Shape Sh = Sc.Mix(I);
     serve::Request R;
-    R.Func = Sh.Func;
-    R.Scheme = Sh.Scheme;
-    R.Format = Sh.Format;
-    R.Mode = Sh.Mode;
+    R.Key.Func = Sh.Func;
+    R.Key.Scheme = Sh.Scheme;
+    R.Key.Format = Sh.Format;
+    R.Key.Mode = Sh.Mode;
     R.N = Sh.N;
     R.In = Pool.data() + (I * 131) % (Pool.size() - Sh.N);
     Elems += Sh.N;

@@ -1,0 +1,229 @@
+//===- bench/bench_verify.cpp - Verification engine throughput ------------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Throughput of the exhaustive verification engine (src/verify): how many
+// inputs and logical comparisons per second a sweep sustains, measured
+// twice -- an oracle-cold pass (first touch of each input pays the
+// certified fast-path oracle, the real cost of a fresh sweep) and an
+// oracle-warm pass (memoized oracle; what re-verification after a kernel
+// change costs). Alongside the engine numbers, the raw evaluation
+// throughput of every compiled path (scalar cores, batch kernels per
+// ISA) over the same inputs -- the ceiling the engine's checking overhead
+// is measured against.
+//
+// The measured sweep doubles as a differential guard: any mismatch fails
+// the benchmark with exit code 1 (a perf report from a broken build is
+// worse than no report).
+//
+// JSON output (--json[=path], default BENCH_verify.json schema family)
+// archives elems/sec per pass and per path for CI trend tracking.
+//
+//===----------------------------------------------------------------------===//
+
+#include "JsonWriter.h"
+
+#include "verify/Verify.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace rfp;
+using namespace rfp::verify;
+
+namespace {
+
+double nowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct PassStats {
+  double Millis = 0;
+  uint64_t Inputs = 0;
+  uint64_t Comparisons = 0;
+  uint64_t Mismatches = 0;
+  uint64_t OracleFast = 0;
+  uint64_t OracleExact = 0;
+  double inputsPerSec() const { return Inputs / (Millis / 1e3); }
+  double comparisonsPerSec() const { return Comparisons / (Millis / 1e3); }
+};
+
+PassStats runPass(const SweepConfig &C) {
+  double T0 = nowMs();
+  SweepReport R = runSweep(C);
+  double T1 = nowMs();
+  PassStats P;
+  P.Millis = T1 - T0;
+  P.Inputs = R.Inputs;
+  P.Comparisons = R.Comparisons;
+  P.Mismatches = R.Mismatches;
+  P.OracleFast = R.OracleFast;
+  P.OracleExact = R.OracleExact;
+  return P;
+}
+
+struct PathStats {
+  std::string Name;
+  double ElemsPerSec = 0;
+};
+
+/// Raw evaluation throughput of one path over a dense float32 buffer
+/// (strided bit patterns, NaNs excluded like the engine's decode). Best
+/// of \p Repeats passes.
+PathStats measurePath(const PathSpec &P, ElemFunc F, EvalScheme S,
+                      const std::vector<float> &In, int Repeats = 3) {
+  std::vector<double> H(In.size());
+  double BestMs = 1e300;
+  for (int R = 0; R < Repeats; ++R) {
+    double T0 = nowMs();
+    if (P.Path == EvalPath::ScalarCore) {
+      for (size_t I = 0; I < In.size(); ++I)
+        H[I] = evalH(F, S, In[I]);
+    } else {
+      evalBatchH(P.ISA, F, S, In.data(), H.data(), In.size());
+    }
+    double T1 = nowMs();
+    if (T1 - T0 < BestMs)
+      BestMs = T1 - T0;
+  }
+  PathStats Out;
+  Out.Name = pathSpecName(P);
+  Out.ElemsPerSec = In.size() / (BestMs / 1e3);
+  return Out;
+}
+
+void writeJson(const std::string &Path, const SweepConfig &C,
+               const PassStats &Cold, const PassStats &Warm,
+               const std::vector<PathStats> &Paths) {
+  bench::Report Rep(Path, "bench_verify");
+  if (!Rep.ok())
+    return;
+  json::Writer &W = Rep.writer();
+  W.key("config");
+  W.beginObject();
+  W.kv("min_bits", static_cast<uint64_t>(C.MinBits));
+  W.kv("max_bits", static_cast<uint64_t>(C.MaxBits));
+  W.kv("units", static_cast<uint64_t>(planUnits(C).size()));
+  W.endObject();
+  auto Pass = [&](const char *Key, const PassStats &P) {
+    W.key(Key);
+    W.beginObject();
+    W.kvFixed("wall_ms", P.Millis, 1);
+    W.kv("inputs", P.Inputs);
+    W.kv("comparisons", P.Comparisons);
+    W.kv("mismatches", P.Mismatches);
+    W.kv("oracle_fast", P.OracleFast);
+    W.kv("oracle_exact", P.OracleExact);
+    W.kvSci("inputs_per_sec", P.inputsPerSec(), 3);
+    W.kvSci("comparisons_per_sec", P.comparisonsPerSec(), 3);
+    W.endObject();
+  };
+  Pass("oracle_cold", Cold);
+  Pass("oracle_warm", Warm);
+  W.key("paths");
+  W.beginArray();
+  for (const PathStats &P : Paths) {
+    W.inlineNext();
+    W.beginObject();
+    W.kv("path", P.Name);
+    W.kvSci("eval_elems_per_sec", P.ElemsPerSec, 3);
+    W.endObject();
+  }
+  W.endArray();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bench::ReportOptions Opts;
+  unsigned MaxBits = 14;
+  unsigned Threads = 0;
+  for (int I = 1; I < Argc; ++I) {
+    if (Opts.parse(Argc, Argv, I, "BENCH_verify.json"))
+      continue;
+    else if (std::strncmp(Argv[I], "--max-bits=", 11) == 0)
+      MaxBits = static_cast<unsigned>(std::atoi(Argv[I] + 11));
+    else if (std::strncmp(Argv[I], "--threads=", 10) == 0)
+      Threads = static_cast<unsigned>(std::atoi(Argv[I] + 10));
+    else {
+      std::fprintf(stderr, "usage: %s %s [--max-bits=N] [--threads=N]\n",
+                   Argv[0], bench::ReportOptions::usage());
+      return 2;
+    }
+  }
+  if (MaxBits < 10 || MaxBits > 16) {
+    std::fprintf(stderr, "--max-bits must be in [10,16] (exhaustive tier)\n");
+    return 2;
+  }
+
+  // The measured sweep: all six functions, the shipped default scheme,
+  // exhaustive over the narrow formats. Same work a CI verification
+  // slice does.
+  SweepConfig C;
+  C.Schemes = {EvalScheme::EstrinFMA};
+  C.MinBits = 10;
+  C.MaxBits = MaxBits;
+  C.Threads = Threads;
+
+  std::printf("verify engine throughput: %zu units (fp10..fp%u exhaustive, "
+              "estrin-fma), %s\n\n",
+              planUnits(C).size(), MaxBits,
+              Threads ? "explicit threads" : "default threads");
+
+  PassStats Cold = runPass(C);
+  PassStats Warm = runPass(C);
+  for (const auto &P : {std::make_pair("oracle-cold", &Cold),
+                        std::make_pair("oracle-warm", &Warm)}) {
+    std::printf("%-12s %8.1f ms  %9.3g inputs/s  %9.3g comparisons/s  "
+                "(oracle fast %llu exact %llu)\n",
+                P.first, P.second->Millis, P.second->inputsPerSec(),
+                P.second->comparisonsPerSec(),
+                static_cast<unsigned long long>(P.second->OracleFast),
+                static_cast<unsigned long long>(P.second->OracleExact));
+  }
+
+  // Raw per-path evaluation throughput: the no-checking ceiling.
+  std::vector<float> In;
+  In.reserve(1 << 16);
+  for (uint64_t B = 0; B < (1ull << 32); B += 65537) {
+    float X;
+    uint32_t Bits = static_cast<uint32_t>(B);
+    std::memcpy(&X, &Bits, sizeof(X));
+    if (X == X)
+      In.push_back(X);
+  }
+  SweepConfig AllPaths = C;
+  AllPaths.AllISAs = true;
+  std::vector<PathStats> Paths;
+  std::printf("\nraw eval throughput (exp/estrin-fma, %zu inputs):\n",
+              In.size());
+  for (const PathSpec &P : planPaths(AllPaths)) {
+    Paths.push_back(
+        measurePath(P, ElemFunc::Exp, EvalScheme::EstrinFMA, In));
+    std::printf("  %-14s %9.3g elems/s\n", Paths.back().Name.c_str(),
+                Paths.back().ElemsPerSec);
+  }
+
+  if (!Opts.JsonPath.empty())
+    writeJson(Opts.JsonPath, C, Cold, Warm, Paths);
+  Opts.finish();
+
+  if (Cold.Mismatches || Warm.Mismatches) {
+    std::fprintf(stderr,
+                 "\nFAIL: %llu mismatches -- the library is broken; perf "
+                 "numbers above are void\n",
+                 static_cast<unsigned long long>(Cold.Mismatches +
+                                                 Warm.Mismatches));
+    return 1;
+  }
+  std::printf("\nzero mismatches across both passes\n");
+  return 0;
+}

@@ -13,7 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "libm/rlibm.h"
+#include "libm/rfp.h"
 #include "oracle/Oracle.h"
 
 #include <cmath>
@@ -21,18 +21,17 @@
 #include <cstring>
 
 using namespace rfp;
-using namespace rfp::libm;
 
 int main() {
   // Part 1: one H value, 23 formats x 5 modes, all correctly rounded.
   std::printf("Part 1: exp(0.7) in every representation and mode\n");
   float X = 0.7f;
-  double H = exp_estrin_fma(X);
+  double H = evalH(ElemFunc::Exp, EvalScheme::EstrinFMA, X);
   size_t Checked = 0, Wrong = 0;
   for (unsigned K = 10; K <= 32; ++K) {
     FPFormat Fmt = FPFormat::withBits(K);
     for (RoundingMode M : StandardRoundingModes) {
-      uint64_t Got = roundResult(H, Fmt, M);
+      uint64_t Got = Fmt.roundDouble(H, M);
       uint64_t Want = Oracle::eval(ElemFunc::Exp, X, Fmt, M);
       ++Checked;
       Wrong += Got != Want;
@@ -61,15 +60,15 @@ int main() {
     if (BF16.isNaN(WantBf))
       continue;
     ++Total;
-    double HI = log10_estrin_fma(XI);
+    double HI = evalH(ElemFunc::Log10, EvalScheme::EstrinFMA, XI);
     // Correctly rounded float32 result, rounded once more to bfloat16.
-    double Via32 = F32.decode(roundResult(HI, F32, RoundingMode::NearestEven));
+    double Via32 = F32.decode(F32.roundDouble(HI, RoundingMode::NearestEven));
     if (BF16.roundDouble(Via32, RoundingMode::NearestEven) != WantBf) {
       ++DoubleRoundWrong;
       if (!ExampleBits)
         ExampleBits = Bits;
     }
-    if (roundResult(HI, BF16, RoundingMode::NearestEven) != WantBf)
+    if (BF16.roundDouble(HI, RoundingMode::NearestEven) != WantBf)
       ++OursWrong;
   }
   std::printf("  inputs sampled:                         %ld\n", Total);
@@ -80,24 +79,24 @@ int main() {
   if (ExampleBits) {
     float Ex;
     std::memcpy(&Ex, &ExampleBits, sizeof(Ex));
-    double HX = log10_estrin_fma(Ex);
+    double HX = evalH(ElemFunc::Log10, EvalScheme::EstrinFMA, Ex);
     std::printf("\n  example: x = %a\n", Ex);
     std::printf("    float32 result        = %a\n",
-                F32.decode(roundResult(HX, F32, RoundingMode::NearestEven)));
+                F32.decode(F32.roundDouble(HX, RoundingMode::NearestEven)));
     std::printf("    bfloat16 via float32  = %a  (WRONG)\n",
                 BF16.decode(BF16.roundDouble(
-                    F32.decode(roundResult(HX, F32, RoundingMode::NearestEven)),
+                    F32.decode(F32.roundDouble(HX, RoundingMode::NearestEven)),
                     RoundingMode::NearestEven)));
     std::printf("    bfloat16 via H        = %a  (correct)\n",
-                BF16.decode(roundResult(HX, BF16, RoundingMode::NearestEven)));
+                BF16.decode(BF16.roundDouble(HX, RoundingMode::NearestEven)));
   }
 
   // Part 3: all five rounding modes from the same H, spot-verified.
   std::printf("\nPart 3: log10(3.7) under the five IEEE modes\n");
-  double HL = log10_estrin_fma(3.7f);
+  double HL = evalH(ElemFunc::Log10, EvalScheme::EstrinFMA, 3.7f);
   for (RoundingMode M : StandardRoundingModes) {
     FPFormat Fmt = FPFormat::float32();
-    double Got = Fmt.decode(roundResult(HL, Fmt, M));
+    double Got = Fmt.decode(Fmt.roundDouble(HL, M));
     double Want = Oracle::evalValue(ElemFunc::Log10, 3.7f, Fmt, M);
     std::printf("  %s: %.9g %s\n", roundingModeName(M), Got,
                 Got == Want ? "(correct)" : "(WRONG)");

@@ -4,51 +4,59 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Quickstart: call the correctly rounded functions, compare them with the
-// system libm, and use the multi-representation API. Build and run:
+// Quickstart: the unified rfp:: evaluation API (libm/rfp.h) -- one call
+// for a correctly rounded result in any format and rounding mode, the
+// H-producing tier underneath it, and the variants() iterator over the
+// whole compiled matrix. Build and run:
 //
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 //
 //===----------------------------------------------------------------------===//
 
-#include "libm/rlibm.h"
+#include "libm/rfp.h"
 
 #include <cmath>
 #include <cstdio>
 
 using namespace rfp;
-using namespace rfp::libm;
 
 int main() {
   std::printf("rlibm-fastpoly quickstart\n");
   std::printf("=========================\n\n");
 
-  // 1. The float convenience API: correctly rounded float32 results from
-  //    the fastest generated variant (Estrin+FMA).
+  // 1. rfp::eval: name what you want with a VariantKey, get the result.
+  //    The default-constructed key is the common case -- fastest variant
+  //    (Estrin+FMA), float32, round-to-nearest-even -- so only the
+  //    function needs naming here.
+  FPFormat F32 = FPFormat::float32();
   std::printf("correctly rounded float results vs the system libm:\n");
   for (float X : {0.5f, 3.14159f, -7.25f, 42.0f}) {
-    std::printf("  exp(%-8g) = %-14.9g (libm: %.9g)\n", X, rfp_expf(X),
-                ::expf(X));
+    VariantKey K;
+    K.Func = ElemFunc::Exp;
+    std::printf("  exp(%-8g) = %-14.9g (libm: %.9g)\n", X,
+                F32.decode(eval(K, X).Enc), ::expf(X));
   }
   for (float X : {0.7f, 123.456f, 1e-10f}) {
-    std::printf("  log2(%-7g) = %-14.9g (libm: %.9g)\n", X, rfp_log2f(X),
-                ::log2f(X));
+    VariantKey K;
+    K.Func = ElemFunc::Log2;
+    std::printf("  log2(%-7g) = %-14.9g (libm: %.9g)\n", X,
+                F32.decode(eval(K, X).Enc), ::log2f(X));
   }
 
-  // 2. The H-producing cores: one double result per input that rounds
-  //    correctly into EVERY format FP(k, 8), 10 <= k <= 32, under EVERY
-  //    IEEE rounding mode. This is the RLibm-All property the paper's
-  //    generated polynomials guarantee.
+  // 2. The H tier: one double result per input that rounds correctly into
+  //    EVERY format FP(k, 8), 10 <= k <= 32, under EVERY IEEE rounding
+  //    mode. This is the RLibm-All property the paper's generated
+  //    polynomials guarantee; FPFormat::roundDouble applies it.
   float X = 2.5f;
-  double H = exp2_estrin_fma(X);
+  double H = evalH(ElemFunc::Exp2, EvalScheme::EstrinFMA, X);
   std::printf("\nexp2(%g): one H value serves every representation:\n", X);
   for (unsigned K : {16u, 19u, 24u, 32u}) {
     FPFormat Fmt = FPFormat::withBits(K);
     std::printf("  FP(%2u,8):", K);
     for (RoundingMode M : StandardRoundingModes)
       std::printf("  %s=%.9g", roundingModeName(M),
-                  Fmt.decode(roundResult(H, Fmt, M)));
+                  Fmt.decode(Fmt.roundDouble(H, M)));
     std::printf("\n");
   }
 
@@ -56,14 +64,25 @@ int main() {
   //    speed (see bench_speedup):
   std::printf("\nfour variants of exp10(0.5):\n");
   for (EvalScheme S : AllEvalSchemes) {
-    VariantInfo Info = variantInfo(ElemFunc::Exp10, S);
+    libm::VariantInfo Info = libm::variantInfo(ElemFunc::Exp10, S);
     if (!Info.Available) {
       std::printf("  %-12s N/A\n", evalSchemeName(S));
       continue;
     }
     std::printf("  %-12s %.17g  (pieces=%d degree=%u specials=%d)\n",
-                evalSchemeName(S), evalCore(ElemFunc::Exp10, S, 0.5f),
+                evalSchemeName(S), evalH(ElemFunc::Exp10, S, 0.5f),
                 Info.NumPieces, Info.MaxDegree, Info.NumSpecials);
   }
+
+  // 4. The whole compiled matrix is iterable -- this is what the serving
+  //    layer exposes and the verification engine sweeps.
+  size_t NumVariants = 0;
+  for (const VariantKey &K : variants()) {
+    (void)K;
+    ++NumVariants;
+  }
+  std::printf("\n%zu (function, scheme, format, mode) variants compiled "
+              "in, e.g. %s\n",
+              NumVariants, variantKeyName(*variants().begin()).c_str());
   return 0;
 }

@@ -300,16 +300,16 @@ struct Server::Impl {
     auto Req = std::make_shared<PendingReq>();
     std::future<Result> Fut = Req->Promise.get_future();
 
-    if (!libm::variantInfo(R.Func, R.Scheme).Available) {
+    if (!available(R.Key)) {
       Req->Promise.set_exception(std::make_exception_ptr(std::invalid_argument(
-          std::string("variant not generated: ") + elemFuncName(R.Func) +
-          "/" + evalSchemeName(R.Scheme))));
+          std::string("variant not generated: ") + elemFuncName(R.Key.Func) +
+          "/" + evalSchemeName(R.Key.Scheme))));
       return Fut;
     }
 
     CRequests.inc();
     CElems.add(R.N);
-    CFunc[static_cast<int>(R.Func)].inc();
+    CFunc[static_cast<int>(R.Key.Func)].inc();
     if (!R.Tenant.empty())
       telemetry::counter(("serve.tenant." + R.Tenant).c_str()).inc();
     StatRequests.fetch_add(1, std::memory_order_relaxed);
@@ -321,14 +321,14 @@ struct Server::Impl {
     }
 
     Req->In = R.In;
-    Req->Format = R.Format;
-    Req->Mode = R.Mode;
+    Req->Format = R.Key.Format;
+    Req->Mode = R.Key.Mode;
     Req->SubmitTime = Clock::now();
     Req->Res.H.resize(R.N);
     Req->Res.Enc.resize(R.N);
     Req->Remaining.store(R.N, std::memory_order_relaxed);
 
-    int V = variantIndex(R.Func, R.Scheme);
+    int V = variantIndex(R.Key.Func, R.Key.Scheme);
     {
       std::unique_lock<std::mutex> Lock(Mu);
       VarQueue &Q = Queues[V];

@@ -39,9 +39,7 @@
 #ifndef RFP_SERVE_SERVE_H
 #define RFP_SERVE_SERVE_H
 
-#include "fp/FPFormat.h"
-#include "poly/EvalScheme.h"
-#include "support/ElemFunc.h"
+#include "libm/rfp.h"
 
 #include <cstddef>
 #include <cstdint>
@@ -53,13 +51,12 @@
 namespace rfp {
 namespace serve {
 
-/// One evaluation request. The input span must stay alive and unmodified
-/// until the returned future is ready.
+/// One evaluation request: the variant, named by the same rfp::VariantKey
+/// that rfp::eval / rfp::evalBatch and the verification engine use, plus
+/// the input span -- which must stay alive and unmodified until the
+/// returned future is ready.
 struct Request {
-  ElemFunc Func = ElemFunc::Exp;
-  EvalScheme Scheme = EvalScheme::EstrinFMA;
-  FPFormat Format = FPFormat::float32();
-  RoundingMode Mode = RoundingMode::NearestEven;
+  VariantKey Key;
   const float *In = nullptr;
   size_t N = 0;
   /// Optional attribution key for per-tenant metrics

@@ -1,0 +1,459 @@
+//===- verify/Verify.cpp - Exhaustive multi-format verification -----------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Unit execution strategy. A unit's encoding space is processed in blocks
+// of SweepConfig::BlockElems through parallelReduce with that exact chunk
+// size, so the partition -- and therefore the merge order of counters and
+// capped mismatch records -- is fixed by the configuration, not by the
+// thread count. Per block:
+//
+//   1. Decode the block's encodings to float inputs (every FP(k, 8) value
+//      with k <= 32 is exactly a float) and query the oracle once: the
+//      certified fast path in batch form, the exact memoized oracle for
+//      the leftovers. This happens under the default FP environment --
+//      the oracle is the reference, not the thing under test.
+//   2. Precompute the five per-mode wanted encodings from RO_34.
+//   3. Evaluate the base combination (scalar cores, default FE lane) and
+//      run the full five-mode comparison per input, remembering how many
+//      modes misround per input (BaseBad).
+//   4. For every other (path, lane) combination: evaluate, bit-compare H
+//      against the base H. Identical bits inherit the base verdict --
+//      count the five comparisons and BaseBad mismatches without
+//      re-rounding. Divergent bits get the full five-mode comparison and
+//      their own mismatch records.
+//
+// FE lanes pin the dynamic rounding mode only around the evaluation call
+// itself: decode, oracle, and comparison all run under the default
+// environment (they are mode-insensitive anyway -- FPFormat::roundDouble
+// is integer-only -- but the lane is scoped tightly so the sweep tests
+// exactly the public surface's own guard and nothing else). fesetround is
+// per-thread, so parallel workers' lanes do not interfere.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Verify.h"
+
+#include "oracle/OracleCache.h"
+#include "oracle/OracleFast.h"
+#include "support/Telemetry.h"
+#include "support/ThreadPool.h"
+#include "verify/VerifyStore.h"
+
+#include <cfenv>
+#include <chrono>
+#include <cstring>
+
+using namespace rfp;
+using namespace rfp::verify;
+
+//===----------------------------------------------------------------------===//
+// Names and small helpers
+//===----------------------------------------------------------------------===//
+
+std::string verify::pathSpecName(const PathSpec &P) {
+  if (P.Path == EvalPath::ScalarCore)
+    return "scalar-core";
+  return std::string("batch-") + libm::batchISAName(P.ISA);
+}
+
+const char *verify::feLaneName(FeLane L) {
+  switch (L) {
+  case FeLane::Default:
+    return "default";
+  case FeLane::Upward:
+    return "fe-upward";
+  case FeLane::Downward:
+    return "fe-downward";
+  case FeLane::TowardZero:
+    return "fe-towardzero";
+  }
+  return "?";
+}
+
+int verify::feLaneMode(FeLane L) {
+  switch (L) {
+  case FeLane::Default:
+    return -1;
+  case FeLane::Upward:
+    return FE_UPWARD;
+  case FeLane::Downward:
+    return FE_DOWNWARD;
+  case FeLane::TowardZero:
+    return FE_TOWARDZERO;
+  }
+  return -1;
+}
+
+namespace {
+
+bool fail(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg;
+  return false;
+}
+
+std::vector<ElemFunc> effectiveFuncs(const SweepConfig &C) {
+  if (!C.Funcs.empty())
+    return C.Funcs;
+  return std::vector<ElemFunc>(std::begin(AllElemFuncs),
+                               std::end(AllElemFuncs));
+}
+
+std::vector<EvalScheme> effectiveSchemes(const SweepConfig &C) {
+  if (!C.Schemes.empty())
+    return C.Schemes;
+  return std::vector<EvalScheme>(std::begin(AllEvalSchemes),
+                                 std::end(AllEvalSchemes));
+}
+
+/// The canonical one-line identity of a sweep: everything the unit plan,
+/// the comparison matrix, and the record selection depend on. The shard
+/// manifest stores it verbatim; shard headers pin its hash. Threads are
+/// deliberately absent (results are thread-count invariant); BlockElems
+/// and the record cap are present because they shape the record lists.
+std::string configLine(const SweepConfig &C, const std::vector<Unit> &Units,
+                       const std::vector<PathSpec> &Paths,
+                       const std::vector<FeLane> &Lanes) {
+  std::string L = "v1 funcs=";
+  bool First = true;
+  for (ElemFunc F : effectiveFuncs(C)) {
+    if (!First)
+      L += ',';
+    L += elemFuncName(F);
+    First = false;
+  }
+  L += " schemes=";
+  First = true;
+  for (EvalScheme S : effectiveSchemes(C)) {
+    if (!First)
+      L += ',';
+    L += evalSchemeName(S);
+    First = false;
+  }
+  L += " bits=" + std::to_string(C.MinBits) + ".." + std::to_string(C.MaxBits);
+  L += " exhaustive=" + std::to_string(C.ExhaustiveBits);
+  L += " stride=" + std::to_string(C.Stride);
+  L += " block=" + std::to_string(C.BlockElems);
+  L += " maxrec=" + std::to_string(C.MaxRecordsPerUnit);
+  L += " paths=";
+  First = true;
+  for (const PathSpec &P : Paths) {
+    if (!First)
+      L += ',';
+    L += pathSpecName(P);
+    First = false;
+  }
+  L += " lanes=";
+  First = true;
+  for (FeLane Lane : Lanes) {
+    if (!First)
+      L += ',';
+    L += feLaneName(Lane);
+    First = false;
+  }
+  L += " units=" + std::to_string(Units.size());
+  return L;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Planning
+//===----------------------------------------------------------------------===//
+
+std::vector<Unit> verify::planUnits(const SweepConfig &C) {
+  std::vector<Unit> Units;
+  for (ElemFunc F : effectiveFuncs(C))
+    for (EvalScheme S : effectiveSchemes(C)) {
+      if (!available(F, S))
+        continue;
+      for (unsigned Bits = C.MinBits; Bits <= C.MaxBits; ++Bits) {
+        Unit U;
+        U.Func = F;
+        U.Scheme = S;
+        U.FormatBits = Bits;
+        U.Stride = Bits <= C.ExhaustiveBits ? 1 : (C.Stride ? C.Stride : 1);
+        uint64_t Space = 1ull << Bits;
+        U.NumEncodings = (Space + U.Stride - 1) / U.Stride;
+        Units.push_back(U);
+      }
+    }
+  return Units;
+}
+
+std::vector<PathSpec> verify::planPaths(const SweepConfig &C) {
+  std::vector<PathSpec> Paths;
+  Paths.push_back(PathSpec{EvalPath::ScalarCore, libm::BatchISA::Scalar});
+  if (C.AllISAs) {
+    for (libm::BatchISA ISA : libm::AllBatchISAs)
+      Paths.push_back(PathSpec{EvalPath::Batch, ISA});
+  } else {
+    Paths.push_back(PathSpec{EvalPath::Batch, libm::activeBatchISA()});
+  }
+  return Paths;
+}
+
+std::vector<FeLane> verify::planLanes(const SweepConfig &C) {
+  if (!C.FeLanes)
+    return {FeLane::Default};
+  return {FeLane::Default, FeLane::Upward, FeLane::Downward,
+          FeLane::TowardZero};
+}
+
+//===----------------------------------------------------------------------===//
+// Unit execution
+//===----------------------------------------------------------------------===//
+
+UnitResult verify::runUnit(const SweepConfig &C, const Unit &U) {
+  static const telemetry::Counter CInputs = telemetry::counter("verify.inputs");
+  static const telemetry::Counter CComparisons =
+      telemetry::counter("verify.comparisons");
+  static const telemetry::Counter CMismatches =
+      telemetry::counter("verify.mismatches");
+  static const telemetry::Counter COracleFast =
+      telemetry::counter("verify.oracle.fast");
+  static const telemetry::Counter COracleExact =
+      telemetry::counter("verify.oracle.exact");
+  static const telemetry::Counter CUnits = telemetry::counter("verify.units");
+  static const telemetry::Histogram HUnitMs =
+      telemetry::histogram("verify.unit_ms");
+
+  const std::vector<PathSpec> Paths = planPaths(C);
+  const std::vector<FeLane> Lanes = planLanes(C);
+  const FPFormat Fmt = FPFormat::withBits(U.FormatBits);
+  const FPFormat F34 = FPFormat::fp34();
+  const unsigned MaxRecords = C.MaxRecordsPerUnit;
+  const size_t BlockElems = C.BlockElems ? C.BlockElems : 4096;
+
+  auto Chunk = [&](size_t Begin, size_t End) -> UnitResult {
+    const size_t N = End - Begin;
+    UnitResult R;
+    R.Inputs = N;
+
+    // 1. Inputs and the oracle (default FP environment).
+    std::vector<float> In(N);
+    std::vector<uint32_t> XB(N);
+    for (size_t I = 0; I < N; ++I) {
+      uint64_t Enc = (Begin + I) * U.Stride;
+      float X = static_cast<float>(Fmt.decode(Enc));
+      In[I] = X;
+      std::memcpy(&XB[I], &X, 4);
+    }
+    std::vector<uint64_t> RO(N);
+    std::vector<uint8_t> St(N);
+    oracle_fast::evalToOdd34Batch(U.Func, XB.data(), N, RO.data(), St.data());
+    for (size_t I = 0; I < N; ++I) {
+      if (St[I]) {
+        ++R.OracleFast;
+      } else {
+        RO[I] = oracle_cache::evalToOdd34(U.Func, XB[I], /*AllowFast=*/false);
+        ++R.OracleExact;
+      }
+    }
+
+    // 2. Wanted encodings for the five modes.
+    std::vector<uint64_t> Want(N * 5);
+    for (size_t I = 0; I < N; ++I) {
+      double V34 = F34.decode(RO[I]);
+      for (unsigned M = 0; M < 5; ++M)
+        Want[I * 5 + M] = Fmt.roundDouble(V34, StandardRoundingModes[M]);
+    }
+
+    auto evalCombo = [&](const PathSpec &P, FeLane L, double *Out) {
+      int FeMode = feLaneMode(L);
+      int Saved = 0;
+      if (FeMode >= 0) {
+        Saved = std::fegetround();
+        std::fesetround(FeMode);
+      }
+      if (P.Path == EvalPath::ScalarCore) {
+        for (size_t I = 0; I < N; ++I)
+          Out[I] = evalH(U.Func, U.Scheme, In[I]);
+      } else {
+        evalBatchH(P.ISA, U.Func, U.Scheme, In.data(), Out, N);
+      }
+      if (FeMode >= 0)
+        std::fesetround(Saved);
+      if (C.HMutator)
+        for (size_t I = 0; I < N; ++I)
+          Out[I] = C.HMutator(U.Func, U.Scheme, U.FormatBits, XB[I], Out[I]);
+    };
+    auto record = [&](size_t I, uint64_t Got, unsigned ModeIdx,
+                      const PathSpec &P, FeLane L) {
+      ++R.Mismatches;
+      if (R.Records.size() >= MaxRecords)
+        return;
+      Mismatch M;
+      M.XBits = XB[I];
+      M.GotEnc = Got;
+      M.WantEnc = Want[I * 5 + ModeIdx];
+      M.Func = static_cast<uint8_t>(U.Func);
+      M.Scheme = static_cast<uint8_t>(U.Scheme);
+      M.FormatBits = static_cast<uint8_t>(U.FormatBits);
+      M.Mode = static_cast<uint8_t>(ModeIdx);
+      M.Path = static_cast<uint8_t>(P.Path);
+      M.ISA = static_cast<uint8_t>(P.ISA);
+      M.Lane = static_cast<uint8_t>(L);
+      R.Records.push_back(M);
+    };
+
+    // 3. Base combination: full five-mode comparison per input.
+    std::vector<double> BaseH(N), H(N);
+    std::vector<uint8_t> BaseBad(N, 0);
+    evalCombo(Paths[0], Lanes[0], BaseH.data());
+    for (size_t I = 0; I < N; ++I) {
+      for (unsigned M = 0; M < 5; ++M) {
+        uint64_t Got = Fmt.roundDouble(BaseH[I], StandardRoundingModes[M]);
+        ++R.Comparisons;
+        if (Got != Want[I * 5 + M]) {
+          ++BaseBad[I];
+          record(I, Got, M, Paths[0], Lanes[0]);
+        }
+      }
+    }
+    // 4. Every other (path, lane): bit-compare against the base H.
+    for (size_t PI = 0; PI < Paths.size(); ++PI)
+      for (size_t LI = 0; LI < Lanes.size(); ++LI) {
+        if (PI == 0 && LI == 0)
+          continue;
+        evalCombo(Paths[PI], Lanes[LI], H.data());
+        for (size_t I = 0; I < N; ++I) {
+          uint64_t HB, BB;
+          std::memcpy(&HB, &H[I], 8);
+          std::memcpy(&BB, &BaseH[I], 8);
+          if (HB == BB) {
+            // Identical H inherits the base verdict for all five modes.
+            R.Comparisons += 5;
+            R.Mismatches += BaseBad[I];
+            continue;
+          }
+          for (unsigned M = 0; M < 5; ++M) {
+            uint64_t Got = Fmt.roundDouble(H[I], StandardRoundingModes[M]);
+            ++R.Comparisons;
+            if (Got != Want[I * 5 + M])
+              record(I, Got, M, Paths[PI], Lanes[LI]);
+          }
+        }
+      }
+    return R;
+  };
+
+  auto Merge = [MaxRecords](UnitResult A, UnitResult B) {
+    A.Inputs += B.Inputs;
+    A.Comparisons += B.Comparisons;
+    A.Mismatches += B.Mismatches;
+    A.OracleFast += B.OracleFast;
+    A.OracleExact += B.OracleExact;
+    for (const Mismatch &M : B.Records) {
+      if (A.Records.size() >= MaxRecords)
+        break;
+      A.Records.push_back(M);
+    }
+    return A;
+  };
+
+  auto T0 = std::chrono::steady_clock::now();
+  UnitResult R = parallelReduce<UnitResult>(
+      static_cast<size_t>(U.NumEncodings), UnitResult{}, Chunk, Merge,
+      C.Threads, BlockElems);
+  R.Millis = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - T0)
+                 .count();
+
+  CInputs.add(R.Inputs);
+  CComparisons.add(R.Comparisons);
+  CMismatches.add(R.Mismatches);
+  COracleFast.add(R.OracleFast);
+  COracleExact.add(R.OracleExact);
+  CUnits.inc();
+  HUnitMs.record(R.Millis);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Whole sweeps
+//===----------------------------------------------------------------------===//
+
+void SweepReport::accumulate() {
+  Inputs = Comparisons = Mismatches = OracleFast = OracleExact = 0;
+  UnitsResumed = 0;
+  Millis = 0.0;
+  for (const UnitOutcome &O : Units) {
+    Inputs += O.R.Inputs;
+    Comparisons += O.R.Comparisons;
+    Mismatches += O.R.Mismatches;
+    OracleFast += O.R.OracleFast;
+    OracleExact += O.R.OracleExact;
+    Millis += O.R.Millis;
+    if (O.Resumed)
+      ++UnitsResumed;
+  }
+}
+
+SweepReport verify::runSweep(const SweepConfig &C) {
+  SweepReport Report;
+  Report.Paths = planPaths(C);
+  Report.Lanes = planLanes(C);
+  for (const Unit &U : planUnits(C))
+    Report.Units.push_back(UnitOutcome{U, runUnit(C, U), false});
+  Report.accumulate();
+  return Report;
+}
+
+bool verify::runShard(const SweepConfig &C, const ShardOptions &Opts,
+                      unsigned K, std::vector<UnitOutcome> &Out,
+                      std::string *Err) {
+  static const telemetry::Counter CResumed =
+      telemetry::counter("verify.units_resumed");
+
+  if (Opts.Dir.empty())
+    return fail(Err, "shard directory not set");
+  if (Opts.NumShards == 0 || K >= Opts.NumShards)
+    return fail(Err, "shard index " + std::to_string(K) + " out of range (" +
+                         std::to_string(Opts.NumShards) + " shards)");
+
+  const std::vector<Unit> Units = planUnits(C);
+  const std::vector<PathSpec> Paths = planPaths(C);
+  const std::vector<FeLane> Lanes = planLanes(C);
+  const std::string Line = configLine(C, Units, Paths, Lanes);
+  store::StoreConfig SC;
+  SC.ConfigHash = store::hashConfigLine(Line);
+  SC.NumShards = Opts.NumShards;
+  SC.NumUnits = Units.size();
+  if (!store::writeOrCheckManifest(Opts.Dir, Line, SC, Err))
+    return false;
+
+  uint64_t Begin, End;
+  store::shardUnitRange(SC, K, Begin, End);
+
+  if (Opts.Resume && store::shardValid(Opts.Dir, SC, K)) {
+    if (!store::readShard(Opts.Dir, SC, K, Out, Err))
+      return false;
+    CResumed.add(Out.size());
+    return true;
+  }
+
+  Out.clear();
+  for (uint64_t I = Begin; I < End; ++I)
+    Out.push_back(UnitOutcome{Units[I], runUnit(C, Units[I]), false});
+  return store::writeShard(Opts.Dir, SC, K, Out, Err);
+}
+
+bool verify::runShardedSweep(const SweepConfig &C, const ShardOptions &Opts,
+                             SweepReport &Report, std::string *Err) {
+  Report = SweepReport();
+  Report.Paths = planPaths(C);
+  Report.Lanes = planLanes(C);
+  for (unsigned K = 0; K < Opts.NumShards; ++K) {
+    std::vector<UnitOutcome> Out;
+    if (!runShard(C, Opts, K, Out, Err))
+      return false;
+    for (UnitOutcome &O : Out)
+      Report.Units.push_back(std::move(O));
+  }
+  Report.accumulate();
+  return true;
+}

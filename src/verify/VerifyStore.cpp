@@ -1,0 +1,376 @@
+//===- verify/VerifyStore.cpp - Resumable verification shards -------------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/VerifyStore.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+using namespace rfp;
+using namespace rfp::verify;
+using namespace rfp::verify::store;
+
+namespace {
+
+constexpr char Magic[8] = {'R', 'F', 'P', 'V', 'R', 'F', 'Y', '1'};
+constexpr uint32_t FormatVersion = 1;
+/// Fixed-size prefix of a serialized unit block (records follow).
+constexpr size_t UnitFixedBytes = 80;
+constexpr size_t RecordBytes = 32;
+/// Manifest config lines are bounded so the text round-trip stays simple.
+constexpr size_t MaxConfigLine = 2048;
+
+constexpr uint64_t FnvOffset = 14695981039346656037ull;
+constexpr uint64_t FnvPrime = 1099511628211ull;
+
+uint64_t fnv1a(const unsigned char *Data, size_t Len, uint64_t H) {
+  for (size_t I = 0; I < Len; ++I) {
+    H ^= Data[I];
+    H *= FnvPrime;
+  }
+  return H;
+}
+
+/// Fixed 72-byte file header. NumBlocks, PayloadBytes and Checksum are
+/// zero until the finalize rewrite stamps them, so validation rejects an
+/// unfinished file even if it somehow landed under the final name.
+struct Header {
+  char Mag[8];
+  uint32_t Version;
+  uint32_t ShardIdx;
+  uint32_t NumShards;
+  uint32_t Pad0;
+  uint64_t ConfigHash;
+  uint64_t NumUnits;
+  uint64_t UnitBegin;
+  uint64_t UnitEnd;
+  uint64_t NumBlocks;
+  uint64_t Checksum;
+};
+static_assert(sizeof(Header) == 72, "packed header layout");
+
+bool fail(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg;
+  return false;
+}
+
+void put32(std::vector<unsigned char> &Out, uint32_t V) {
+  size_t At = Out.size();
+  Out.resize(At + 4);
+  std::memcpy(Out.data() + At, &V, 4);
+}
+
+void put64(std::vector<unsigned char> &Out, uint64_t V) {
+  size_t At = Out.size();
+  Out.resize(At + 8);
+  std::memcpy(Out.data() + At, &V, 8);
+}
+
+void putF64(std::vector<unsigned char> &Out, double V) {
+  size_t At = Out.size();
+  Out.resize(At + 8);
+  std::memcpy(Out.data() + At, &V, 8);
+}
+
+struct Cursor {
+  const unsigned char *P;
+  const unsigned char *End;
+  bool Ok = true;
+
+  uint32_t get32() {
+    uint32_t V = 0;
+    if (End - P < 4) {
+      Ok = false;
+      return 0;
+    }
+    std::memcpy(&V, P, 4);
+    P += 4;
+    return V;
+  }
+  uint64_t get64() {
+    uint64_t V = 0;
+    if (End - P < 8) {
+      Ok = false;
+      return 0;
+    }
+    std::memcpy(&V, P, 8);
+    P += 8;
+    return V;
+  }
+  double getF64() {
+    double V = 0;
+    if (End - P < 8) {
+      Ok = false;
+      return 0;
+    }
+    std::memcpy(&V, P, 8);
+    P += 8;
+    return V;
+  }
+};
+
+/// Serializes one unit outcome: an 80-byte fixed prefix followed by 32
+/// packed bytes per mismatch record.
+void serializeUnit(const UnitOutcome &U, std::vector<unsigned char> &Out) {
+  put32(Out, static_cast<uint32_t>(U.U.Func));
+  put32(Out, static_cast<uint32_t>(U.U.Scheme));
+  put32(Out, U.U.FormatBits);
+  put32(Out, static_cast<uint32_t>(U.R.Records.size()));
+  put64(Out, U.U.Stride);
+  put64(Out, U.U.NumEncodings);
+  put64(Out, U.R.Inputs);
+  put64(Out, U.R.Comparisons);
+  put64(Out, U.R.Mismatches);
+  put64(Out, U.R.OracleFast);
+  put64(Out, U.R.OracleExact);
+  putF64(Out, U.R.Millis);
+  for (const Mismatch &M : U.R.Records) {
+    put32(Out, M.XBits);
+    put64(Out, M.GotEnc);
+    put64(Out, M.WantEnc);
+    unsigned char Tail[12] = {M.Func, M.Scheme, M.FormatBits, M.Mode,
+                              M.Path, M.ISA,    M.Lane,       0,
+                              0,      0,        0,            0};
+    Out.insert(Out.end(), Tail, Tail + sizeof(Tail));
+  }
+}
+
+bool deserializeUnit(Cursor &C, UnitOutcome &U) {
+  U.U.Func = static_cast<ElemFunc>(C.get32());
+  U.U.Scheme = static_cast<EvalScheme>(C.get32());
+  U.U.FormatBits = C.get32();
+  uint32_t NumRecords = C.get32();
+  U.U.Stride = C.get64();
+  U.U.NumEncodings = C.get64();
+  U.R.Inputs = C.get64();
+  U.R.Comparisons = C.get64();
+  U.R.Mismatches = C.get64();
+  U.R.OracleFast = C.get64();
+  U.R.OracleExact = C.get64();
+  U.R.Millis = C.getF64();
+  if (!C.Ok || NumRecords > (1u << 20))
+    return false;
+  U.R.Records.clear();
+  U.R.Records.reserve(NumRecords);
+  for (uint32_t I = 0; I < NumRecords; ++I) {
+    Mismatch M;
+    M.XBits = C.get32();
+    M.GotEnc = C.get64();
+    M.WantEnc = C.get64();
+    if (static_cast<size_t>(C.End - C.P) < 12)
+      return false;
+    M.Func = C.P[0];
+    M.Scheme = C.P[1];
+    M.FormatBits = C.P[2];
+    M.Mode = C.P[3];
+    M.Path = C.P[4];
+    M.ISA = C.P[5];
+    M.Lane = C.P[6];
+    C.P += 12;
+    U.R.Records.push_back(M);
+  }
+  U.Resumed = true;
+  return C.Ok;
+}
+
+} // namespace
+
+uint64_t store::hashConfigLine(const std::string &Line) {
+  return fnv1a(reinterpret_cast<const unsigned char *>(Line.data()),
+               Line.size(), FnvOffset);
+}
+
+std::string store::manifestPath(const std::string &Dir) {
+  return Dir + "/verify.manifest";
+}
+
+std::string store::shardPath(const std::string &Dir, unsigned K, unsigned M) {
+  return Dir + "/verify.shard" + std::to_string(K) + "of" + std::to_string(M) +
+         ".bin";
+}
+
+bool store::writeOrCheckManifest(const std::string &Dir,
+                                 const std::string &ConfigLine,
+                                 const StoreConfig &C, std::string *Err) {
+  if (ConfigLine.size() >= MaxConfigLine ||
+      ConfigLine.find('\n') != std::string::npos)
+    return fail(Err, "config line too long or multi-line");
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC)
+    return fail(Err,
+                "cannot create shard directory " + Dir + ": " + EC.message());
+
+  std::string Path = manifestPath(Dir);
+  if (std::filesystem::exists(Path)) {
+    std::FILE *In = std::fopen(Path.c_str(), "r");
+    if (!In)
+      return fail(Err, "cannot open manifest " + Path);
+    char Line[MaxConfigLine] = {0};
+    unsigned Shards = 0;
+    unsigned long long Units = 0;
+    int N = std::fscanf(In,
+                        "rfp-verify-manifest v1\n"
+                        "config %2047[^\n]\n"
+                        "shards %u\n"
+                        "units %llu\n",
+                        Line, &Shards, &Units);
+    std::fclose(In);
+    if (N != 3)
+      return fail(Err, "malformed manifest " + Path);
+    if (Line != ConfigLine || Shards != C.NumShards || Units != C.NumUnits)
+      return fail(Err, "shard directory " + Dir +
+                           " was built with a different sweep configuration");
+    return true;
+  }
+
+  std::string Tmp = Path + ".tmp";
+  std::FILE *F = std::fopen(Tmp.c_str(), "w");
+  if (!F)
+    return fail(Err, "cannot write " + Tmp);
+  std::fprintf(F,
+               "rfp-verify-manifest v1\n"
+               "config %s\n"
+               "shards %u\n"
+               "units %llu\n",
+               ConfigLine.c_str(), C.NumShards,
+               static_cast<unsigned long long>(C.NumUnits));
+  bool Ok = std::fflush(F) == 0;
+  Ok = (std::fclose(F) == 0) && Ok;
+  if (!Ok)
+    return fail(Err, "short write to " + Tmp);
+  std::filesystem::rename(Tmp, Path, EC);
+  if (EC)
+    return fail(Err, "cannot rename " + Tmp + ": " + EC.message());
+  return true;
+}
+
+void store::shardUnitRange(const StoreConfig &C, unsigned K, uint64_t &Begin,
+                           uint64_t &End) {
+  uint64_t Per =
+      C.NumShards ? (C.NumUnits + C.NumShards - 1) / C.NumShards : C.NumUnits;
+  Begin = std::min<uint64_t>(C.NumUnits, static_cast<uint64_t>(K) * Per);
+  End = std::min<uint64_t>(C.NumUnits, Begin + Per);
+}
+
+bool store::writeShard(const std::string &Dir, const StoreConfig &C, unsigned K,
+                       const std::vector<UnitOutcome> &Units,
+                       std::string *Err) {
+  uint64_t Begin, End;
+  shardUnitRange(C, K, Begin, End);
+  if (Units.size() != End - Begin)
+    return fail(Err, "shard " + std::to_string(K) + " expects " +
+                         std::to_string(End - Begin) + " units, got " +
+                         std::to_string(Units.size()));
+
+  std::vector<unsigned char> Payload;
+  for (const UnitOutcome &U : Units)
+    serializeUnit(U, Payload);
+
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  std::string FinalPath = shardPath(Dir, K, C.NumShards);
+  std::string TmpPath = FinalPath + ".tmp";
+  std::FILE *F = std::fopen(TmpPath.c_str(), "wb");
+  if (!F)
+    return fail(Err, "cannot create " + TmpPath);
+
+  Header H = {};
+  std::memcpy(H.Mag, Magic, sizeof(Magic));
+  H.Version = FormatVersion;
+  H.ShardIdx = K;
+  H.NumShards = C.NumShards;
+  H.ConfigHash = C.ConfigHash;
+  H.NumUnits = C.NumUnits;
+  H.UnitBegin = Begin;
+  H.UnitEnd = End;
+  H.NumBlocks = Units.size();
+  H.Checksum = fnv1a(Payload.data(), Payload.size(), FnvOffset);
+
+  bool Ok = std::fwrite(&H, sizeof(H), 1, F) == 1;
+  if (Ok && !Payload.empty())
+    Ok = std::fwrite(Payload.data(), 1, Payload.size(), F) == Payload.size();
+  Ok = Ok && std::fflush(F) == 0;
+  Ok = (std::fclose(F) == 0) && Ok;
+  if (!Ok) {
+    std::filesystem::remove(TmpPath, EC);
+    return fail(Err, "short write to " + TmpPath);
+  }
+  std::filesystem::rename(TmpPath, FinalPath, EC);
+  if (EC)
+    return fail(Err, "cannot rename " + TmpPath + ": " + EC.message());
+  return true;
+}
+
+bool store::readShard(const std::string &Dir, const StoreConfig &C, unsigned K,
+                      std::vector<UnitOutcome> &Out, std::string *Err) {
+  std::string Path = shardPath(Dir, K, C.NumShards);
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return fail(Err, "cannot open shard " + Path);
+
+  Header H = {};
+  if (std::fread(&H, sizeof(H), 1, F) != 1) {
+    std::fclose(F);
+    return fail(Err, "truncated shard header in " + Path);
+  }
+  uint64_t WantBegin, WantEnd;
+  shardUnitRange(C, K, WantBegin, WantEnd);
+  if (std::memcmp(H.Mag, Magic, sizeof(Magic)) != 0 ||
+      H.Version != FormatVersion || H.ShardIdx != K ||
+      H.NumShards != C.NumShards || H.ConfigHash != C.ConfigHash ||
+      H.NumUnits != C.NumUnits || H.UnitBegin != WantBegin ||
+      H.UnitEnd != WantEnd || H.NumBlocks != WantEnd - WantBegin) {
+    std::fclose(F);
+    return fail(Err,
+                "shard " + Path + " does not match the expected configuration");
+  }
+
+  std::vector<unsigned char> Payload;
+  {
+    long DataStart = static_cast<long>(sizeof(Header));
+    std::fseek(F, 0, SEEK_END);
+    long FileEnd = std::ftell(F);
+    std::fseek(F, DataStart, SEEK_SET);
+    if (FileEnd < DataStart) {
+      std::fclose(F);
+      return fail(Err, "truncated shard data in " + Path);
+    }
+    Payload.resize(static_cast<size_t>(FileEnd - DataStart));
+    if (!Payload.empty() &&
+        std::fread(Payload.data(), 1, Payload.size(), F) != Payload.size()) {
+      std::fclose(F);
+      return fail(Err, "truncated shard data in " + Path);
+    }
+  }
+  std::fclose(F);
+
+  if (fnv1a(Payload.data(), Payload.size(), FnvOffset) != H.Checksum)
+    return fail(Err, "shard " + Path +
+                         " checksum mismatch (corrupt or interrupted file)");
+
+  Out.clear();
+  Cursor Cur{Payload.data(), Payload.data() + Payload.size()};
+  for (uint64_t I = 0; I < H.NumBlocks; ++I) {
+    UnitOutcome U;
+    if (!deserializeUnit(Cur, U))
+      return fail(Err, "malformed unit block in " + Path);
+    Out.push_back(std::move(U));
+  }
+  if (Cur.P != Cur.End)
+    return fail(Err, "trailing bytes after unit blocks in " + Path);
+  return true;
+}
+
+bool store::shardValid(const std::string &Dir, const StoreConfig &C,
+                       unsigned K) {
+  std::vector<UnitOutcome> Tmp;
+  return readShard(Dir, C, K, Tmp);
+}

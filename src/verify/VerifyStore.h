@@ -1,0 +1,99 @@
+//===- verify/VerifyStore.h - Resumable verification shards ----*- C++ -*-===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// On-disk persistence for sharded verification sweeps, following the
+/// core/ShardStore.h recipe: the sweep's unit list splits into NumShards
+/// contiguous ranges, and each shard persists its units' results --
+/// counters plus the capped mismatch records -- so `verify --shard K/M
+/// --resume` recomputes only shards that are missing or fail validation.
+///
+/// Layout under a shard directory (one set per sweep configuration):
+///   verify.manifest            -- text: the canonical config line + split
+///   verify.shard<K>of<M>.bin   -- binary: header, per-unit blocks, FNV-1a
+///                                 checksum over the block bytes
+///
+/// The manifest pins the *whole* sweep identity -- functions, schemes,
+/// format range, strides, evaluation paths (including the kernel ISA
+/// list, which is machine-dependent) and FE lanes -- as one canonical
+/// line; shard headers carry its FNV-1a hash. Readers reject any
+/// mismatch rather than silently assembling results from two different
+/// sweeps (or two different machines).
+///
+/// Files are written to a temporary name and renamed into place, so a
+/// killed run leaves either a complete, checksummed shard or junk that
+/// validation rejects -- never a truncated file under the final name.
+/// Multi-byte fields are native-endian: shard sets are machine-local
+/// working state, not interchange files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RFP_VERIFY_VERIFYSTORE_H
+#define RFP_VERIFY_VERIFYSTORE_H
+
+#include "verify/Verify.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rfp {
+namespace verify {
+namespace store {
+
+/// Identity of a verification shard set: the hash of the canonical config
+/// line (see Verify.cpp's configLine) plus the unit-list split. Every
+/// shard header carries it; readers reject mismatches.
+struct StoreConfig {
+  uint64_t ConfigHash = 0;
+  uint32_t NumShards = 0;
+  uint64_t NumUnits = 0;
+
+  bool operator==(const StoreConfig &RHS) const {
+    return ConfigHash == RHS.ConfigHash && NumShards == RHS.NumShards &&
+           NumUnits == RHS.NumUnits;
+  }
+};
+
+/// FNV-1a over the canonical config line (the hash shard headers pin).
+uint64_t hashConfigLine(const std::string &Line);
+
+std::string manifestPath(const std::string &Dir);
+std::string shardPath(const std::string &Dir, unsigned K, unsigned M);
+
+/// Creates \p Dir if needed and writes the manifest atomically. When a
+/// manifest already exists it is validated instead: a different config
+/// line or split is an error (the directory belongs to a different run).
+bool writeOrCheckManifest(const std::string &Dir, const std::string &ConfigLine,
+                          const StoreConfig &C, std::string *Err = nullptr);
+
+/// Unit-index range [Begin, End) covered by shard \p K: the unit list
+/// splits into NumShards near-equal contiguous ranges (ceil division, so
+/// trailing shards of a ragged split may be empty but never overlap).
+void shardUnitRange(const StoreConfig &C, unsigned K, uint64_t &Begin,
+                    uint64_t &End);
+
+/// Writes shard \p K (the outcomes of its unit range, in unit order) as a
+/// checksummed file, temporary-then-rename.
+bool writeShard(const std::string &Dir, const StoreConfig &C, unsigned K,
+                const std::vector<UnitOutcome> &Units,
+                std::string *Err = nullptr);
+
+/// Reads shard \p K back. \p Out receives exactly the shard's unit
+/// outcomes in unit order; the checksum and header are validated.
+bool readShard(const std::string &Dir, const StoreConfig &C, unsigned K,
+               std::vector<UnitOutcome> &Out, std::string *Err = nullptr);
+
+/// True when shard \p K exists under \p Dir, matches \p C, and its
+/// checksum verifies. This is the resume predicate: invalid or missing
+/// shards are recomputed.
+bool shardValid(const std::string &Dir, const StoreConfig &C, unsigned K);
+
+} // namespace store
+} // namespace verify
+} // namespace rfp
+
+#endif // RFP_VERIFY_VERIFYSTORE_H

@@ -19,6 +19,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "libm/Batch.h"
+// This TU is a parity referee for the deprecated wrapper tier.
+#define RFP_NO_DEPRECATE
 #include "libm/rlibm.h"
 
 #include <gtest/gtest.h>

@@ -11,14 +11,26 @@
 // the strongest internal consistency check the repository has short of
 // MPFR itself.
 //
+// The MultiRound suite at the bottom pins the other rounding-environment
+// invariant: the rfp:: public surface returns bit-identical results no
+// matter what dynamic FP rounding mode the *caller* has installed with
+// fesetround (RLibm-MultiRound's scenario). The raw cores do not carry
+// this guarantee -- their double arithmetic follows the ambient mode --
+// so the test exercises exactly the FE guard that rfp::evalH /
+// rfp::evalBatchH add, at float32 boundary and special inputs for all six
+// functions, scalar and batch.
+//
 //===----------------------------------------------------------------------===//
 
 #include "fp/FPFormat.h"
+#include "libm/rfp.h"
 #include "mp/MPFloat.h"
 
 #include <gtest/gtest.h>
 
+#include <cfenv>
 #include <cmath>
+#include <cstring>
 #include <random>
 
 using namespace rfp;
@@ -94,6 +106,119 @@ TEST(CrossRoundingTest, TieCasesAgree) {
       EXPECT_EQ(A, B) << "tie k=" << K << " mode=" << roundingModeName(Md);
     }
   }
+}
+
+//===----------------------------------------------------------------------===//
+// MultiRound: rfp:: surface vs the caller's dynamic FP rounding mode
+//===----------------------------------------------------------------------===//
+
+/// Installs a dynamic rounding mode for the scope, restoring on exit.
+struct FeModeScope {
+  int Saved;
+  explicit FeModeScope(int M) : Saved(std::fegetround()) {
+    EXPECT_EQ(std::fesetround(M), 0);
+  }
+  ~FeModeScope() { std::fesetround(Saved); }
+};
+
+uint64_t bitsOf(double V) {
+  uint64_t B;
+  std::memcpy(&B, &V, 8);
+  return B;
+}
+
+/// float32 boundary and special inputs: zeros, subnormal edges, range
+/// extremes, NaN/inf, and the overflow/underflow boundaries of the six
+/// functions (exp ~88.72, exp2 128, exp10 ~38.53, plus log's pole at 0
+/// and the x ~ 1 cancellation region). Out-of-domain inputs for the log
+/// family are kept -- the special-case paths must be mode-independent
+/// too.
+const std::vector<float> &multiRoundInputs() {
+  static const std::vector<float> In = [] {
+    std::vector<float> V = {
+        0.0f,      -0.0f,      1.0f,       -1.0f,     0.5f,      2.0f,
+        0.1f,      10.0f,      -7.5f,      2.718282f, 0.6931472f,
+        88.72283f, 88.72284f,  89.5f,      -87.33655f, -103.97208f,
+        -104.0f,   -150.0f,    127.99999f, 128.0f,    -126.0f,   -149.5f,
+        38.53183f, 38.53184f,  -37.92978f, -45.1f,    1e-39f,    -1e-39f,
+    };
+    V.push_back(std::numeric_limits<float>::infinity());
+    V.push_back(-std::numeric_limits<float>::infinity());
+    V.push_back(std::numeric_limits<float>::quiet_NaN());
+    V.push_back(std::numeric_limits<float>::max());
+    V.push_back(std::numeric_limits<float>::lowest());
+    V.push_back(std::numeric_limits<float>::min());
+    V.push_back(std::numeric_limits<float>::denorm_min());
+    V.push_back(-std::numeric_limits<float>::denorm_min());
+    V.push_back(std::nextafterf(1.0f, 0.0f));
+    V.push_back(std::nextafterf(1.0f, 2.0f));
+    return V;
+  }();
+  return In;
+}
+
+constexpr int DynamicModes[3] = {FE_UPWARD, FE_DOWNWARD, FE_TOWARDZERO};
+
+TEST(MultiRoundTest, ScalarEvalIgnoresDynamicRoundingMode) {
+  const std::vector<float> &In = multiRoundInputs();
+  for (ElemFunc F : AllElemFuncs)
+    for (EvalScheme S : AllEvalSchemes) {
+      if (!available(F, S))
+        continue;
+      // Reference H under the default environment.
+      std::vector<uint64_t> Ref(In.size());
+      for (size_t I = 0; I < In.size(); ++I)
+        Ref[I] = bitsOf(evalH(F, S, In[I]));
+      for (int Mode : DynamicModes) {
+        FeModeScope Fe(Mode);
+        for (size_t I = 0; I < In.size(); ++I)
+          EXPECT_EQ(bitsOf(evalH(F, S, In[I])), Ref[I])
+              << elemFuncName(F) << "/" << evalSchemeName(S)
+              << " x=" << In[I] << " femode=" << Mode;
+      }
+      // And the caller's mode survives the calls.
+      FeModeScope Fe(FE_UPWARD);
+      (void)evalH(F, S, 1.5f);
+      EXPECT_EQ(std::fegetround(), FE_UPWARD);
+    }
+}
+
+TEST(MultiRoundTest, BatchEvalIgnoresDynamicRoundingMode) {
+  const std::vector<float> &In = multiRoundInputs();
+  std::vector<double> Ref(In.size()), Got(In.size());
+  for (ElemFunc F : AllElemFuncs)
+    for (EvalScheme S : AllEvalSchemes) {
+      if (!available(F, S))
+        continue;
+      evalBatchH(F, S, In.data(), Ref.data(), In.size());
+      for (int Mode : DynamicModes) {
+        FeModeScope Fe(Mode);
+        evalBatchH(F, S, In.data(), Got.data(), In.size());
+        for (size_t I = 0; I < In.size(); ++I)
+          EXPECT_EQ(bitsOf(Got[I]), bitsOf(Ref[I]))
+              << elemFuncName(F) << "/" << evalSchemeName(S)
+              << " x=" << In[I] << " femode=" << Mode;
+      }
+    }
+}
+
+TEST(MultiRoundTest, RoundedEncodingsIgnoreDynamicRoundingMode) {
+  // Full rfp::eval: the *encodings* -- what an application actually
+  // consumes -- are identical under a changed environment, for every
+  // target mode of a couple of representative formats.
+  const std::vector<float> &In = multiRoundInputs();
+  for (FPFormat Fmt : {FPFormat::bfloat16(), FPFormat::tensorfloat32(),
+                       FPFormat::float32()})
+    for (RoundingMode M : StandardRoundingModes) {
+      VariantKey K{ElemFunc::Log2, EvalScheme::EstrinFMA, Fmt, M};
+      std::vector<uint64_t> Ref(In.size());
+      for (size_t I = 0; I < In.size(); ++I)
+        Ref[I] = eval(K, In[I]).Enc;
+      FeModeScope Fe(FE_DOWNWARD);
+      for (size_t I = 0; I < In.size(); ++I)
+        EXPECT_EQ(eval(K, In[I]).Enc, Ref[I])
+            << variantKeyName(K) << " x=" << In[I];
+    }
 }
 
 } // namespace

@@ -5,6 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "libm/Batch.h"
+// This TU is a parity referee for the deprecated wrapper tier.
+#define RFP_NO_DEPRECATE
 #include "libm/rlibm.h"
 #include "support/Telemetry.h"
 
@@ -185,6 +187,13 @@ TEST(DispatchTest, GarbageBatchISAEnvWarnsAndResolvesAsAuto) {
   }
   EXPECT_EQ(Warnings, 1) << LastMsg;
   EXPECT_NE(LastMsg.find("avx9000"), std::string::npos) << LastMsg;
+  // The message must also say which fallback set it chose -- pinned text,
+  // including the resolved ISA's name (so a typo'd override is diagnosable
+  // from the log alone).
+  std::string Fallback = std::string("using best detected ISA (") +
+                         batchISAName(activeBatchISA()) + ")";
+  EXPECT_NE(LastMsg.find(Fallback), std::string::npos)
+      << "expected \"" << Fallback << "\" in: " << LastMsg;
 
   // And the resolved set actually evaluates correctly.
   const float In[5] = {0.5f, 1.0f, -2.25f, 3.75f, 100.0f};

@@ -13,6 +13,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+// This TU is a parity referee for the deprecated wrapper tier.
+#define RFP_NO_DEPRECATE
 #include "libm/rlibm.h"
 
 #include "oracle/Oracle.h"

@@ -55,13 +55,13 @@ void expectExact(const Result &Res, const Request &R) {
   ASSERT_EQ(Res.H.size(), R.N);
   ASSERT_EQ(Res.Enc.size(), R.N);
   for (size_t I = 0; I < R.N; ++I) {
-    double Want = libm::evalCore(R.Func, R.Scheme, R.In[I]);
+    double Want = libm::evalCore(R.Key.Func, R.Key.Scheme, R.In[I]);
     ASSERT_EQ(bitsOf(Want), bitsOf(Res.H[I]))
-        << elemFuncName(R.Func) << "/" << evalSchemeName(R.Scheme)
+        << elemFuncName(R.Key.Func) << "/" << evalSchemeName(R.Key.Scheme)
         << " x=" << R.In[I] << " I=" << I;
-    ASSERT_EQ(libm::roundResult(Want, R.Format, R.Mode), Res.Enc[I])
-        << elemFuncName(R.Func) << "/" << evalSchemeName(R.Scheme) << " "
-        << roundingModeName(R.Mode) << " x=" << R.In[I];
+    ASSERT_EQ(libm::roundResult(Want, R.Key.Format, R.Key.Mode), Res.Enc[I])
+        << elemFuncName(R.Key.Func) << "/" << evalSchemeName(R.Key.Scheme) << " "
+        << roundingModeName(R.Key.Mode) << " x=" << R.In[I];
   }
 }
 
@@ -81,10 +81,10 @@ TEST(ServeTest, DifferentialParityAllVariantsFormatsModes) {
       // Rotate formats and modes across variants; every mode and format
       // is exercised several times.
       Request R;
-      R.Func = F;
-      R.Scheme = Sch;
-      R.Format = Formats[FormatIdx++ % 4];
-      R.Mode = StandardRoundingModes[ModeIdx++ % 5];
+      R.Key.Func = F;
+      R.Key.Scheme = Sch;
+      R.Key.Format = Formats[FormatIdx++ % 4];
+      R.Key.Mode = StandardRoundingModes[ModeIdx++ % 5];
       R.In = Pool.data();
       R.N = Pool.size();
       std::future<Result> Fut = S.submit(R);
@@ -101,10 +101,10 @@ TEST(ServeTest, AllFiveModesOnOneVariant) {
     for (const FPFormat &Fmt :
          {FPFormat::float32(), FPFormat::bfloat16(), FPFormat::withBits(10)}) {
       Request R;
-      R.Func = ElemFunc::Log;
-      R.Scheme = EvalScheme::Knuth;
-      R.Format = Fmt;
-      R.Mode = M;
+      R.Key.Func = ElemFunc::Log;
+      R.Key.Scheme = EvalScheme::Knuth;
+      R.Key.Format = Fmt;
+      R.Key.Mode = M;
       R.In = Pool.data();
       R.N = Pool.size();
       expectExact(S.submit(R).get(), R);
@@ -121,7 +121,7 @@ TEST(ServeTest, CoalescesSmallRequestsIntoWideBatches) {
   const size_t ReqSize = 4;
   for (size_t At = 0; At + ReqSize <= Pool.size(); At += ReqSize) {
     Request R;
-    R.Func = ElemFunc::Exp;
+    R.Key.Func = ElemFunc::Exp;
     R.In = Pool.data() + At;
     R.N = ReqSize;
     Futs.push_back(S.submit(R));
@@ -149,18 +149,18 @@ TEST(ServeTest, ConcurrentSubmittersBitExact) {
                                 ElemFunc::Log2};
       for (int I = 0; I < ReqsPerThread; ++I) {
         Request R;
-        R.Func = Funcs[(T + I) % 4];
-        R.Scheme = I % 2 ? EvalScheme::EstrinFMA : EvalScheme::Knuth;
-        R.Mode = StandardRoundingModes[I % 5];
+        R.Key.Func = Funcs[(T + I) % 4];
+        R.Key.Scheme = I % 2 ? EvalScheme::EstrinFMA : EvalScheme::Knuth;
+        R.Key.Mode = StandardRoundingModes[I % 5];
         R.Tenant = T % 2 ? "alpha" : "beta";
         size_t Off = static_cast<size_t>((T * 37 + I * 11) % 64);
         R.In = Pool.data() + Off;
         R.N = Pool.size() - Off;
         Result Res = S.submit(R).get();
         for (size_t J = 0; J < R.N; ++J) {
-          double Want = libm::evalCore(R.Func, R.Scheme, R.In[J]);
+          double Want = libm::evalCore(R.Key.Func, R.Key.Scheme, R.In[J]);
           if (bitsOf(Want) != bitsOf(Res.H[J]) ||
-              libm::roundResult(Want, R.Format, R.Mode) != Res.Enc[J]) {
+              libm::roundResult(Want, R.Key.Format, R.Key.Mode) != Res.Enc[J]) {
             ++Failures[T];
             break;
           }
@@ -179,8 +179,8 @@ TEST(ServeTest, OversizedRequestSplitsAcrossBatches) {
   std::vector<float> Pool = stridedInputs(2000003);
   Server S({.Threads = 2, .MaxBatchElems = 256, .TargetBatchElems = 128});
   Request R;
-  R.Func = ElemFunc::Exp10;
-  R.Scheme = EvalScheme::Estrin;
+  R.Key.Func = ElemFunc::Exp10;
+  R.Key.Scheme = EvalScheme::Estrin;
   R.In = Pool.data();
   R.N = Pool.size(); // ~2148 elements >> MaxBatchElems
   expectExact(S.submit(R).get(), R);
@@ -199,8 +199,8 @@ TEST(ServeTest, BackpressureBoundsTheQueue) {
   std::vector<std::future<Result>> Futs;
   for (int I = 0; I < 100; ++I) {
     Request R;
-    R.Func = ElemFunc::Log10;
-    R.Scheme = EvalScheme::Horner;
+    R.Key.Func = ElemFunc::Log10;
+    R.Key.Scheme = EvalScheme::Horner;
     R.In = Pool.data();
     R.N = 48;
     Futs.push_back(S.submit(R)); // blocks when 64-element queue is full
@@ -221,8 +221,8 @@ TEST(ServeTest, FlushDrainsEverythingQueued) {
             .TargetBatchElems = size_t(1) << 20,
             .FlushDeadlineUs = 60u * 1000u * 1000u});
   Request R;
-  R.Func = ElemFunc::Log2;
-  R.Scheme = EvalScheme::EstrinFMA;
+  R.Key.Func = ElemFunc::Log2;
+  R.Key.Scheme = EvalScheme::EstrinFMA;
   R.In = Pool.data();
   R.N = Pool.size();
   std::future<Result> Fut = S.submit(R);
@@ -237,8 +237,8 @@ TEST(ServeTest, ShutdownFulfillsQueuedRequests) {
   std::vector<float> Pool = stridedInputs(40000007);
   std::future<Result> Fut;
   Request R;
-  R.Func = ElemFunc::Exp2;
-  R.Scheme = EvalScheme::Horner;
+  R.Key.Func = ElemFunc::Exp2;
+  R.Key.Scheme = EvalScheme::Horner;
   R.In = Pool.data();
   R.N = Pool.size();
   {
@@ -253,12 +253,12 @@ TEST(ServeTest, ShutdownFulfillsQueuedRequests) {
 TEST(ServeTest, UnavailableVariantAndEmptyRequest) {
   Server S;
   Request Bad;
-  Bad.Func = ElemFunc::Log10;
-  Bad.Scheme = EvalScheme::Knuth; // not generated (paper Table 1: N/A)
+  Bad.Key.Func = ElemFunc::Log10;
+  Bad.Key.Scheme = EvalScheme::Knuth; // not generated (paper Table 1: N/A)
   EXPECT_THROW(S.submit(Bad).get(), std::invalid_argument);
 
   Request Empty;
-  Empty.Func = ElemFunc::Exp;
+  Empty.Key.Func = ElemFunc::Exp;
   Empty.N = 0;
   Result Res = S.submit(Empty).get();
   EXPECT_TRUE(Res.H.empty());

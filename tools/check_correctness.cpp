@@ -23,7 +23,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "libm/rlibm.h"
+#include "libm/rfp.h"
 #include "oracle/Oracle.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
@@ -61,7 +61,7 @@ long checkVariant(ElemFunc F, EvalScheme S, uint64_t Stride,
       float X;
       uint32_t Bits = static_cast<uint32_t>(B);
       std::memcpy(&X, &Bits, sizeof(X));
-      double H = evalCore(F, S, X);
+      double H = evalH(F, S, X);
       if (AllFormats) {
         uint64_t Enc34 = Oracle::eval(F, X, F34, RoundingMode::ToOdd);
         if (F34.isNaN(Enc34)) {
@@ -195,7 +195,7 @@ int main(int Argc, char **Argv) {
   for (int S = 0; S < 4; ++S) {
     if (SchemeIdx >= 0 && S != SchemeIdx)
       continue;
-    if (!variantInfo(Func, static_cast<EvalScheme>(S)).Available) {
+    if (!available(Func, static_cast<EvalScheme>(S))) {
       std::printf("%-8s %-12s N/A\n", elemFuncName(Func),
                   evalSchemeName(static_cast<EvalScheme>(S)));
       continue;

@@ -1,0 +1,338 @@
+//===- tools/verify.cpp - Exhaustive correctness sweep CLI ----------------===//
+//
+// Part of the rlibm-fastpoly project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Front end for verify/Verify.h: sweeps every input of every FP(k, 8)
+// format x all five rounding modes x all shipped functions x both eval
+// paths against the certified oracle, bit for bit. Exit status is the
+// gate: 0 only when every comparison matched.
+//
+//   verify                                  # full default sweep
+//   verify --max-bits 14                    # CI smoke: small formats only
+//   verify --min-bits 32 --stride 262147    # strided float32 slice
+//   verify --all-isas --fe-lanes            # widest matrix
+//   verify --shards 8 --shard-dir D         # sharded, resumable run
+//   verify --shard 3/8 --shard-dir D        # just shard 3 (cluster use)
+//   verify --resume ...                     # skip shards already on disk
+//
+// --json (default BENCH_verify.json) writes the coverage/throughput
+// report through the shared bench envelope; CI validates it with
+// python3 -m json.tool and gates on totals.mismatches == 0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Verify.h"
+
+#include "JsonWriter.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace rfp;
+using namespace rfp::verify;
+
+namespace {
+
+int usage(const char *Prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] %s\n"
+      "  --min-bits <n>         narrowest format (default 10)\n"
+      "  --max-bits <n>         widest format (default 32)\n"
+      "  --exhaustive-bits <n>  formats up to n bits sweep every encoding\n"
+      "                         (default 16)\n"
+      "  --stride <n>           encoding stride for wider formats\n"
+      "                         (default 65537; 1 = fully exhaustive)\n"
+      "  --funcs a,b,...        subset of exp,exp2,exp10,log,log2,log10\n"
+      "  --schemes a,b,...      subset of horner,knuth,estrin,estrin-fma\n"
+      "  --all-isas             batch path on every kernel ISA, not just\n"
+      "                         the active one\n"
+      "  --fe-lanes             add the MultiRound fesetround lanes\n"
+      "  --threads <n>          worker threads (default: RFP_THREADS/cores)\n"
+      "  --max-records <n>      mismatch records kept per unit (default 64)\n"
+      "  --shards <m>           split the sweep into m resumable shards\n"
+      "  --shard <k>/<m>        run only shard k of m (0-based)\n"
+      "  --shard-dir <dir>      shard directory (required with shards)\n"
+      "  --resume               reuse shards already valid on disk\n"
+      "  --quiet                no per-unit progress lines\n",
+      Prog, bench::ReportOptions::usage());
+  return 2;
+}
+
+bool parseList(const char *Arg, std::vector<ElemFunc> &Out) {
+  std::string S(Arg);
+  size_t At = 0;
+  while (At <= S.size()) {
+    size_t Comma = S.find(',', At);
+    std::string Tok = S.substr(At, Comma == std::string::npos ? std::string::npos
+                                                              : Comma - At);
+    bool Found = false;
+    for (ElemFunc F : AllElemFuncs)
+      if (Tok == elemFuncName(F)) {
+        Out.push_back(F);
+        Found = true;
+      }
+    if (!Found)
+      return false;
+    if (Comma == std::string::npos)
+      break;
+    At = Comma + 1;
+  }
+  return !Out.empty();
+}
+
+bool parseList(const char *Arg, std::vector<EvalScheme> &Out) {
+  std::string S(Arg);
+  size_t At = 0;
+  while (At <= S.size()) {
+    size_t Comma = S.find(',', At);
+    std::string Tok = S.substr(At, Comma == std::string::npos ? std::string::npos
+                                                              : Comma - At);
+    bool Found = false;
+    for (EvalScheme Sc : AllEvalSchemes)
+      if (Tok == evalSchemeName(Sc)) {
+        Out.push_back(Sc);
+        Found = true;
+      }
+    if (!Found)
+      return false;
+    if (Comma == std::string::npos)
+      break;
+    At = Comma + 1;
+  }
+  return !Out.empty();
+}
+
+void printMismatch(const Mismatch &M) {
+  std::fprintf(stderr,
+               "  MISMATCH %s/%s fp%u %s x=0x%08x path=%u isa=%s lane=%u "
+               "got=0x%llx want=0x%llx\n",
+               elemFuncName(static_cast<ElemFunc>(M.Func)),
+               evalSchemeName(static_cast<EvalScheme>(M.Scheme)),
+               static_cast<unsigned>(M.FormatBits),
+               roundingModeName(StandardRoundingModes[M.Mode]), M.XBits,
+               static_cast<unsigned>(M.Path),
+               libm::batchISAName(static_cast<libm::BatchISA>(M.ISA)),
+               static_cast<unsigned>(M.Lane),
+               static_cast<unsigned long long>(M.GotEnc),
+               static_cast<unsigned long long>(M.WantEnc));
+}
+
+void writeReport(bench::Report &Rep, const SweepConfig &C,
+                 const SweepReport &R, double WallMs) {
+  json::Writer &W = Rep.writer();
+  W.key("config");
+  W.beginObject();
+  W.kv("min_bits", C.MinBits);
+  W.kv("max_bits", C.MaxBits);
+  W.kv("exhaustive_bits", C.ExhaustiveBits);
+  W.kv("stride", static_cast<uint64_t>(C.Stride));
+  W.kv("threads", ThreadPool::resolveThreads(C.Threads));
+  W.key("paths");
+  W.inlineNext();
+  W.beginArray();
+  for (const PathSpec &P : R.Paths)
+    W.value(pathSpecName(P));
+  W.endArray();
+  W.key("lanes");
+  W.inlineNext();
+  W.beginArray();
+  for (FeLane L : R.Lanes)
+    W.value(feLaneName(L));
+  W.endArray();
+  W.kv("units", static_cast<uint64_t>(R.Units.size()));
+  W.endObject();
+
+  W.key("totals");
+  W.beginObject();
+  W.kv("inputs", R.Inputs);
+  W.kv("comparisons", R.Comparisons);
+  W.kv("mismatches", R.Mismatches);
+  W.kv("oracle_fast", R.OracleFast);
+  W.kv("oracle_exact", R.OracleExact);
+  W.kv("units_resumed", static_cast<uint64_t>(R.UnitsResumed));
+  W.kvFixed("wall_ms", WallMs, 1);
+  double Secs = WallMs / 1000.0;
+  W.kvFixed("inputs_per_sec", Secs > 0 ? R.Inputs / Secs : 0.0, 0);
+  W.kvFixed("comparisons_per_sec", Secs > 0 ? R.Comparisons / Secs : 0.0, 0);
+  W.endObject();
+
+  W.key("units");
+  W.beginArray();
+  for (const UnitOutcome &O : R.Units) {
+    W.inlineNext();
+    W.beginObject();
+    W.kv("func", elemFuncName(O.U.Func));
+    W.kv("scheme", evalSchemeName(O.U.Scheme));
+    W.kv("bits", O.U.FormatBits);
+    W.kv("stride", static_cast<uint64_t>(O.U.Stride));
+    W.kv("inputs", O.R.Inputs);
+    W.kv("mismatches", O.R.Mismatches);
+    W.kvFixed("ms", O.R.Millis, 1);
+    if (O.Resumed)
+      W.kv("resumed", true);
+    W.endObject();
+  }
+  W.endArray();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  SweepConfig C;
+  ShardOptions Shards;
+  Shards.NumShards = 0; // 0 = not sharded until a shard flag says otherwise
+  int OnlyShard = -1;
+  bool Quiet = false;
+  bench::ReportOptions Opts;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    if (Opts.parse(Argc, Argv, I, "BENCH_verify.json"))
+      continue;
+    if (!std::strcmp(A, "--min-bits") && I + 1 < Argc)
+      C.MinBits = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(A, "--max-bits") && I + 1 < Argc)
+      C.MaxBits = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(A, "--exhaustive-bits") && I + 1 < Argc)
+      C.ExhaustiveBits = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(A, "--stride") && I + 1 < Argc)
+      C.Stride = std::strtoull(Argv[++I], nullptr, 10);
+    else if (!std::strcmp(A, "--funcs") && I + 1 < Argc) {
+      if (!parseList(Argv[++I], C.Funcs)) {
+        std::fprintf(stderr, "unknown function in --funcs %s\n", Argv[I]);
+        return 2;
+      }
+    } else if (!std::strcmp(A, "--schemes") && I + 1 < Argc) {
+      if (!parseList(Argv[++I], C.Schemes)) {
+        std::fprintf(stderr, "unknown scheme in --schemes %s\n", Argv[I]);
+        return 2;
+      }
+    } else if (!std::strcmp(A, "--all-isas"))
+      C.AllISAs = true;
+    else if (!std::strcmp(A, "--fe-lanes"))
+      C.FeLanes = true;
+    else if (!std::strcmp(A, "--threads") && I + 1 < Argc)
+      C.Threads = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(A, "--max-records") && I + 1 < Argc)
+      C.MaxRecordsPerUnit = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(A, "--shards") && I + 1 < Argc)
+      Shards.NumShards = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(A, "--shard") && I + 1 < Argc) {
+      unsigned K = 0, M = 0;
+      if (std::sscanf(Argv[++I], "%u/%u", &K, &M) != 2 || M == 0 || K >= M) {
+        std::fprintf(stderr, "bad --shard %s (want K/M with K < M)\n",
+                     Argv[I]);
+        return 2;
+      }
+      OnlyShard = static_cast<int>(K);
+      Shards.NumShards = M;
+    } else if (!std::strcmp(A, "--shard-dir") && I + 1 < Argc)
+      Shards.Dir = Argv[++I];
+    else if (!std::strcmp(A, "--resume"))
+      Shards.Resume = true;
+    else if (!std::strcmp(A, "--quiet"))
+      Quiet = true;
+    else
+      return usage(Argv[0]);
+  }
+  if (C.MinBits < 10 || C.MaxBits > 32 || C.MinBits > C.MaxBits) {
+    std::fprintf(stderr, "format range must satisfy 10 <= min <= max <= 32\n");
+    return 2;
+  }
+  bool Sharded = Shards.NumShards > 0 || !Shards.Dir.empty();
+  if (Sharded && Shards.Dir.empty()) {
+    std::fprintf(stderr, "sharded runs need --shard-dir\n");
+    return 2;
+  }
+  if (Sharded && Shards.NumShards == 0)
+    Shards.NumShards = 1;
+
+  std::vector<Unit> Units = planUnits(C);
+  std::vector<PathSpec> Paths = planPaths(C);
+  std::vector<FeLane> Lanes = planLanes(C);
+  if (!Quiet) {
+    std::string PathNames, LaneNames;
+    for (const PathSpec &P : Paths)
+      PathNames += (PathNames.empty() ? "" : ",") + pathSpecName(P);
+    for (FeLane L : Lanes)
+      LaneNames += std::string(LaneNames.empty() ? "" : ",") + feLaneName(L);
+    std::printf("verify: %zu units, paths [%s], lanes [%s], %u threads\n",
+                Units.size(), PathNames.c_str(), LaneNames.c_str(),
+                ThreadPool::resolveThreads(C.Threads));
+  }
+
+  auto T0 = std::chrono::steady_clock::now();
+  SweepReport Report;
+  Report.Paths = Paths;
+  Report.Lanes = Lanes;
+  std::string Err;
+  if (!Sharded) {
+    for (const Unit &U : Units) {
+      UnitResult R = runUnit(C, U);
+      if (!Quiet) {
+        std::string StrideNote =
+            U.Stride == 1 ? "" : " stride " + std::to_string(U.Stride);
+        std::printf("  %s/%s fp%u%s: %llu inputs, %llu mismatches (%.1f ms)\n",
+                    elemFuncName(U.Func), evalSchemeName(U.Scheme),
+                    U.FormatBits, StrideNote.c_str(),
+                    static_cast<unsigned long long>(R.Inputs),
+                    static_cast<unsigned long long>(R.Mismatches), R.Millis);
+      }
+      Report.Units.push_back(UnitOutcome{U, std::move(R), false});
+    }
+    Report.accumulate();
+  } else if (OnlyShard >= 0) {
+    std::vector<UnitOutcome> Out;
+    if (!runShard(C, Shards, static_cast<unsigned>(OnlyShard), Out, &Err)) {
+      std::fprintf(stderr, "verify: %s\n", Err.c_str());
+      return 2;
+    }
+    Report.Units = std::move(Out);
+    Report.accumulate();
+  } else {
+    if (!runShardedSweep(C, Shards, Report, &Err)) {
+      std::fprintf(stderr, "verify: %s\n", Err.c_str());
+      return 2;
+    }
+  }
+  double WallMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - T0)
+                      .count();
+
+  unsigned Printed = 0;
+  for (const UnitOutcome &O : Report.Units)
+    for (const Mismatch &M : O.R.Records)
+      if (Printed++ < 32)
+        printMismatch(M);
+  if (Printed > 32)
+    std::fprintf(stderr, "  ... %u more recorded mismatches\n", Printed - 32);
+
+  std::string ResumeNote =
+      Report.UnitsResumed ? " [" + std::to_string(Report.UnitsResumed) +
+                                " units resumed]"
+                          : "";
+  std::printf("verify: %llu inputs, %llu comparisons, %llu mismatches"
+              "%s (%.1f s, %.0f inputs/s)\n",
+              static_cast<unsigned long long>(Report.Inputs),
+              static_cast<unsigned long long>(Report.Comparisons),
+              static_cast<unsigned long long>(Report.Mismatches),
+              ResumeNote.c_str(), WallMs / 1000.0,
+              WallMs > 0 ? Report.Inputs / (WallMs / 1000.0) : 0.0);
+
+  if (!Opts.JsonPath.empty()) {
+    bench::Report Rep(Opts.JsonPath, "verify");
+    if (!Rep.ok())
+      return 2;
+    writeReport(Rep, C, Report, WallMs);
+  }
+  Opts.finish();
+  return Report.Mismatches == 0 ? 0 : 1;
+}
